@@ -1,0 +1,27 @@
+.PHONY: all build test bench bench-full examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/order_book.exe
+	dune exec examples/ip_routes.exe
+	dune exec examples/metrics_cut.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
