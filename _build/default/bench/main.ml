@@ -1,0 +1,428 @@
+(* Benchmark harness reproducing every figure and table of the paper's
+   evaluation (§8), scaled to this machine.  See EXPERIMENTS.md for the
+   mapping and for paper-vs-measured discussion.
+
+   Usage:  main.exe [--full] [section ...]
+   Sections: fig8a fig8b fig8c fig8d fig8dlist fig9 fig10 fig11 fig12
+             direct_stores extra_skiplist micro   (default: all) *)
+
+module D = Harness.Driver
+module T = Harness.Table
+module V = Verlib
+
+type scale = {
+  n : int;
+  n_dlist : int;
+  threads : int;
+  duration : float;
+  repeats : int;
+}
+
+let quick = { n = 10_000; n_dlist = 500; threads = 4; duration = 0.25; repeats = 1 }
+
+let full = { n = 100_000; n_dlist = 1_000; threads = 4; duration = 1.0; repeats = 3 }
+
+let scale = ref quick
+
+let base_spec map =
+  let s = !scale in
+  {
+    (D.default_spec map) with
+    n = s.n;
+    duration = s.duration;
+    repeats = s.repeats;
+    groups =
+      [ { D.g_count = s.threads; g_update_percent = 20; g_query = Workload.Opgen.Multifinds 16 } ];
+  }
+
+let with_updates spec pct =
+  {
+    spec with
+    D.groups = List.map (fun g -> { g with D.g_update_percent = pct }) spec.D.groups;
+  }
+
+(* The versioned-pointer implementation series of Figure 8. *)
+let vptr_series =
+  V.Vptr.[ Plain; Indirect; No_shortcut; Ind_on_need; Rec_once ]
+
+let series_for (module M : Dstruct.Map_intf.MAP) =
+  List.filter M.supports_mode vptr_series
+
+let run_row spec = (D.run spec).D.total_mops
+
+(* --- Figure 8: versioned pointer implementations ----------------------- *)
+
+let fig8_panel ~title ~map ~xs ~make_spec ~xlabel =
+  let module M = (val map : Dstruct.Map_intf.MAP) in
+  let series = series_for map in
+  let header = xlabel :: List.map V.Vptr.mode_name series in
+  let rows =
+    List.map
+      (fun x ->
+        string_of_int x
+        :: List.map
+             (fun mode -> T.mops (run_row { (make_spec x) with D.mode = mode }))
+             series)
+      xs
+  in
+  T.print ~title ~header rows
+
+let fig8a () =
+  let spec = base_spec (module Dstruct.Btree) in
+  fig8_panel ~title:"Figure 8a: btree, throughput (Mop/s) vs update %"
+    ~map:(module Dstruct.Btree)
+    ~xs:[ 0; 5; 20; 50; 100 ]
+    ~make_spec:(fun pct -> with_updates spec pct)
+    ~xlabel:"update%"
+
+let fig8b () =
+  let spec = base_spec (module Dstruct.Btree) in
+  let sizes = if !scale == full then [ 1_000; 10_000; 100_000; 1_000_000 ] else [ 1_000; 10_000; 100_000 ] in
+  fig8_panel ~title:"Figure 8b: btree, throughput (Mop/s) vs size"
+    ~map:(module Dstruct.Btree)
+    ~xs:sizes
+    ~make_spec:(fun n -> { spec with D.n })
+    ~xlabel:"size"
+
+let fig8c () =
+  let spec = base_spec (module Dstruct.Arttree) in
+  fig8_panel ~title:"Figure 8c: arttree, throughput (Mop/s) vs update %"
+    ~map:(module Dstruct.Arttree)
+    ~xs:[ 0; 5; 20; 50; 100 ]
+    ~make_spec:(fun pct -> with_updates spec pct)
+    ~xlabel:"update%"
+
+let fig8d () =
+  let spec = base_spec (module Dstruct.Btree) in
+  let module M = Dstruct.Btree in
+  let thetas = [ (0, 0.); (50, 0.5); (75, 0.75); (90, 0.9); (99, 0.99) ] in
+  let series = series_for (module Dstruct.Btree) in
+  let header = "zipf(%)" :: List.map V.Vptr.mode_name series in
+  let rows =
+    List.map
+      (fun (label, theta) ->
+        Printf.sprintf "0.%02d" label
+        :: List.map
+             (fun mode -> T.mops (run_row { spec with D.mode; theta }))
+             series)
+      thetas
+  in
+  T.print ~title:"Figure 8d: btree, throughput (Mop/s) vs Zipfian parameter" ~header rows
+
+let fig8dlist () =
+  let spec = { (base_spec (module Dstruct.Dlist)) with D.n = !scale.n_dlist } in
+  fig8_panel ~title:"Figure 8 (dlist panel): dlist, throughput (Mop/s) vs update %"
+    ~map:(module Dstruct.Dlist)
+    ~xs:[ 0; 20; 50 ]
+    ~make_spec:(fun pct -> with_updates spec pct)
+    ~xlabel:"update%"
+
+(* --- Figure 9: timestamp schemes on the hash table --------------------- *)
+
+let fig9 () =
+  let spec = base_spec (module Dstruct.Hashtable) in
+  let schemes = V.Stamp.all_schemes in
+  let header = "update%" :: List.map V.Stamp.scheme_name schemes in
+  let rows =
+    List.map
+      (fun pct ->
+        string_of_int pct
+        :: List.map
+             (fun scheme -> T.mops (run_row { (with_updates spec pct) with D.scheme }))
+             schemes)
+      [ 0; 5; 20; 50; 100 ]
+  in
+  T.print
+    ~title:"Figure 9: hashtable, timestamp schemes, throughput (Mop/s) vs update %"
+    ~header rows;
+  (* companion: clock increments per scheme at 50% updates, showing the
+     contention each scheme induces *)
+  let rows2 =
+    List.map
+      (fun scheme ->
+        let r = D.run { (with_updates spec 50) with D.scheme } in
+        [
+          V.Stamp.scheme_name scheme;
+          T.mops r.D.total_mops;
+          string_of_int r.D.increments;
+          string_of_int r.D.aborts;
+        ])
+      schemes
+  in
+  T.print ~title:"Figure 9 companion: scheme behaviour at 50% updates"
+    ~header:[ "scheme"; "Mop/s"; "clock increments"; "optimistic aborts" ] rows2
+
+(* --- Figure 10: range queries vs other range-queriable structures ------ *)
+
+let fig10 () =
+  let s = !scale in
+  let groups rq_size =
+    [
+      { D.g_count = 1; g_update_percent = 100; g_query = Workload.Opgen.Finds };
+      {
+        D.g_count = max 1 (s.threads - 1);
+        g_update_percent = 0;
+        g_query = Workload.Opgen.Ranges rq_size;
+      };
+    ]
+  in
+  let contenders =
+    [
+      ("btree (Verlib)", Harness.Registry.find "btree", V.Vptr.Ind_on_need);
+      ("btree (non-vers.)", Harness.Registry.find "btree", V.Vptr.Plain);
+      ("arttree (Verlib)", Harness.Registry.find "arttree", V.Vptr.Ind_on_need);
+      ("vbst (validated RQ)", Harness.Registry.find "vbst", V.Vptr.Plain);
+      ("coarse (RW-locked)", Harness.Registry.find "coarse", V.Vptr.Plain);
+    ]
+  in
+  List.iter
+    (fun rq_size ->
+      let rows =
+        List.map
+          (fun (label, map, mode) ->
+            let spec =
+              { (base_spec map) with D.mode; groups = groups rq_size }
+            in
+            let r = D.run spec in
+            let upd, rq =
+              match r.D.group_mops with [ u; q ] -> (u, q) | _ -> (0., 0.)
+            in
+            [ label; T.mops (upd *. 1000.); T.mops (rq *. 1000.); T.mops r.D.total_mops ])
+          contenders
+      in
+      T.print
+        ~title:
+          (Printf.sprintf
+             "Figure 10: range queries of expected size %d (1 update thread, %d RQ threads)"
+             rq_size (max 1 (s.threads - 1)))
+        ~header:[ "structure"; "updates Kop/s"; "RQs Kop/s"; "total Mop/s" ]
+        rows)
+    [ 16; 256; 4096 ]
+
+(* --- Figure 11: scalability / oversubscription ------------------------- *)
+
+let fig11 () =
+  let thread_counts = [ 1; 2; 4; 8 ] in
+  let make map label mode lock_mode =
+    ( label,
+      fun threads ->
+        let spec =
+          {
+            (base_spec map) with
+            D.mode;
+            lock_mode;
+            theta = 0.99;
+            groups =
+              [ { D.g_count = threads; g_update_percent = 5; g_query = Workload.Opgen.Finds } ];
+          }
+        in
+        run_row spec )
+  in
+  let series =
+    [
+      make (module Dstruct.Btree) "btree lock-free" V.Vptr.Ind_on_need Flock.Lock.Lock_free;
+      make (module Dstruct.Btree) "btree blocking" V.Vptr.Ind_on_need Flock.Lock.Blocking;
+      make (module Dstruct.Arttree) "arttree lock-free" V.Vptr.Ind_on_need Flock.Lock.Lock_free;
+      make (module Dstruct.Arttree) "arttree blocking" V.Vptr.Ind_on_need Flock.Lock.Blocking;
+      make (module Dstruct.Vbst) "vbst (blocking baseline)" V.Vptr.Plain Flock.Lock.Blocking;
+    ]
+  in
+  let header = "threads" :: List.map fst series in
+  let rows =
+    List.map
+      (fun th -> string_of_int th :: List.map (fun (_, f) -> T.mops (f th)) series)
+      thread_counts
+  in
+  T.print
+    ~title:
+      "Figure 11: scalability, 5% updates 95% finds, Zipf 0.99 (1 hardware core: >1 \
+       thread is oversubscribed)"
+    ~header rows
+
+(* --- Figure 12: space --------------------------------------------------- *)
+
+let fig12 () =
+  let n = min !scale.n 50_000 in
+  let structures =
+    [ "arttree"; "btree"; "hashtable"; "dlist"; "vbst"; "coarse" ]
+  in
+  let measure name mode =
+    let map = Harness.Registry.find name in
+    let module M = (val map : Dstruct.Map_intf.MAP) in
+    if not (M.supports_mode mode) then None
+    else begin
+      V.reset ();
+      let n = if name = "dlist" then min n 2_000 else n in
+      let t = M.create ~mode ~n_hint:n () in
+      let gen =
+        Workload.Opgen.create ~n ~update_percent:100 ~query:Workload.Opgen.Finds ()
+      in
+      Workload.Opgen.fill gen (Workload.Splitmix.create 7) ~insert:(fun k v ->
+          M.insert t k v);
+      let entries = M.size t in
+      Some (Harness.Space.bytes_per_entry ~root:(Obj.repr t) ~entries)
+    end
+  in
+  let fmt = function Some b -> Printf.sprintf "%.1f" b | None -> "-" in
+  let rows =
+    List.map
+      (fun name ->
+        [
+          name;
+          fmt (measure name V.Vptr.Plain);
+          fmt (measure name V.Vptr.Ind_on_need);
+        ])
+      structures
+  in
+  T.print
+    ~title:(Printf.sprintf "Figure 12: space, bytes per entry (n = %d)" n)
+    ~header:[ "structure"; "Non-versioned"; "Versioned" ]
+    rows
+
+(* --- §8.1 Direct stores ablation ---------------------------------------- *)
+
+let direct_stores () =
+  let spec = with_updates (base_spec (module Dstruct.Btree)) 50 in
+  let on = run_row { spec with D.direct_stores = true } in
+  let off = run_row { spec with D.direct_stores = false } in
+  T.print ~title:"Direct stores (§8.1): btree, 50% updates"
+    ~header:[ "store implementation"; "Mop/s" ]
+    [
+      [ "store_norace (direct)"; T.mops on ];
+      [ "load-then-CAS"; T.mops off ];
+      [ "improvement"; Printf.sprintf "%.1f%%" ((on -. off) /. off *. 100.) ];
+    ]
+
+(* --- Extra: skiplist, where indirection-on-need earns its keep ---------- *)
+
+(* Linking a node into an upper skip-list level stores an already-claimed
+   object — Figure 1's metadata-sharing situation — so unlike the other
+   structures, this one creates indirect links on inserts, not just
+   deletes.  The table shows throughput alongside the §5 mechanism
+   counters: links created, links shortcut out, chains truncated. *)
+let extra_skiplist () =
+  let spec = base_spec (module Dstruct.Skiplist) in
+  let series = series_for (module Dstruct.Skiplist) in
+  let rows =
+    List.map
+      (fun mode ->
+        let r = D.run { spec with D.mode } in
+        [
+          V.Vptr.mode_name mode;
+          T.mops r.D.total_mops;
+          string_of_int (V.Stats.total V.Stats.indirect_created);
+          string_of_int (V.Stats.total V.Stats.shortcuts);
+          string_of_int (V.Stats.total V.Stats.truncations);
+        ])
+      series
+  in
+  T.print
+    ~title:"Extra: skiplist (fully versioned towers), 20% updates + multifinds"
+    ~header:[ "mode"; "Mop/s"; "links created"; "shortcuts"; "truncations" ]
+    rows
+
+(* --- Bechamel microbenchmarks ------------------------------------------- *)
+
+type uobj = { v : int; meta : uobj V.Vtypes.meta }
+
+let micro () =
+  let open Bechamel in
+  let mk v = { v; meta = V.Vtypes.fresh_meta () } in
+  let desc mode = V.Vptr.make_desc ~meta_of:(fun o -> o.meta) ~mode in
+  V.reset ();
+  let mk_ptr mode = V.Vptr.make (desc mode) (Some (mk 1)) in
+  let load_test mode =
+    let p = mk_ptr mode in
+    Test.make ~name:("load " ^ V.Vptr.mode_name mode) (Staged.stage (fun () -> V.Vptr.load p))
+  in
+  let store_test mode =
+    let p = mk_ptr mode in
+    Test.make
+      ~name:("store " ^ V.Vptr.mode_name mode)
+      (Staged.stage (fun () -> V.Vptr.store_norace p (Some (mk 2))))
+  in
+  let cas_test mode =
+    let p = mk_ptr mode in
+    Test.make
+      ~name:("cas " ^ V.Vptr.mode_name mode)
+      (Staged.stage (fun () ->
+           let cur = V.Vptr.load p in
+           ignore (V.Vptr.cas p cur (Some (mk 2)))))
+  in
+  let snapshot_test scheme =
+    V.Stamp.set_scheme scheme;
+    let p = mk_ptr V.Vptr.Ind_on_need in
+    Test.make
+      ~name:("with_snapshot " ^ V.Stamp.scheme_name scheme)
+      (Staged.stage (fun () -> V.with_snapshot (fun () -> V.Vptr.load p)))
+  in
+  let modes = V.Vptr.[ Plain; Indirect; Ind_on_need ] in
+  let tests =
+    Test.make_grouped ~name:"vptr" ~fmt:"%s %s"
+      (List.map load_test modes @ List.map store_test modes @ List.map cas_test modes)
+  in
+  let snap_tests =
+    Test.make_grouped ~name:"snapshot" ~fmt:"%s %s"
+      (List.map snapshot_test V.Stamp.[ Query_ts; Hw_ts; Opt_ts ])
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let report title test =
+    let raw = Benchmark.all cfg [ instance ] test in
+    let res = Analyze.all ols instance raw in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name o ->
+        let est =
+          match Analyze.OLS.estimates o with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | Some _ | None -> "-"
+        in
+        rows := [ name; est ] :: !rows)
+      res;
+    T.print ~title ~header:[ "operation"; "ns/op" ]
+      (List.sort compare !rows)
+  in
+  report "Microbenchmark: versioned pointer primitive operations" tests;
+  report "Microbenchmark: with_snapshot overhead by scheme" snap_tests;
+  V.Stamp.set_scheme V.Stamp.Query_ts
+
+(* --- main ---------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig8c", fig8c);
+    ("fig8d", fig8d);
+    ("fig8dlist", fig8dlist);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("direct_stores", direct_stores);
+    ("extra_skiplist", extra_skiplist);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fullness, wanted = List.partition (fun a -> a = "--full") args in
+  if fullness <> [] then scale := full;
+  let wanted = if wanted = [] then List.map fst sections else wanted in
+  Printf.printf
+    "VERLIB reproduction benchmarks (%s scale: n=%d, %d threads, %.2fs/run, %d repeat(s))\n"
+    (if !scale == full then "full" else "quick")
+    !scale.n !scale.threads !scale.duration !scale.repeats;
+  Printf.printf "Machine: %d recommended domain(s) — see EXPERIMENTS.md for scaling notes.\n"
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+      | None -> Printf.eprintf "unknown section %S\n" name)
+    wanted

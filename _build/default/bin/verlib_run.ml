@@ -1,0 +1,124 @@
+(* CLI for running a single Verlib experiment with custom parameters —
+   the counterpart of the paper artifact's experiment-customisation entry
+   point (Appendix A.7). *)
+
+open Cmdliner
+
+let structure =
+  let doc =
+    Printf.sprintf "Data structure to benchmark: %s."
+      (String.concat ", " Harness.Registry.names)
+  in
+  Arg.(value & opt string "btree" & info [ "s"; "structure" ] ~docv:"NAME" ~doc)
+
+let mode =
+  let alist =
+    [
+      ("indonneed", Verlib.Vptr.Ind_on_need);
+      ("indirect", Verlib.Vptr.Indirect);
+      ("noshortcut", Verlib.Vptr.No_shortcut);
+      ("reconce", Verlib.Vptr.Rec_once);
+      ("plain", Verlib.Vptr.Plain);
+    ]
+  in
+  let doc = "Versioned pointer implementation: indonneed, indirect, noshortcut, reconce, plain." in
+  Arg.(value & opt (enum alist) Verlib.Vptr.Ind_on_need & info [ "m"; "mode" ] ~doc)
+
+let scheme =
+  let alist =
+    [
+      ("query", Verlib.Stamp.Query_ts);
+      ("update", Verlib.Stamp.Update_ts);
+      ("hw", Verlib.Stamp.Hw_ts);
+      ("tl2", Verlib.Stamp.Tl2_ts);
+      ("opt", Verlib.Stamp.Opt_ts);
+      ("nostamp", Verlib.Stamp.No_stamp);
+    ]
+  in
+  let doc = "Timestamp scheme: query, update, hw, tl2, opt, nostamp." in
+  Arg.(value & opt (enum alist) Verlib.Stamp.Query_ts & info [ "ts" ] ~doc)
+
+let lock_mode =
+  let alist = [ ("lockfree", Flock.Lock.Lock_free); ("blocking", Flock.Lock.Blocking) ] in
+  Arg.(
+    value
+    & opt (enum alist) Flock.Lock.Lock_free
+    & info [ "locks" ] ~doc:"Lock implementation: lockfree or blocking.")
+
+let threads =
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc:"Number of worker domains.")
+
+let size = Arg.(value & opt int 10_000 & info [ "n"; "size" ] ~doc:"Structure size.")
+
+let updates =
+  Arg.(value & opt int 20 & info [ "u"; "updates" ] ~doc:"Update percentage (0-100).")
+
+let query =
+  let doc = "Query kind for non-update operations: find, range:SIZE, multifind:K." in
+  Arg.(value & opt string "multifind:16" & info [ "q"; "query" ] ~doc)
+
+let theta =
+  Arg.(value & opt float 0. & info [ "z"; "zipf" ] ~doc:"Zipfian parameter (0 = uniform).")
+
+let duration =
+  Arg.(value & opt float 1.0 & info [ "d"; "duration" ] ~doc:"Seconds per run.")
+
+let repeats = Arg.(value & opt int 3 & info [ "r"; "repeats" ] ~doc:"Runs to average.")
+
+let parse_query s =
+  match String.split_on_char ':' s with
+  | [ "find" ] | [ "finds" ] -> Ok Workload.Opgen.Finds
+  | [ "range"; n ] -> Ok (Workload.Opgen.Ranges (int_of_string n))
+  | [ "multifind"; n ] -> Ok (Workload.Opgen.Multifinds (int_of_string n))
+  | _ -> Error (`Msg (Printf.sprintf "bad query spec %S" s))
+
+let run structure mode scheme lock_mode threads size updates query theta duration repeats =
+  match parse_query query with
+  | Error (`Msg m) ->
+      prerr_endline m;
+      exit 2
+  | Ok q ->
+      let map = Harness.Registry.find structure in
+      let module M = (val map : Dstruct.Map_intf.MAP) in
+      if not (M.supports_mode mode) then begin
+        Printf.eprintf "%s does not support mode %s\n" structure
+          (Verlib.Vptr.mode_name mode);
+        exit 2
+      end;
+      let spec =
+        {
+          Harness.Driver.map;
+          mode;
+          lock_mode;
+          scheme;
+          direct_stores = true;
+          n = size;
+          theta;
+          groups = [ { Harness.Driver.g_count = threads; g_update_percent = updates; g_query = q } ];
+          duration;
+          repeats;
+          seed = 42;
+        }
+      in
+      let r = Harness.Driver.run spec in
+      Printf.printf
+        "%s mode=%s ts=%s locks=%s threads=%d n=%d updates=%d%% zipf=%.2f\n"
+        structure
+        (Verlib.Vptr.mode_name mode)
+        (Verlib.Stamp.scheme_name scheme)
+        (match lock_mode with Flock.Lock.Lock_free -> "lock-free" | Blocking -> "blocking")
+        threads size updates theta;
+      Printf.printf "throughput: %.3f Mop/s (final size %d)\n" r.Harness.Driver.total_mops
+        r.Harness.Driver.final_size;
+      Printf.printf "clock increments: %d, optimistic aborts: %d\n"
+        r.Harness.Driver.increments r.Harness.Driver.aborts
+
+let cmd =
+  let doc = "run one Verlib experiment with custom parameters" in
+  Cmd.v
+    (Cmd.info "verlib_run" ~doc)
+    Term.(
+      const run $ structure $ mode $ scheme $ lock_mode $ threads $ size $ updates
+      $ query $ theta $ duration $ repeats)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/ip_routes.ml: Array Atomic Domain Dstruct List Printf Verlib

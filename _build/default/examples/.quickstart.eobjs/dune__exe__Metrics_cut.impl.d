@@ -1,0 +1,1 @@
+examples/metrics_cut.ml: Atomic Domain Dstruct Printf Verlib

@@ -1,0 +1,1 @@
+examples/order_book.ml: Domain Dstruct Int List Printf Set String Verlib

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Dstruct Flock List Printf String Verlib

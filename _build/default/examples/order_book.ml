@@ -1,0 +1,74 @@
+(* Order-book price index on the versioned B-tree.
+
+   Trading gateways insert and cancel limit orders (keyed by price level)
+   while a market-data publisher repeatedly takes atomic scans of the top
+   of the book.  Because each gateway emits orders at strictly increasing
+   sequence-numbered price levels, every linearizable scan must observe a
+   prefix of each gateway's emissions — which this example checks, making
+   it a live demonstration of the paper's linearizable range queries.
+
+   Run with:  dune exec examples/order_book.exe *)
+
+module Book = Dstruct.Btree
+
+let gateways = 3
+
+let orders_per_gateway = 2_000
+
+(* price level for gateway [g]'s [i]-th order; distinct across gateways *)
+let price g i = (i * gateways) + g
+
+let () =
+  Verlib.reset ();
+  let book = Book.create ~mode:Verlib.Vptr.Ind_on_need ~n_hint:8192 () in
+  let gateway g () =
+    for i = 0 to orders_per_gateway - 1 do
+      ignore (Book.insert book (price g i) ((g * 1_000_000) + i));
+      (* cancel a stale order occasionally (keeps deletes in play) *)
+      if i mod 7 = 6 then ignore (Book.delete book (price g (i - 3)))
+    done
+  in
+  let scans = ref 0 in
+  let anomalies = ref 0 in
+  let module IS = Set.Make (Int) in
+  let publisher () =
+    for _ = 1 to 400 do
+      incr scans;
+      let view = Book.range book min_int max_int in
+      (* Linearizability check: gateways place orders in sequence and only
+         ever cancel order i-3 (i ≡ 6 mod 7), i.e. indices ≡ 3 mod 7.  An
+         atomic view whose highest order from gateway g is m must therefore
+         contain every j <= m with j mod 7 <> 3. *)
+      for g = 0 to gateways - 1 do
+        let idxs =
+          List.filter_map
+            (fun (k, _) -> if k mod gateways = g then Some ((k - g) / gateways) else None)
+            view
+        in
+        let top = List.fold_left max (-1) idxs in
+        let present = IS.of_list idxs in
+        for j = 0 to top do
+          if j mod 7 <> 3 && not (IS.mem j present) then incr anomalies
+        done
+      done
+    done
+  in
+  let ds = List.init gateways (fun g -> Domain.spawn (gateway g)) in
+  let p = Domain.spawn publisher in
+  publisher ();
+  Domain.join p;
+  List.iter Domain.join ds;
+  Book.check book;
+  Printf.printf "order book: %d orders resting, %d atomic scans\n" (Book.size book)
+    !scans;
+  (* top-of-book query through a snapshot: best (lowest) 5 price levels *)
+  let best = ref [] in
+  Verlib.with_snapshot (fun () ->
+      best :=
+        (match Book.range book min_int max_int with
+         | a :: b :: c :: d :: e :: _ -> [ a; b; c; d; e ]
+         | l -> l));
+  Printf.printf "best levels: %s\n"
+    (String.concat ", " (List.map (fun (k, _) -> string_of_int k) !best));
+  assert (!anomalies = 0);
+  print_endline "order_book OK"

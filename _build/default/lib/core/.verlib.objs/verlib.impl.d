@@ -1,0 +1,1 @@
+lib/core/verlib.ml: Done_stamp Flock Hwclock Snapctx Snapshot Stamp Stats Vptr Vtypes

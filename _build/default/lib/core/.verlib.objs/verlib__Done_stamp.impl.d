@@ -1,0 +1,1 @@
+lib/core/done_stamp.ml: Array Atomic Domain Flock Stamp

@@ -1,0 +1,1 @@
+lib/core/done_stamp.mli:

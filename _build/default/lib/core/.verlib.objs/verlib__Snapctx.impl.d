@@ -1,0 +1,1 @@
+lib/core/snapctx.ml: Domain

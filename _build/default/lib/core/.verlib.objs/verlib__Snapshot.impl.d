@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Done_stamp Fun Snapctx Stamp Stats

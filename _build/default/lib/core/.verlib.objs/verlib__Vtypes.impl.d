@@ -1,0 +1,1 @@
+lib/core/vtypes.ml: Atomic Stamp

@@ -1,0 +1,47 @@
+let idle = max_int
+
+(* announced.(i) = stamp of domain i's ongoing snapshot, or [idle]. *)
+let announced : int Atomic.t array =
+  Array.init Flock.Registry.max_slots (fun _ -> Atomic.make idle)
+
+let announce s = Atomic.set announced.(Flock.Registry.my_id ()) s
+
+let withdraw () = Atomic.set announced.(Flock.Registry.my_id ()) idle
+
+(* Cache is monotone non-decreasing.  Any past refresh result remains a
+   valid lower bound: a snapshot that starts later picks a stamp at least
+   the clock value observed during the refresh. *)
+let cache = Atomic.make 0
+
+let refresh () =
+  (* [Stamp.floor], not [Stamp.read]: under schemes whose snapshots take
+     one below the clock, a bound equal to the clock would already exceed
+     the stamp of a snapshot starting immediately afterwards. *)
+  let m = ref (Stamp.floor ()) in
+  Flock.Registry.iter_ids (fun i ->
+      let a = Atomic.get announced.(i) in
+      if a < !m then m := a);
+  let fresh = !m in
+  let rec raise_cache () =
+    let c = Atomic.get cache in
+    if fresh > c && not (Atomic.compare_and_set cache c fresh) then raise_cache ()
+  in
+  raise_cache ();
+  Atomic.get cache
+
+let reset () = Atomic.set cache 0
+
+let interval = 32
+
+let countdown : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let get () =
+  let c = Domain.DLS.get countdown in
+  if !c > 0 then begin
+    decr c;
+    Atomic.get cache
+  end
+  else begin
+    c := interval;
+    refresh ()
+  end

@@ -1,0 +1,31 @@
+(** The [done_stamp]: a global lower bound on the stamp of every ongoing
+    (and, by monotonicity of the clock, every future) snapshot, never
+    exceeding the global clock.  An indirect version link whose stamp is at
+    most the done stamp can be shortcut out, because no snapshot will ever
+    need to traverse past it (§5, "Shortcutting").
+
+    The paper maintains this with epoch-based reclamation; we maintain it
+    directly with a per-domain announcement array: each domain announces
+    its snapshot stamp for the duration of its [with_snapshot].  [get]
+    serves a cached value refreshed periodically; the cache only ever lags
+    {e below} the true bound, which is the safe direction. *)
+
+val announce : int -> unit
+(** Publish the calling domain's snapshot stamp.  Must happen before the
+    snapshot reads any versioned pointer. *)
+
+val withdraw : unit -> unit
+
+val get : unit -> int
+(** A stamp [d] such that every ongoing or future snapshot has stamp >= [d]
+    and the global clock is >= [d]. *)
+
+val refresh : unit -> int
+(** Recompute the bound now (bypassing the cache) and return it; [get]
+    calls this every few dozen invocations per domain. *)
+
+val reset : unit -> unit
+(** Drop the cached bound.  Required whenever the clock is reset
+    ([Stamp.set_scheme]): stamps from different schemes are incomparable,
+    and a stale high cache would licence unsound shortcuts.  Call only at
+    quiescence, like [set_scheme] itself. *)

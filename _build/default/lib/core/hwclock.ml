@@ -1,0 +1,10 @@
+external rdtsc : unit -> int = "caml_verlib_rdtsc" [@@noalloc]
+
+(* Bias by the startup reading so stamps stay comfortably small while
+   remaining strictly positive (0 is the reserved "initial version"
+   stamp). *)
+let origin = rdtsc () - 1
+
+let now () =
+  let t = rdtsc () - origin in
+  if t > 0 then t else 1

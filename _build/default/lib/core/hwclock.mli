@@ -1,0 +1,5 @@
+(** Hardware timestamp source backing the HwTS scheme: [rdtsc] on x86,
+    [CLOCK_MONOTONIC] elsewhere.  Values are positive, monotone and
+    strictly above {!Stamp.zero}. *)
+
+val now : unit -> int

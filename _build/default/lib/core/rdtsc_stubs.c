@@ -1,0 +1,28 @@
+/* Hardware timestamp for the HwTS scheme.
+ *
+ * On x86-64 this is the rdtsc cycle counter the paper uses; elsewhere we
+ * fall back to CLOCK_MONOTONIC nanoseconds, which preserves the property
+ * the algorithm needs: a cheap, globally monotone clock read.  The value
+ * is masked to 62 bits so it always fits a non-negative OCaml int. */
+
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+static uint64_t hw_ticks(void) { return (uint64_t)__rdtsc(); }
+#else
+static uint64_t hw_ticks(void)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (uint64_t)ts.tv_sec * 1000000000ull + (uint64_t)ts.tv_nsec;
+}
+#endif
+
+CAMLprim value caml_verlib_rdtsc(value unit)
+{
+    (void)unit;
+    return Val_long((long)(hw_ticks() & 0x3fffffffffffffffull));
+}

@@ -1,0 +1,30 @@
+(** Per-domain snapshot context.
+
+    While a domain runs inside [with_snapshot], its chosen stamp is held
+    here (the paper's thread-local [local_stamp]) together with the
+    optimistic-execution flags of Algorithm 7.  {!Vptr.load} consults this
+    on every read; {!Snapshot} sets and clears it. *)
+
+val none : int
+(** Sentinel meaning "not inside a snapshot" (the paper uses -1; we use
+    [min_int] so it can never collide with [Stamp.tbd]). *)
+
+val local_stamp : unit -> int
+(** The calling domain's snapshot stamp, or {!none}. *)
+
+val set_local_stamp : int -> unit
+
+val clear_local_stamp : unit -> unit
+
+val optimistic : unit -> bool
+
+val set_optimistic : bool -> unit
+
+val aborted : unit -> bool
+
+val clear_aborted : unit -> unit
+
+val note_equal_stamp : unit -> unit
+(** Called by the snapshot read path when it accepts a version whose stamp
+    equals the reader's stamp; aborts the run if it is optimistic
+    (Algorithm 7, line 5). *)

@@ -1,0 +1,67 @@
+exception Aborted
+
+let active () = Snapctx.local_stamp () <> Snapctx.none
+
+let current_stamp () =
+  let s = Snapctx.local_stamp () in
+  if s = Snapctx.none then None else Some s
+
+let check_abort () =
+  if Snapctx.optimistic () && Snapctx.aborted () then raise Aborted
+
+(* Choose the snapshot stamp with the done-stamp invariant preserved at
+   every instant: first pin a conservative announcement (a clock value no
+   greater than any stamp we can subsequently take), then take the real
+   stamp and tighten the announcement.  Announcing only after taking the
+   stamp would leave a window in which a concurrent done-stamp refresh —
+   not seeing us, but seeing a clock our own take just advanced — could
+   compute a bound above our stamp and licence a shortcut that splices
+   out exactly the versions our reads need. *)
+let enter take_stamp =
+  (* The pin must be at or below any stamp [take_stamp] can subsequently
+     return; [Stamp.floor] is exactly that bound. *)
+  Done_stamp.announce (Stamp.floor ());
+  let s = take_stamp () in
+  Done_stamp.announce s;
+  Snapctx.set_local_stamp s;
+  s
+
+let leave () =
+  Snapctx.clear_local_stamp ();
+  Snapctx.set_optimistic false;
+  Snapctx.clear_aborted ();
+  Done_stamp.withdraw ()
+
+let pessimistic_run f s =
+  Snapctx.set_optimistic false;
+  Snapctx.clear_aborted ();
+  (* Algorithm 7: ensure the clock has moved past our stamp, so no future
+     version can be stamped at or before it; then the re-run is an
+     ordinary (always linearizable) snapshot execution. *)
+  Stamp.bump_from s;
+  f ()
+
+let optimistic_with_snapshot f =
+  let s = enter Stamp.read in
+  Fun.protect ~finally:leave (fun () ->
+      Snapctx.set_optimistic true;
+      Snapctx.clear_aborted ();
+      match f () with
+      | r when not (Snapctx.aborted ()) -> r
+      | _ ->
+          Stats.incr Stats.snapshot_aborts;
+          pessimistic_run f s
+      | exception Aborted ->
+          Stats.incr Stats.snapshot_aborts;
+          pessimistic_run f s)
+
+let with_snapshot f =
+  if active () then f () (* nested: share the outer snapshot *)
+  else begin
+    Stats.incr Stats.snapshots;
+    if Stamp.is_optimistic () then optimistic_with_snapshot f
+    else begin
+      let (_ : int) = enter Stamp.take in
+      Fun.protect ~finally:leave f
+    end
+  end

@@ -1,0 +1,25 @@
+(** Atomic snapshots over versioned pointers.
+
+    [with_snapshot f] runs the read-only thunk [f] so that every
+    {!Vptr.load} it performs returns the value its location held at one
+    fixed point in the linearization order, situated between the call's
+    invocation and response.  Under the optimistic timestamp scheme
+    ([Stamp.Opt_ts], Algorithm 7) [f] may be executed twice, so it must be
+    repeatable — natural for read-only queries. *)
+
+val with_snapshot : (unit -> 'a) -> 'a
+(** Nested calls share the outer snapshot's stamp. *)
+
+exception Aborted
+(** Raised by {!check_abort}; private to the optimistic machinery. *)
+
+val check_abort : unit -> unit
+(** Optional cooperative early exit for long queries (§7's optimization):
+    inside an optimistic snapshot that has already been invalidated, raises
+    {!Aborted}, causing [with_snapshot] to re-run the thunk pessimistically
+    without finishing the doomed pass. *)
+
+val active : unit -> bool
+(** Whether the calling domain is inside a [with_snapshot]. *)
+
+val current_stamp : unit -> int option

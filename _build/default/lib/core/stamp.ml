@@ -1,0 +1,93 @@
+type scheme = Query_ts | Update_ts | Hw_ts | Tl2_ts | Opt_ts | No_stamp
+
+let scheme_name = function
+  | Query_ts -> "QueryTS"
+  | Update_ts -> "UpdateTS"
+  | Hw_ts -> "HwTS"
+  | Tl2_ts -> "TL2-TS"
+  | Opt_ts -> "OptTS"
+  | No_stamp -> "NoStamp"
+
+let all_schemes = [ Query_ts; Update_ts; Hw_ts; Tl2_ts; Opt_ts; No_stamp ]
+
+let tbd = -1
+
+let zero = 0
+
+(* The software clock starts at 1 so that [zero] is strictly below every
+   stamp ever handed out. *)
+let clock = Atomic.make 1
+
+let current_scheme = Atomic.make Query_ts
+
+let increment_successes = Atomic.make 0
+
+let set_scheme s =
+  Atomic.set current_scheme s;
+  Atomic.set clock 1;
+  Atomic.set increment_successes 0
+
+let scheme () = Atomic.get current_scheme
+
+let is_optimistic () = Atomic.get current_scheme == Opt_ts
+
+let increments () = Atomic.get increment_successes
+
+let read () =
+  match Atomic.get current_scheme with
+  | Hw_ts -> Hwclock.now ()
+  | Query_ts | Update_ts | Tl2_ts | Opt_ts | No_stamp -> Atomic.get clock
+
+(* Single-attempt increment, as in WBB+'s take_snapshot: a failed CAS means
+   a concurrent operation already advanced the clock, which serves the same
+   purpose. *)
+let bump () =
+  let s = Atomic.get clock in
+  if Atomic.compare_and_set clock s (s + 1) then Atomic.incr increment_successes
+
+let bump_from s =
+  if Atomic.compare_and_set clock s (s + 1) then Atomic.incr increment_successes
+
+(* A snapshot stamp must satisfy "clock strictly above the stamp before
+   the snapshot's first read": any version installed afterwards is then
+   stamped (by whoever helps) with a clock read strictly above the stamp,
+   so it can never appear mid-snapshot.  Query_ts and Tl2_ts get this by
+   returning the pre-increment value; Update_ts and Hw_ts, whose takers
+   never increment, return one below the current clock — still at or
+   above every completed update's stamp, because updates advance the
+   clock past their own stamp before returning (Update_ts) or the
+   hardware clock ticks on its own (Hw_ts).  No_stamp deliberately
+   violates the invariant: it is the non-linearizable control. *)
+let floor () =
+  match Atomic.get current_scheme with
+  | Hw_ts -> Hwclock.now () - 1
+  | Update_ts -> Atomic.get clock - 1
+  | Query_ts | Tl2_ts | Opt_ts | No_stamp -> Atomic.get clock
+
+let take () =
+  match Atomic.get current_scheme with
+  | Hw_ts -> Hwclock.now () - 1
+  | Update_ts -> Atomic.get clock - 1
+  | No_stamp -> Atomic.get clock
+  | Query_ts ->
+      let s = Atomic.get clock in
+      if Atomic.compare_and_set clock s (s + 1) then Atomic.incr increment_successes;
+      s
+  | Tl2_ts ->
+      (* TL2 GV4-style: if our increment loses the race, the winner's bump
+         covers us; adopt the pre-bump value we can prove existed. *)
+      let s = Atomic.get clock in
+      if Atomic.compare_and_set clock s (s + 1) then begin
+        Atomic.incr increment_successes;
+        s
+      end
+      else Atomic.get clock - 1
+  | Opt_ts ->
+      (* Pessimistic re-run path of Algorithm 7: bump, then read. *)
+      bump ();
+      Atomic.get clock - 1
+
+let on_update () =
+  match Atomic.get current_scheme with
+  | Update_ts -> bump ()
+  | Query_ts | Hw_ts | Tl2_ts | Opt_ts | No_stamp -> ()

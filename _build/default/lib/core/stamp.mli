@@ -1,0 +1,76 @@
+(** Global timestamp schemes (paper §7 and §8 "Timestamps").
+
+    Versioning needs a global notion of time: every successful update's
+    version gets a stamp, and every snapshot gets a stamp; a snapshot sees
+    exactly the versions with stamps at or before its own.  The schemes
+    differ in {e who} advances the clock:
+
+    - [Query_ts]  — incremented by each snapshotted query (WBB+ default);
+    - [Update_ts] — incremented by each successful update (classic MVCC);
+    - [Hw_ts]     — never incremented; reads the hardware clock ({!Hwclock});
+    - [Tl2_ts]    — TL2-style low-contention clock: queries increment, but a
+                    failed increment adopts the concurrent winner's bump;
+    - [Opt_ts]    — the paper's optimistic scheme (Algorithm 7): queries run
+                    without incrementing and only bump-and-retry when they
+                    meet a version stamped equal to their own stamp;
+    - [No_stamp]  — never incremented; snapshots are not linearizable
+                    (negative control in Figure 9).
+
+    Pick the scheme before building any versioned structure; stamps from
+    different schemes are not comparable. *)
+
+type scheme = Query_ts | Update_ts | Hw_ts | Tl2_ts | Opt_ts | No_stamp
+
+val scheme_name : scheme -> string
+
+val all_schemes : scheme list
+
+val set_scheme : scheme -> unit
+(** Select the global scheme and reset the software clock.  Call only at a
+    quiescent point (no structure built under the previous scheme may be
+    used afterwards). *)
+
+val scheme : unit -> scheme
+
+val tbd : int
+(** "To be determined": the stamp of a version that has been installed but
+    not yet timestamped.  Negative, so it is below every real stamp. *)
+
+val zero : int
+(** Stamp of initial versions; below every stamp the clock can produce. *)
+
+val read : unit -> int
+(** Current clock value.  Used by set-stamp helping: a version whose stamp
+    is [tbd] is stamped with [read ()]. *)
+
+val floor : unit -> int
+(** A lower bound on every stamp {!take} can return from now on: the done
+    stamp must never exceed this.  [read () - 1] under [Update_ts] and
+    [Hw_ts] (whose takers return one below the clock), [read ()]
+    otherwise. *)
+
+val take : unit -> int
+(** Acquire a snapshot stamp, advancing the clock if the scheme says so.
+    For [Opt_ts] this is the {e pessimistic} (re-run) path; optimistic runs
+    use {!read}. *)
+
+val on_update : unit -> unit
+(** Hook invoked after each successful versioned CAS; advances the clock
+    under [Update_ts]. *)
+
+val bump : unit -> unit
+(** Advance the clock by one (single CAS attempt, as in the paper's
+    [increment_timestamp]); used by the optimistic abort path. *)
+
+val bump_from : int -> unit
+(** [bump_from s] is Algorithm 7's [increment_timestamp(stamp)]: CAS the
+    clock from [s] to [s + 1]; a failure means the clock already moved past
+    [s], which is all the caller needs. *)
+
+val is_optimistic : unit -> bool
+(** Whether snapshotted queries should first run optimistically
+    ([Opt_ts]). *)
+
+val increments : unit -> int
+(** Number of successful clock increments since the last [set_scheme]
+    (for experiments comparing scheme contention). *)

@@ -1,0 +1,55 @@
+type counter = { cname : string; cells : int array }
+
+(* One cell per registry slot; 16-word spacing avoids the worst false
+   sharing without per-cell records. *)
+let stride = 16
+
+let registry : counter list ref = ref []
+
+let registry_mutex = Mutex.create ()
+
+let make cname =
+  let c = { cname; cells = Array.make (Flock.Registry.max_slots * stride) 0 } in
+  Mutex.lock registry_mutex;
+  registry := c :: !registry;
+  Mutex.unlock registry_mutex;
+  c
+
+let name c = c.cname
+
+let slot () = Flock.Registry.my_id () * stride
+
+let incr c =
+  let i = slot () in
+  c.cells.(i) <- c.cells.(i) + 1
+
+let add c n =
+  let i = slot () in
+  c.cells.(i) <- c.cells.(i) + n
+
+let total c =
+  let t = ref 0 in
+  for i = 0 to Flock.Registry.max_slots - 1 do
+    t := !t + c.cells.(i * stride)
+  done;
+  !t
+
+let reset c = Array.fill c.cells 0 (Array.length c.cells) 0
+
+let indirect_created = make "indirect_created"
+
+let direct_installed = make "direct_installed"
+
+let shortcuts = make "shortcuts"
+
+let snapshot_aborts = make "snapshot_aborts"
+
+let truncations = make "truncations"
+
+let snapshots = make "snapshots"
+
+let reset_all () =
+  Mutex.lock registry_mutex;
+  let all = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter reset all

@@ -1,0 +1,40 @@
+(** Low-overhead event counters for experiments and tests.
+
+    Counters are per-domain slots summed on read, so increments are plain
+    stores (racy only against the reader, which tolerates it). *)
+
+type counter
+
+val make : string -> counter
+
+val name : counter -> string
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val total : counter -> int
+
+val reset : counter -> unit
+
+(** Events instrumented throughout the library. *)
+
+val indirect_created : counter
+(** Indirect version links allocated (cas/store fell back to a [Clink]). *)
+
+val direct_installed : counter
+(** Versions installed without indirection. *)
+
+val shortcuts : counter
+(** Indirect links spliced out by [shortcut]. *)
+
+val snapshot_aborts : counter
+(** Optimistic snapshot executions that had to re-run (Algorithm 7). *)
+
+val truncations : counter
+(** Version chains severed behind a no-longer-needed version (the GC
+    analogue of EBR reclaiming old versions). *)
+
+val snapshots : counter
+
+val reset_all : unit -> unit

@@ -1,0 +1,89 @@
+(** Versioned pointers — the paper's central abstraction.
+
+    A ['a t] behaves like an atomic mutable location holding a ['a option]
+    (a nullable pointer to a versioned object), and additionally lets
+    {!Snapshot.with_snapshot} readers observe the value the location held
+    at their snapshot's timestamp.
+
+    Objects stored through versioned pointers must embed version metadata
+    — the OCaml rendering of "inheriting [verlib::versioned]": give each
+    object a [Vtypes.meta] field created with {!Vtypes.fresh_meta} and
+    describe the containing structure once with {!make_desc}.
+
+    The library restriction from §5 applies: after allocating an object, a
+    pointer to it must first be published through a versioned pointer
+    [store]/[cas]; no side channel may leak it to other threads earlier.
+
+    Inside lock-free critical sections ({!Flock.Lock}) all operations are
+    idempotence-aware: loads are logged, CAS follows the paper's Theorem
+    6.1 construction, and timestamp accesses are deliberately
+    non-idempotent (Theorem 6.2).  Snapshot {e reads} must not run inside
+    critical sections (queries take no locks in all the paper's data
+    structures). *)
+
+type mode =
+  | Indirect  (** baseline WBB+ (Algorithm 4): every version is a link *)
+  | No_shortcut  (** indirection-on-need without shortcutting (ablation) *)
+  | Ind_on_need  (** full §5 algorithm — the library default *)
+  | Rec_once
+      (** never indirect; sound only for recorded-once structures, like the
+          WBB+ experiments *)
+  | Plain  (** non-versioned baseline; snapshot reads are not atomic *)
+
+val mode_name : mode -> string
+
+val all_modes : mode list
+
+type 'a desc
+(** Per-structure description: how to reach an object's metadata, and
+    which mode the structure runs in. *)
+
+val make_desc : meta_of:('a -> 'a Vtypes.meta) -> mode:mode -> 'a desc
+
+val mode : 'a desc -> mode
+
+type 'a t
+
+val make : 'a desc -> 'a option -> 'a t
+(** Create a versioned pointer.  If the initial object's metadata is
+    unclaimed it is claimed with the zero stamp; if it is already claimed
+    the metadata is shared, which §5 shows is safe for initialisation. *)
+
+val desc : 'a t -> 'a desc
+
+val load : 'a t -> 'a option
+(** Current value; inside [with_snapshot], the value as of the snapshot's
+    stamp.  Constant time outside snapshots; inside, proportional to the
+    number of concurrent updates to this location. *)
+
+val cas : 'a t -> 'a option -> 'a option -> bool
+(** [cas t expected v] — atomic compare-and-swap on the location, comparing
+    pointees physically.  Linearizable even under helping (Theorem 6.1). *)
+
+val store : 'a t -> 'a option -> unit
+(** [store t v] = [cas t (load t) v] as in the paper: concurrent stores to
+    the same location do not necessarily linearize. *)
+
+val store_norace : 'a t -> 'a option -> unit
+(** Direct store (Algorithm 6), valid only when the caller excludes
+    write-write races, e.g. under a lock. *)
+
+val store_locked : 'a t -> 'a option -> unit
+(** [store_norace] or [store] according to {!set_direct_stores} — the
+    switch behind the paper's "Direct Stores" ablation. *)
+
+val set_direct_stores : bool -> unit
+
+val direct_stores : unit -> bool
+
+(** {2 Introspection (tests and experiments)} *)
+
+val head_kind : 'a t -> [ `Direct | `Indirect | `Nil ]
+
+val version_depth : 'a t -> int
+(** Number of versions currently reachable from the head (racy walk). *)
+
+val oldest_reachable_stamp : 'a t -> int
+
+val unsafe_describe : 'a t -> string
+(** Racy rendering of the version chain, for debugging. *)

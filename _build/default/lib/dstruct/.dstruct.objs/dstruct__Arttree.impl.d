@@ -1,0 +1,1 @@
+lib/dstruct/arttree.ml: Array Flock List Map_intf Option Printf Verlib

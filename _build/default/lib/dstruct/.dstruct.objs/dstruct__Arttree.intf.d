@@ -1,0 +1,1 @@
+lib/dstruct/arttree.mli: Map_intf

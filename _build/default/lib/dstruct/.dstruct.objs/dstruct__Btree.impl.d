@@ -1,0 +1,1 @@
+lib/dstruct/btree.ml: Array Flock List Map_intf Option Printf String Verlib

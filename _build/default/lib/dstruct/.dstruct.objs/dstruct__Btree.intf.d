@@ -1,0 +1,1 @@
+lib/dstruct/btree.mli: Map_intf

@@ -1,0 +1,1 @@
+lib/dstruct/coarse_map.ml: Array Int List Map Rwlock Seq Verlib

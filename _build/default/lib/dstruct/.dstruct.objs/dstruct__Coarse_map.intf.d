@@ -1,0 +1,1 @@
+lib/dstruct/coarse_map.mli: Map_intf

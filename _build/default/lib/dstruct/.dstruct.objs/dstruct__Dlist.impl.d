@@ -1,0 +1,1 @@
+lib/dstruct/dlist.ml: Flock List Map_intf Verlib

@@ -1,0 +1,1 @@
+lib/dstruct/dlist.mli: Map_intf

@@ -1,0 +1,1 @@
+lib/dstruct/hashtable.ml: Array Flock List Map_intf Verlib

@@ -1,0 +1,1 @@
+lib/dstruct/hashtable.mli: Map_intf

@@ -1,0 +1,1 @@
+lib/dstruct/map_intf.ml: Array Flock List Verlib

@@ -1,0 +1,1 @@
+lib/dstruct/rwlock.ml: Condition Fun Mutex

@@ -1,0 +1,1 @@
+lib/dstruct/skiplist.ml: Array Domain Flock Hashtbl List Map_intf Printf Verlib Workload

@@ -1,0 +1,1 @@
+lib/dstruct/skiplist.mli: Map_intf

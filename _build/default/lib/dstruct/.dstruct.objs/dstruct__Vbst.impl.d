@@ -1,0 +1,1 @@
+lib/dstruct/vbst.ml: Array Atomic Fun List Mutex Printf Rwlock Verlib

@@ -1,0 +1,1 @@
+lib/dstruct/vbst.mli: Map_intf

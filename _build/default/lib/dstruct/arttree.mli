@@ -1,0 +1,28 @@
+(** Adaptive radix tree (ART, Leis et al.) over non-negative integer keys,
+    versioned — the paper's "first versioned radix tree".
+
+    Keys are treated as 8 big-endian bytes, so in-order traversal yields
+    ascending key order and range queries are supported.  Inner nodes
+    adapt among three kinds as in §8 ("the arttree is byte-based and has
+    three types of internal nodes"):
+
+    - [Small]   — up to 16 children, sorted byte array (ART's N4/N16);
+    - [Indexed] — up to 48 children, 256-byte index (N48);
+    - [Direct]  — 256 child cells (N256).
+
+    Child cells are versioned pointers; concurrency follows the lock-based
+    ART of Leis et al.'s "The ART of Practical Synchronization", adapted
+    to copy-on-grow so that queries inside snapshots only ever follow
+    versioned cells: storing into an existing (possibly empty) cell locks
+    the owning node; adding a new byte to a [Small]/[Indexed] node
+    replaces the node under its parent's lock.
+
+    Simplifications vs. the original ART (documented in DESIGN.md): no
+    path compression — colliding prefixes produce single-child chains
+    (rare under the paper's uniform/Zipfian random keys) — and nodes never
+    shrink (deletion empties cells; empty chains are reclaimed only when
+    overwritten). *)
+
+include Map_intf.MAP
+
+val debug_dump : t -> unit

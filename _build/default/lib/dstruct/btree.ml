@@ -1,0 +1,539 @@
+module Vptr = Verlib.Vptr
+module Fatomic = Flock.Fatomic
+module Lock = Flock.Lock
+
+let name = "btree"
+
+let supports_range = true
+
+let supports_mode (_ : Vptr.mode) = true
+
+(* Occupancy bounds.  Leaves hold [1 .. leaf_max] entries (0 only for an
+   empty root); inner nodes hold [2 .. inner_max] children.  The paper's
+   B-tree uses 4..22 children; we keep the same shape with slightly
+   smaller nodes. *)
+let leaf_max = 15
+
+let leaf_min = 4
+
+let inner_max = 16
+
+let inner_min = 4
+
+type node = Leaf of leaf | Inner of inner
+
+and leaf = {
+  lkeys : int array; (* sorted *)
+  lvals : int array;
+  lmeta : node Verlib.Vtypes.meta;
+}
+
+and inner = {
+  ikeys : int array; (* separators; length = #children - 1 *)
+  children : node Vptr.t array; (* immutable array of versioned cells *)
+  imeta : node Verlib.Vtypes.meta;
+  ilock : Lock.t;
+  iremoved : bool Fatomic.t;
+}
+
+type t = {
+  root : node Vptr.t;
+  rlock : Lock.t;
+  desc : node Vptr.desc;
+  lock_mode : Lock.mode;
+  rec_once : bool; (* copy instead of re-recording at root collapse *)
+}
+
+let meta_of = function Leaf l -> l.lmeta | Inner n -> n.imeta
+
+let mk_leaf lkeys lvals = Leaf { lkeys; lvals; lmeta = Verlib.Vtypes.fresh_meta () }
+
+let mk_inner t ikeys kids =
+  Inner
+    {
+      ikeys;
+      children = Array.map (fun c -> Vptr.make t.desc (Some c)) kids;
+      imeta = Verlib.Vtypes.fresh_meta ();
+      ilock = Lock.create ~mode:t.lock_mode ();
+      iremoved = Fatomic.make false;
+    }
+
+let create ?(mode = Vptr.Ind_on_need) ?lock_mode ~n_hint:_ () =
+  let lock_mode =
+    match lock_mode with Some m -> m | None -> Lock.default_mode ()
+  in
+  let desc = Vptr.make_desc ~meta_of ~mode in
+  {
+    root = Vptr.make desc (Some (mk_leaf [||] [||]));
+    rlock = Lock.create ~mode:lock_mode ();
+    desc;
+    lock_mode;
+    rec_once = mode = Vptr.Rec_once;
+  }
+
+(* A slot is "the place a node is stored": the cell to swing plus the lock
+   and liveness witness that guard it.  The root cell is a slot whose
+   owner is never removed. *)
+type slot = { s_lock : Lock.t; s_cell : node Vptr.t; s_live : unit -> bool }
+
+let root_slot t = { s_lock = t.rlock; s_cell = t.root; s_live = (fun () -> true) }
+
+let child_slot (p : inner) i =
+  {
+    s_lock = p.ilock;
+    s_cell = p.children.(i);
+    s_live = (fun () -> not (Fatomic.load p.iremoved));
+  }
+
+let load_cell cell =
+  match Vptr.load cell with
+  | Some n -> n
+  | None -> failwith "Btree: null child cell (corrupt tree)"
+
+(* Validation is by physical identity of the loaded node value, so all
+   code paths must thread the original [node] they loaded (re-boxing a
+   leaf or inner record would never compare equal). *)
+let slot_holds (slot : slot) (expected : node) =
+  slot.s_live ()
+  && (match Vptr.load slot.s_cell with Some n -> n == expected | None -> false)
+
+(* Child index for key [k]: first child whose interval contains [k]. *)
+let child_index (p : inner) k =
+  let n = Array.length p.ikeys in
+  let rec go i = if i < n && k >= p.ikeys.(i) then go (i + 1) else i in
+  go 0
+
+let node_full = function
+  | Leaf l -> Array.length l.lkeys >= leaf_max
+  | Inner n -> Array.length n.children >= inner_max
+
+let node_underfull = function
+  | Leaf l -> Array.length l.lkeys < leaf_min
+  | Inner n -> Array.length n.children < inner_min
+
+(* --- pure array surgery on immutable nodes --------------------------- *)
+
+let leaf_find (l : leaf) k =
+  let n = Array.length l.lkeys in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let km = l.lkeys.(mid) in
+      if km = k then Some l.lvals.(mid)
+      else if km < k then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 n
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+(* insertion position of k in sorted array *)
+let lower_bound a k =
+  let rec go i = if i < Array.length a && a.(i) < k then go (i + 1) else i in
+  go 0
+
+let leaf_with (l : leaf) k v =
+  let i = lower_bound l.lkeys k in
+  mk_leaf (array_insert l.lkeys i k) (array_insert l.lvals i v)
+
+let leaf_without (l : leaf) k =
+  let i = lower_bound l.lkeys k in
+  mk_leaf (array_remove l.lkeys i) (array_remove l.lvals i)
+
+let split_arrays keys vals =
+  let n = Array.length keys in
+  let mid = n / 2 in
+  ( mk_leaf (Array.sub keys 0 mid) (Array.sub vals 0 mid),
+    keys.(mid),
+    mk_leaf (Array.sub keys mid (n - mid)) (Array.sub vals mid (n - mid)) )
+
+(* Current children of an inner node; only safe while the node is locked
+   (or the tree is quiescent). *)
+let snapshot_children (p : inner) = Array.map load_cell p.children
+
+(* Replace the [span] adjacent children of [p] starting at index [i] by
+   [replacements], with [seps] as the separators between the replacements
+   (so |seps| = |replacements| - 1), producing a fresh inner node.  The
+   span-1 separators interior to the replaced range are dropped; the ones
+   flanking it are kept. *)
+let inner_rebuild t (p : inner) i ~span replacements seps =
+  assert (Array.length seps = Array.length replacements - 1);
+  let kids = snapshot_children p in
+  let n = Array.length kids in
+  let nreps = Array.length replacements in
+  let kids' = Array.make (n - span + nreps) replacements.(0) in
+  Array.blit kids 0 kids' 0 i;
+  Array.blit replacements 0 kids' i nreps;
+  Array.blit kids (i + span) kids' (i + nreps) (n - i - span);
+  let keys' = Array.make (Array.length kids' - 1) 0 in
+  Array.blit p.ikeys 0 keys' 0 i;
+  Array.blit seps 0 keys' i (Array.length seps);
+  Array.blit p.ikeys
+    (i + span - 1)
+    keys'
+    (i + Array.length seps)
+    (Array.length p.ikeys - (i + span - 1));
+  mk_inner t keys' kids'
+
+(* Merge children [i] and [i+1] of [p], producing the fresh inner node,
+   after the caller has frozen both children. *)
+let merge_or_share t (p : inner) i (a : node) (b : node) =
+  match (a, b) with
+  | Leaf la, Leaf lb ->
+      let keys = Array.append la.lkeys lb.lkeys in
+      let vals = Array.append la.lvals lb.lvals in
+      if Array.length keys <= leaf_max then
+        inner_rebuild t p i ~span:2 [| mk_leaf keys vals |] [||]
+      else begin
+        let l1, sep, l2 = split_arrays keys vals in
+        inner_rebuild t p i ~span:2 [| l1; l2 |] [| sep |]
+      end
+  | Inner na, Inner nb ->
+      let sep = p.ikeys.(i) in
+      let kids = Array.append (snapshot_children na) (snapshot_children nb) in
+      let keys = Array.concat [ na.ikeys; [| sep |]; nb.ikeys ] in
+      if Array.length kids <= inner_max then
+        inner_rebuild t p i ~span:2 [| mk_inner t keys kids |] [||]
+      else begin
+        let n = Array.length kids in
+        let mid = n / 2 in
+        let left = mk_inner t (Array.sub keys 0 (mid - 1)) (Array.sub kids 0 mid) in
+        let right =
+          mk_inner t (Array.sub keys mid (n - 1 - mid)) (Array.sub kids mid (n - mid))
+        in
+        inner_rebuild t p i ~span:2 [| left; right |] [| keys.(mid - 1) |]
+      end
+  | Leaf _, Inner _ | Inner _, Leaf _ ->
+      failwith "Btree: siblings of different kinds (corrupt tree)"
+
+let mark_removed (n : inner) = Fatomic.store n.iremoved true
+
+(* --- structural repairs ----------------------------------------------
+   Each repair validates under locks, replaces nodes with fresh copies and
+   publishes with a single [store_locked] on the slot's cell.  Returning
+   [false] means "validation failed or lock unavailable": the caller
+   restarts from the root. *)
+
+(* Split the full child at index [i] of [pnode] (an inner node stored in
+   [pslot]): the parent gains a child, so the parent itself is rebuilt and
+   published with one swing of [pslot]'s cell.
+
+   Lock order is strictly top-down (pslot owner, then p, then the child),
+   and every node whose cells are copied is marked removed while its own
+   lock is held — after that point no leaf operation can pass validation
+   under it, so the copies cannot lose updates. *)
+let split_child t (pslot : slot) (pnode : node) (p : inner) i =
+  Lock.try_lock_bool pslot.s_lock (fun () ->
+      if not (slot_holds pslot pnode) then false
+      else if Array.length p.children >= inner_max then false (* repair p first *)
+      else
+        match
+          Lock.try_lock p.ilock (fun () ->
+              match load_cell p.children.(i) with
+              | Leaf l when Array.length l.lkeys >= leaf_max ->
+                  let l1, sep, l2 = split_arrays l.lkeys l.lvals in
+                  mark_removed p;
+                  Some (inner_rebuild t p i ~span:1 [| l1; l2 |] [| sep |])
+              | Inner c when Array.length c.children >= inner_max ->
+                  Lock.try_lock c.ilock (fun () ->
+                      let kids = snapshot_children c in
+                      let n = Array.length kids in
+                      let mid = n / 2 in
+                      let left =
+                        mk_inner t (Array.sub c.ikeys 0 (mid - 1)) (Array.sub kids 0 mid)
+                      in
+                      let right =
+                        mk_inner t
+                          (Array.sub c.ikeys mid (n - 1 - mid))
+                          (Array.sub kids mid (n - mid))
+                      in
+                      mark_removed c;
+                      mark_removed p;
+                      inner_rebuild t p i ~span:1 [| left; right |] [| c.ikeys.(mid - 1) |])
+              | Leaf _ | Inner _ -> None (* no longer full: nothing to do *))
+        with
+        | Some (Some replacement) ->
+            Vptr.store_locked pslot.s_cell (Some replacement);
+            true
+        | Some None | None -> false)
+
+(* Rebalance the under-occupied child at index [i] of [pnode] with its
+   right (or left, at the boundary) sibling: merge or redistribute,
+   rebuilding the parent. *)
+let rebalance_child t (pslot : slot) (pnode : node) (p : inner) i =
+  if Array.length p.children < 2 then false
+  else begin
+    let i = if i = Array.length p.children - 1 then i - 1 else i in
+    Lock.try_lock_bool pslot.s_lock (fun () ->
+        if not (slot_holds pslot pnode) then false
+        else
+          match
+            Lock.try_lock p.ilock (fun () ->
+                match (load_cell p.children.(i), load_cell p.children.(i + 1)) with
+                | (Leaf _ as a), (Leaf _ as b) ->
+                    if node_underfull a || node_underfull b then begin
+                      mark_removed p;
+                      Some (merge_or_share t p i a b)
+                    end
+                    else None
+                | (Inner na as a), (Inner nb as b) ->
+                    if node_underfull a || node_underfull b then
+                      Lock.try_lock na.ilock (fun () ->
+                          Lock.try_lock nb.ilock (fun () ->
+                              mark_removed na;
+                              mark_removed nb;
+                              mark_removed p;
+                              merge_or_share t p i a b))
+                      |> Option.join
+                    else None
+                | Leaf _, Inner _ | Inner _, Leaf _ ->
+                    failwith "Btree: siblings of different kinds")
+          with
+          | Some (Some replacement) ->
+              Vptr.store_locked pslot.s_cell (Some replacement);
+              true
+          | Some None | None -> false)
+  end
+
+(* Root repairs: grow on a full root, shrink on a single-child root. *)
+let repair_root t =
+  ignore
+    (Lock.try_lock t.rlock (fun () ->
+         match load_cell t.root with
+         | Leaf l when Array.length l.lkeys >= leaf_max ->
+             let l1, sep, l2 = split_arrays l.lkeys l.lvals in
+             Vptr.store_locked t.root (Some (mk_inner t [| sep |] [| l1; l2 |]))
+         | Inner n when Array.length n.children >= inner_max -> begin
+             match
+               Lock.try_lock n.ilock (fun () ->
+                   let kids = snapshot_children n in
+                   let c = Array.length kids in
+                   let mid = c / 2 in
+                   let left = mk_inner t (Array.sub n.ikeys 0 (mid - 1)) (Array.sub kids 0 mid) in
+                   let right =
+                     mk_inner t (Array.sub n.ikeys mid (c - 1 - mid)) (Array.sub kids mid (c - mid))
+                   in
+                   mark_removed n;
+                   mk_inner t [| n.ikeys.(mid - 1) |] [| left; right |])
+             with
+             | Some r -> Vptr.store_locked t.root (Some r)
+             | None -> ()
+           end
+         | Inner n when Array.length n.children = 1 -> begin
+             match
+               Lock.try_lock n.ilock (fun () ->
+                   let only = load_cell n.children.(0) in
+                   mark_removed n;
+                   (* re-recording [only] at the root is the one place the
+                      paper's btree is not recorded-once; in RecOnce mode
+                      copy it instead *)
+                   if t.rec_once then
+                     match only with
+                     | Leaf l -> mk_leaf (Array.copy l.lkeys) (Array.copy l.lvals)
+                     | Inner c -> mk_inner t (Array.copy c.ikeys) (snapshot_children c)
+                   else only)
+             with
+             | Some r -> Vptr.store_locked t.root (Some r)
+             | None -> ()
+           end
+         | Leaf _ | Inner _ -> ()))
+
+(* --- finds ------------------------------------------------------------ *)
+
+let rec find_in node k =
+  match node with
+  | Leaf l -> leaf_find l k
+  | Inner p -> find_in (load_cell p.children.(child_index p k)) k
+
+let find t k = find_in (load_cell t.root) k
+
+(* --- updates ----------------------------------------------------------
+   Descend eagerly repairing problematic children, then perform the leaf
+   update under the leaf's slot lock.  Any validation failure restarts
+   from the root (the repair that caused it made progress). *)
+
+type op = Insert of int | Delete
+
+(* Perform [op] on the leaf [lnode] stored in [lslot]; [None] means the
+   situation changed (or the lock was contended) and the caller must
+   restart from the root. *)
+let leaf_op (lslot : slot) (lnode : node) (l : leaf) k op =
+  Lock.try_lock lslot.s_lock (fun () ->
+      if not (slot_holds lslot lnode) then None
+      else
+        match (op, leaf_find l k) with
+        | Insert _, Some _ -> Some false (* already present *)
+        | Delete, None -> Some false
+        | Insert v, None ->
+            if Array.length l.lkeys >= leaf_max then None (* split first *)
+            else begin
+              Vptr.store_locked lslot.s_cell (Some (leaf_with l k v));
+              Some true
+            end
+        | Delete, Some _ ->
+            Vptr.store_locked lslot.s_cell (Some (leaf_without l k));
+            Some true)
+  |> Option.join
+
+let update t k op =
+  (* [descend] returns [Some result] or [None] to restart from the root;
+     each restart follows a repair (progress) or lock contention
+     (backoff). *)
+  let rec descend pslot node : bool option =
+    match node with
+    | Leaf l -> leaf_op pslot node l k op
+    | Inner p ->
+        if Fatomic.load p.iremoved then None
+        else begin
+          let i = child_index p k in
+          let child = load_cell p.children.(i) in
+          match op with
+          | Insert _ when node_full child ->
+              ignore (split_child t pslot node p i);
+              None
+          | Delete when node_underfull child ->
+              ignore (rebalance_child t pslot node p i);
+              None
+          | Insert _ | Delete -> descend (child_slot p i) child
+        end
+  in
+  let backoff = Flock.Backoff.create () in
+  let rec attempt () =
+    let r = load_cell t.root in
+    let repair_needed =
+      match (r, op) with
+      | (Leaf _ as rl), Insert _ -> node_full rl
+      | (Inner _ as ri), Insert _ -> node_full ri
+      | Inner n, Delete -> Array.length n.children = 1
+      | Leaf _, Delete -> false
+    in
+    if repair_needed then begin
+      repair_root t;
+      Flock.Backoff.once backoff;
+      attempt ()
+    end
+    else
+      match descend (root_slot t) r with
+      | Some result -> result
+      | None ->
+          Flock.Backoff.once backoff;
+          attempt ()
+  in
+  attempt ()
+
+let insert t k v = Flock.with_epoch (fun () -> update t k (Insert v))
+
+let delete t k = Flock.with_epoch (fun () -> update t k Delete)
+
+(* --- queries ----------------------------------------------------------- *)
+
+let fold_range t lo hi ~init ~f =
+  Verlib.with_snapshot (fun () ->
+      let rec go acc node =
+        Verlib.Snapshot.check_abort ();
+        match node with
+        | Leaf l ->
+            let acc = ref acc in
+            for i = 0 to Array.length l.lkeys - 1 do
+              let k = l.lkeys.(i) in
+              if k >= lo && k <= hi then acc := f !acc k l.lvals.(i)
+            done;
+            !acc
+        | Inner p ->
+            (* child i covers [ikeys.(i-1), ikeys.(i)) *)
+            let nkids = Array.length p.children in
+            let acc = ref acc in
+            for i = 0 to nkids - 1 do
+              let child_lo = if i = 0 then min_int else p.ikeys.(i - 1) in
+              let child_hi = if i = nkids - 1 then max_int else p.ikeys.(i) in
+              if child_lo <= hi && (child_hi > lo || child_hi = max_int) then
+                acc := go !acc (load_cell p.children.(i))
+            done;
+            !acc
+      in
+      go init (load_cell t.root))
+
+let range t lo hi = Map_intf.range_as_list fold_range t lo hi
+
+let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+let to_sorted_list t = range t min_int max_int
+
+let size t = range_count t min_int max_int
+
+(* --- invariant checking (quiescent) ------------------------------------ *)
+
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* returns depth *)
+  let rec go node lo hi is_root =
+    match node with
+    | Leaf l ->
+        let n = Array.length l.lkeys in
+        if n <> Array.length l.lvals then fail "Btree.check: key/val length mismatch";
+        if n > leaf_max then fail "Btree.check: leaf too large";
+        if n = 0 && not is_root then fail "Btree.check: empty non-root leaf";
+        for i = 0 to n - 1 do
+          let k = l.lkeys.(i) in
+          if i > 0 && l.lkeys.(i - 1) >= k then fail "Btree.check: leaf keys not sorted";
+          if k < lo || k >= hi then fail "Btree.check: leaf key %d outside [%d,%d)" k lo hi
+        done;
+        1
+    | Inner p ->
+        let c = Array.length p.children in
+        if c > inner_max then fail "Btree.check: inner too wide";
+        if c < 2 then fail "Btree.check: inner with <2 children";
+        if Array.length p.ikeys <> c - 1 then fail "Btree.check: key/child count mismatch";
+        if Fatomic.load p.iremoved then fail "Btree.check: removed node reachable";
+        Array.iteri
+          (fun i k ->
+            if k < lo || k >= hi then fail "Btree.check: separator outside range";
+            if i > 0 && p.ikeys.(i - 1) >= k then fail "Btree.check: separators not sorted")
+          p.ikeys;
+        let depths =
+          Array.to_list
+            (Array.mapi
+               (fun i cell ->
+                 let clo = if i = 0 then lo else p.ikeys.(i - 1) in
+                 let chi = if i = c - 1 then hi else p.ikeys.(i) in
+                 go (load_cell cell) clo chi false)
+               p.children)
+        in
+        (match depths with
+         | d :: rest ->
+             if not (List.for_all (fun x -> x = d) rest) then
+               fail "Btree.check: unbalanced depths";
+             d + 1
+         | [] -> assert false)
+  in
+  ignore (go (load_cell t.root) min_int max_int true)
+
+(* Debug aid: print the tree shape with occupancy and removal marks. *)
+let debug_dump t =
+  let rec go node indent =
+    match node with
+    | Leaf l ->
+        Printf.printf "%sLeaf[%d]%s\n" indent (Array.length l.lkeys)
+          (if Array.length l.lkeys = 0 then " EMPTY" else
+           Printf.sprintf " %d..%d" l.lkeys.(0) l.lkeys.(Array.length l.lkeys - 1))
+    | Inner p ->
+        Printf.printf "%sInner[%d]%s keys=%s\n" indent (Array.length p.children)
+          (if Fatomic.load p.iremoved then " REMOVED" else "")
+          (String.concat "," (Array.to_list (Array.map string_of_int p.ikeys)));
+        Array.iter (fun c -> go (load_cell c) (indent ^ "  ")) p.children
+  in
+  go (load_cell t.root) ""

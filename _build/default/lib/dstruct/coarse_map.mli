@@ -1,0 +1,6 @@
+(** Coarse-grained baseline: an immutable [Stdlib.Map] behind a
+    reader-writer lock.  Queries (finds, ranges, multi-finds) are trivially
+    linearizable because updates are serialised — the classic design the
+    paper's structures outperform.  Versioned-pointer modes are ignored. *)
+
+include Map_intf.MAP

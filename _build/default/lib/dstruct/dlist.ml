@@ -1,0 +1,176 @@
+module Vptr = Verlib.Vptr
+module Fatomic = Flock.Fatomic
+module Lock = Flock.Lock
+
+let name = "dlist"
+
+let supports_range = true
+
+(* Removal stores an existing node into the predecessor's next pointer, so
+   the list is not recorded-once (the paper, likewise, only builds a
+   recorded-once variant of the B-tree). *)
+let supports_mode (m : Vptr.mode) = m <> Vptr.Rec_once
+
+(* Keys are restricted to ]min_int, max_int[ so the sentinels can carry
+   the extreme keys, as the paper assumes ("a sentinel infinite key"). *)
+type node = {
+  key : int;
+  value : int;
+  next : node Vptr.t;
+  prev : node option Fatomic.t; (* not versioned: queries never follow it *)
+  removed : bool Fatomic.t; (* not versioned *)
+  lock : Lock.t;
+  meta : node Verlib.Vtypes.meta;
+}
+
+type t = { head : node; desc : node Vptr.desc; lock_mode : Lock.mode }
+
+let make_node desc lock_mode key value ~next ~prev =
+  {
+    key;
+    value;
+    next = Vptr.make desc next;
+    prev = Fatomic.make prev;
+    removed = Fatomic.make false;
+    lock = Lock.create ~mode:lock_mode ();
+    meta = Verlib.Vtypes.fresh_meta ();
+  }
+
+let create ?(mode = Vptr.Ind_on_need) ?lock_mode ~n_hint:_ () =
+  let lock_mode =
+    match lock_mode with Some m -> m | None -> Lock.default_mode ()
+  in
+  let desc = Vptr.make_desc ~meta_of:(fun n -> n.meta) ~mode in
+  let tail = make_node desc lock_mode max_int 0 ~next:None ~prev:None in
+  let head = make_node desc lock_mode min_int 0 ~next:(Some tail) ~prev:None in
+  Fatomic.store tail.prev (Some head);
+  { head; desc; lock_mode }
+
+let next_node n =
+  match Vptr.load n.next with
+  | Some m -> m
+  | None -> invalid_arg "Dlist: key out of supported range"
+
+(* First node with key >= k (Algorithm 3's find_node). *)
+let find_node t k =
+  let rec advance cur = if k > cur.key then advance (next_node cur) else cur in
+  advance (next_node t.head)
+
+let is_node n = function Some m -> m == n | None -> false
+
+let find t k =
+  let cur = find_node t k in
+  if cur.key = k then Some cur.value else None
+
+let check_key k =
+  if k <= min_int || k >= max_int then invalid_arg "Dlist: key out of range"
+
+let insert t k v =
+  check_key k;
+  Flock.with_epoch (fun () ->
+      let rec loop () =
+        let next = find_node t k in
+        if next.key = k then false
+        else begin
+          let prev =
+            match Fatomic.load next.prev with
+            | Some p -> p
+            | None -> t.head
+          in
+          let ok =
+            prev.key < k
+            && Lock.try_lock_bool prev.lock (fun () ->
+                   if
+                     Fatomic.load prev.removed (* validate *)
+                     || not (is_node next (Vptr.load prev.next))
+                   then false (* try again *)
+                   else begin
+                     let cur =
+                       Flock.new_obj (fun () ->
+                           make_node t.desc t.lock_mode k v ~next:(Some next)
+                             ~prev:(Some prev))
+                     in
+                     Vptr.store_locked prev.next (Some cur) (* splice in *);
+                     Fatomic.store next.prev (Some cur);
+                     true
+                   end)
+          in
+          if ok then true else loop ()
+        end
+      in
+      loop ())
+
+let delete t k =
+  check_key k;
+  Flock.with_epoch (fun () ->
+      let rec loop () =
+        let cur = find_node t k in
+        if cur.key <> k then false
+        else begin
+          let prev =
+            match Fatomic.load cur.prev with Some p -> p | None -> t.head
+          in
+          let outcome =
+            Lock.try_lock prev.lock (fun () ->
+                if
+                  Fatomic.load prev.removed
+                  || not (is_node cur (Vptr.load prev.next))
+                then `Retry
+                else
+                  (* holding prev's lock with prev.next = cur pins cur in
+                     the list, so cur cannot be concurrently removed *)
+                  match
+                    Lock.try_lock cur.lock (fun () ->
+                        Fatomic.store cur.removed true;
+                        let nxt = next_node cur in
+                        Vptr.store_locked prev.next (Some nxt) (* splice out *);
+                        Fatomic.store nxt.prev (Some prev))
+                  with
+                  | Some () -> `Done
+                  | None -> `Retry)
+          in
+          match outcome with
+          | Some `Done -> true
+          | Some `Retry | None -> loop ()
+        end
+      in
+      loop ())
+
+let fold_range t lo hi ~init ~f =
+  Verlib.with_snapshot (fun () ->
+      let rec collect acc cur =
+        if cur.key > hi || cur.key = max_int (* tail sentinel *) then acc
+        else begin
+          Verlib.Snapshot.check_abort ();
+          collect (f acc cur.key cur.value) (next_node cur)
+        end
+      in
+      collect init (find_node t lo))
+
+let range t lo hi = Map_intf.range_as_list fold_range t lo hi
+
+let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+let to_sorted_list t =
+  let rec collect acc cur =
+    if cur.key = max_int then List.rev acc
+    else collect ((cur.key, cur.value) :: acc) (next_node cur)
+  in
+  collect [] (next_node t.head)
+
+let size t = List.length (to_sorted_list t)
+
+(* Quiescent structural check: strictly sorted keys, consistent back
+   pointers, no removed node reachable. *)
+let check t =
+  let rec walk prev cur =
+    if Fatomic.load cur.removed then failwith "Dlist.check: removed node reachable";
+    if cur.key <> max_int || prev.key <> min_int then
+      if cur.key <= prev.key then failwith "Dlist.check: keys not increasing";
+    if not (is_node prev (Fatomic.load cur.prev)) && prev.key <> min_int then
+      failwith "Dlist.check: prev pointer inconsistent";
+    if cur.key < max_int then walk cur (next_node cur)
+  in
+  walk t.head (next_node t.head)

@@ -1,0 +1,10 @@
+(** Sorted doubly-linked list with atomic range queries — the paper's
+    running example (Algorithm 3).
+
+    Only the [next] pointers are versioned, because queries follow only
+    them; [prev] pointers and removal flags are ordinary (idempotent)
+    atomics.  Insertion locks the predecessor; removal locks the
+    predecessor and the victim.  Works with blocking or lock-free locks
+    and with every versioned-pointer mode. *)
+
+include Map_intf.MAP

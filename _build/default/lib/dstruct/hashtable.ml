@@ -1,0 +1,123 @@
+module Vptr = Verlib.Vptr
+
+let name = "hashtable"
+
+let supports_range = false
+
+(* RecOnce is unsound here: deleting down to a shared state re-records
+   bucket objects?  No — every update installs a freshly allocated bucket,
+   and empties are null; null stores are what RecOnce cannot express. *)
+let supports_mode (m : Vptr.mode) = m <> Vptr.Rec_once
+
+type bucket = { entries : (int * int) array; meta : bucket Verlib.Vtypes.meta }
+
+type t = { cells : bucket Vptr.t array; mask : int; desc : bucket Vptr.desc }
+
+(* Splitmix-style finalizer (constants truncated to OCaml's 63-bit ints):
+   benchmark keys are arbitrary integers, so the index must mix all
+   bits. *)
+let hash k =
+  let h = k * 0x1E3779B97F4A7C15 in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x3F58476D1CE4E5B9 in
+  h lxor (h lsr 32)
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(mode = Vptr.Ind_on_need) ?lock_mode:_ ~n_hint () =
+  let desc = Vptr.make_desc ~meta_of:(fun b -> b.meta) ~mode in
+  let n = next_pow2 (max 16 n_hint) in
+  { cells = Array.init n (fun _ -> Vptr.make desc None); mask = n - 1; desc }
+
+let cell t k = t.cells.(hash k land t.mask)
+
+let mk_bucket entries = { entries; meta = Verlib.Vtypes.fresh_meta () }
+
+let bucket_find entries k =
+  let rec scan i =
+    if i >= Array.length entries then None
+    else
+      let k', v = entries.(i) in
+      if k' = k then Some v else scan (i + 1)
+  in
+  scan 0
+
+let find t k =
+  match Vptr.load (cell t k) with
+  | None -> None
+  | Some b -> bucket_find b.entries k
+
+let insert t k v =
+  Flock.with_epoch (fun () ->
+      let c = cell t k in
+      let rec loop () =
+        let cur = Vptr.load c in
+        let entries = match cur with None -> [||] | Some b -> b.entries in
+        if bucket_find entries k <> None then false
+        else begin
+          let n = Array.length entries in
+          let entries' = Array.make (n + 1) (k, v) in
+          Array.blit entries 0 entries' 0 n;
+          if Vptr.cas c cur (Some (mk_bucket entries')) then true else loop ()
+        end
+      in
+      loop ())
+
+let delete t k =
+  Flock.with_epoch (fun () ->
+      let c = cell t k in
+      let rec loop () =
+        match Vptr.load c with
+        | None -> false
+        | Some b when bucket_find b.entries k = None -> false
+        | Some b as cur ->
+            let entries' =
+              Array.of_list
+                (List.filter (fun (k', _) -> k' <> k) (Array.to_list b.entries))
+            in
+            let next =
+              if Array.length entries' = 0 then None else Some (mk_bucket entries')
+            in
+            if Vptr.cas c cur next then true else loop ()
+      in
+      loop ())
+
+let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+let range (_ : t) (_ : int) (_ : int) =
+  invalid_arg "Hashtable: range queries are not supported on unordered maps"
+
+let range_count t lo hi = List.length (range t lo hi)
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc c ->
+      match Vptr.load c with
+      | None -> acc
+      | Some b -> Array.fold_left (fun acc (k, v) -> f acc k v) acc b.entries)
+    init t.cells
+
+let size t = fold t ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let to_sorted_list t =
+  List.sort compare (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let check t =
+  Array.iteri
+    (fun i c ->
+      match Vptr.load c with
+      | None -> ()
+      | Some b ->
+          if Array.length b.entries = 0 then
+            failwith "Hashtable.check: empty bucket should be null";
+          Array.iter
+            (fun (k, _) ->
+              if hash k land t.mask <> i then
+                failwith "Hashtable.check: entry in wrong bucket")
+            b.entries;
+          let keys = Array.to_list (Array.map fst b.entries) in
+          if List.length (List.sort_uniq compare keys) <> List.length keys then
+            failwith "Hashtable.check: duplicate keys in bucket")
+    t.cells

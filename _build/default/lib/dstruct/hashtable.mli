@@ -1,0 +1,11 @@
+(** Unordered map: hash table with per-bucket immutable arrays, copied on
+    update (the asynchronized-concurrency style of David, Guerraoui and
+    Trigonakis that §8 adopts).  Purely CAS-based — no locks — so every
+    update exercises the versioned pointer's CAS path, including the
+    idempotent CAS when called from inside lock-free critical sections.
+
+    The bucket count is fixed at creation ([n_hint] rounded up to a power
+    of two, as in the paper); there is no resizing.  [range] is not
+    supported; [multifind] is. *)
+
+include Map_intf.MAP

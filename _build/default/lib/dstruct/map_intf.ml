@@ -1,0 +1,56 @@
+(** Common interface of the concurrent maps used in the experiments.
+
+    All maps go from [int] keys to [int] values (the paper uses 64-bit
+    keys and values).  Every operation is safe to call from any domain.
+    [range] and [multifind] are linearizable on structures built in a
+    versioned mode; on [Plain] structures they are best-effort, exactly as
+    in the paper's non-versioned baselines. *)
+
+module type MAP = sig
+  type t
+
+  val name : string
+
+  val create :
+    ?mode:Verlib.Vptr.mode -> ?lock_mode:Flock.Lock.mode -> n_hint:int -> unit -> t
+  (** [n_hint] sizes fixed parts (e.g. hash buckets).  [mode] defaults to
+      [Ind_on_need], [lock_mode] to the Flock default. *)
+
+  val insert : t -> int -> int -> bool
+  (** [insert t k v] returns [false] if [k] was already present (no
+      update occurs, as in the paper's workloads). *)
+
+  val delete : t -> int -> bool
+
+  val find : t -> int -> int option
+
+  val range : t -> int -> int -> (int * int) list
+  (** [range t k1 k2]: all bindings with [k1 <= k <= k2], ascending. *)
+
+  val range_count : t -> int -> int -> int
+  (** Allocation-light [range] for benchmarks. *)
+
+  val multifind : t -> int array -> int option array
+  (** Atomic batch of finds. *)
+
+  val size : t -> int
+
+  val to_sorted_list : t -> (int * int) list
+
+  val check : t -> unit
+  (** Validate structural invariants; raises [Failure] on violation.
+      Call at quiescence. *)
+
+  val supports_range : bool
+
+  val supports_mode : Verlib.Vptr.mode -> bool
+end
+
+(** Shared helper: linearizable multifind as a snapshot over finds, the
+    way §8 implements multi-finds for all four structures. *)
+let multifind_via_snapshot find t keys =
+  Verlib.with_snapshot (fun () -> Array.map (fun k -> find t k) keys)
+
+(** Shared helper: range via collecting fold. *)
+let range_as_list fold_range t lo hi =
+  List.rev (fold_range t lo hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))

@@ -1,0 +1,12 @@
+(** Writer-preference reader-writer lock (Mutex + Condition based).
+
+    Used by the comparison baselines only: the Verlib structures never
+    need one — that is the point of the paper. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+
+val with_write : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,322 @@
+module Vptr = Verlib.Vptr
+module Fatomic = Flock.Fatomic
+module Lock = Flock.Lock
+
+let name = "skiplist"
+
+let supports_range = true
+
+let supports_mode (m : Vptr.mode) = m <> Vptr.Rec_once
+
+let max_levels = 20
+
+(* Every level's next pointer is versioned: snapshot queries use the upper
+   levels to position themselves, so those pointers are "followed by
+   queries" in the sense of §3.1 and must be part of the snapshot.  The
+   towers also make this structure a showcase for indirection-on-need:
+   linking an (already claimed) node into a higher level is exactly the
+   metadata-sharing situation of Figure 1, resolved with an indirect link
+   that shortcutting later removes. *)
+type node = {
+  key : int;
+  value : int;
+  nexts : node Vptr.t array; (* index = level; length = tower height *)
+  removed : bool Fatomic.t; (* set at the level-0 splice (under locks) *)
+  tearing : bool Fatomic.t; (* removal announced; uppers being unlinked *)
+  lock : Lock.t;
+  meta : node Verlib.Vtypes.meta;
+}
+
+type t = {
+  head : node;
+  tail : node;
+  desc : node Vptr.desc;
+  lock_mode : Lock.mode;
+  level_rng : Workload.Splitmix.t Domain.DLS.key;
+}
+
+let height n = Array.length n.nexts
+
+let make_node desc lock_mode key value ~levels ~next =
+  {
+    key;
+    value;
+    nexts = Array.init levels (fun i -> Vptr.make desc (next i));
+    removed = Fatomic.make false;
+    tearing = Fatomic.make false;
+    lock = Lock.create ~mode:lock_mode ();
+    meta = Verlib.Vtypes.fresh_meta ();
+  }
+
+let create ?(mode = Vptr.Ind_on_need) ?lock_mode ~n_hint:_ () =
+  let lock_mode =
+    match lock_mode with Some m -> m | None -> Lock.default_mode ()
+  in
+  let desc = Vptr.make_desc ~meta_of:(fun n -> n.meta) ~mode in
+  let tail =
+    make_node desc lock_mode max_int 0 ~levels:max_levels ~next:(fun _ -> None)
+  in
+  let head =
+    make_node desc lock_mode min_int 0 ~levels:max_levels ~next:(fun _ -> Some tail)
+  in
+  {
+    head;
+    tail;
+    desc;
+    lock_mode;
+    level_rng =
+      Domain.DLS.new_key (fun () ->
+          Workload.Splitmix.create (1 + Flock.Registry.my_id ()));
+  }
+
+(* Geometric tower heights with p = 1/2. *)
+let random_levels t =
+  let rng = Domain.DLS.get t.level_rng in
+  let rec go l =
+    if l < max_levels && Workload.Splitmix.below rng 2 = 0 then go (l + 1) else l
+  in
+  go 1
+
+(* Predecessor of [k] at each level (preds.(l).key < k).  All loads are
+   versioned, so inside a snapshot the walk observes the tower structure
+   as of the snapshot's stamp. *)
+let find_preds t k =
+  let preds = Array.make max_levels t.head in
+  let rec go node level =
+    let rec advance node =
+      match Vptr.load node.nexts.(level) with
+      | Some nxt when nxt.key < k -> advance nxt
+      | Some _ | None -> node
+    in
+    let node = advance node in
+    preds.(level) <- node;
+    if level > 0 then go node (level - 1)
+  in
+  go t.head (max_levels - 1);
+  preds
+
+let find t k =
+  let preds = find_preds t k in
+  match Vptr.load preds.(0).nexts.(0) with
+  | Some n when n.key = k -> Some n.value
+  | Some _ | None -> None
+
+let is_node n = function Some m -> m == n | None -> false
+
+let check_key k =
+  if k <= min_int || k >= max_int then invalid_arg "Skiplist: key out of range"
+
+(* Ordering discipline, for snapshot soundness of [find_preds]: a node is
+   linked bottom-up and unlinked top-down, so every upper-level link's
+   version interval is contained in the node's level-0 interval.  A
+   snapshot that reaches a node through an upper level therefore always
+   finds that node's level-0 pointers live at its stamp, and the level-0
+   walk cannot skip concurrently inserted keys.
+
+   Splice [node] into level [level] after a valid predecessor; the upper
+   levels are retried a few times and otherwise abandoned — they are
+   search accelerators, level 0 alone defines the contents. *)
+let link_level t node level =
+  let rec attempt tries =
+    if tries > 0 && not (Fatomic.load node.tearing) then begin
+      let preds = find_preds t node.key in
+      let p = preds.(level) in
+      let ok =
+        Lock.try_lock_bool p.lock (fun () ->
+            if Fatomic.load p.removed then false
+            else
+              match Vptr.load p.nexts.(level) with
+              | Some s when s == node -> true (* already linked *)
+              | Some s when s.key > node.key && not (Fatomic.load node.tearing) ->
+                  Vptr.store_locked node.nexts.(level) (Some s);
+                  Vptr.store_locked p.nexts.(level) (Some node);
+                  true
+              | Some _ | None -> false)
+      in
+      if not ok then attempt (tries - 1)
+    end
+  in
+  attempt 3
+
+(* Remove [node] from level [level] and do not return until its absence
+   has been confirmed {e under the predecessor's lock}.  The locked
+   confirmation is what makes the tearing handshake airtight: an in-flight
+   linker holds the same lock while it checks [tearing] and commits, so
+   either the linker commits first (and this pass, serialized after it,
+   sees and removes the link) or this pass confirms absence first (and the
+   linker's subsequent in-lock [tearing] check forbids the commit). *)
+let unlink_level t node level =
+  let backoff = Flock.Backoff.create () in
+  let rec confirm () =
+    let preds = find_preds t node.key in
+    let p = preds.(level) in
+    let verdict =
+      Lock.try_lock p.lock (fun () ->
+          if Fatomic.load p.removed then `Shifted
+          else
+            match Vptr.load p.nexts.(level) with
+            | Some s when s == node ->
+                Vptr.store_locked p.nexts.(level) (Vptr.load node.nexts.(level));
+                `Gone
+            | Some s when s.key > node.key || (s.key = node.key && s != node) ->
+                `Gone (* position for node's key is occupied by another/none *)
+            | None -> `Gone
+            | Some _ -> `Shifted (* list moved under us; re-locate *))
+    in
+    match verdict with
+    | Some `Gone -> ()
+    | Some `Shifted | None ->
+        Flock.Backoff.once backoff;
+        confirm ()
+  in
+  confirm ()
+
+let unlink_upper t node =
+  for level = height node - 1 downto 1 do
+    unlink_level t node level
+  done
+
+let link_upper t node =
+  for level = 1 to height node - 1 do
+    link_level t node level
+  done;
+  (* close the link/delete race: if removal was announced while we were
+     linking, finish the unlinking on its behalf (whichever of the two
+     passes runs last sees the other's work) *)
+  if Fatomic.load node.tearing then unlink_upper t node
+
+let insert t k v =
+  check_key k;
+  Flock.with_epoch (fun () ->
+      let backoff = Flock.Backoff.create () in
+      let rec loop () =
+        let preds = find_preds t k in
+        let pred = preds.(0) in
+        match Vptr.load pred.nexts.(0) with
+        | Some succ when succ.key = k -> false
+        | succ_opt -> (
+            let succ = match succ_opt with Some s -> s | None -> t.tail in
+            let levels = random_levels t in
+            let outcome =
+              Lock.try_lock pred.lock (fun () ->
+                  if
+                    Fatomic.load pred.removed
+                    || not (is_node succ (Vptr.load pred.nexts.(0)))
+                  then `Retry
+                  else begin
+                    let node =
+                      Flock.new_obj (fun () ->
+                          make_node t.desc t.lock_mode k v ~levels ~next:(fun i ->
+                              if i = 0 then Some succ else None))
+                    in
+                    (* linearization point *)
+                    Vptr.store_locked pred.nexts.(0) (Some node);
+                    `Done node
+                  end)
+            in
+            match outcome with
+            | Some (`Done node) ->
+                if height node > 1 then link_upper t node;
+                true
+            | Some `Retry | None ->
+                Flock.Backoff.once backoff;
+                loop ())
+      in
+      loop ())
+
+let delete t k =
+  check_key k;
+  Flock.with_epoch (fun () ->
+      let backoff = Flock.Backoff.create () in
+      let rec loop () =
+        let preds = find_preds t k in
+        let pred = preds.(0) in
+        match Vptr.load pred.nexts.(0) with
+        | Some victim when victim.key = k -> (
+            (* announce, then unlink top-down, then splice level 0: upper
+               links must disappear (version-wise) before the level-0
+               presence does *)
+            Fatomic.store victim.tearing true;
+            if height victim > 1 then unlink_upper t victim;
+            let outcome =
+              Lock.try_lock pred.lock (fun () ->
+                  if
+                    Fatomic.load pred.removed
+                    || not (is_node victim (Vptr.load pred.nexts.(0)))
+                  then `Retry
+                  else
+                    match
+                      Lock.try_lock victim.lock (fun () ->
+                          Fatomic.store victim.removed true;
+                          (* linearization point *)
+                          Vptr.store_locked pred.nexts.(0)
+                            (Vptr.load victim.nexts.(0)))
+                    with
+                    | Some () -> `Done
+                    | None -> `Retry)
+            in
+            match outcome with
+            | Some `Done -> true
+            | Some `Retry | None ->
+                Flock.Backoff.once backoff;
+                loop ())
+        | Some _ | None -> false
+      in
+      loop ())
+
+let fold_range t lo hi ~init ~f =
+  Verlib.with_snapshot (fun () ->
+      let start = find_preds t lo in
+      let rec collect acc node =
+        match Vptr.load node.nexts.(0) with
+        | Some n when n.key <= hi && n.key <> max_int ->
+            Verlib.Snapshot.check_abort ();
+            collect (f acc n.key n.value) n
+        | Some _ | None -> acc
+      in
+      collect init start.(0))
+
+let range t lo hi = Map_intf.range_as_list fold_range t lo hi
+
+let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+let to_sorted_list t =
+  let rec collect acc node =
+    match Vptr.load node.nexts.(0) with
+    | Some n when n.key <> max_int -> collect ((n.key, n.value) :: acc) n
+    | Some _ | None -> List.rev acc
+  in
+  collect [] t.head
+
+let size t = List.length (to_sorted_list t)
+
+(* Quiescent invariants: level 0 sorted with no removed nodes; each upper
+   level a sorted sublist of level 0. *)
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let level0 = Hashtbl.create 256 in
+  let rec walk0 node =
+    match Vptr.load node.nexts.(0) with
+    | Some n when n.key <> max_int ->
+        if Fatomic.load n.removed then
+          fail "Skiplist.check: removed node reachable at level 0";
+        if n.key <= node.key then fail "Skiplist.check: level-0 keys not increasing";
+        Hashtbl.replace level0 n.key ();
+        walk0 n
+    | Some _ | None -> ()
+  in
+  walk0 t.head;
+  for level = 1 to max_levels - 1 do
+    let rec walk node prev_key =
+      match Vptr.load node.nexts.(level) with
+      | Some n when n.key <> max_int ->
+          if n.key <= prev_key then fail "Skiplist.check: level %d not sorted" level;
+          if not (Hashtbl.mem level0 n.key) then
+            fail "Skiplist.check: level %d key %d missing from level 0" level n.key;
+          walk n n.key
+      | Some _ | None -> ()
+    in
+    walk t.head min_int
+  done

@@ -1,0 +1,18 @@
+(** Sorted map as a lazy skip list with versioned bottom-level links.
+
+    Skip lists are the structure class most of the paper's range-query
+    competitors use (BundledSkiplist, Jiffy, LeapList).  This one
+    demonstrates the library's "version exactly what queries follow"
+    principle from §3.1: only the level-0 [next] pointers are versioned —
+    snapshots, range queries and multi-finds walk them — while the upper
+    index levels are ordinary idempotent atomics used purely as search
+    accelerators, like the unversioned [prev] pointers of the paper's
+    doubly-linked list.
+
+    Updates follow the lazy-skiplist recipe: the level-0 splice under the
+    predecessor's lock is the single linearization point; upper levels are
+    linked and unlinked opportunistically afterwards.  Works with blocking
+    or lock-free locks; deletions re-record successor nodes, so
+    [Rec_once] is unsupported (as for the list). *)
+
+include Map_intf.MAP

@@ -1,0 +1,16 @@
+(** Validated-retry BST — comparison baseline for Figure 10.
+
+    An external (leaf-oriented) binary search tree with fine-grained
+    blocking locks for updates and lock-free finds.  Range queries and
+    multi-finds follow the classic validation recipe used by non-versioned
+    range-queriable structures (EpochBST and friends): read the global
+    update counter, traverse, re-read the counter, retry on mismatch,
+    escalating to a reader-writer lock after repeated failures so heavy
+    update loads cannot starve queries forever.
+
+    This represents the "retry-based linearizable range query" competitor
+    class whose throughput collapses as updates increase — the axis the
+    paper's Figure 10 compares against.  Versioned-pointer modes are
+    ignored ([supports_mode] accepts only [Plain]). *)
+
+include Map_intf.MAP

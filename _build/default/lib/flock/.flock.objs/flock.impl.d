@@ -1,0 +1,1 @@
+lib/flock/flock.ml: Backoff Epoch Fatomic Idem Lock Registry

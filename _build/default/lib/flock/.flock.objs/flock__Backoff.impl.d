@@ -1,0 +1,1 @@
+lib/flock/backoff.ml: Domain Thread

@@ -1,0 +1,1 @@
+lib/flock/idem.ml: Array Atomic Domain List Obj

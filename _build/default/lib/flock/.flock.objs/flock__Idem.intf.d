@@ -1,0 +1,1 @@
+lib/flock/idem.mli:

@@ -1,0 +1,1 @@
+lib/flock/lock.ml: Atomic Backoff Idem Obj

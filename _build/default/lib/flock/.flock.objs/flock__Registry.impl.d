@@ -1,0 +1,1 @@
+lib/flock/registry.ml: Array Atomic Domain

@@ -1,0 +1,15 @@
+type t = { mutable shift : int; limit : int }
+
+let create ?(limit = 10) () = { shift = 0; limit }
+
+let reset t = t.shift <- 0
+
+let once t =
+  if t.shift >= t.limit then Thread.yield ()
+  else begin
+    let spins = 1 lsl t.shift in
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done;
+    t.shift <- t.shift + 1
+  end

@@ -1,0 +1,19 @@
+(** Exponential backoff for contended retry loops.
+
+    On an oversubscribed machine (more domains than cores) spinning without
+    yielding starves the lock holder, so after a few rounds of [cpu_relax]
+    the backoff yields the processor to the OS scheduler. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [create ?limit ()] returns a fresh backoff state.  [limit] bounds the
+    exponential growth of the spin count (default 10, i.e. at most [2^10]
+    relax operations per round). *)
+
+val once : t -> unit
+(** Spin for the current round's duration, then double it (up to the limit).
+    Yields to the OS scheduler once the spin count saturates. *)
+
+val reset : t -> unit
+(** Forget accumulated contention history. *)

@@ -1,0 +1,86 @@
+let quiescent = max_int
+
+(* announcement.(i) = epoch domain [i] entered, or [quiescent]. *)
+let announcement : int Atomic.t array =
+  Array.init Registry.max_slots (fun _ -> Atomic.make quiescent)
+
+let global = Atomic.make 0
+
+let current_epoch () = Atomic.get global
+
+(* Deferred callbacks, tagged with the epoch in which they were retired.
+   A single mutex-protected queue keeps this simple; deferral is rare
+   compared to epoch entry, which stays lock-free. *)
+let pending : (int * (unit -> unit)) list ref = ref []
+
+let pending_mutex = Mutex.create ()
+
+let pending_count () =
+  Mutex.lock pending_mutex;
+  let n = List.length !pending in
+  Mutex.unlock pending_mutex;
+  n
+
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let in_epoch () = !(Domain.DLS.get depth_key) > 0
+
+let min_announced () =
+  let m = ref quiescent in
+  Registry.iter_ids (fun i ->
+      let a = Atomic.get announcement.(i) in
+      if a < !m then m := a);
+  !m
+
+(* A callback deferred in epoch [e] is safe once no domain is still inside
+   an epoch <= e. *)
+let flush () =
+  let safe_before = min_announced () in
+  let to_run = ref [] in
+  Mutex.lock pending_mutex;
+  let keep =
+    List.filter
+      (fun (e, cb) ->
+        if e < safe_before then begin
+          to_run := cb :: !to_run;
+          false
+        end
+        else true)
+      !pending
+  in
+  pending := keep;
+  Mutex.unlock pending_mutex;
+  List.iter (fun cb -> cb ()) !to_run
+
+let defer cb =
+  if not (in_epoch ()) then invalid_arg "Epoch.defer: not inside with_epoch";
+  let e = Atomic.get global in
+  Mutex.lock pending_mutex;
+  pending := (e, cb) :: !pending;
+  Mutex.unlock pending_mutex
+
+(* Advance the global epoch if every active domain has caught up with it;
+   called on epoch entry so that the clock moves as long as operations keep
+   arriving (the standard lazy EBR advance). *)
+let try_advance () =
+  let g = Atomic.get global in
+  if min_announced () >= g then ignore (Atomic.compare_and_set global g (g + 1))
+
+let with_epoch f =
+  let depth = Domain.DLS.get depth_key in
+  if !depth > 0 then begin
+    incr depth;
+    Fun.protect ~finally:(fun () -> decr depth) f
+  end
+  else begin
+    let slot = announcement.(Registry.my_id ()) in
+    try_advance ();
+    Atomic.set slot (Atomic.get global);
+    incr depth;
+    let finally () =
+      decr depth;
+      Atomic.set slot quiescent;
+      flush ()
+    in
+    Fun.protect ~finally f
+  end

@@ -1,0 +1,24 @@
+(** FLOCK — lock-free locks with idempotent helping (Ben-David, Blelloch,
+    Wei, PPoPP 2022), rebuilt in OCaml as the substrate for Verlib.
+
+    The modules re-exported here mirror the [flck::] namespace of the C++
+    library the paper builds on:
+
+    - {!Lock} — blocking and lock-free locks ([flck::lock]);
+    - {!Fatomic} — idempotent atomic cells ([flck::atomic<T>]);
+    - {!Epoch} — epoch-based reclamation ([flck::with_epoch]);
+    - {!Idem} — the idempotence machinery behind helping;
+    - {!Registry}, {!Backoff} — shared infrastructure. *)
+
+module Backoff = Backoff
+module Registry = Registry
+module Idem = Idem
+module Fatomic = Fatomic
+module Lock = Lock
+module Epoch = Epoch
+
+let new_obj = Lock.new_obj
+
+let retire = Lock.retire
+
+let with_epoch = Epoch.with_epoch

@@ -1,0 +1,74 @@
+(* Write-once logs.  A log is a chain of fixed-size chunks of CAS-once
+   slots.  The [empty] sentinel is a private heap block, so physical
+   equality can never confuse it with a logged value. *)
+
+let empty : Obj.t = Obj.repr (ref 0)
+
+let chunk_size = 32
+
+type chunk = { slots : Obj.t Atomic.t array; next : chunk option Atomic.t }
+
+type log = chunk
+
+let make_chunk () =
+  { slots = Array.init chunk_size (fun _ -> Atomic.make empty);
+    next = Atomic.make None }
+
+let create_log () = make_chunk ()
+
+(* A frame is one helper's cursor into a shared log. *)
+type frame = { mutable chunk : chunk; mutable pos : int }
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let in_frame () = !(stack ()) <> []
+
+let frame_depth () = List.length !(stack ())
+
+let enter log =
+  let s = stack () in
+  s := { chunk = log; pos = 0 } :: !s
+
+let exit () =
+  let s = stack () in
+  match !s with
+  | [] -> invalid_arg "Idem.exit: no active frame"
+  | _ :: rest -> s := rest
+
+(* Advance past a full chunk.  The successor chunk is itself agreed on with
+   a CAS so all helpers traverse the same chain. *)
+let next_chunk c =
+  match Atomic.get c.next with
+  | Some n -> n
+  | None ->
+      let candidate = make_chunk () in
+      if Atomic.compare_and_set c.next None (Some candidate) then candidate
+      else
+        (match Atomic.get c.next with
+         | Some n -> n
+         | None -> assert false)
+
+let next_slot fr =
+  if fr.pos >= chunk_size then begin
+    fr.chunk <- next_chunk fr.chunk;
+    fr.pos <- 0
+  end;
+  let slot = fr.chunk.slots.(fr.pos) in
+  fr.pos <- fr.pos + 1;
+  slot
+
+let once (type a) (f : unit -> a) : a =
+  match !(stack ()) with
+  | [] -> f ()
+  | fr :: _ ->
+      let slot = next_slot fr in
+      let v = Atomic.get slot in
+      if v != empty then Obj.obj v
+      else begin
+        let x = f () in
+        if Atomic.compare_and_set slot empty (Obj.repr x) then x
+        else Obj.obj (Atomic.get slot)
+      end

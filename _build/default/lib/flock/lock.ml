@@ -1,0 +1,177 @@
+type mode = Blocking | Lock_free
+
+let mode_ref = Atomic.make Lock_free
+
+let set_default_mode m = Atomic.set mode_ref m
+
+let default_mode () = Atomic.get mode_ref
+
+(* Outcome of running a critical-section thunk.  Stored once per
+   descriptor; every helper agrees on it. *)
+type outcome = Value of Obj.t | Raised of exn
+
+(* Acquire status of a descriptor.  Monotone: [Pending] moves exactly once
+   to [Taken] or [Aborted].  The constructors are immediates, so CAS on the
+   status field uses reliable physical equality. *)
+type status = Pending | Taken | Aborted
+
+type descr = {
+  thunk : unit -> Obj.t;
+  log : Idem.log;
+  status : status Atomic.t;
+  result : outcome option Atomic.t;
+}
+
+(* The lock word holds a descriptor; a distinguished sentinel descriptor
+   stands for "unlocked" so that CAS compares descriptor identities
+   directly (wrapping in an option or variant would allocate a fresh block
+   per transition and break physical-equality CAS). *)
+let unlocked : descr =
+  { thunk = (fun () -> assert false);
+    log = Idem.create_log ();
+    status = Atomic.make Aborted;
+    result = Atomic.make None }
+
+type t = { state : descr Atomic.t; mode : mode }
+
+let create ?mode () =
+  let mode = match mode with Some m -> m | None -> default_mode () in
+  { state = Atomic.make unlocked; mode }
+
+let mode_of t = t.mode
+
+let helps = Atomic.make 0
+
+let retires = Atomic.make 0
+
+let help_count () = Atomic.get helps
+
+let retire_count () = Atomic.get retires
+
+let new_obj f = Idem.once f
+
+let retire _x = Atomic.incr retires
+
+let holding_lock () = Idem.in_frame ()
+
+(* Run [d]'s thunk (as owner or helper), record the agreed outcome and
+   release the lock.  Safe to call repeatedly and concurrently: the thunk
+   is idempotent by the FLOCK contract, the outcome is installed with a
+   CAS-once, and the release only succeeds from this exact descriptor.
+
+   A descriptor observed inside the lock with status [Pending] belongs to
+   an owner that installed it but was preempted before voting; completing
+   the acquire on its behalf (CAS to [Taken]) is safe because abort votes
+   only arise from acquire participants that observed the install failing,
+   which cannot have happened while [d] still occupies the lock. *)
+let run_and_release t d =
+  (match Atomic.get d.status with
+   | Pending -> ignore (Atomic.compare_and_set d.status Pending Taken)
+   | Taken | Aborted -> ());
+  (match Atomic.get d.status with
+   | Taken ->
+       (match Atomic.get d.result with
+        | Some _ -> ()
+        | None ->
+            Idem.enter d.log;
+            let out = (try Value (d.thunk ()) with e -> Raised e) in
+            Idem.exit ();
+            ignore (Atomic.compare_and_set d.result None (Some out)))
+   | Aborted | Pending ->
+       (* Aborted descriptors can transiently occupy the lock when a slow
+          helper's install CAS lands after the abort decision; they are
+          simply removed below without running anything. *)
+       ());
+  ignore (Atomic.compare_and_set t.state d unlocked)
+
+let help t d =
+  Atomic.incr helps;
+  run_and_release t d
+
+(* Lock-free acquisition.  The decision (taken/aborted) must be identical
+   for the original caller and every helper replaying the enclosing
+   critical section, so (1) the candidate descriptor is allocated through
+   the log, (2) the observed lock state is read through the log, and (3)
+   the final verdict is the descriptor's monotone status field rather than
+   the outcome of any individual machine CAS. *)
+let try_lock_free t (f : unit -> Obj.t) : Obj.t option =
+  let d =
+    Idem.once (fun () ->
+        { thunk = f;
+          log = Idem.create_log ();
+          status = Atomic.make Pending;
+          result = Atomic.make None })
+  in
+  let observed = Idem.once (fun () -> Atomic.get t.state) in
+  if observed != unlocked then begin
+    help t observed;
+    None
+  end
+  else begin
+    let installed = Atomic.compare_and_set t.state unlocked d in
+    if installed then ignore (Atomic.compare_and_set d.status Pending Taken)
+    else if Atomic.get t.state == d then
+      (* Another helper of this same acquire installed d. *)
+      ignore (Atomic.compare_and_set d.status Pending Taken)
+    else
+      (* Contended: vote to abort.  If a racing helper already took it,
+         the CAS fails and the agreed verdict below is Taken. *)
+      ignore (Atomic.compare_and_set d.status Pending Aborted);
+    match Atomic.get d.status with
+    | Taken -> begin
+        run_and_release t d;
+        match Atomic.get d.result with
+        | Some (Value v) -> Some v
+        | Some (Raised e) -> raise e
+        | None -> assert false
+      end
+    | Aborted -> begin
+        (* Our install may still land later (a slow helper); anyone seeing
+           an aborted descriptor in the lock removes it (run_and_release).
+           Meanwhile help whoever actually holds the lock. *)
+        let cur = Atomic.get t.state in
+        if cur != unlocked then help t cur;
+        None
+      end
+    | Pending -> assert false
+  end
+
+(* Blocking mode: plain test-and-set with a fresh descriptor as the
+   ownership token; no helping, so a preempted owner stalls contenders —
+   the behaviour the oversubscription experiments measure. *)
+let try_lock_blocking t f =
+  let token =
+    { thunk = (fun () -> assert false);
+      log = unlocked.log;
+      status = Atomic.make Taken;
+      result = Atomic.make None }
+  in
+  if Atomic.compare_and_set t.state unlocked token then begin
+    let out = (try Ok (f ()) with e -> Error e) in
+    Atomic.set t.state unlocked;
+    match out with Ok v -> Some v | Error e -> raise e
+  end
+  else None
+
+let try_lock (type a) t (f : unit -> a) : a option =
+  match t.mode with
+  | Blocking -> try_lock_blocking t f
+  | Lock_free -> begin
+      match try_lock_free t (fun () -> Obj.repr (f ())) with
+      | None -> None
+      | Some v -> Some (Obj.obj v)
+    end
+
+let try_lock_bool t f =
+  match try_lock t f with None -> false | Some b -> b
+
+let with_lock t f =
+  let b = Backoff.create () in
+  let rec loop () =
+    match try_lock t f with
+    | Some v -> v
+    | None ->
+        Backoff.once b;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,64 @@
+(** Locks in two flavours: standard blocking (test-and-set with backoff)
+    and lock-free (FLOCK-style helping locks).
+
+    A lock-free lock stores, while held, a descriptor containing the
+    critical section as a thunk plus an idempotence log ({!Idem}).  Any
+    thread that finds the lock taken helps run the thunk to completion and
+    helps release the lock, so the system makes progress even if the owner
+    is preempted or stalls — the property the paper exploits when the
+    machine is oversubscribed.
+
+    Critical-section thunks must follow the FLOCK contract: all shared
+    mutable state they touch is accessed through {!Fatomic} cells or Verlib
+    versioned pointers (both idempotence-aware), and allocation inside the
+    section goes through {!new_obj}. *)
+
+type mode = Blocking | Lock_free
+
+val set_default_mode : mode -> unit
+(** Mode given to subsequently created locks (default [Lock_free]).
+    Benchmarks flip this to compare the two regimes, as the paper does with
+    compile flags. *)
+
+val default_mode : unit -> mode
+
+type t
+
+val create : ?mode:mode -> unit -> t
+
+val mode_of : t -> mode
+
+val try_lock : t -> (unit -> 'a) -> 'a option
+(** [try_lock t f] attempts to acquire [t]; on success runs [f] as the
+    critical section and returns [Some (f ())], otherwise returns [None].
+    In lock-free mode a [None] answer may be spurious (the lock was held, or
+    a helping race resolved against this attempt); callers retry their
+    whole operation, re-validating state, exactly as in the paper's data
+    structures.  Contending callers help the current holder first. *)
+
+val try_lock_bool : t -> (unit -> bool) -> bool
+(** Paper-style convenience: [false] means "not acquired or the critical
+    section asked to retry". *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Retry [try_lock] with backoff until acquired. *)
+
+val new_obj : (unit -> 'a) -> 'a
+(** Idempotent allocation ([flck::New]): inside a critical section all
+    helpers receive the same object; outside it simply runs the
+    allocator. *)
+
+val retire : 'a -> unit
+(** [flck::Retire].  Reclamation itself is the GC's job in OCaml; this
+    counts the retirement (visible in {!helping_count} style stats) and is
+    idempotence-safe. *)
+
+val holding_lock : unit -> bool
+(** Whether the calling domain is currently inside a lock-free critical
+    section (its own or one it is helping). *)
+
+val help_count : unit -> int
+(** Number of critical sections executed via the helping path since start
+    (monotone, racy read; for experiments and tests). *)
+
+val retire_count : unit -> int

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Atomic Domain Dstruct Float Flock List Unix Verlib Workload

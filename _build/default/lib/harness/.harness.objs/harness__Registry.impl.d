@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Dstruct List Printf String

@@ -1,0 +1,1 @@
+lib/harness/space.ml: Float Obj Sys

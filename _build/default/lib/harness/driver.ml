@@ -1,0 +1,129 @@
+type group = {
+  g_count : int;
+  g_update_percent : int;
+  g_query : Workload.Opgen.query_kind;
+}
+
+type spec = {
+  map : (module Dstruct.Map_intf.MAP);
+  mode : Verlib.Vptr.mode;
+  lock_mode : Flock.Lock.mode;
+  scheme : Verlib.Stamp.scheme;
+  direct_stores : bool;
+  n : int;
+  theta : float;
+  groups : group list;
+  duration : float;
+  repeats : int;
+  seed : int;
+}
+
+let default_spec map =
+  {
+    map;
+    mode = Verlib.Vptr.Ind_on_need;
+    lock_mode = Flock.Lock.Lock_free;
+    scheme = Verlib.Stamp.Query_ts;
+    direct_stores = true;
+    n = 10_000;
+    theta = 0.;
+    groups =
+      [ { g_count = 4; g_update_percent = 20; g_query = Workload.Opgen.Multifinds 16 } ];
+    duration = 0.3;
+    repeats = 1;
+    seed = 42;
+  }
+
+type result = {
+  total_mops : float;
+  group_mops : float list;
+  aborts : int;
+  increments : int;
+  final_size : int;
+}
+
+let run_once spec =
+  let module M = (val spec.map : Dstruct.Map_intf.MAP) in
+  Verlib.reset ~scheme:spec.scheme ~lock_mode:spec.lock_mode
+    ~direct_stores:spec.direct_stores ();
+  let mode = if M.supports_mode spec.mode then spec.mode else Verlib.Vptr.Plain in
+  let t = M.create ~mode ~lock_mode:spec.lock_mode ~n_hint:spec.n () in
+  let fill_gen =
+    Workload.Opgen.create ~theta:spec.theta ~seed:spec.seed ~n:spec.n
+      ~update_percent:100 ~query:Workload.Opgen.Finds ()
+  in
+  Workload.Opgen.fill fill_gen
+    (Workload.Splitmix.create (spec.seed + 1))
+    ~insert:(fun k v -> M.insert t k v);
+  (* per-group generators share universe parameters through the seed *)
+  let mk_gen g =
+    Workload.Opgen.create ~theta:spec.theta ~seed:spec.seed ~n:spec.n
+      ~update_percent:g.g_update_percent ~query:g.g_query ()
+  in
+  let gens = List.map mk_gen spec.groups in
+  let stop = Atomic.make false in
+  let go = Atomic.make false in
+  let counts =
+    List.map (fun g -> Array.init g.g_count (fun _ -> Atomic.make 0)) spec.groups
+  in
+  let worker gen cnt tid () =
+    let rng = Workload.Splitmix.create ((tid * 7919) + spec.seed + 100) in
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      (match Workload.Opgen.next gen rng with
+       | Workload.Opgen.Insert (k, v) -> ignore (M.insert t k v)
+       | Workload.Opgen.Delete k -> ignore (M.delete t k)
+       | Workload.Opgen.Find k -> ignore (M.find t k)
+       | Workload.Opgen.Range (a, b) -> ignore (M.range_count t a b)
+       | Workload.Opgen.Multifind ks -> ignore (M.multifind t ks));
+      incr ops;
+      (* amortise the flag check *)
+      if !ops land 15 = 0 then Atomic.set cnt !ops
+    done;
+    Atomic.set cnt !ops
+  in
+  let domains =
+    List.concat
+      (List.map2
+         (fun (g, gen) cnts ->
+           List.init g.g_count (fun i ->
+               Domain.spawn (worker gen cnts.(i) ((g.g_update_percent * 1000) + i))))
+         (List.combine spec.groups gens)
+         counts)
+  in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  Unix.sleepf spec.duration;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let group_ops =
+    List.map (fun cnts -> Array.fold_left (fun a c -> a + Atomic.get c) 0 cnts) counts
+  in
+  let total_ops = List.fold_left ( + ) 0 group_ops in
+  M.check t;
+  {
+    total_mops = Float.of_int total_ops /. elapsed /. 1e6;
+    group_mops = List.map (fun o -> Float.of_int o /. elapsed /. 1e6) group_ops;
+    aborts = Verlib.Stats.total Verlib.Stats.snapshot_aborts;
+    increments = Verlib.Stamp.increments ();
+    final_size = M.size t;
+  }
+
+let run spec =
+  let results = List.init (max 1 spec.repeats) (fun _ -> run_once spec) in
+  let avg f = List.fold_left (fun a r -> a +. f r) 0. results /. Float.of_int (List.length results) in
+  let last = List.nth results (List.length results - 1) in
+  {
+    total_mops = avg (fun r -> r.total_mops);
+    group_mops =
+      List.mapi
+        (fun i _ -> avg (fun r -> List.nth r.group_mops i))
+        (List.hd results).group_mops;
+    aborts = last.aborts;
+    increments = last.increments;
+    final_size = last.final_size;
+  }

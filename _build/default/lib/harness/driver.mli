@@ -1,0 +1,45 @@
+(** Timed multi-domain throughput driver.
+
+    Reproduces the paper's measurement methodology at container scale:
+    initialise the structure to ~n keys from a universe of 2n, run every
+    thread on its operation mix for a fixed duration, report operations
+    per second (averaged over [repeats] runs).
+
+    One hardware core means domains beyond the first time-share; the
+    driver still measures aggregate throughput, which is the quantity the
+    oversubscription experiments (Figure 11) need. *)
+
+type group = {
+  g_count : int;  (** number of threads in this group *)
+  g_update_percent : int;
+  g_query : Workload.Opgen.query_kind;
+}
+
+type spec = {
+  map : (module Dstruct.Map_intf.MAP);
+  mode : Verlib.Vptr.mode;
+  lock_mode : Flock.Lock.mode;
+  scheme : Verlib.Stamp.scheme;
+  direct_stores : bool;
+  n : int;  (** target structure size *)
+  theta : float;  (** Zipfian parameter, 0 = uniform *)
+  groups : group list;
+  duration : float;  (** seconds per run *)
+  repeats : int;
+  seed : int;
+}
+
+val default_spec : (module Dstruct.Map_intf.MAP) -> spec
+(** 4 threads, 20% updates + multifinds of 16, n = 10_000, uniform keys,
+    0.3 s, 1 repeat — a scaled-down rendition of the paper's default. *)
+
+type result = {
+  total_mops : float;  (** million operations per second, all groups *)
+  group_mops : float list;  (** per [groups] entry *)
+  aborts : int;  (** optimistic snapshot re-runs *)
+  increments : int;  (** global-clock increments *)
+  final_size : int;
+}
+
+val run : spec -> result
+(** Builds, fills, runs and validates ([check]) the structure. *)

@@ -1,0 +1,20 @@
+let all : (string * (module Dstruct.Map_intf.MAP)) list =
+  [
+    ("dlist", (module Dstruct.Dlist));
+    ("hashtable", (module Dstruct.Hashtable));
+    ("btree", (module Dstruct.Btree));
+    ("arttree", (module Dstruct.Arttree));
+    ("skiplist", (module Dstruct.Skiplist));
+    ("vbst", (module Dstruct.Vbst));
+    ("coarse", (module Dstruct.Coarse_map));
+  ]
+
+let names = List.map fst all
+
+let find name =
+  match List.assoc_opt name all with
+  | Some m -> m
+  | None ->
+      failwith
+        (Printf.sprintf "unknown structure %S (expected one of: %s)" name
+           (String.concat ", " names))

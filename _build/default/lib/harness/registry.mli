@@ -1,0 +1,9 @@
+(** Name-indexed access to the concurrent maps, for CLI tools and the
+    benchmark driver. *)
+
+val all : (string * (module Dstruct.Map_intf.MAP)) list
+
+val find : string -> (module Dstruct.Map_intf.MAP)
+(** Raises [Not_found] with a helpful message on unknown names. *)
+
+val names : string list

@@ -1,0 +1,5 @@
+let bytes_per_entry ~root ~entries =
+  if entries = 0 then 0.
+  else
+    let words = Obj.reachable_words root in
+    Float.of_int (words * (Sys.word_size / 8)) /. Float.of_int entries

@@ -1,0 +1,6 @@
+(** Space measurement for Figure 12: bytes per entry of a populated
+    structure, via [Obj.reachable_words] on the structure root.  Includes
+    node metadata, versioning metadata and the keys/values themselves,
+    like the paper's accounting. *)
+
+val bytes_per_entry : root:Obj.t -> entries:int -> float

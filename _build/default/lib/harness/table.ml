@@ -1,0 +1,28 @@
+let mops v =
+  if v >= 100. then Printf.sprintf "%.0f" v
+  else if v >= 10. then Printf.sprintf "%.1f" v
+  else if v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.3f" v
+
+let print ?(out = stdout) ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun a r -> max a (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun a r -> match List.nth_opt r c with Some s -> max a (String.length s) | None -> a)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = match List.nth_opt row c with Some s -> s | None -> "" in
+           s ^ String.make (w - String.length s) ' ')
+         widths)
+  in
+  Printf.fprintf out "\n== %s ==\n" title;
+  Printf.fprintf out "%s\n" (line header);
+  Printf.fprintf out "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun r -> Printf.fprintf out "%s\n" (line r)) rows;
+  flush out

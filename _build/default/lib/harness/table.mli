@@ -1,0 +1,7 @@
+(** Aligned-text table printing for benchmark output, paper style. *)
+
+val print :
+  ?out:out_channel -> title:string -> header:string list -> string list list -> unit
+
+val mops : float -> string
+(** Format a throughput value (Mop/s) with sensible precision. *)

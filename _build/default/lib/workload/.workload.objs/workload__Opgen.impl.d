@@ -1,0 +1,1 @@
+lib/workload/opgen.ml: Array Keys Splitmix Zipf

@@ -1,0 +1,27 @@
+type t = { keys : int array }
+
+(* Distinct random keys: draw from the full 62-bit space, dedup via a
+   hash table.  Collisions are vanishingly rare at benchmark sizes. *)
+let create ?(seed = 42) ~n () =
+  let rng = Splitmix.create seed in
+  let m = 2 * n in
+  let seen = Hashtbl.create (2 * m) in
+  let keys = Array.make m 0 in
+  let i = ref 0 in
+  while !i < m do
+    let k = Splitmix.next rng in
+    if (not (Hashtbl.mem seen k)) && k > 0 then begin
+      Hashtbl.add seen k ();
+      keys.(!i) <- k;
+      incr i
+    end
+  done;
+  { keys }
+
+let universe_size t = Array.length t.keys
+
+let nth t i = t.keys.(i)
+
+let random t rng = t.keys.(Splitmix.below rng (Array.length t.keys))
+
+let zipf t z rng = t.keys.(Zipf.sample z rng)

@@ -1,0 +1,20 @@
+(** Key universes, following §8: "We use a universe U of 2n distinct,
+    uniform random 64-bit keys.  Keys for all operations (including
+    initialization) are drawn randomly from U, which ensures that the size
+    of the data structure remains approximately n throughout". *)
+
+type t
+
+val create : ?seed:int -> n:int -> unit -> t
+(** Universe of [2 * n] distinct random non-negative keys. *)
+
+val universe_size : t -> int
+
+val nth : t -> int -> int
+(** The key at index [i] (indices are what {!Zipf} samples). *)
+
+val random : t -> Splitmix.t -> int
+(** Uniform draw from the universe. *)
+
+val zipf : t -> Zipf.t -> Splitmix.t -> int
+(** Skewed draw (popular indices map to fixed popular keys). *)

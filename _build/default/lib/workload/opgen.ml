@@ -1,0 +1,67 @@
+type op =
+  | Insert of int * int
+  | Delete of int
+  | Find of int
+  | Range of int * int
+  | Multifind of int array
+
+type query_kind = Finds | Ranges of int | Multifinds of int
+
+type t = {
+  keys : Keys.t;
+  zipf : Zipf.t;
+  update_percent : int;
+  query : query_kind;
+  range_width : int;
+}
+
+(* Keys live in [0, 2^62); note [1 lsl 62] would overflow OCaml's 63-bit
+   ints, so the space is expressed as [max_int] (= 2^62 - 1). *)
+let key_space = max_int
+
+let create ?(theta = 0.) ?(seed = 42) ~n ~update_percent ~query () =
+  if update_percent < 0 || update_percent > 100 then
+    invalid_arg "Opgen.create: update_percent";
+  let keys = Keys.create ~seed ~n () in
+  let zipf = Zipf.create ~theta (Keys.universe_size keys) in
+  (* With ~n of the 2n universe keys present, present keys have expected
+     spacing key_space / n, so a window of s * key_space / n contains ~s
+     present keys. *)
+  let range_width =
+    match query with Ranges s -> key_space / n * s | Finds | Multifinds _ -> 0
+  in
+  { keys; zipf; update_percent; query; range_width }
+
+let universe t = t.keys
+
+let pick t rng = Keys.zipf t.keys t.zipf rng
+
+let next t rng =
+  let r = Splitmix.below rng 100 in
+  if r < t.update_percent then
+    if r land 1 = 0 then Insert (pick t rng, Splitmix.next rng)
+    else Delete (pick t rng)
+  else
+    match t.query with
+    | Finds -> Find (pick t rng)
+    | Ranges _ ->
+        let a = pick t rng in
+        let b = if a > max_int - t.range_width then max_int else a + t.range_width in
+        Range (a, b)
+    | Multifinds k -> Multifind (Array.init k (fun _ -> pick t rng))
+
+let fill t rng ~insert =
+  let n = Keys.universe_size t.keys / 2 in
+  (* random insertion order over the first n universe keys *)
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Splitmix.below rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  Array.iter
+    (fun i ->
+      let k = Keys.nth t.keys i in
+      ignore (insert k (k land 0xFFFF)))
+    order

@@ -1,0 +1,38 @@
+(** Operation-mix generator for the paper's workloads (§8): a percentage
+    of updates (inserts and deletes in equal numbers) with the remainder
+    being finds, range queries of a given expected size, or multi-finds of
+    a given arity; keys drawn uniformly or Zipfian from the universe. *)
+
+type op =
+  | Insert of int * int
+  | Delete of int
+  | Find of int
+  | Range of int * int  (** bounds chosen for a given expected result size *)
+  | Multifind of int array
+
+type query_kind = Finds | Ranges of int  (** expected size *) | Multifinds of int
+(** arity *)
+
+type t
+
+val create :
+  ?theta:float ->
+  ?seed:int ->
+  n:int ->
+  update_percent:int ->
+  query:query_kind ->
+  unit ->
+  t
+(** [n] is the intended structure size; the universe has [2n] keys.
+    [update_percent] of operations are updates (half inserts, half
+    deletes); the rest are queries of kind [query].  [theta] selects the
+    Zipfian parameter (0 = uniform, the default). *)
+
+val universe : t -> Keys.t
+
+val next : t -> Splitmix.t -> op
+
+val fill : t -> Splitmix.t -> insert:(int -> int -> bool) -> unit
+(** Initialise a structure to size ~n "by running a mix of inserts and
+    deletes on an initially empty data structure" (§8): inserts the first
+    n universe keys in random order. *)

@@ -1,0 +1,23 @@
+type t = { mutable state : int }
+
+let golden_gamma = 0x1E3779B97F4A7C15
+
+let create seed = { state = seed * 0x2545F4914F6CDD1D }
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14B06A1E3769D9 in
+  z lxor (z lsr 31)
+
+let next t =
+  t.state <- t.state + golden_gamma;
+  (* mask to non-negative; note [1 lsl 62] would overflow 63-bit ints *)
+  mix t.state land max_int
+
+let below t n =
+  if n <= 0 then invalid_arg "Splitmix.below";
+  next t mod n
+
+let span = Float.of_int max_int +. 1.
+
+let float t = Float.of_int (next t) /. span

@@ -1,0 +1,21 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood), truncated to
+    OCaml's 63-bit ints.
+
+    Each benchmark thread owns one generator seeded from a distinct
+    stream, so random-number generation never becomes a point of
+    inter-thread contention (unlike [Stdlib.Random]'s shared default
+    state). *)
+
+type t
+
+val create : int -> t
+(** [create seed]; distinct seeds give independent streams. *)
+
+val next : t -> int
+(** Next value, uniform over non-negative 62-bit integers. *)
+
+val below : t -> int -> int
+(** [below t n]: uniform in [0, n). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)

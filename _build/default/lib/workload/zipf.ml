@@ -1,0 +1,62 @@
+(* YCSB-style Zipfian generator (Gray et al., "Quickly generating
+   billion-record synthetic databases").  For theta = 0 we special-case
+   the uniform distribution, matching the paper's parameter sweep. *)
+
+type t = {
+  n : int;
+  theta_ : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow : float; (* 1 + 0.5^theta *)
+}
+
+let zeta_static n theta =
+  (* Exact for small n; Euler–Maclaurin tail approximation beyond, which
+     keeps construction cheap for the 10M-key experiments. *)
+  let exact = min n 10_000 in
+  let s = ref 0. in
+  for i = 1 to exact do
+    s := !s +. (1. /. Float.pow (Float.of_int i) theta)
+  done;
+  if n > exact then begin
+    (* integral of x^-theta from exact to n *)
+    let a = Float.of_int exact and b = Float.of_int n in
+    let tail =
+      if Float.abs (theta -. 1.) < 1e-9 then Float.log (b /. a)
+      else (Float.pow b (1. -. theta) -. Float.pow a (1. -. theta)) /. (1. -. theta)
+    in
+    s := !s +. tail
+  end;
+  !s
+
+let create ?(theta = 0.99) n =
+  if n <= 0 then invalid_arg "Zipf.create";
+  if theta < 0. || theta >= 1. then invalid_arg "Zipf.create: theta in [0,1)";
+  if theta = 0. then { n; theta_ = 0.; alpha = 0.; zetan = 0.; eta = 0.; half_pow = 0. }
+  else begin
+    let zetan = zeta_static n theta in
+    let zeta2 = zeta_static 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. Float.pow (2. /. Float.of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan))
+    in
+    { n; theta_ = theta; alpha; zetan; eta; half_pow = 1. +. Float.pow 0.5 theta }
+  end
+
+let theta t = t.theta_
+
+let sample t rng =
+  if t.theta_ = 0. then Splitmix.below rng t.n
+  else begin
+    let u = Splitmix.float rng in
+    let uz = u *. t.zetan in
+    if uz < 1. then 0
+    else if uz < t.half_pow then 1
+    else
+      let idx =
+        Float.to_int
+          (Float.of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha)
+      in
+      if idx >= t.n then t.n - 1 else if idx < 0 then 0 else idx
+  end

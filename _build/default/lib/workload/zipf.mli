@@ -1,0 +1,19 @@
+(** Zipfian index sampler, as used by YCSB and by the paper's skewed
+    workloads (§8: "Keys are drawn from Zipfian distribution with
+    parameter ranging from 0 (uniform) to .99 (highly skewed)").
+
+    Uses the Gray et al. rejection-inversion-free approximation from the
+    YCSB generator: O(1) sampling after O(n) setup (amortised via the
+    closed-form zeta approximation for large n). *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n]: sampler over indices [0, n).  [theta = 0.] is the
+    uniform distribution; [theta] close to 1 is highly skewed.  Default
+    [theta = 0.99]. *)
+
+val theta : t -> float
+
+val sample : t -> Splitmix.t -> int
+(** Draw an index in [0, n).  Index 0 is the most popular. *)

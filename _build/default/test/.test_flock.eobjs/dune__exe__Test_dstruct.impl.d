@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Array Atomic Domain Dstruct Flock Hashtbl Int List Map Printf QCheck QCheck_alcotest Random Verlib

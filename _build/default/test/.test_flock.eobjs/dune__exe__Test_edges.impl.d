@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Domain Dstruct Hashtbl List Printf Verlib Workload

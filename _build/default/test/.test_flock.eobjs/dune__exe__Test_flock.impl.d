@@ -1,0 +1,1 @@
+test/test_flock.ml: Alcotest Atomic Domain Flock List Thread

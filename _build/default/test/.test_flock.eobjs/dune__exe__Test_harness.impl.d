@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Dstruct Filename Harness List Obj Printf String Sys Workload

@@ -1,0 +1,1 @@
+test/test_verlib.ml: Alcotest Atomic Domain Flock List Printf QCheck QCheck_alcotest Thread Verlib

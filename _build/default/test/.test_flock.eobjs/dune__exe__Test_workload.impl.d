@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dstruct Float Hashtbl List Printf Verlib Workload

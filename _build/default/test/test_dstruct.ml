@@ -1,0 +1,327 @@
+(* Tests shared across the concurrent maps: sequential semantics against a
+   model, structural invariants, qcheck model-based random testing, and
+   multi-domain stress with linearizability checks on snapshots. *)
+
+module V = Verlib
+
+module type MAP = Dstruct.Map_intf.MAP
+
+let maps : (module MAP) list =
+  [
+    (module Dstruct.Dlist);
+    (module Dstruct.Hashtable);
+    (module Dstruct.Btree);
+    (module Dstruct.Arttree);
+    (module Dstruct.Skiplist);
+    (module Dstruct.Vbst);
+    (module Dstruct.Coarse_map);
+  ]
+
+let modes_for (module M : MAP) =
+  List.filter M.supports_mode
+    V.Vptr.[ Ind_on_need; Indirect; No_shortcut; Rec_once; Plain ]
+
+(* --- sequential semantics --------------------------------------------- *)
+
+let test_sequential_basic (module M : MAP) mode () =
+  V.reset ();
+  let t = M.create ~mode ~n_hint:64 () in
+  Alcotest.(check (option int)) "find on empty" None (M.find t 5);
+  Alcotest.(check bool) "insert new" true (M.insert t 5 50);
+  Alcotest.(check bool) "insert duplicate" false (M.insert t 5 99);
+  Alcotest.(check (option int)) "find present" (Some 50) (M.find t 5);
+  Alcotest.(check bool) "delete present" true (M.delete t 5);
+  Alcotest.(check bool) "delete absent" false (M.delete t 5);
+  Alcotest.(check (option int)) "find after delete" None (M.find t 5);
+  M.check t
+
+let test_sequential_bulk (module M : MAP) mode () =
+  V.reset ();
+  let t = M.create ~mode ~n_hint:1024 () in
+  let n = 1000 in
+  let keys = Array.init n (fun i -> (i * 7919) mod 10007) in
+  let inserted = Hashtbl.create n in
+  Array.iter
+    (fun k ->
+      let fresh = not (Hashtbl.mem inserted k) in
+      Alcotest.(check bool) "insert agrees with model" fresh (M.insert t k (k * 2));
+      Hashtbl.replace inserted k ())
+    keys;
+  Alcotest.(check int) "size" (Hashtbl.length inserted) (M.size t);
+  M.check t;
+  Hashtbl.iter
+    (fun k () ->
+      Alcotest.(check (option int)) "find each" (Some (k * 2)) (M.find t k))
+    inserted;
+  (* delete every other key *)
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      if k mod 2 = 0 then begin
+        Alcotest.(check bool) "delete" true (M.delete t k);
+        incr removed
+      end)
+    inserted;
+  Alcotest.(check int) "size after deletes" (Hashtbl.length inserted - !removed) (M.size t);
+  M.check t
+
+let test_sorted_order (module M : MAP) () =
+  if not M.supports_range then ()
+  else begin
+    V.reset ();
+    let t = M.create ~n_hint:256 () in
+    let keys = [ 42; 7; 99; 1; 63; 55; 13; 27; 88; 5 ] in
+    List.iter (fun k -> ignore (M.insert t k k)) keys;
+    let got = List.map fst (M.to_sorted_list t) in
+    Alcotest.(check (list int)) "sorted" (List.sort compare keys) got
+  end
+
+let test_range_semantics (module M : MAP) () =
+  if not M.supports_range then ()
+  else begin
+    V.reset ();
+    let t = M.create ~n_hint:256 () in
+    for k = 0 to 100 do
+      ignore (M.insert t (k * 2) k) (* even keys 0..200 *)
+    done;
+    let r = M.range t 10 20 in
+    Alcotest.(check (list (pair int int)))
+      "inclusive range"
+      [ (10, 5); (12, 6); (14, 7); (16, 8); (18, 9); (20, 10) ]
+      r;
+    Alcotest.(check int) "range_count" 6 (M.range_count t 10 20);
+    Alcotest.(check int) "empty range" 0 (M.range_count t 11 11);
+    Alcotest.(check int) "full range" 101 (M.range_count t min_int max_int)
+  end
+
+let test_multifind (module M : MAP) () =
+  V.reset ();
+  let t = M.create ~n_hint:64 () in
+  for k = 0 to 20 do
+    ignore (M.insert t k (100 + k))
+  done;
+  let res = M.multifind t [| 3; 99; 0; 20; -5 |] in
+  Alcotest.(check (array (option int)))
+    "multifind" [| Some 103; None; Some 100; Some 120; None |] res
+
+(* --- qcheck model-based ------------------------------------------------ *)
+
+module IntMap = Map.Make (Int)
+
+type cmd = Cins of int * int | Cdel of int | Cfind of int
+
+let cmd_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Cins (k, v)) (int_bound 400) (int_bound 10000));
+        (3, map (fun k -> Cdel k) (int_bound 400));
+        (2, map (fun k -> Cfind k) (int_bound 400));
+      ])
+
+let cmd_print = function
+  | Cins (k, v) -> Printf.sprintf "insert %d %d" k v
+  | Cdel k -> Printf.sprintf "delete %d" k
+  | Cfind k -> Printf.sprintf "find %d" k
+
+let cmds_arb = QCheck.make ~print:QCheck.Print.(list cmd_print) QCheck.Gen.(list_size (int_bound 200) cmd_gen)
+
+let model_agrees (module M : MAP) mode cmds =
+  V.reset ();
+  let t = M.create ~mode ~n_hint:64 () in
+  let model = ref IntMap.empty in
+  List.for_all
+    (fun c ->
+      match c with
+      | Cins (k, v) ->
+          let expect = not (IntMap.mem k !model) in
+          if expect then model := IntMap.add k v !model;
+          M.insert t k v = expect
+      | Cdel k ->
+          let expect = IntMap.mem k !model in
+          model := IntMap.remove k !model;
+          M.delete t k = expect
+      | Cfind k -> M.find t k = IntMap.find_opt k !model)
+    cmds
+  &&
+  (M.check t;
+   let range_ok =
+     if not M.supports_range then true
+     else
+       let lo = 50 and hi = 270 in
+       let expected =
+         List.filter (fun (k, _) -> k >= lo && k <= hi) (IntMap.bindings !model)
+       in
+       M.range t lo hi = expected
+   in
+   range_ok
+   && M.size t = IntMap.cardinal !model
+   && M.to_sorted_list t = IntMap.bindings !model)
+
+let qcheck_model_tests =
+  List.concat_map
+    (fun (module M : MAP) ->
+      List.map
+        (fun mode ->
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make
+               ~name:(Printf.sprintf "%s/%s agrees with Map" M.name (V.Vptr.mode_name mode))
+               ~count:60 cmds_arb
+               (model_agrees (module M) mode)))
+        (modes_for (module M)))
+    maps
+
+(* --- concurrent stress -------------------------------------------------- *)
+
+(* Random concurrent ops, then quiescent validation: invariants hold and
+   contents is a plausible outcome (every key maps to a value some thread
+   actually wrote for it). *)
+let test_concurrent_updates (module M : MAP) mode lock_mode () =
+  let mode = if M.supports_mode mode then mode else V.Vptr.Plain in
+  V.reset ~lock_mode ();
+  let t = M.create ~mode ~lock_mode ~n_hint:256 () in
+  let key_space = 128 in
+  let domains = 4 and per_domain = 2500 in
+  let worker seed () =
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to per_domain do
+      let k = Random.State.int st key_space in
+      match Random.State.int st 3 with
+      | 0 -> ignore (M.insert t k ((k * 1000) + seed))
+      | 1 -> ignore (M.delete t k)
+      | _ -> ignore (M.find t k)
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  M.check t;
+  List.iter
+    (fun (k, v) ->
+      if not (k >= 0 && k < key_space) then Alcotest.fail "key out of space";
+      if v / 1000 <> k then Alcotest.fail "value not written by any thread")
+    (M.to_sorted_list t)
+
+(* Writers insert increasing keys; snapshots must see a prefix: if key k
+   is visible, every key written before it (same writer) is too, unless
+   deleted — here nothing is deleted, so visibility must be a prefix per
+   writer.  This is a direct linearizability probe for range queries. *)
+let test_range_prefix_linearizable (module M : MAP) mode () =
+  let mode = if M.supports_mode mode then mode else V.Vptr.Plain in
+  if not M.supports_range then ()
+  else begin
+    V.reset ();
+    let t = M.create ~mode ~n_hint:4096 () in
+    let writers = 2 and keys_per_writer = 1500 in
+    let key writer i = (i * 8) + writer in
+    let writer_fn w () =
+      for i = 0 to keys_per_writer - 1 do
+        ignore (M.insert t (key w i) i)
+      done
+    in
+    let violations = ref 0 in
+    let reader () =
+      for _ = 1 to 150 do
+        let visible = M.range t min_int max_int in
+        (* per writer, the observed keys must form a prefix of its
+           insertion sequence *)
+        for w = 0 to writers - 1 do
+          let ks =
+            List.filter_map
+              (fun (k, _) -> if k mod 8 = w then Some ((k - w) / 8) else None)
+              visible
+          in
+          let sorted = List.sort compare ks in
+          let n = List.length sorted in
+          let expected = List.init n (fun i -> i) in
+          if sorted <> expected then incr violations
+        done
+      done
+    in
+    let ws = List.init writers (fun w -> Domain.spawn (writer_fn w)) in
+    let r = Domain.spawn reader in
+    reader ();
+    List.iter Domain.join ws;
+    Domain.join r;
+    Alcotest.(check int) "ranges see per-writer prefixes" 0 !violations;
+    M.check t
+  end
+
+(* Multifind atomicity: a writer keeps a pair of keys in sync (deletes
+   one, inserts the other, values always equal); a multifind over both
+   must never see matching presence with mismatched values. *)
+let test_multifind_atomic (module M : MAP) mode () =
+  let mode = if M.supports_mode mode then mode else V.Vptr.Plain in
+  V.reset ();
+  let t = M.create ~mode ~n_hint:64 () in
+  ignore (M.insert t 1 0);
+  ignore (M.insert t 2 0);
+  let stop = Atomic.make false in
+  let writer () =
+    let i = ref 1 in
+    while not (Atomic.get stop) do
+      (* each key's value only grows; snapshot must see consistent values *)
+      ignore (M.delete t 1);
+      ignore (M.insert t 1 !i);
+      ignore (M.delete t 2);
+      ignore (M.insert t 2 !i);
+      incr i
+    done
+  in
+  let violations = ref 0 in
+  let reader () =
+    for _ = 1 to 4000 do
+      match M.multifind t [| 1; 2 |] with
+      | [| Some v1; Some v2 |] ->
+          (* key 2 is updated after key 1, so v2 <= v1 <= v2 + 1 *)
+          if not (v2 <= v1 && v1 <= v2 + 1) then incr violations
+      | [| None; Some _ |] | [| _; None |] -> () (* mid-delete states are fine *)
+      | _ -> incr violations
+    done
+  in
+  let w = Domain.spawn writer in
+  let r = Domain.spawn reader in
+  reader ();
+  Atomic.set stop true;
+  Domain.join r;
+  Domain.join w;
+  Alcotest.(check int) "multifind sees consistent cuts" 0 !violations
+
+let case name f = Alcotest.test_case name `Quick f
+
+let per_map_cases (module M : MAP) =
+  let modes = modes_for (module M) in
+  List.concat
+    [
+      List.map
+        (fun m ->
+          case
+            (Printf.sprintf "%s basics (%s)" M.name (V.Vptr.mode_name m))
+            (test_sequential_basic (module M) m))
+        modes;
+      [
+        case (M.name ^ " bulk") (test_sequential_bulk (module M) V.Vptr.Ind_on_need);
+        case (M.name ^ " sorted order") (test_sorted_order (module M));
+        case (M.name ^ " range semantics") (test_range_semantics (module M));
+        case (M.name ^ " multifind") (test_multifind (module M));
+        case
+          (M.name ^ " concurrent (lock-free)")
+          (test_concurrent_updates (module M) V.Vptr.Ind_on_need Flock.Lock.Lock_free);
+        case
+          (M.name ^ " concurrent (blocking)")
+          (test_concurrent_updates (module M) V.Vptr.Ind_on_need Flock.Lock.Blocking);
+        case
+          (M.name ^ " range prefix linearizable")
+          (test_range_prefix_linearizable (module M) V.Vptr.Ind_on_need);
+        case (M.name ^ " multifind atomic")
+          (test_multifind_atomic (module M) V.Vptr.Ind_on_need);
+        case (M.name ^ " multifind atomic (Indirect)")
+          (test_multifind_atomic (module M) V.Vptr.Indirect);
+      ];
+    ]
+
+let () =
+  Alcotest.run "dstruct"
+    [
+      ("maps", List.concat_map per_map_cases maps);
+      ("qcheck-model", qcheck_model_tests);
+    ]

@@ -1,0 +1,211 @@
+(* Structure-specific edge cases: node-kind upgrade boundaries in the ART,
+   structural repairs in the B-tree (splits, merges, root growth and
+   collapse), skip-list tower consistency under churn, and hash-table
+   collision handling. *)
+
+module V = Verlib
+
+let reset () = V.reset ()
+
+(* --- Arttree: kind upgrades -------------------------------------------- *)
+
+(* Keys sharing all bytes except the last land in one inner node, whose
+   occupancy we drive across the Small(16) and Indexed(48) thresholds. *)
+let art_sibling_key i = (0x0A lsl 8) lor i (* byte 6 = 0x0A, byte 7 = i *)
+
+let test_art_upgrades () =
+  reset ();
+  let t = Dstruct.Arttree.create ~n_hint:64 () in
+  let check_all n =
+    Dstruct.Arttree.check t;
+    for i = 0 to n - 1 do
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d present at occupancy %d" i n)
+        (Some (i * 10))
+        (Dstruct.Arttree.find t (art_sibling_key i))
+    done;
+    Alcotest.(check int) "size" n (Dstruct.Arttree.size t)
+  in
+  (* grow through Small -> Indexed -> Direct *)
+  for i = 0 to 255 do
+    Alcotest.(check bool) "insert" true
+      (Dstruct.Arttree.insert t (art_sibling_key i) (i * 10));
+    let n = i + 1 in
+    if n = 4 || n = 16 || n = 17 || n = 48 || n = 49 || n = 256 then check_all n
+  done;
+  (* ordered iteration across the Direct node *)
+  let keys = List.map fst (Dstruct.Arttree.to_sorted_list t) in
+  Alcotest.(check int) "sorted count" 256 (List.length keys);
+  Alcotest.(check (list int)) "sorted order"
+    (List.init 256 art_sibling_key)
+    keys;
+  (* delete every other key: cells empty out but stay navigable *)
+  for i = 0 to 255 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "delete" true (Dstruct.Arttree.delete t (art_sibling_key i))
+  done;
+  Dstruct.Arttree.check t;
+  Alcotest.(check int) "half left" 128 (Dstruct.Arttree.size t);
+  Alcotest.(check int) "range over survivors" 128
+    (Dstruct.Arttree.range_count t 0 max_int)
+
+let test_art_deep_collision () =
+  reset ();
+  let t = Dstruct.Arttree.create ~n_hint:16 () in
+  (* keys differing only in the lowest byte force a maximal-depth chain *)
+  let base = 0x123456789A lsl 16 in
+  Alcotest.(check bool) "first" true (Dstruct.Arttree.insert t (base lor 1) 1);
+  Alcotest.(check bool) "second" true (Dstruct.Arttree.insert t (base lor 2) 2);
+  Alcotest.(check bool) "dup rejected" false (Dstruct.Arttree.insert t (base lor 1) 9);
+  Dstruct.Arttree.check t;
+  Alcotest.(check (option int)) "deep find" (Some 2) (Dstruct.Arttree.find t (base lor 2));
+  Alcotest.(check int) "deep range" 2 (Dstruct.Arttree.range_count t base (base lor 0xff))
+
+(* --- Btree: structural repairs ------------------------------------------ *)
+
+let test_btree_growth_and_collapse () =
+  reset ();
+  let t = Dstruct.Btree.create ~n_hint:16 () in
+  let n = 5_000 in
+  (* ascending insertion maximises splits along the right spine *)
+  for k = 1 to n do
+    ignore (Dstruct.Btree.insert t k k)
+  done;
+  Dstruct.Btree.check t;
+  Alcotest.(check int) "full" n (Dstruct.Btree.size t);
+  (* descending deletion forces merges, borrows and root collapses *)
+  for k = n downto 2 do
+    ignore (Dstruct.Btree.delete t k);
+    if k mod 977 = 0 then Dstruct.Btree.check t
+  done;
+  Dstruct.Btree.check t;
+  Alcotest.(check int) "one left" 1 (Dstruct.Btree.size t);
+  Alcotest.(check (option int)) "survivor" (Some 1) (Dstruct.Btree.find t 1);
+  (* back up from near-empty *)
+  for k = 1 to 200 do
+    ignore (Dstruct.Btree.insert t (k * 3) k)
+  done;
+  Dstruct.Btree.check t
+
+let test_btree_interleaved_churn () =
+  reset ();
+  let t = Dstruct.Btree.create ~n_hint:64 () in
+  let present = Hashtbl.create 512 in
+  let rng = Workload.Splitmix.create 31 in
+  for _ = 1 to 20_000 do
+    let k = Workload.Splitmix.below rng 400 in
+    if Workload.Splitmix.below rng 2 = 0 then begin
+      let expect = not (Hashtbl.mem present k) in
+      Alcotest.(check bool) "insert matches model" expect (Dstruct.Btree.insert t k k);
+      Hashtbl.replace present k ()
+    end
+    else begin
+      let expect = Hashtbl.mem present k in
+      Alcotest.(check bool) "delete matches model" expect (Dstruct.Btree.delete t k);
+      Hashtbl.remove present k
+    end
+  done;
+  Dstruct.Btree.check t;
+  Alcotest.(check int) "final size" (Hashtbl.length present) (Dstruct.Btree.size t)
+
+(* --- Skiplist: towers ---------------------------------------------------- *)
+
+let test_skiplist_tower_churn () =
+  reset ();
+  let t = Dstruct.Skiplist.create ~n_hint:512 () in
+  for k = 1 to 2_000 do
+    ignore (Dstruct.Skiplist.insert t k k)
+  done;
+  Dstruct.Skiplist.check t;
+  for k = 1 to 2_000 do
+    if k mod 3 <> 0 then ignore (Dstruct.Skiplist.delete t k)
+  done;
+  Dstruct.Skiplist.check t;
+  Alcotest.(check int) "survivors" 666 (Dstruct.Skiplist.size t);
+  Alcotest.(check int) "range over survivors" 666
+    (Dstruct.Skiplist.range_count t min_int max_int |> fun n -> n);
+  (* reinsert over the same key space *)
+  for k = 1 to 2_000 do
+    ignore (Dstruct.Skiplist.insert t k (k * 2))
+  done;
+  Dstruct.Skiplist.check t;
+  Alcotest.(check int) "full again" 2_000 (Dstruct.Skiplist.size t)
+
+let test_skiplist_concurrent_tower_integrity () =
+  reset ();
+  let t = Dstruct.Skiplist.create ~n_hint:512 () in
+  let domains = 4 and per = 3_000 in
+  let worker seed () =
+    let rng = Workload.Splitmix.create seed in
+    for _ = 1 to per do
+      let k = 1 + Workload.Splitmix.below rng 300 in
+      if Workload.Splitmix.below rng 2 = 0 then ignore (Dstruct.Skiplist.insert t k k)
+      else ignore (Dstruct.Skiplist.delete t k)
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  (* towers must be consistent sublists of level 0 at quiescence *)
+  Dstruct.Skiplist.check t
+
+(* --- Hashtable: collisions and bucket states ----------------------------- *)
+
+let test_hashtable_bucket_lifecycle () =
+  reset ();
+  (* tiny table: plenty of collisions per bucket *)
+  let t = Dstruct.Hashtable.create ~n_hint:16 () in
+  for k = 0 to 199 do
+    Alcotest.(check bool) "insert" true (Dstruct.Hashtable.insert t k k)
+  done;
+  Dstruct.Hashtable.check t;
+  Alcotest.(check int) "all present" 200 (Dstruct.Hashtable.size t);
+  (* empty every bucket back to null *)
+  for k = 0 to 199 do
+    Alcotest.(check bool) "delete" true (Dstruct.Hashtable.delete t k)
+  done;
+  Dstruct.Hashtable.check t;
+  Alcotest.(check int) "empty" 0 (Dstruct.Hashtable.size t);
+  (* and refill: buckets resurrect from null *)
+  for k = 0 to 99 do
+    Alcotest.(check bool) "reinsert" true (Dstruct.Hashtable.insert t k (k + 1))
+  done;
+  Alcotest.(check (option int)) "value" (Some 43) (Dstruct.Hashtable.find t 42)
+
+(* --- Dlist: boundary keys ------------------------------------------------ *)
+
+let test_dlist_boundaries () =
+  reset ();
+  let t = Dstruct.Dlist.create ~n_hint:8 () in
+  Alcotest.check_raises "min_int rejected" (Invalid_argument "Dlist: key out of range")
+    (fun () -> ignore (Dstruct.Dlist.insert t min_int 0));
+  Alcotest.check_raises "max_int rejected" (Invalid_argument "Dlist: key out of range")
+    (fun () -> ignore (Dstruct.Dlist.insert t max_int 0));
+  ignore (Dstruct.Dlist.insert t (min_int + 1) 1);
+  ignore (Dstruct.Dlist.insert t (max_int - 1) 2);
+  Alcotest.(check int) "extremes stored" 2 (Dstruct.Dlist.size t);
+  Alcotest.(check int) "full range" 2 (Dstruct.Dlist.range_count t min_int max_int);
+  Dstruct.Dlist.check t
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "edges"
+    [
+      ( "arttree",
+        [
+          case "kind upgrades 4/16/48/256" test_art_upgrades;
+          case "deep byte collision" test_art_deep_collision;
+        ] );
+      ( "btree",
+        [
+          case "growth and collapse" test_btree_growth_and_collapse;
+          case "interleaved churn vs model" test_btree_interleaved_churn;
+        ] );
+      ( "skiplist",
+        [
+          case "tower churn" test_skiplist_tower_churn;
+          case "concurrent tower integrity" test_skiplist_concurrent_tower_integrity;
+        ] );
+      ("hashtable", [ case "bucket lifecycle" test_hashtable_bucket_lifecycle ]);
+      ("dlist", [ case "boundary keys" test_dlist_boundaries ]);
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the benchmark harness: registry, driver end-to-end, table
+   formatting and space accounting. *)
+
+let test_registry_complete () =
+  List.iter
+    (fun name ->
+      let (module M : Dstruct.Map_intf.MAP) = Harness.Registry.find name in
+      Alcotest.(check string) "name matches" name M.name)
+    Harness.Registry.names;
+  Alcotest.(check bool) "has all seven structures" true
+    (List.length Harness.Registry.names = 7)
+
+let test_registry_unknown () =
+  match Harness.Registry.find "nope" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure for unknown structure"
+
+let smoke_spec map =
+  {
+    (Harness.Driver.default_spec map) with
+    Harness.Driver.n = 500;
+    duration = 0.05;
+    groups =
+      [
+        {
+          Harness.Driver.g_count = 2;
+          g_update_percent = 50;
+          g_query = Workload.Opgen.Finds;
+        };
+      ];
+  }
+
+let test_driver_end_to_end () =
+  List.iter
+    (fun name ->
+      let map = Harness.Registry.find name in
+      let r = Harness.Driver.run (smoke_spec map) in
+      Alcotest.(check bool)
+        (name ^ " made progress")
+        true
+        (r.Harness.Driver.total_mops > 0.);
+      (* fill + balanced insert/delete mix keeps size near n *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s size stays near n (%d)" name r.Harness.Driver.final_size)
+        true
+        (abs (r.Harness.Driver.final_size - 500) < 250))
+    Harness.Registry.names
+
+let test_driver_group_split () =
+  let map = Harness.Registry.find "hashtable" in
+  let spec =
+    {
+      (smoke_spec map) with
+      Harness.Driver.groups =
+        [
+          { Harness.Driver.g_count = 1; g_update_percent = 100; g_query = Workload.Opgen.Finds };
+          { Harness.Driver.g_count = 1; g_update_percent = 0; g_query = Workload.Opgen.Multifinds 4 };
+        ];
+    }
+  in
+  let r = Harness.Driver.run spec in
+  Alcotest.(check int) "one throughput per group" 2
+    (List.length r.Harness.Driver.group_mops);
+  List.iter
+    (fun m -> Alcotest.(check bool) "each group progressed" true (m > 0.))
+    r.Harness.Driver.group_mops
+
+let test_driver_repeats_average () =
+  let map = Harness.Registry.find "hashtable" in
+  let r = Harness.Driver.run { (smoke_spec map) with Harness.Driver.repeats = 2 } in
+  Alcotest.(check bool) "averaged result present" true (r.Harness.Driver.total_mops > 0.)
+
+let test_table_alignment () =
+  let buf_name = Filename.temp_file "table" ".txt" in
+  let oc = open_out buf_name in
+  Harness.Table.print ~out:oc ~title:"t" ~header:[ "a"; "bb" ]
+    [ [ "xxx"; "y" ]; [ "1" ] ];
+  close_out oc;
+  let ic = open_in buf_name in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove buf_name;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "has title" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '=') lines);
+  (* all data rows share the same column offset *)
+  Alcotest.(check int) "five lines (blank, title, header, rule, rows)" 6
+    (List.length lines)
+
+let test_mops_formatting () =
+  Alcotest.(check string) "small" "0.123" (Harness.Table.mops 0.1234);
+  Alcotest.(check string) "unit" "1.23" (Harness.Table.mops 1.234);
+  Alcotest.(check string) "tens" "12.3" (Harness.Table.mops 12.34);
+  Alcotest.(check string) "hundreds" "123" (Harness.Table.mops 123.4)
+
+let test_space_accounting () =
+  let arr = Array.make 1024 0 in
+  let b = Harness.Space.bytes_per_entry ~root:(Obj.repr arr) ~entries:1024 in
+  (* an int array costs one word per element plus a header *)
+  Alcotest.(check bool) "about one word per entry" true (b >= 8. && b < 9.);
+  Alcotest.(check (float 0.01)) "zero entries" 0.
+    (Harness.Space.bytes_per_entry ~root:(Obj.repr arr) ~entries:0)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "registry",
+        [ case "complete" test_registry_complete; case "unknown" test_registry_unknown ] );
+      ( "driver",
+        [
+          case "end-to-end all structures" test_driver_end_to_end;
+          case "group split" test_driver_group_split;
+          case "repeats averaged" test_driver_repeats_average;
+        ] );
+      ( "table",
+        [ case "alignment" test_table_alignment; case "mops format" test_mops_formatting ] );
+      ("space", [ case "accounting" test_space_accounting ]);
+    ]

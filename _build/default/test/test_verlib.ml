@@ -1,0 +1,682 @@
+(* Tests for the Verlib core: timestamp schemes, versioned pointers in all
+   modes, snapshot reads, shortcutting, idempotent CAS, and the done
+   stamp. *)
+
+module V = Verlib
+
+type obj = { v : int; meta : obj V.Vtypes.meta }
+
+let mk v = { v; meta = V.Vtypes.fresh_meta () }
+
+let desc mode = V.Vptr.make_desc ~meta_of:(fun o -> o.meta) ~mode
+
+let value_of = function None -> None | Some o -> Some o.v
+
+let reset ?(scheme = V.Stamp.Query_ts) () = V.reset ~scheme ()
+
+(* Read the pointer as a snapshot at stamp [ts] would.  Announces the
+   stamp first, as the library protocol requires. *)
+let load_at p ts =
+  V.Done_stamp.announce ts;
+  V.Snapctx.set_local_stamp ts;
+  let r = V.Vptr.load p in
+  V.Snapctx.clear_local_stamp ();
+  V.Done_stamp.withdraw ();
+  r
+
+(* --- Stamp ------------------------------------------------------------ *)
+
+let test_query_ts () =
+  reset ();
+  let s1 = V.Stamp.take () in
+  let s2 = V.Stamp.take () in
+  Alcotest.(check bool) "query stamps increase" true (s2 > s1);
+  Alcotest.(check bool) "read sees advanced clock" true (V.Stamp.read () > s2)
+
+let test_update_ts () =
+  reset ~scheme:V.Stamp.Update_ts ();
+  let s1 = V.Stamp.take () in
+  let s2 = V.Stamp.take () in
+  Alcotest.(check int) "queries do not advance" s1 s2;
+  V.Stamp.on_update ();
+  Alcotest.(check bool) "updates advance" true (V.Stamp.take () > s2)
+
+let test_hw_ts () =
+  reset ~scheme:V.Stamp.Hw_ts ();
+  let s1 = V.Stamp.take () in
+  let s2 = V.Stamp.take () in
+  Alcotest.(check bool) "hardware clock monotone" true (s2 >= s1);
+  Alcotest.(check bool) "positive" true (s1 > V.Stamp.zero)
+
+let test_no_stamp () =
+  reset ~scheme:V.Stamp.No_stamp ();
+  let s1 = V.Stamp.take () in
+  V.Stamp.on_update ();
+  let s2 = V.Stamp.take () in
+  Alcotest.(check int) "clock frozen" s1 s2
+
+let test_tl2_ts () =
+  reset ~scheme:V.Stamp.Tl2_ts ();
+  let s1 = V.Stamp.take () in
+  let s2 = V.Stamp.take () in
+  Alcotest.(check bool) "tl2 stamps non-decreasing" true (s2 >= s1)
+
+(* --- Vptr basics (parameterised over versioned modes) ----------------- *)
+
+let versioned_modes = V.Vptr.[ Indirect; No_shortcut; Ind_on_need; Rec_once ]
+
+let test_load_store_cas mode () =
+  reset ();
+  let d = desc mode in
+  let a = mk 1 and b = mk 2 in
+  let p = V.Vptr.make d (Some a) in
+  Alcotest.(check (option int)) "initial" (Some 1) (value_of (V.Vptr.load p));
+  Alcotest.(check bool) "cas wrong expected fails" false (V.Vptr.cas p None (Some b));
+  Alcotest.(check bool) "cas succeeds" true (V.Vptr.cas p (Some a) (Some b));
+  Alcotest.(check (option int)) "after cas" (Some 2) (value_of (V.Vptr.load p));
+  Alcotest.(check bool) "stale cas fails" false (V.Vptr.cas p (Some a) (Some (mk 3)));
+  Alcotest.(check (option int)) "unchanged" (Some 2) (value_of (V.Vptr.load p))
+
+let test_null_handling mode () =
+  reset ();
+  if mode = V.Vptr.Rec_once then () (* RecOnce does not support null stores *)
+  else begin
+    let d = desc mode in
+    let p = V.Vptr.make d None in
+    Alcotest.(check (option int)) "initial nil" None (value_of (V.Vptr.load p));
+    let a = mk 7 in
+    Alcotest.(check bool) "cas from nil" true (V.Vptr.cas p None (Some a));
+    Alcotest.(check (option int)) "non-nil" (Some 7) (value_of (V.Vptr.load p));
+    V.Vptr.store p None;
+    Alcotest.(check (option int)) "store nil" None (value_of (V.Vptr.load p))
+  end
+
+let test_noop_cas mode () =
+  reset ();
+  let d = desc mode in
+  let a = mk 1 in
+  let p = V.Vptr.make d (Some a) in
+  let depth = V.Vptr.version_depth p in
+  Alcotest.(check bool) "cas to same value succeeds" true (V.Vptr.cas p (Some a) (Some a));
+  Alcotest.(check int) "no version added" depth (V.Vptr.version_depth p)
+
+(* --- Indirection decisions -------------------------------------------- *)
+
+let test_fresh_object_direct () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  Alcotest.(check bool) "fresh install is direct" true
+    (V.Vptr.cas p (V.Vptr.load p) (Some (mk 2)));
+  (match V.Vptr.head_kind p with
+   | `Direct -> ()
+   | `Indirect | `Nil -> Alcotest.fail "expected direct head for fresh object")
+
+let test_reused_object_indirect () =
+  reset ();
+  (* Pin the done stamp low so the shortcut cannot hide the link. *)
+  V.Done_stamp.announce (V.Stamp.read ());
+  let d = desc V.Vptr.No_shortcut in
+  let a = mk 1 and b = mk 2 in
+  let p = V.Vptr.make d (Some a) in
+  let q = V.Vptr.make d (Some b) in
+  ignore q;
+  (* [b] was claimed by [q]'s initialisation, so swinging [p] to it needs
+     indirection (Figure 1's sharing problem). *)
+  Alcotest.(check bool) "cas to claimed object" true (V.Vptr.cas p (Some a) (Some b));
+  (match V.Vptr.head_kind p with
+   | `Indirect -> ()
+   | `Direct | `Nil -> Alcotest.fail "expected indirect head for reused object");
+  V.Done_stamp.withdraw ()
+
+let test_initialisation_shares_meta () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let a = mk 1 in
+  let p = V.Vptr.make d (Some a) in
+  ignore p;
+  (* initialising a second pointer to the same (claimed) object must stay
+     direct: it is the oldest version of the new pointer's list (§5) *)
+  let q = V.Vptr.make d (Some a) in
+  (match V.Vptr.head_kind q with
+   | `Direct -> ()
+   | `Indirect | `Nil -> Alcotest.fail "init should share metadata directly");
+  Alcotest.(check (option int)) "value readable" (Some 1) (value_of (V.Vptr.load q))
+
+let test_shortcut_removes_indirection () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let a = mk 1 and b = mk 2 in
+  let p = V.Vptr.make d (Some a) in
+  let q = V.Vptr.make d (Some b) in
+  ignore q;
+  Alcotest.(check bool) "cas ok" true (V.Vptr.cas p (Some a) (Some b));
+  (* no snapshot is active, so loads shortcut the link out promptly (the
+     done-stamp cache refreshes within a bounded number of calls) *)
+  for _ = 1 to 64 do
+    ignore (V.Vptr.load p)
+  done;
+  (match V.Vptr.head_kind p with
+   | `Direct -> ()
+   | `Indirect -> Alcotest.fail "link should have been shortcut"
+   | `Nil -> Alcotest.fail "unexpected nil");
+  Alcotest.(check (option int)) "value survives shortcut" (Some 2)
+    (value_of (V.Vptr.load p))
+
+let test_no_shortcut_mode_keeps_link () =
+  reset ();
+  let d = desc V.Vptr.No_shortcut in
+  let a = mk 1 and b = mk 2 in
+  let p = V.Vptr.make d (Some a) in
+  let q = V.Vptr.make d (Some b) in
+  ignore q;
+  Alcotest.(check bool) "cas ok" true (V.Vptr.cas p (Some a) (Some b));
+  ignore (V.Vptr.load p);
+  (match V.Vptr.head_kind p with
+   | `Indirect -> ()
+   | `Direct | `Nil -> Alcotest.fail "NoShortcut must keep the link")
+
+let test_shortcut_blocked_by_snapshot () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let a = mk 1 and b = mk 2 in
+  let p = V.Vptr.make d (Some a) in
+  let q = V.Vptr.make d (Some b) in
+  ignore q;
+  (* an ongoing snapshot pins the done stamp below the link's stamp *)
+  let ts = V.Stamp.take () in
+  V.Done_stamp.announce ts;
+  Alcotest.(check bool) "cas ok" true (V.Vptr.cas p (Some a) (Some b));
+  ignore (V.Vptr.load p);
+  (match V.Vptr.head_kind p with
+   | `Indirect -> ()
+   | `Direct | `Nil -> Alcotest.fail "shortcut must wait for the snapshot");
+  V.Done_stamp.withdraw ();
+  (* after the snapshot retires, loads clean it up (cache refresh lag is
+     bounded by the refresh interval, so poke it a few times) *)
+  for _ = 1 to 64 do
+    ignore (V.Vptr.load p)
+  done;
+  (match V.Vptr.head_kind p with
+   | `Direct -> ()
+   | `Indirect -> Alcotest.fail "link should be shortcut after snapshot ends"
+   | `Nil -> Alcotest.fail "unexpected nil")
+
+(* --- Snapshot reads ---------------------------------------------------- *)
+
+let test_snapshot_reads_history mode () =
+  reset ();
+  (* Pin history: announce the current stamp as an ongoing snapshot so
+     shortcutting cannot splice away versions the test reads back. *)
+  let pin = V.Stamp.read () in
+  V.Done_stamp.announce pin;
+  let d = desc mode in
+  let p = V.Vptr.make d (Some (mk 0)) in
+  let n = 10 in
+  let stamps =
+    List.init n (fun i ->
+        let ts = V.Stamp.take () in
+        let prev = V.Vptr.load p in
+        Alcotest.(check bool) "update ok" true (V.Vptr.cas p prev (Some (mk (i + 1))));
+        ts)
+  in
+  V.Done_stamp.withdraw ();
+  List.iteri
+    (fun i ts ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "state before update %d" (i + 1))
+        (Some i)
+        (value_of (load_at p ts)))
+    stamps;
+  Alcotest.(check (option int)) "current state" (Some n) (value_of (V.Vptr.load p))
+
+let test_with_snapshot_basic () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  let r = V.with_snapshot (fun () -> value_of (V.Vptr.load p)) in
+  Alcotest.(check (option int)) "snapshot sees current" (Some 1) r
+
+let test_with_snapshot_nested () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  let r =
+    V.with_snapshot (fun () ->
+        let outer = V.Snapshot.current_stamp () in
+        V.with_snapshot (fun () ->
+            Alcotest.(check (option int)) "inner shares stamp" outer
+              (V.Snapshot.current_stamp ());
+            value_of (V.Vptr.load p)))
+  in
+  Alcotest.(check (option int)) "nested result" (Some 1) r
+
+let test_optimistic_abort_and_rerun () =
+  reset ~scheme:V.Stamp.Opt_ts ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  (* Under OptTS the clock never moves on updates, so this fresh version
+     carries a stamp equal to the clock — precisely the equal-stamp case
+     that must abort an optimistic snapshot. *)
+  V.Vptr.store p (Some (mk 2));
+  let before = V.Stats.total V.Stats.snapshot_aborts in
+  let runs = ref 0 in
+  let r =
+    V.with_snapshot (fun () ->
+        incr runs;
+        value_of (V.Vptr.load p))
+  in
+  Alcotest.(check (option int)) "result correct" (Some 2) r;
+  Alcotest.(check int) "ran twice" 2 !runs;
+  Alcotest.(check int) "abort counted" (before + 1)
+    (V.Stats.total V.Stats.snapshot_aborts);
+  (* the re-run bumped the clock past our stamp, so a second snapshot of
+     the same state runs once *)
+  let runs2 = ref 0 in
+  ignore (V.with_snapshot (fun () -> incr runs2; V.Vptr.load p));
+  Alcotest.(check int) "second snapshot optimistic pass" 1 !runs2
+
+let test_check_abort_early_exit () =
+  reset ~scheme:V.Stamp.Opt_ts ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  V.Vptr.store p (Some (mk 2));
+  let reached_tail = ref 0 in
+  let r =
+    V.with_snapshot (fun () ->
+        let v = value_of (V.Vptr.load p) in
+        V.Snapshot.check_abort ();
+        incr reached_tail;
+        v)
+  in
+  Alcotest.(check (option int)) "result" (Some 2) r;
+  Alcotest.(check int) "first pass exited early" 1 !reached_tail
+
+(* --- Idempotent CAS under replay (Theorem 6.1) ------------------------- *)
+
+let test_cas_replay_consistent () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let a = mk 1 and b = mk 2 in
+  let p = V.Vptr.make d (Some a) in
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  let r1 = V.Vptr.cas p (Some a) (Some b) in
+  Flock.Idem.exit ();
+  Alcotest.(check bool) "first run succeeds" true r1;
+  let depth = V.Vptr.version_depth p in
+  Flock.Idem.enter log;
+  let r2 = V.Vptr.cas p (Some a) (Some b) in
+  Flock.Idem.exit ();
+  Alcotest.(check bool) "replay reports the same success" true r2;
+  Alcotest.(check int) "replay installs nothing new" depth (V.Vptr.version_depth p);
+  Alcotest.(check (option int)) "value" (Some 2) (value_of (V.Vptr.load p))
+
+let test_cas_replay_after_subsequent_update () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let a = mk 1 and b = mk 2 and c = mk 3 in
+  let p = V.Vptr.make d (Some a) in
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  let r1 = V.Vptr.cas p (Some a) (Some b) in
+  Flock.Idem.exit ();
+  Alcotest.(check bool) "first run succeeds" true r1;
+  (* the location moves on… *)
+  Alcotest.(check bool) "subsequent cas" true (V.Vptr.cas p (Some b) (Some c));
+  (* …and a lagging helper replays the original critical section *)
+  Flock.Idem.enter log;
+  let r2 = V.Vptr.cas p (Some a) (Some b) in
+  Flock.Idem.exit ();
+  Alcotest.(check bool) "lagging replay still reports success" true r2;
+  Alcotest.(check (option int)) "later update not clobbered" (Some 3)
+    (value_of (V.Vptr.load p))
+
+let test_store_norace_replay () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  let b = mk 2 and c = mk 3 in
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  V.Vptr.store_norace p (Some b);
+  Flock.Idem.exit ();
+  V.Vptr.store_norace p (Some c);
+  Flock.Idem.enter log;
+  V.Vptr.store_norace p (Some b);
+  Flock.Idem.exit ();
+  Alcotest.(check (option int)) "lagging norace store is inert" (Some 3)
+    (value_of (V.Vptr.load p))
+
+(* --- Version-chain truncation ------------------------------------------ *)
+
+let test_truncation_bounds_chains () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 0)) in
+  for i = 1 to 500 do
+    V.Vptr.store_norace p (Some (mk i));
+    ignore (V.Vptr.load p)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "chain stays short (depth %d)" (V.Vptr.version_depth p))
+    true
+    (V.Vptr.version_depth p <= 4);
+  Alcotest.(check bool) "truncations happened" true
+    (V.Stats.total V.Stats.truncations > 0)
+
+let test_truncation_respects_snapshots () =
+  reset ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 0)) in
+  let pin = V.Stamp.take () in
+  V.Done_stamp.announce pin;
+  for i = 1 to 50 do
+    ignore (V.Stamp.take ());
+    V.Vptr.store_norace p (Some (mk i));
+    ignore (V.Vptr.load p)
+  done;
+  (* the pinned snapshot still sees the original value *)
+  Alcotest.(check (option int)) "pinned snapshot intact" (Some 0)
+    (value_of (load_at p pin));
+  V.Done_stamp.withdraw ();
+  Alcotest.(check bool) "history retained while pinned" true
+    (V.Vptr.version_depth p > 10)
+
+(* --- Done stamp -------------------------------------------------------- *)
+
+let test_done_stamp_bounds () =
+  reset ();
+  let d0 = V.Done_stamp.refresh () in
+  Alcotest.(check bool) "bounded by clock" true (d0 <= V.Stamp.read ());
+  let ts = V.Stamp.take () in
+  V.Done_stamp.announce ts;
+  Alcotest.(check bool) "bounded by active snapshot" true (V.Done_stamp.refresh () <= ts);
+  V.Done_stamp.withdraw ();
+  ignore (V.Stamp.take ());
+  Alcotest.(check bool) "advances after withdraw" true (V.Done_stamp.refresh () > ts - 1)
+
+let test_done_stamp_monotone () =
+  reset ();
+  let a = V.Done_stamp.refresh () in
+  ignore (V.Stamp.take ());
+  let b = V.Done_stamp.refresh () in
+  Alcotest.(check bool) "monotone" true (b >= a)
+
+(* --- Concurrent snapshot guarantees ------------------------------------ *)
+
+(* Verlib's contract: every load inside a with_snapshot observes the value
+   its location held at one fixed stamp.  Three consequences are tested
+   under concurrency, for each timestamp scheme:
+
+   1. re-reading a location within one snapshot yields the same value even
+      while a writer keeps updating it (per-location fixed point);
+   2. for two locations updated in the strict sequence p:=i then q:=i,
+      every snapshot sees q <= p <= q + 1 (a consistent temporal cut);
+   3. a multi-field invariant published through a single versioned write
+      is always seen intact (atomic publication, the pattern all the
+      paper's data structures use for their linearization points). *)
+
+type pair = { left : int; right : int; pmeta : pair V.Vtypes.meta }
+
+let mk_pair l r = { left = l; right = r; pmeta = V.Vtypes.fresh_meta () }
+
+let pair_desc () = V.Vptr.make_desc ~meta_of:(fun p -> p.pmeta) ~mode:V.Vptr.Ind_on_need
+
+let run_writer_readers ~writer ~reader =
+  let stop = Atomic.make false in
+  let w = Domain.spawn (fun () -> writer stop) in
+  let r2 = Domain.spawn (fun () -> reader ()) in
+  let v1 = reader () in
+  let v2 = Domain.join r2 in
+  Atomic.set stop true;
+  Domain.join w;
+  v1 + v2
+
+let test_snapshot_fixed_point scheme () =
+  reset ~scheme ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 0)) in
+  let writer stop =
+    let i = ref 1 in
+    while not (Atomic.get stop) do
+      V.Vptr.store p (Some (mk !i));
+      incr i
+    done
+  in
+  let reader () =
+    let violations = ref 0 in
+    for _ = 1 to 2000 do
+      (* the torn-check must be the snapshot's result: under OptTS an
+         aborted optimistic pass may legitimately observe a torn state
+         before the pessimistic re-run *)
+      let consistent =
+        V.with_snapshot (fun () ->
+            let a = value_of (V.Vptr.load p) in
+            Thread.yield ();
+            let b = value_of (V.Vptr.load p) in
+            a = b)
+      in
+      if not consistent then incr violations
+    done;
+    !violations
+  in
+  Alcotest.(check int) "value fixed within a snapshot" 0
+    (run_writer_readers ~writer ~reader)
+
+let test_snapshot_temporal_cut scheme () =
+  reset ~scheme ();
+  let d = desc V.Vptr.Ind_on_need in
+  let p = V.Vptr.make d (Some (mk 0)) in
+  let q = V.Vptr.make d (Some (mk 0)) in
+  let writer stop =
+    let i = ref 1 in
+    while not (Atomic.get stop) do
+      V.Vptr.store p (Some (mk !i));
+      V.Vptr.store q (Some (mk !i));
+      incr i
+    done
+  in
+  let reader () =
+    let violations = ref 0 in
+    for _ = 1 to 2000 do
+      let consistent =
+        V.with_snapshot (fun () ->
+            (* read in the order that makes stale values visible *)
+            let b = value_of (V.Vptr.load q) in
+            let a = value_of (V.Vptr.load p) in
+            match (a, b) with
+            | Some a, Some b -> b <= a && a <= b + 1
+            | _ -> false)
+      in
+      if not consistent then incr violations
+    done;
+    !violations
+  in
+  Alcotest.(check int) "snapshots are consistent cuts" 0
+    (run_writer_readers ~writer ~reader)
+
+let test_snapshot_atomic_publication scheme () =
+  reset ~scheme ();
+  let d = pair_desc () in
+  let p = V.Vptr.make d (Some (mk_pair 40 60)) in
+  let writer stop =
+    let r = ref 1 in
+    while not (Atomic.get stop) do
+      let x = 1 + (!r * 7919 mod 99) in
+      incr r;
+      V.Vptr.store p (Some (mk_pair x (100 - x)))
+    done
+  in
+  let reader () =
+    let violations = ref 0 in
+    for _ = 1 to 2000 do
+      let sum =
+        V.with_snapshot (fun () ->
+            match V.Vptr.load p with
+            | Some pr -> pr.left + pr.right
+            | None -> -1)
+      in
+      if sum <> 100 then incr violations
+    done;
+    !violations
+  in
+  Alcotest.(check int) "single-swing publication is atomic" 0
+    (run_writer_readers ~writer ~reader)
+
+(* --- qcheck: model-based history semantics ------------------------------ *)
+
+(* A random single-threaded program over one versioned pointer, recording
+   after every operation the stamp at which the resulting state became
+   observable.  Replaying every recorded stamp through load_at must
+   reproduce the exact history.  Object reuse is included so the property
+   also exercises indirect links and metadata sharing. *)
+type vcmd = Store_fresh of int | Store_reused | Store_null | Cas_fresh of int
+
+let vcmd_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun v -> Store_fresh v) (int_bound 1000));
+        (2, return Store_reused);
+        (1, return Store_null);
+        (3, map (fun v -> Cas_fresh v) (int_bound 1000));
+      ])
+
+let vcmd_print = function
+  | Store_fresh v -> Printf.sprintf "store (fresh %d)" v
+  | Store_reused -> "store (reused)"
+  | Store_null -> "store null"
+  | Cas_fresh v -> Printf.sprintf "cas (fresh %d)" v
+
+let vcmds_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list vcmd_print)
+    QCheck.Gen.(list_size (int_bound 60) vcmd_gen)
+
+let history_faithful mode cmds =
+  reset ();
+  (* pin the done stamp so truncation/shortcutting cannot reclaim the
+     history this test replays *)
+  let pin = V.Stamp.read () in
+  V.Done_stamp.announce pin;
+  let d = desc mode in
+  let p = V.Vptr.make d (Some (mk 0)) in
+  (* a second pointer supplies already-claimed objects for reuse *)
+  let donor = ref [ mk 7777 ] in
+  List.iter (fun o -> ignore (V.Vptr.make d (Some o))) !donor;
+  let history = ref [] in
+  let record () = history := (V.Stamp.take (), value_of (V.Vptr.load p)) :: !history in
+  record ();
+  List.iter
+    (fun c ->
+      (match c with
+       | Store_fresh v ->
+           let o = mk v in
+           V.Vptr.store p (Some o);
+           donor := o :: !donor
+       | Store_reused ->
+           let o = List.nth !donor 0 in
+           V.Vptr.store p (Some o)
+       | Store_null -> V.Vptr.store p None
+       | Cas_fresh v ->
+           let cur = V.Vptr.load p in
+           ignore (V.Vptr.cas p cur (Some (mk v))));
+      record ())
+    cmds;
+  (* Replay oldest-first: [load_at] announces the replayed stamp in this
+     domain's (single) announcement slot, displacing the pin, so the done
+     stamp may legitimately rise to each replayed stamp — after which
+     versions older than it may be truncated.  Real programs never hold
+     two snapshots in one domain, so this ordering mirrors legal usage. *)
+  let chronological = List.sort compare (List.rev !history) in
+  let ok =
+    List.for_all (fun (ts, expect) -> value_of (load_at p ts) = expect) chronological
+  in
+  V.Done_stamp.withdraw ();
+  ok
+
+let qcheck_history_tests =
+  List.map
+    (fun mode ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make
+           ~name:("history faithful (" ^ V.Vptr.mode_name mode ^ ")")
+           ~count:80 vcmds_arb (history_faithful mode)))
+    V.Vptr.[ Indirect; No_shortcut; Ind_on_need ]
+
+let case name f = Alcotest.test_case name `Quick f
+
+let mode_cases name f =
+  List.map
+    (fun m -> case (Printf.sprintf "%s (%s)" name (V.Vptr.mode_name m)) (f m))
+    versioned_modes
+
+let () =
+  Alcotest.run "verlib"
+    [
+      ( "stamp",
+        [
+          case "QueryTS" test_query_ts;
+          case "UpdateTS" test_update_ts;
+          case "HwTS" test_hw_ts;
+          case "NoStamp" test_no_stamp;
+          case "TL2-TS" test_tl2_ts;
+        ] );
+      ( "vptr-basics",
+        mode_cases "load/store/cas" test_load_store_cas
+        @ mode_cases "null handling" test_null_handling
+        @ mode_cases "no-op cas" test_noop_cas
+        @ [
+            case "load/store/cas (Non-versioned)"
+              (test_load_store_cas V.Vptr.Plain);
+          ] );
+      ( "indirection",
+        [
+          case "fresh object installs direct" test_fresh_object_direct;
+          case "reused object needs a link" test_reused_object_indirect;
+          case "initialisation shares metadata" test_initialisation_shares_meta;
+          case "shortcut removes indirection" test_shortcut_removes_indirection;
+          case "NoShortcut keeps the link" test_no_shortcut_mode_keeps_link;
+          case "shortcut blocked by live snapshot" test_shortcut_blocked_by_snapshot;
+        ] );
+      ( "snapshot",
+        [
+          case "history (Indirect)" (test_snapshot_reads_history V.Vptr.Indirect);
+          case "history (NoShortcut)" (test_snapshot_reads_history V.Vptr.No_shortcut);
+          case "history (IndOnNeed, pinned)"
+            (test_snapshot_reads_history V.Vptr.Ind_on_need);
+          case "with_snapshot basic" test_with_snapshot_basic;
+          case "with_snapshot nested" test_with_snapshot_nested;
+          case "optimistic abort and re-run" test_optimistic_abort_and_rerun;
+          case "check_abort early exit" test_check_abort_early_exit;
+        ] );
+      ( "idempotent-cas",
+        [
+          case "replay agrees" test_cas_replay_consistent;
+          case "lagging replay after later update" test_cas_replay_after_subsequent_update;
+          case "lagging store_norace is inert" test_store_norace_replay;
+        ] );
+      ("qcheck-history", qcheck_history_tests);
+      ( "truncation",
+        [
+          case "bounds chains without snapshots" test_truncation_bounds_chains;
+          case "respects live snapshots" test_truncation_respects_snapshots;
+        ] );
+      ( "done-stamp",
+        [
+          case "bounds" test_done_stamp_bounds;
+          case "monotone" test_done_stamp_monotone;
+        ] );
+      ( "atomicity",
+        List.concat_map
+          (fun scheme ->
+            let n = V.Stamp.scheme_name scheme in
+            [
+              case (n ^ ": fixed point") (test_snapshot_fixed_point scheme);
+              case (n ^ ": temporal cut") (test_snapshot_temporal_cut scheme);
+              case (n ^ ": atomic publication")
+                (test_snapshot_atomic_publication scheme);
+            ])
+          V.Stamp.[ Query_ts; Update_ts; Hw_ts; Tl2_ts; Opt_ts ] );
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the workload generators: determinism, distribution sanity,
+   operation-mix proportions, and range sizing. *)
+
+module W = Workload
+
+let test_splitmix_deterministic () =
+  let a = W.Splitmix.create 7 and b = W.Splitmix.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (W.Splitmix.next a) (W.Splitmix.next b)
+  done
+
+let test_splitmix_streams_differ () =
+  let a = W.Splitmix.create 7 and b = W.Splitmix.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if W.Splitmix.next a = W.Splitmix.next b then incr same
+  done;
+  Alcotest.(check int) "independent streams" 0 !same
+
+let test_splitmix_range () =
+  let rng = W.Splitmix.create 3 in
+  for _ = 1 to 1000 do
+    let v = W.Splitmix.next rng in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    let b = W.Splitmix.below rng 17 in
+    Alcotest.(check bool) "below bound" true (b >= 0 && b < 17);
+    let f = W.Splitmix.float rng in
+    Alcotest.(check bool) "unit float" true (f >= 0. && f < 1.)
+  done
+
+let test_splitmix_uniformity () =
+  (* chi-square-ish sanity: 10 buckets, 10k draws, each within 30% *)
+  let rng = W.Splitmix.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let b = W.Splitmix.below rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 || c > 1300 then
+        Alcotest.failf "bucket %d has %d of %d draws (expected ~1000)" i c n)
+    buckets
+
+let test_zipf_uniform_case () =
+  let z = W.Zipf.create ~theta:0. 100 in
+  let rng = W.Splitmix.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let i = W.Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* uniform: most popular index should not dominate *)
+  let mx = Array.fold_left max 0 counts in
+  Alcotest.(check bool) "no hot key under theta=0" true (mx < 400)
+
+let test_zipf_skew () =
+  let z = W.Zipf.create ~theta:0.99 1_000 in
+  let rng = W.Splitmix.create 5 in
+  let counts = Array.make 1_000 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let i = W.Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 1_000);
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Zipf 0.99: index 0 should receive a large share, and the top ten
+     indices the majority *)
+  Alcotest.(check bool) "index 0 hot" true (counts.(0) > n / 20);
+  let top10 = Array.fold_left ( + ) 0 (Array.sub counts 0 10) in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-10 dominate (%d of %d)" top10 n)
+    true
+    (top10 > n / 4)
+
+let test_zipf_monotone_popularity () =
+  let z = W.Zipf.create ~theta:0.9 50 in
+  let rng = W.Splitmix.create 9 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 50_000 do
+    counts.(W.Zipf.sample z rng) <- counts.(W.Zipf.sample z rng) + 1
+  done;
+  Alcotest.(check bool) "head more popular than tail" true (counts.(0) > counts.(40))
+
+let test_keys_distinct () =
+  let u = W.Keys.create ~n:1_000 () in
+  Alcotest.(check int) "universe is 2n" 2_000 (W.Keys.universe_size u);
+  let seen = Hashtbl.create 4_000 in
+  for i = 0 to 1_999 do
+    let k = W.Keys.nth u i in
+    Alcotest.(check bool) "positive" true (k > 0);
+    if Hashtbl.mem seen k then Alcotest.fail "duplicate key in universe";
+    Hashtbl.add seen k ()
+  done
+
+let test_opgen_mix_proportions () =
+  let g = W.Opgen.create ~n:1_000 ~update_percent:40 ~query:W.Opgen.Finds () in
+  let rng = W.Splitmix.create 13 in
+  let ins = ref 0 and del = ref 0 and fnd = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match W.Opgen.next g rng with
+    | W.Opgen.Insert _ -> incr ins
+    | W.Opgen.Delete _ -> incr del
+    | W.Opgen.Find _ -> incr fnd
+    | W.Opgen.Range _ | W.Opgen.Multifind _ -> Alcotest.fail "unexpected query kind"
+  done;
+  let pct x = 100 * x / n in
+  Alcotest.(check bool) "inserts ~20%" true (abs (pct !ins - 20) <= 3);
+  Alcotest.(check bool) "deletes ~20%" true (abs (pct !del - 20) <= 3);
+  Alcotest.(check bool) "finds ~60%" true (abs (pct !fnd - 60) <= 3)
+
+let test_opgen_range_sizing () =
+  (* ranges over a filled structure must contain ~s keys on average *)
+  let n = 2_000 in
+  let module M = Dstruct.Btree in
+  Verlib.reset ();
+  let t = M.create ~n_hint:n () in
+  let g0 = W.Opgen.create ~n ~update_percent:100 ~query:W.Opgen.Finds () in
+  W.Opgen.fill g0 (W.Splitmix.create 1) ~insert:(fun k v -> M.insert t k v);
+  List.iter
+    (fun s ->
+      let g = W.Opgen.create ~n ~update_percent:0 ~query:(W.Opgen.Ranges s) () in
+      let rng = W.Splitmix.create 17 in
+      let total = ref 0 and cnt = 300 in
+      for _ = 1 to cnt do
+        match W.Opgen.next g rng with
+        | W.Opgen.Range (a, b) ->
+            Alcotest.(check bool) "ordered bounds" true (a <= b);
+            total := !total + M.range_count t a b
+        | _ -> ()
+      done;
+      let avg = Float.of_int !total /. Float.of_int cnt in
+      if avg < Float.of_int s /. 2. || avg > Float.of_int s *. 2. then
+        Alcotest.failf "expected ranges of ~%d keys, got average %.1f" s avg)
+    [ 8; 64 ]
+
+let test_opgen_multifind_arity () =
+  let g = W.Opgen.create ~n:100 ~update_percent:0 ~query:(W.Opgen.Multifinds 7) () in
+  let rng = W.Splitmix.create 19 in
+  for _ = 1 to 50 do
+    match W.Opgen.next g rng with
+    | W.Opgen.Multifind ks -> Alcotest.(check int) "arity" 7 (Array.length ks)
+    | _ -> Alcotest.fail "expected multifind"
+  done
+
+let test_fill_reaches_target_size () =
+  let module M = Dstruct.Hashtable in
+  Verlib.reset ();
+  let n = 1_000 in
+  let t = M.create ~n_hint:n () in
+  let g = W.Opgen.create ~n ~update_percent:100 ~query:W.Opgen.Finds () in
+  W.Opgen.fill g (W.Splitmix.create 2) ~insert:(fun k v -> M.insert t k v);
+  Alcotest.(check int) "filled to n" n (M.size t)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "splitmix",
+        [
+          case "deterministic" test_splitmix_deterministic;
+          case "streams differ" test_splitmix_streams_differ;
+          case "value ranges" test_splitmix_range;
+          case "uniformity" test_splitmix_uniformity;
+        ] );
+      ( "zipf",
+        [
+          case "theta=0 is uniform" test_zipf_uniform_case;
+          case "theta=.99 is skewed" test_zipf_skew;
+          case "popularity decreases" test_zipf_monotone_popularity;
+        ] );
+      ("keys", [ case "distinct universe" test_keys_distinct ]);
+      ( "opgen",
+        [
+          case "mix proportions" test_opgen_mix_proportions;
+          case "range sizing" test_opgen_range_sizing;
+          case "multifind arity" test_opgen_multifind_arity;
+          case "fill size" test_fill_reaches_target_size;
+        ] );
+    ]
