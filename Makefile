@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full examples doc clean
+.PHONY: all build test bench bench-full examples obs-smoke doc clean
 
 all: build
 
@@ -19,6 +19,18 @@ examples:
 	dune exec examples/order_book.exe
 	dune exec examples/ip_routes.exe
 	dune exec examples/metrics_cut.exe
+
+# End-to-end observability smoke: a short instrumented run through the
+# CLI, then the exported stats JSON and Chrome trace validated by the
+# test binary (the same alcotest cases `dune runtest` runs on freshly
+# generated artefacts).
+obs-smoke:
+	dune build bin/verlib_run.exe test/test_obs.exe
+	dune exec bin/verlib_run.exe -- -d 0.2 -r 1 --stats=json \
+	  --trace /tmp/verlib_trace.json > /tmp/verlib_stats.json
+	OBS_SMOKE_TRACE=/tmp/verlib_trace.json \
+	  OBS_SMOKE_STATS=/tmp/verlib_stats.json \
+	  dune exec test/test_obs.exe -- test smoke
 
 doc:
 	dune build @doc

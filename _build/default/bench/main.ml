@@ -423,6 +423,12 @@ let () =
       | Some f ->
           let t0 = Unix.gettimeofday () in
           f ();
+          (* Mechanism trail: counter/histogram deltas of the section's
+             last run (counters are reset per run), so the recorded
+             benchmark output carries the quantities the paper's claims
+             are actually about, not just Mops. *)
+          Printf.printf "[obs %s] %s\n" name
+            (Harness.Obs_report.one_line (V.Obs.capture ()));
           Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
       | None -> Printf.eprintf "unknown section %S\n" name)
     wanted

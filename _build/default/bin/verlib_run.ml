@@ -65,6 +65,26 @@ let duration =
 
 let repeats = Arg.(value & opt int 3 & info [ "r"; "repeats" ] ~doc:"Runs to average.")
 
+let stats_fmt =
+  let alist = [ ("none", `None); ("pretty", `Pretty); ("json", `Json) ] in
+  let doc =
+    "Observability report: pretty (aligned tables) or json (machine readable, \
+     stdout carries only the JSON).  Enables 1-in-64 per-operation latency \
+     sampling."
+  in
+  Arg.(value & opt (enum alist) `None & info [ "stats" ] ~docv:"FMT" ~doc)
+
+let trace_file =
+  let doc =
+    "Record typed events (snapshots, shortcuts, truncations, stamp increments, \
+     lock traffic) and export them as Chrome trace-event JSON to $(docv) — \
+     loadable in Perfetto or chrome://tracing.  Off by default; the run keeps \
+     only the last repeat's events."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let lat_sample_of_stats = function `None -> 0 | `Pretty | `Json -> 64
+
 let parse_query s =
   match String.split_on_char ':' s with
   | [ "find" ] | [ "finds" ] -> Ok Workload.Opgen.Finds
@@ -72,7 +92,8 @@ let parse_query s =
   | [ "multifind"; n ] -> Ok (Workload.Opgen.Multifinds (int_of_string n))
   | _ -> Error (`Msg (Printf.sprintf "bad query spec %S" s))
 
-let run structure mode scheme lock_mode threads size updates query theta duration repeats =
+let run structure mode scheme lock_mode threads size updates query theta duration repeats
+    stats_fmt trace_file =
   match parse_query query with
   | Error (`Msg m) ->
       prerr_endline m;
@@ -98,20 +119,56 @@ let run structure mode scheme lock_mode threads size updates query theta duratio
           duration;
           repeats;
           seed = 42;
+          lat_sample = lat_sample_of_stats stats_fmt;
         }
       in
+      if trace_file <> None then Verlib.Obs.set_tracing true;
       let r = Harness.Driver.run spec in
-      Printf.printf
-        "%s mode=%s ts=%s locks=%s threads=%d n=%d updates=%d%% zipf=%.2f\n"
-        structure
-        (Verlib.Vptr.mode_name mode)
-        (Verlib.Stamp.scheme_name scheme)
-        (match lock_mode with Flock.Lock.Lock_free -> "lock-free" | Blocking -> "blocking")
-        threads size updates theta;
-      Printf.printf "throughput: %.3f Mop/s (final size %d)\n" r.Harness.Driver.total_mops
-        r.Harness.Driver.final_size;
-      Printf.printf "clock increments: %d, optimistic aborts: %d\n"
-        r.Harness.Driver.increments r.Harness.Driver.aborts
+      Verlib.Obs.set_tracing false;
+      let locks_name =
+        match lock_mode with Flock.Lock.Lock_free -> "lock-free" | Blocking -> "blocking"
+      in
+      (match stats_fmt with
+       | `Json ->
+           (* stdout carries only the JSON report, so it pipes into jq or
+              the smoke validator unchanged. *)
+           let extra =
+             [
+               ("structure", Printf.sprintf "%S" structure);
+               ("mode", Printf.sprintf "%S" (Verlib.Vptr.mode_name mode));
+               ("scheme", Printf.sprintf "%S" (Verlib.Stamp.scheme_name scheme));
+               ("locks", Printf.sprintf "%S" locks_name);
+               ("threads", string_of_int threads);
+               ("n", string_of_int size);
+               ("update_percent", string_of_int updates);
+               ("zipf", Printf.sprintf "%.2f" theta);
+               ("duration_s", Printf.sprintf "%.3f" duration);
+               ("repeats", string_of_int repeats);
+               ("total_mops", Printf.sprintf "%.6f" r.Harness.Driver.total_mops);
+               ("final_size", string_of_int r.Harness.Driver.final_size);
+               ("clock_increments", string_of_int r.Harness.Driver.increments);
+               ("optimistic_aborts", string_of_int r.Harness.Driver.aborts);
+             ]
+           in
+           print_endline (Harness.Obs_report.to_json ~extra r.Harness.Driver.obs)
+       | `None | `Pretty ->
+           Printf.printf
+             "%s mode=%s ts=%s locks=%s threads=%d n=%d updates=%d%% zipf=%.2f\n"
+             structure
+             (Verlib.Vptr.mode_name mode)
+             (Verlib.Stamp.scheme_name scheme)
+             locks_name threads size updates theta;
+           Printf.printf "throughput: %.3f Mop/s (final size %d)\n"
+             r.Harness.Driver.total_mops r.Harness.Driver.final_size;
+           Printf.printf "clock increments: %d, optimistic aborts: %d\n"
+             r.Harness.Driver.increments r.Harness.Driver.aborts;
+           if stats_fmt = `Pretty then
+             Harness.Obs_report.pretty_print r.Harness.Driver.obs);
+      match trace_file with
+      | None -> ()
+      | Some path ->
+          let streams = Verlib.Obs.export_trace path in
+          Printf.eprintf "trace: %d domain stream(s) written to %s\n%!" streams path
 
 let cmd =
   let doc = "run one Verlib experiment with custom parameters" in
@@ -119,6 +176,6 @@ let cmd =
     (Cmd.info "verlib_run" ~doc)
     Term.(
       const run $ structure $ mode $ scheme $ lock_mode $ threads $ size $ updates
-      $ query $ theta $ duration $ repeats)
+      $ query $ theta $ duration $ repeats $ stats_fmt $ trace_file)
 
 let () = exit (Cmd.eval cmd)

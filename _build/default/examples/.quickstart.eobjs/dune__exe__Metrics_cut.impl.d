@@ -1,1 +1,1 @@
-examples/metrics_cut.ml: Atomic Domain Dstruct Printf Verlib
+examples/metrics_cut.ml: Atomic Domain Dstruct Hwclock Obs Printf Stats Verlib

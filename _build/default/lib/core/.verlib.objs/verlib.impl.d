@@ -1,1 +1,1 @@
-lib/core/verlib.ml: Done_stamp Flock Hwclock Snapctx Snapshot Stamp Stats Vptr Vtypes
+lib/core/verlib.ml: Done_stamp Flock Hwclock Obs Snapctx Snapshot Stamp Stats Vptr Vtypes

@@ -1,1 +1,1 @@
-lib/core/hwclock.ml:
+lib/core/hwclock.ml: Float

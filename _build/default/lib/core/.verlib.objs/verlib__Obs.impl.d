@@ -1,0 +1,1 @@
+lib/core/obs.ml: Array Buffer Float Flock Fun Hwclock List Printf Stats

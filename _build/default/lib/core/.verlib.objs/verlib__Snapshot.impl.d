@@ -1,1 +1,1 @@
-lib/core/snapshot.ml: Done_stamp Fun Snapctx Stamp Stats
+lib/core/snapshot.ml: Done_stamp Fun Hwclock Obs Snapctx Stamp Stats

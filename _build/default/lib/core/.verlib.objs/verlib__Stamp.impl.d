@@ -1,1 +1,1 @@
-lib/core/stamp.ml: Atomic Hwclock
+lib/core/stamp.ml: Atomic Hwclock Obs

@@ -1,1 +1,1 @@
-lib/core/vptr.ml: Atomic Buffer Done_stamp Flock Printf Snapctx Stamp Stats Vtypes
+lib/core/vptr.ml: Atomic Buffer Done_stamp Flock Obs Printf Snapctx Stamp Stats Vtypes

@@ -1,5 +1,7 @@
 external rdtsc : unit -> int = "caml_verlib_rdtsc" [@@noalloc]
 
+external cycles_per_us_stub : unit -> float = "caml_verlib_cycles_per_us"
+
 (* Bias by the startup reading so stamps stay comfortably small while
    remaining strictly positive (0 is the reserved "initial version"
    stamp). *)
@@ -8,3 +10,9 @@ let origin = rdtsc () - 1
 let now () =
   let t = rdtsc () - origin in
   if t > 0 then t else 1
+
+(* Calibrated against CLOCK_MONOTONIC on first call (~5 ms, cached in
+   the stub); for converting tick intervals to wall time in reports. *)
+let cycles_per_us () = cycles_per_us_stub ()
+
+let to_us cycles = Float.of_int cycles /. cycles_per_us ()

@@ -3,3 +3,11 @@
     strictly above {!Stamp.zero}. *)
 
 val now : unit -> int
+
+val cycles_per_us : unit -> float
+(** Hardware ticks per microsecond, calibrated once (~5 ms against
+    [CLOCK_MONOTONIC]) and cached.  Intended for report/export paths,
+    not for timed sections. *)
+
+val to_us : int -> float
+(** Convert a tick interval to microseconds using {!cycles_per_us}. *)

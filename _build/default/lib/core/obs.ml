@@ -1,0 +1,211 @@
+(* verlib-obs — the observability layer of the reproduction.
+
+   The paper's claims are mechanism claims (indirection avoided in the
+   common case, links shortcut before snapshots need them, timestamp CAS
+   contention bounded), and on a one-core box we verify mechanisms by
+   counting and by distributions, not by raw Mops.  This module owns:
+
+   - the instrument catalogue: latency / chain-length / dwell-time
+     histograms layered on {!Flock.Telemetry.Hist};
+   - the trace-event catalogue (codes, names, Chrome phases) for the
+     per-domain rings in [Flock.Telemetry], plus the Chrome trace-event
+     JSON exporter (load the file in Perfetto / chrome://tracing);
+   - the cheap per-domain sampling ticks used by always-on instruments
+     so the hot paths stay store-bounded;
+   - [capture]: a structured report (counter totals + histogram
+     summaries) the harness embeds in every driver result.
+
+   Everything here follows the [Stats] quiescence contract: aggregate
+   reads and resets are exact only between runs. *)
+
+module Hist = Flock.Telemetry.Hist
+
+(* Install the hardware clock as the trace timestamp source.  This
+   module is a dependency of every instrumented call site, so the
+   side effect runs before any event can be emitted. *)
+let () = Flock.Telemetry.set_clock Hwclock.now
+
+(* ------------------------------------------------------------------ *)
+(* Event catalogue.  Verlib owns codes 1..31; Flock reserves 32..
+   (see Flock.Telemetry).                                              *)
+
+let ev_snap_begin = 1
+
+let ev_snap_end = 2
+
+let ev_snap_abort = 3
+
+let ev_indirect_create = 4
+
+let ev_shortcut = 5
+
+let ev_truncate = 6
+
+let ev_stamp_incr = 7
+
+type phase = Instant | Span_begin | Span_end
+
+let describe code =
+  if code = ev_snap_begin then ("snapshot", Span_begin)
+  else if code = ev_snap_end then ("snapshot", Span_end)
+  else if code = ev_snap_abort then ("snapshot_abort", Instant)
+  else if code = ev_indirect_create then ("indirect_create", Instant)
+  else if code = ev_shortcut then ("shortcut", Instant)
+  else if code = ev_truncate then ("truncate", Instant)
+  else if code = ev_stamp_incr then ("stamp_incr", Instant)
+  else if code = Flock.Telemetry.ev_lock_acquire then ("lock_acquire", Instant)
+  else if code = Flock.Telemetry.ev_lock_help then ("lock_help", Instant)
+  else if code = Flock.Telemetry.ev_epoch_advance then ("epoch_advance", Instant)
+  else ("ev" ^ string_of_int code, Instant)
+
+let emit = Flock.Telemetry.emit
+
+let set_tracing = Flock.Telemetry.set_tracing
+
+let tracing_on = Flock.Telemetry.tracing_on
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
+
+(* Per-operation latencies in hardware ticks, recorded by the harness
+   driver (sampled 1-in-N via splitmix; see Harness.Driver).           *)
+let lat_find = Hist.make "lat_find_cycles"
+
+let lat_insert = Hist.make "lat_insert_cycles"
+
+let lat_delete = Hist.make "lat_delete_cycles"
+
+let lat_range = Hist.make "lat_range_cycles"
+
+let lat_multifind = Hist.make "lat_multifind_cycles"
+
+(* Version-chain length observed at truncation/shortcut time — the
+   quantity the multiversion-GC line of work bounds.                   *)
+let chain_len = Hist.make "chain_len"
+
+(* Wall time spent inside [with_snapshot], in hardware ticks.          *)
+let snap_dwell = Hist.make "snap_dwell_cycles"
+
+(* ------------------------------------------------------------------ *)
+(* Cheap per-domain sampling for always-on instruments: one private
+   counter per (domain, instrument), no RNG on the hot path.           *)
+
+let tick_stride = 16
+
+let ticks = Array.make (Flock.Registry.max_slots * tick_stride) 0
+
+let sample_tick ~off ~mask =
+  let i = (Flock.Registry.my_id () * tick_stride) + off in
+  let v = ticks.(i) + 1 in
+  ticks.(i) <- v;
+  v land mask = 0
+
+(* 1-in-16 each. *)
+let chain_sample () = sample_tick ~off:0 ~mask:15
+
+let dwell_sample () = sample_tick ~off:1 ~mask:15
+
+(* ------------------------------------------------------------------ *)
+(* Structured report                                                   *)
+
+type report = {
+  counters : (string * int) list;  (** every [Stats] counter, by name *)
+  hists : Hist.summary list;  (** every registered histogram *)
+}
+
+let capture () =
+  {
+    counters =
+      List.map (fun c -> (Stats.name c, Stats.total c)) (Stats.all ())
+      @ [ ("lock_helps", Flock.Lock.help_count ()) ];
+    hists = List.map Hist.summary (Hist.all ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+
+(* Emit one complete JSON trace usable in Perfetto / chrome://tracing:
+   snapshot begin/end become "B"/"E" duration events, everything else
+   an instant ("i").  Per-domain streams are emitted in ring order
+   (which is timestamp order — the clock is globally monotone), with
+   two repairs for ring wrap-around: unmatched "E" at the head of a
+   stream are dropped and unmatched "B" at the tail are closed at the
+   stream's last timestamp, so the file always balances. *)
+let export_trace path =
+  let cpus = Hwclock.cycles_per_us () in
+  let slots = List.init Flock.Registry.max_slots Fun.id in
+  let streams =
+    List.filter_map
+      (fun i ->
+        match Flock.Telemetry.events_of_slot i with
+        | [] -> None
+        | evs -> Some (i, evs))
+      slots
+  in
+  let base =
+    List.fold_left
+      (fun acc (_, evs) ->
+        List.fold_left (fun acc (ts, _, _) -> min acc ts) acc evs)
+      max_int streams
+  in
+  let base = if base = max_int then 0 else base in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let add_event ~name ~ph ~tid ~ts_us ~arg =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":%S,\"cat\":\"verlib\",\"ph\":%S,\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+         name ph tid ts_us);
+    if ph = "i" then Buffer.add_string buf ",\"s\":\"t\"";
+    (match arg with
+     | None -> ()
+     | Some v -> Buffer.add_string buf (Printf.sprintf ",\"args\":{\"v\":%d}" v));
+    Buffer.add_char buf '}'
+  in
+  List.iter
+    (fun (tid, evs) ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+           tid tid);
+      let depth = ref 0 in
+      let last_ts = ref 0. in
+      List.iter
+        (fun (ts, code, arg) ->
+          let name, kind = describe code in
+          let ts_us = Float.of_int (ts - base) /. cpus in
+          last_ts := ts_us;
+          match kind with
+          | Span_begin ->
+              incr depth;
+              add_event ~name ~ph:"B" ~tid ~ts_us ~arg:(Some arg)
+          | Span_end ->
+              (* A span whose begin fell off the ring: drop the end. *)
+              if !depth > 0 then begin
+                decr depth;
+                add_event ~name ~ph:"E" ~tid ~ts_us ~arg:None
+              end
+          | Instant -> add_event ~name ~ph:"i" ~tid ~ts_us ~arg:(Some arg))
+        evs;
+      (* Close spans left open (export raced no one — the domain simply
+         stopped emitting, e.g. the ring wrapped past the end event). *)
+      while !depth > 0 do
+        decr depth;
+        add_event ~name:"snapshot" ~ph:"E" ~tid ~ts_us:!last_ts ~arg:None
+      done;
+      let dropped = Flock.Telemetry.dropped_of_slot tid in
+      if dropped > 0 then
+        add_event ~name:"ring_dropped" ~ph:"i" ~tid ~ts_us:!last_ts
+          ~arg:(Some dropped))
+    streams;
+  Buffer.add_string buf "]}";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  List.length streams

@@ -1,0 +1,90 @@
+(** verlib-obs — latency histograms, version-chain telemetry and
+    Chrome-trace event export.
+
+    Layered on [Flock.Telemetry] (per-domain sharded histograms and
+    per-domain event rings); this module owns the instrument and event
+    catalogues, the sampling policy of the always-on instruments, the
+    structured {!report} the harness embeds in driver results, and the
+    Chrome trace-event JSON exporter.
+
+    All aggregate reads follow the [Stats] quiescence contract: exact
+    only when worker domains are quiesced. *)
+
+module Hist = Flock.Telemetry.Hist
+
+(** {1 Event catalogue} *)
+
+val ev_snap_begin : int
+
+val ev_snap_end : int
+
+val ev_snap_abort : int
+
+val ev_indirect_create : int
+
+val ev_shortcut : int
+
+val ev_truncate : int
+
+val ev_stamp_incr : int
+
+type phase = Instant | Span_begin | Span_end
+
+val describe : int -> string * phase
+(** Name and Chrome phase of an event code (Verlib and Flock codes). *)
+
+val emit : int -> int -> unit
+(** [emit code arg]: re-export of [Flock.Telemetry.emit] — appends to
+    the calling domain's ring when tracing is on; a single
+    branch-predictable atomic load otherwise. *)
+
+val set_tracing : bool -> unit
+
+val tracing_on : unit -> bool
+
+(** {1 Instruments}
+
+    Latencies and dwell times are in hardware ticks ({!Hwclock});
+    convert with {!Hwclock.to_us} for reports. *)
+
+val lat_find : Hist.t
+
+val lat_insert : Hist.t
+
+val lat_delete : Hist.t
+
+val lat_range : Hist.t
+
+val lat_multifind : Hist.t
+
+val chain_len : Hist.t
+(** Version-chain length observed at truncation/shortcut time (sampled
+    1-in-16 per domain). *)
+
+val snap_dwell : Hist.t
+(** Ticks spent inside [with_snapshot] (sampled 1-in-16 per domain). *)
+
+val chain_sample : unit -> bool
+(** Cheap per-domain 1-in-16 tick, used by the chain-length instrument. *)
+
+val dwell_sample : unit -> bool
+
+(** {1 Structured report} *)
+
+type report = {
+  counters : (string * int) list;  (** every [Stats] counter, by name *)
+  hists : Hist.summary list;  (** every registered histogram *)
+}
+
+val capture : unit -> report
+(** Snapshot all counters and histogram summaries (quiesced contract). *)
+
+(** {1 Chrome trace export} *)
+
+val export_trace : string -> int
+(** [export_trace path] writes the per-domain event rings as a Chrome
+    trace-event JSON file (Perfetto / chrome://tracing compatible) and
+    returns the number of domain streams written.  Snapshot begin/end
+    become "B"/"E" duration events; everything else instants.  Streams
+    broken by ring wrap-around are repaired so the file always
+    balances. *)

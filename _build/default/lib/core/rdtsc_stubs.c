@@ -5,6 +5,7 @@
  * the algorithm needs: a cheap, globally monotone clock read.  The value
  * is masked to 62 bits so it always fits a non-negative OCaml int. */
 
+#include <caml/alloc.h>
 #include <caml/mlvalues.h>
 #include <stdint.h>
 #include <time.h>
@@ -25,4 +26,32 @@ CAMLprim value caml_verlib_rdtsc(value unit)
 {
     (void)unit;
     return Val_long((long)(hw_ticks() & 0x3fffffffffffffffull));
+}
+
+/* Hardware-tick to wall-clock calibration for trace export: ticks per
+ * microsecond, measured once against CLOCK_MONOTONIC over a ~5 ms sleep
+ * and cached.  Only called on the (cold) export path, never while an
+ * experiment is being timed. */
+CAMLprim value caml_verlib_cycles_per_us(value unit)
+{
+    static double cached = 0.0;
+    (void)unit;
+    if (cached <= 0.0) {
+        struct timespec t0, t1;
+        struct timespec req = { 0, 5 * 1000 * 1000 }; /* 5 ms */
+        uint64_t c0, c1;
+        clock_gettime(CLOCK_MONOTONIC, &t0);
+        c0 = hw_ticks();
+        nanosleep(&req, NULL);
+        c1 = hw_ticks();
+        clock_gettime(CLOCK_MONOTONIC, &t1);
+        {
+            double us = (double)(t1.tv_sec - t0.tv_sec) * 1e6 +
+                        (double)(t1.tv_nsec - t0.tv_nsec) / 1e3;
+            cached = us > 0.0 ? (double)(c1 - c0) / us : 1.0;
+        }
+        if (cached <= 0.0)
+            cached = 1.0;
+    }
+    return caml_copy_double(cached);
 }

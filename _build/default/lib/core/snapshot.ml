@@ -50,18 +50,29 @@ let optimistic_with_snapshot f =
       | r when not (Snapctx.aborted ()) -> r
       | _ ->
           Stats.incr Stats.snapshot_aborts;
+          Obs.emit Obs.ev_snap_abort s;
           pessimistic_run f s
       | exception Aborted ->
           Stats.incr Stats.snapshot_aborts;
+          Obs.emit Obs.ev_snap_abort s;
           pessimistic_run f s)
 
 let with_snapshot f =
   if active () then f () (* nested: share the outer snapshot *)
   else begin
     Stats.incr Stats.snapshots;
-    if Stamp.is_optimistic () then optimistic_with_snapshot f
-    else begin
-      let (_ : int) = enter Stamp.take in
-      Fun.protect ~finally:leave f
-    end
+    Obs.emit Obs.ev_snap_begin 0;
+    (* Dwell time is sampled 1-in-16 per domain so the disabled-tracing
+       hot path adds one private counter store and no clock reads. *)
+    let t0 = if Obs.dwell_sample () then Hwclock.now () else 0 in
+    let finish () =
+      if t0 <> 0 then Obs.Hist.observe Obs.snap_dwell (Hwclock.now () - t0);
+      Obs.emit Obs.ev_snap_end 0
+    in
+    Fun.protect ~finally:finish (fun () ->
+        if Stamp.is_optimistic () then optimistic_with_snapshot f
+        else begin
+          let (_ : int) = enter Stamp.take in
+          Fun.protect ~finally:leave f
+        end)
   end

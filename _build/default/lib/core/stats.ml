@@ -27,6 +27,15 @@ let add c n =
   let i = slot () in
   c.cells.(i) <- c.cells.(i) + n
 
+(* Quiescence contract: [incr]/[add] are unsynchronised plain stores
+   into a slot owned by exactly one live domain, so [total] and [reset]
+   are exact only when every incrementing domain is quiesced (joined, or
+   provably between operations).  Racing [reset] against a writer can
+   silently lose increments: the writer's read-modify-write may span the
+   [Array.fill].  We document rather than "fix" this — putting an
+   acquire/release pair (or [Atomic.t] cells) on the increment path
+   would tax every operation of every experiment to protect a
+   maintenance entry point that harness code only calls between runs. *)
 let total c =
   let t = ref 0 in
   for i = 0 to Flock.Registry.max_slots - 1 do
@@ -35,6 +44,12 @@ let total c =
   !t
 
 let reset c = Array.fill c.cells 0 (Array.length c.cells) 0
+
+let all () =
+  Mutex.lock registry_mutex;
+  let l = !registry in
+  Mutex.unlock registry_mutex;
+  List.rev l
 
 let indirect_created = make "indirect_created"
 
@@ -48,8 +63,9 @@ let truncations = make "truncations"
 
 let snapshots = make "snapshots"
 
+(* Also clears the telemetry layer (histograms and trace rings) so that
+   [Verlib.reset] starts every experiment from a clean slate.  Same
+   quiescence contract as [reset]. *)
 let reset_all () =
-  Mutex.lock registry_mutex;
-  let all = !registry in
-  Mutex.unlock registry_mutex;
-  List.iter reset all
+  List.iter reset (all ());
+  Flock.Telemetry.reset_all ()

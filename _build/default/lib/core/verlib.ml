@@ -29,6 +29,7 @@ module Done_stamp = Done_stamp
 module Vptr = Vptr
 module Snapshot = Snapshot
 module Stats = Stats
+module Obs = Obs
 
 let with_snapshot = Snapshot.with_snapshot
 

@@ -66,6 +66,18 @@ let set_stamp d chain =
    future snapshot can need the versions behind it.  Non-idempotent: it
    is a helping step, racing shortcutters converge on [l.ldirect].      *)
 
+(* Bounded chain-length walk for the [Obs.chain_len] instrument; capped
+   so a sampled observation can never turn into an O(history) scan. *)
+let chain_len_cap = 64
+
+let rec chain_length d c acc =
+  if acc >= chain_len_cap then acc
+  else
+    match c with
+    | Cval None -> acc
+    | Cval (Some o) -> chain_length d (d.meta_of o).prev (acc + 1)
+    | Clink l -> chain_length d l.lmeta.prev (acc + 1)
+
 let shortcut t chain =
   match chain with
   | Cval _ -> ()
@@ -74,6 +86,9 @@ let shortcut t chain =
       if s <> Stamp.tbd && s <= Done_stamp.get () then
         if Atomic.compare_and_set t.head chain l.ldirect then begin
           Stats.incr Stats.shortcuts;
+          Obs.emit Obs.ev_shortcut s;
+          if Obs.chain_sample () then
+            Obs.Hist.observe Obs.chain_len (chain_length t.d chain 0);
           Flock.retire l
         end
 
@@ -96,8 +111,13 @@ let truncate_chain d chain =
       | Cval (Some _) | Clink _ ->
           let s = Atomic.get m.stamp in
           if s <> Stamp.tbd && s <= Done_stamp.get () then begin
+            (* Chain length is sampled *before* severing: it measures the
+               history the truncation releases. *)
+            if Obs.chain_sample () then
+              Obs.Hist.observe Obs.chain_len (chain_length d chain 0);
             m.prev <- Cval None;
-            Stats.incr Stats.truncations
+            Stats.incr Stats.truncations;
+            Obs.emit Obs.ev_truncate s
           end)
 
 (* ------------------------------------------------------------------ *)
@@ -192,7 +212,11 @@ let build_new_version t old new_v =
             s <> Stamp.tbd)
   in
   if indirect then begin
+    (* Like the counter next to it, the event may be re-emitted by
+       lagging helpers of the same critical section; trace consumers
+       treat indirect-create as approximate under helping. *)
     Stats.incr Stats.indirect_created;
+    Obs.emit Obs.ev_indirect_create 0;
     Flock.Idem.once (fun () -> Clink (make_link ~stamp:Stamp.tbd ~prev:old new_v))
   end
   else begin

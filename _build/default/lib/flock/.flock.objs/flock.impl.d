@@ -1,1 +1,1 @@
-lib/flock/flock.ml: Backoff Epoch Fatomic Idem Lock Registry
+lib/flock/flock.ml: Backoff Epoch Fatomic Idem Lock Registry Telemetry

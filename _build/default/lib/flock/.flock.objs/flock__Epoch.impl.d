@@ -1,1 +1,1 @@
-lib/flock/epoch.ml: Array Atomic Domain Fun List Mutex Registry
+lib/flock/epoch.ml: Array Atomic Domain Fun List Mutex Registry Telemetry

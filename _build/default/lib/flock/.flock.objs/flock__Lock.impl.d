@@ -1,1 +1,1 @@
-lib/flock/lock.ml: Atomic Backoff Idem Obj
+lib/flock/lock.ml: Atomic Backoff Idem Obj Telemetry

@@ -1,0 +1,1 @@
+lib/flock/telemetry.ml: Array Atomic Float List Mutex Registry

@@ -1,0 +1,1 @@
+lib/flock/telemetry.mli:

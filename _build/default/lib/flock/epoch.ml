@@ -64,7 +64,8 @@ let defer cb =
    arriving (the standard lazy EBR advance). *)
 let try_advance () =
   let g = Atomic.get global in
-  if min_announced () >= g then ignore (Atomic.compare_and_set global g (g + 1))
+  if min_announced () >= g && Atomic.compare_and_set global g (g + 1) then
+    Telemetry.emit Telemetry.ev_epoch_advance (g + 1)
 
 let with_epoch f =
   let depth = Domain.DLS.get depth_key in

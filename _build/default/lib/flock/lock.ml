@@ -40,6 +40,12 @@ let create ?mode () =
 
 let mode_of t = t.mode
 
+(* Distribution of [with_lock] acquisition retries (failed [try_lock]
+   attempts before success).  Uncontended acquisitions (0 retries) are
+   not recorded so the uncontended fast path stays store-free; derive
+   their count from the operation count if needed. *)
+let retries_hist = Telemetry.Hist.make "lock_retries"
+
 let helps = Atomic.make 0
 
 let retires = Atomic.make 0
@@ -86,6 +92,7 @@ let run_and_release t d =
 
 let help t d =
   Atomic.incr helps;
+  Telemetry.emit Telemetry.ev_lock_help 0;
   run_and_release t d
 
 (* Lock-free acquisition.  The decision (taken/aborted) must be identical
@@ -167,11 +174,14 @@ let try_lock_bool t f =
 
 let with_lock t f =
   let b = Backoff.create () in
-  let rec loop () =
+  let rec loop retries =
     match try_lock t f with
-    | Some v -> v
+    | Some v ->
+        if retries > 0 then Telemetry.Hist.observe retries_hist retries;
+        Telemetry.emit Telemetry.ev_lock_acquire retries;
+        v
     | None ->
         Backoff.once b;
-        loop ()
+        loop (retries + 1)
   in
-  loop ()
+  loop 0

@@ -1,0 +1,239 @@
+(* Generic observability machinery shared by Flock and the layers above
+   it (Verlib's [Obs] module builds its instrument catalogue on top).
+
+   Two primitives live here because Flock is the bottom of the stack and
+   its own hot paths (lock acquisition, epoch advance) want to record
+   into them:
+
+   - {!Hist}: per-domain sharded, power-of-two-bucketed histograms, the
+     distribution-valued sibling of [Verlib.Stats]' flat counters.
+   - a fixed-size per-domain event ring for typed trace events with
+     caller-supplied integer codes, exported by higher layers (Chrome
+     trace-event JSON in [Verlib.Obs]).
+
+   Both follow the same discipline as [Stats]: writes are plain stores
+   into a slot owned exclusively by the writing domain (slots come from
+   {!Registry.my_id}), and aggregate reads are only exact when the
+   writers are quiesced (e.g. after [Domain.join]).  Concurrent reads
+   are safe but may miss in-flight updates. *)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+module Hist = struct
+  let nbuckets = 64
+
+  (* Per-slot block: 64 buckets + count + sum + max, padded to a
+     multiple of 8 words so no two domains share a cache line. *)
+  let off_count = nbuckets
+
+  let off_sum = nbuckets + 1
+
+  let off_max = nbuckets + 2
+
+  let block = nbuckets + 8
+
+  type t = { hname : string; cells : int array }
+
+  let registry : t list ref = ref []
+
+  let registry_mutex = Mutex.create ()
+
+  let make hname =
+    let h = { hname; cells = Array.make (Registry.max_slots * block) 0 } in
+    Mutex.lock registry_mutex;
+    registry := h :: !registry;
+    Mutex.unlock registry_mutex;
+    h
+
+  let name h = h.hname
+
+  let all () =
+    Mutex.lock registry_mutex;
+    let l = !registry in
+    Mutex.unlock registry_mutex;
+    List.rev l
+
+  (* Bucket [i] holds the values with [i] significant bits: bucket 0 is
+     [v <= 0], bucket i (i >= 1) is [2^(i-1) <= v < 2^i].  OCaml ints
+     have at most 63 significant bits, so 64 buckets always suffice. *)
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+      go 0 v
+    end
+
+  (* Inclusive upper bound of bucket [i] (used for percentile reports). *)
+  let bucket_bound i = if i <= 0 then 0 else if i >= 62 then max_int else (1 lsl i) - 1
+
+  let observe h v =
+    let base = Registry.my_id () * block in
+    let c = h.cells in
+    let b = base + bucket_of v in
+    c.(b) <- c.(b) + 1;
+    c.(base + off_count) <- c.(base + off_count) + 1;
+    c.(base + off_sum) <- c.(base + off_sum) + v;
+    if v > c.(base + off_max) then c.(base + off_max) <- v
+
+  let reset h = Array.fill h.cells 0 (Array.length h.cells) 0
+
+  type summary = {
+    s_name : string;
+    s_count : int;
+    s_sum : int;
+    s_max : int;  (** exact maximum observed value *)
+    s_p50 : int;  (** bucket upper bounds: <= a factor of 2 above truth *)
+    s_p90 : int;
+    s_p99 : int;
+  }
+
+  let mean s = if s.s_count = 0 then 0. else Float.of_int s.s_sum /. Float.of_int s.s_count
+
+  let percentile buckets count q =
+    if count = 0 then 0
+    else begin
+      let target = Float.to_int (Float.round (q *. Float.of_int count)) in
+      let target = max 1 (min count target) in
+      let res = ref 0 in
+      let cum = ref 0 in
+      (try
+         for i = 0 to nbuckets - 1 do
+           cum := !cum + buckets.(i);
+           if !cum >= target then begin
+             res := bucket_bound i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !res
+    end
+
+  (* Aggregate the per-domain shards.  Exact only when writers are
+     quiesced; see the module comment. *)
+  let summary h =
+    let buckets = Array.make nbuckets 0 in
+    let count = ref 0 and sum = ref 0 and mx = ref 0 in
+    for slot = 0 to Registry.max_slots - 1 do
+      let base = slot * block in
+      for i = 0 to nbuckets - 1 do
+        buckets.(i) <- buckets.(i) + h.cells.(base + i)
+      done;
+      count := !count + h.cells.(base + off_count);
+      sum := !sum + h.cells.(base + off_sum);
+      if h.cells.(base + off_max) > !mx then mx := h.cells.(base + off_max)
+    done;
+    {
+      s_name = h.hname;
+      s_count = !count;
+      s_sum = !sum;
+      s_max = !mx;
+      s_p50 = percentile buckets !count 0.50;
+      s_p90 = percentile buckets !count 0.90;
+      s_p99 = percentile buckets !count 0.99;
+    }
+
+  (* Aggregated raw buckets, for tests that check exact bucket sums. *)
+  let buckets h =
+    let buckets = Array.make nbuckets 0 in
+    for slot = 0 to Registry.max_slots - 1 do
+      let base = slot * block in
+      for i = 0 to nbuckets - 1 do
+        buckets.(i) <- buckets.(i) + h.cells.(base + i)
+      done
+    done;
+    buckets
+end
+
+(* ------------------------------------------------------------------ *)
+(* Event tracing                                                       *)
+
+(* Event codes are small ints; the catalogue (names, Chrome phases)
+   lives in the exporting layer.  Flock reserves 32.. for its own
+   events; Verlib uses 1..31. *)
+
+let ev_lock_acquire = 32
+
+let ev_lock_help = 33
+
+let ev_epoch_advance = 34
+
+(* Power of two so the ring index is a mask. *)
+let ring_capacity = 8192
+
+type ring = {
+  r_ts : int array;
+  r_code : int array;
+  r_arg : int array;
+  mutable r_n : int;  (** total events ever emitted (wraps the ring) *)
+}
+
+(* One ring per registry slot, allocated lazily by the owning domain the
+   first time it emits — so tracing costs no memory until enabled. *)
+let rings : ring option array = Array.make Registry.max_slots None
+
+let tracing = Atomic.make false
+
+let set_tracing b = Atomic.set tracing b
+
+let tracing_on () = Atomic.get tracing
+
+(* Timestamp source for events.  Defaults to a zero clock; [Verlib.Obs]
+   installs [Hwclock.now] at module initialisation, which happens before
+   any instrumented Verlib code runs (it depends on [Obs]). *)
+let clock : (unit -> int) ref = ref (fun () -> 0)
+
+let set_clock f = clock := f
+
+let my_ring () =
+  let i = Registry.my_id () in
+  match rings.(i) with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          r_ts = Array.make ring_capacity 0;
+          r_code = Array.make ring_capacity 0;
+          r_arg = Array.make ring_capacity 0;
+          r_n = 0;
+        }
+      in
+      rings.(i) <- Some r;
+      r
+
+(* The single branch-predictable gate of the whole tracing subsystem:
+   when disabled this is one atomic load and a not-taken branch. *)
+let emit code arg =
+  if Atomic.get tracing then begin
+    let r = my_ring () in
+    let i = r.r_n land (ring_capacity - 1) in
+    r.r_ts.(i) <- !clock ();
+    r.r_code.(i) <- code;
+    r.r_arg.(i) <- arg;
+    r.r_n <- r.r_n + 1
+  end
+
+(* Events of slot [i] in emission order, oldest first.  When the ring
+   wrapped, only the newest [ring_capacity] events survive. *)
+let events_of_slot i =
+  match rings.(i) with
+  | None -> []
+  | Some r ->
+      let total = r.r_n in
+      let len = min total ring_capacity in
+      let start = total - len in
+      List.init len (fun k ->
+          let j = (start + k) land (ring_capacity - 1) in
+          (r.r_ts.(j), r.r_code.(j), r.r_arg.(j)))
+
+let dropped_of_slot i =
+  match rings.(i) with None -> 0 | Some r -> max 0 (r.r_n - ring_capacity)
+
+let reset_traces () =
+  Array.iter (function Some r -> r.r_n <- 0 | None -> ()) rings
+
+(* Reset histograms and trace rings.  Same quiescence contract as
+   [Stats.reset_all]. *)
+let reset_all () =
+  List.iter Hist.reset (Hist.all ());
+  reset_traces ()

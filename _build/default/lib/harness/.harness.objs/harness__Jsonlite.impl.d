@@ -1,0 +1,1 @@
+lib/harness/jsonlite.ml: Buffer Char List Printf Result String

@@ -1,0 +1,1 @@
+lib/harness/obs_report.ml: Buffer Jsonlite List Printf String Table Verlib

@@ -1,0 +1,1 @@
+lib/harness/obs_report.mli: Verlib

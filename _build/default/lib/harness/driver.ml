@@ -16,6 +16,7 @@ type spec = {
   duration : float;
   repeats : int;
   seed : int;
+  lat_sample : int;
 }
 
 let default_spec map =
@@ -32,6 +33,7 @@ let default_spec map =
     duration = 0.3;
     repeats = 1;
     seed = 42;
+    lat_sample = 0;
   }
 
 type result = {
@@ -40,6 +42,7 @@ type result = {
   aborts : int;
   increments : int;
   final_size : int;
+  obs : Verlib.Obs.report;
 }
 
 let run_once spec =
@@ -66,23 +69,54 @@ let run_once spec =
   let counts =
     List.map (fun g -> Array.init g.g_count (fun _ -> Atomic.make 0)) spec.groups
   in
+  let exec op =
+    match op with
+    | Workload.Opgen.Insert (k, v) -> ignore (M.insert t k v)
+    | Workload.Opgen.Delete k -> ignore (M.delete t k)
+    | Workload.Opgen.Find k -> ignore (M.find t k)
+    | Workload.Opgen.Range (a, b) -> ignore (M.range_count t a b)
+    | Workload.Opgen.Multifind ks -> ignore (M.multifind t ks)
+  in
+  let lat_hist op =
+    match op with
+    | Workload.Opgen.Insert _ -> Verlib.Obs.lat_insert
+    | Workload.Opgen.Delete _ -> Verlib.Obs.lat_delete
+    | Workload.Opgen.Find _ -> Verlib.Obs.lat_find
+    | Workload.Opgen.Range _ -> Verlib.Obs.lat_range
+    | Workload.Opgen.Multifind _ -> Verlib.Obs.lat_multifind
+  in
   let worker gen cnt tid () =
     let rng = Workload.Splitmix.create ((tid * 7919) + spec.seed + 100) in
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
     let ops = ref 0 in
-    while not (Atomic.get stop) do
-      (match Workload.Opgen.next gen rng with
-       | Workload.Opgen.Insert (k, v) -> ignore (M.insert t k v)
-       | Workload.Opgen.Delete k -> ignore (M.delete t k)
-       | Workload.Opgen.Find k -> ignore (M.find t k)
-       | Workload.Opgen.Range (a, b) -> ignore (M.range_count t a b)
-       | Workload.Opgen.Multifind ks -> ignore (M.multifind t ks));
-      incr ops;
-      (* amortise the flag check *)
-      if !ops land 15 = 0 then Atomic.set cnt !ops
-    done;
+    if spec.lat_sample > 0 then begin
+      (* Sampled per-op latencies: an independent splitmix stream decides
+         1-in-[lat_sample] (power of two) whether to bracket the op with
+         hardware clock reads, keeping the un-sampled path identical to
+         the plain loop apart from one RNG step and branch. *)
+      let mask = spec.lat_sample - 1 in
+      let srng = Workload.Splitmix.create ((tid * 104729) + spec.seed + 7) in
+      while not (Atomic.get stop) do
+        let op = Workload.Opgen.next gen rng in
+        if Workload.Splitmix.next srng land mask = 0 then begin
+          let t0 = Verlib.Hwclock.now () in
+          exec op;
+          Verlib.Obs.Hist.observe (lat_hist op) (Verlib.Hwclock.now () - t0)
+        end
+        else exec op;
+        incr ops;
+        if !ops land 15 = 0 then Atomic.set cnt !ops
+      done
+    end
+    else
+      while not (Atomic.get stop) do
+        exec (Workload.Opgen.next gen rng);
+        incr ops;
+        (* amortise the flag check *)
+        if !ops land 15 = 0 then Atomic.set cnt !ops
+      done;
     Atomic.set cnt !ops
   in
   let domains =
@@ -98,8 +132,13 @@ let run_once spec =
   Atomic.set go true;
   Unix.sleepf spec.duration;
   Atomic.set stop true;
+  (* Stamp the end of the measurement window the instant the stop flag is
+     raised: workers cease counting as soon as they observe it, so
+     including their wind-down (and [Domain.join] scheduling noise) in
+     the denominator would deflate throughput. *)
+  let t1 = Unix.gettimeofday () in
   List.iter Domain.join domains;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = t1 -. t0 in
   let group_ops =
     List.map (fun cnts -> Array.fold_left (fun a c -> a + Atomic.get c) 0 cnts) counts
   in
@@ -111,6 +150,9 @@ let run_once spec =
     aborts = Verlib.Stats.total Verlib.Stats.snapshot_aborts;
     increments = Verlib.Stamp.increments ();
     final_size = M.size t;
+    (* Workers are joined, so the capture is exact; counters were reset
+       at the top of the run, so totals are per-run deltas. *)
+    obs = Verlib.Obs.capture ();
   }
 
 let run spec =
@@ -126,4 +168,5 @@ let run spec =
     aborts = last.aborts;
     increments = last.increments;
     final_size = last.final_size;
+    obs = last.obs;
   }

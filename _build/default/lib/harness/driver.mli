@@ -27,6 +27,10 @@ type spec = {
   duration : float;  (** seconds per run *)
   repeats : int;
   seed : int;
+  lat_sample : int;
+      (** 0 disables per-op latency sampling (the default); a power of
+          two [n] samples 1-in-[n] operations into the [Verlib.Obs]
+          per-op-kind latency histograms. *)
 }
 
 val default_spec : (module Dstruct.Map_intf.MAP) -> spec
@@ -39,6 +43,10 @@ type result = {
   aborts : int;  (** optimistic snapshot re-runs *)
   increments : int;  (** global-clock increments *)
   final_size : int;
+  obs : Verlib.Obs.report;
+      (** per-run counter deltas and histogram summaries (counters are
+          reset at the top of each run; captured after workers join, so
+          exact).  Of the last repeat when [repeats > 1]. *)
 }
 
 val run : spec -> result

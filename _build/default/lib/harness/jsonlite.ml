@@ -1,0 +1,210 @@
+(* A deliberately tiny JSON parser — enough to validate the files the
+   observability layer emits (stats reports and Chrome traces) without
+   pulling a JSON dependency into the image.  Accepts strict JSON; on
+   error reports the byte offset. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+let fail pos msg = raise (Error (Printf.sprintf "%s at byte %d" msg pos))
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail !pos (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail !pos ("expected " ^ lit)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail !pos "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail !pos "truncated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'; advance ()
+               | '\\' -> Buffer.add_char b '\\'; advance ()
+               | '/' -> Buffer.add_char b '/'; advance ()
+               | 'b' -> Buffer.add_char b '\b'; advance ()
+               | 'f' -> Buffer.add_char b '\012'; advance ()
+               | 'n' -> Buffer.add_char b '\n'; advance ()
+               | 'r' -> Buffer.add_char b '\r'; advance ()
+               | 't' -> Buffer.add_char b '\t'; advance ()
+               | 'u' ->
+                   advance ();
+                   let cp = hex4 () in
+                   (* basic-plane UTF-8 encoding; surrogate pairs are not
+                      produced by our emitters, map them to U+FFFD *)
+                   if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+                   else if cp < 0x800 then begin
+                     Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                     Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                   end
+                   else if cp >= 0xD800 && cp <= 0xDFFF then
+                     Buffer.add_string b "\xEF\xBF\xBD"
+                   else begin
+                     Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                     Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                     Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                   end
+               | c -> fail !pos (Printf.sprintf "bad escape \\%c" c));
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail start "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail start "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail !pos "expected , or }"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail !pos "expected , or ]"
+          in
+          Arr (elements [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail !pos "trailing garbage";
+  v
+
+let parse_result s = try Ok (parse s) with Error m -> Result.Error m
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse_result s
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+
+let to_number = function Num f -> Some f | _ -> None
+
+(* Escape a string for inclusion in emitted JSON (shared by the
+   emitters so parse/emit agree on the dialect). *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

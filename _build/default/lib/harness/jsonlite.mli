@@ -1,0 +1,33 @@
+(** A deliberately tiny strict-JSON parser, used to validate the files
+    the observability layer emits (stats reports, Chrome traces) without
+    adding a JSON dependency.  Not a general-purpose library: no
+    streaming, whole document in memory. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+val parse : string -> t
+(** @raise Error with a byte offset on malformed input. *)
+
+val parse_result : string -> (t, string) result
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_list : t -> t list option
+
+val to_string : t -> string option
+
+val to_number : t -> float option
+
+val escape : string -> string
+(** Escape a string body for embedding in emitted JSON. *)

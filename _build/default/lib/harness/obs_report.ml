@@ -1,0 +1,124 @@
+(* Rendering of Verlib.Obs reports for the CLI, the benchmark harness
+   and the examples: aligned tables ("pretty"), machine-readable JSON,
+   and a compact one-liner for per-figure benchmark trails. *)
+
+module Obs = Verlib.Obs
+module Hist = Verlib.Obs.Hist
+
+let is_cycles name =
+  let suffix = "_cycles" in
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl && String.sub name (nl - sl) sl = suffix
+
+let us cycles = Verlib.Hwclock.to_us cycles
+
+(* --- pretty ------------------------------------------------------------ *)
+
+let pretty_counters ?out (r : Obs.report) =
+  let rows =
+    List.map (fun (name, v) -> [ name; string_of_int v ]) r.Obs.counters
+  in
+  Table.print ?out ~title:"Observability: counters" ~header:[ "counter"; "total" ] rows
+
+let hist_row (s : Hist.summary) =
+  if is_cycles s.Hist.s_name then
+    [
+      s.Hist.s_name;
+      string_of_int s.Hist.s_count;
+      Printf.sprintf "%.1fus" (us s.Hist.s_p50);
+      Printf.sprintf "%.1fus" (us s.Hist.s_p90);
+      Printf.sprintf "%.1fus" (us s.Hist.s_p99);
+      Printf.sprintf "%.1fus" (us s.Hist.s_max);
+    ]
+  else
+    [
+      s.Hist.s_name;
+      string_of_int s.Hist.s_count;
+      string_of_int s.Hist.s_p50;
+      string_of_int s.Hist.s_p90;
+      string_of_int s.Hist.s_p99;
+      string_of_int s.Hist.s_max;
+    ]
+
+let pretty_hists ?out (r : Obs.report) =
+  let rows = List.map hist_row r.Obs.hists in
+  Table.print ?out
+    ~title:"Observability: histograms (percentiles are bucket upper bounds)"
+    ~header:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+    rows
+
+let pretty_print ?out (r : Obs.report) =
+  pretty_counters ?out r;
+  pretty_hists ?out r
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let json_of_hist (s : Hist.summary) =
+  let base =
+    Printf.sprintf
+      "{\"count\":%d,\"sum\":%d,\"mean\":%.1f,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d"
+      s.Hist.s_count s.Hist.s_sum (Hist.mean s) s.Hist.s_p50 s.Hist.s_p90
+      s.Hist.s_p99 s.Hist.s_max
+  in
+  if is_cycles s.Hist.s_name then
+    Printf.sprintf "%s,\"p50_us\":%.3f,\"p90_us\":%.3f,\"p99_us\":%.3f,\"max_us\":%.3f}"
+      base (us s.Hist.s_p50) (us s.Hist.s_p90) (us s.Hist.s_p99) (us s.Hist.s_max)
+  else base ^ "}"
+
+(* [extra] lets callers prepend run metadata (already-rendered JSON
+   values, e.g. numbers or quoted strings) without a JSON AST. *)
+let to_json ?(extra = []) (r : Obs.report) =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b '{';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s," (Jsonlite.escape k) v))
+    extra;
+  Buffer.add_string b "\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Jsonlite.escape name) v))
+    r.Obs.counters;
+  Buffer.add_string b "},\"histograms\":{";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":%s" (Jsonlite.escape s.Hist.s_name) (json_of_hist s)))
+    r.Obs.hists;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* --- one-liner ---------------------------------------------------------- *)
+
+(* Compact mechanism trail for per-figure benchmark output: the non-zero
+   counters plus the chain-length and snapshot-dwell distributions. *)
+let one_line (r : Obs.report) =
+  let counters =
+    r.Obs.counters
+    |> List.filter (fun (_, v) -> v <> 0)
+    |> List.map (fun (name, v) -> Printf.sprintf "%s=%d" name v)
+  in
+  let hist name (s : Hist.summary) =
+    if s.Hist.s_count = 0 then None
+    else if is_cycles s.Hist.s_name then
+      Some
+        (Printf.sprintf "%s[n=%d p50=%.1fus p99=%.1fus]" name s.Hist.s_count
+           (us s.Hist.s_p50) (us s.Hist.s_p99))
+    else
+      Some
+        (Printf.sprintf "%s[n=%d p50=%d p99=%d max=%d]" name s.Hist.s_count
+           s.Hist.s_p50 s.Hist.s_p99 s.Hist.s_max)
+  in
+  let hists =
+    List.filter_map
+      (fun (s : Hist.summary) ->
+        match s.Hist.s_name with
+        | "chain_len" -> hist "chain_len" s
+        | "snap_dwell_cycles" -> hist "snap_dwell" s
+        | "lock_retries" -> hist "lock_retries" s
+        | _ -> None)
+      r.Obs.hists
+  in
+  String.concat " " (counters @ hists)

@@ -1,0 +1,16 @@
+(** Rendering of [Verlib.Obs] reports: aligned tables, JSON and a
+    compact one-liner for benchmark trails.  Histograms whose name ends
+    in [_cycles] additionally get microsecond conversions (via
+    [Verlib.Hwclock.cycles_per_us]). *)
+
+val pretty_print : ?out:out_channel -> Verlib.Obs.report -> unit
+(** Counter and histogram tables in the benchmark-table style. *)
+
+val to_json : ?extra:(string * string) list -> Verlib.Obs.report -> string
+(** One JSON object: [{... extra ..., "counters":{..}, "histograms":{..}}].
+    [extra] values must already be rendered JSON (numbers, quoted
+    strings); keys are escaped. *)
+
+val one_line : Verlib.Obs.report -> string
+(** Non-zero counters plus chain-length / snapshot-dwell / lock-retry
+    distributions on a single line. *)

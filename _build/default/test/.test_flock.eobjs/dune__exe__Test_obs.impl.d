@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Domain Dstruct Filename Flock Harness Hashtbl List Option Printf Sys Verlib Workload

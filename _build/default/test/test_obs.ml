@@ -1,0 +1,385 @@
+(* Tests for the observability layer (verlib-obs): per-domain sharded
+   histograms, multi-domain counter aggregation, trace-ring semantics,
+   Chrome trace-event export (golden validation via the Jsonlite
+   parser), and the driver's structured obs report. *)
+
+module V = Verlib
+module T = Flock.Telemetry
+module J = Harness.Jsonlite
+
+(* --- histogram bucketing ---------------------------------------------- *)
+
+let test_bucket_of () =
+  let cases =
+    [ (min_int, 0); (-1, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3);
+      (8, 4); (1023, 10); (1024, 11); (max_int, 62) ]
+  in
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b (T.Hist.bucket_of v))
+    cases;
+  (* bucket bounds are inclusive upper bounds: every value maps to a
+     bucket whose bound is >= the value *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bound covers %d" v)
+        true
+        (T.Hist.bucket_bound (T.Hist.bucket_of v) >= v))
+    [ 0; 1; 2; 3; 5; 100; 4096; 123_456_789 ]
+
+let test_hist_single_domain () =
+  let h = T.Hist.make "test_hist_single" in
+  List.iter (T.Hist.observe h) [ 1; 2; 3; 100; 1000 ];
+  let s = T.Hist.summary h in
+  Alcotest.(check int) "count" 5 s.T.Hist.s_count;
+  Alcotest.(check int) "sum" 1106 s.T.Hist.s_sum;
+  Alcotest.(check int) "max" 1000 s.T.Hist.s_max;
+  Alcotest.(check (float 0.001)) "mean" 221.2 (T.Hist.mean s);
+  Alcotest.(check bool) "p50 covers median" true (s.T.Hist.s_p50 >= 3);
+  Alcotest.(check bool) "p50 below max" true (s.T.Hist.s_p50 < 1000)
+
+(* Multi-domain aggregation must be exact after joining: each of 4
+   domains hammers its own shard with a distinct power of two, so every
+   per-bucket sum, the count and the arithmetic sum are all checkable
+   exactly. *)
+let test_hist_multi_domain () =
+  let h = T.Hist.make "test_hist_md" in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let v = 1 lsl i in
+            for _ = 1 to per_domain do
+              T.Hist.observe h v
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = T.Hist.summary h in
+  Alcotest.(check int) "count" (4 * per_domain) s.T.Hist.s_count;
+  Alcotest.(check int) "sum" (per_domain * (1 + 2 + 4 + 8)) s.T.Hist.s_sum;
+  Alcotest.(check int) "max" 8 s.T.Hist.s_max;
+  let buckets = T.Hist.buckets h in
+  (* values 1,2,4,8 have 1,2,3,4 significant bits *)
+  List.iter
+    (fun b -> Alcotest.(check int) (Printf.sprintf "bucket %d" b) per_domain buckets.(b))
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "bucket 0 empty" 0 buckets.(0);
+  Alcotest.(check int) "bucket 5 empty" 0 buckets.(5);
+  (* rank 20_000 of 40_000 falls in the bucket of value 2 (bound 3) *)
+  Alcotest.(check int) "p50 bound" 3 s.T.Hist.s_p50
+
+let test_counter_multi_domain () =
+  let c = V.Stats.make "test_ctr_md" in
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              V.Stats.incr c
+            done;
+            V.Stats.add c 5))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exact total" ((4 * per_domain) + 20) (V.Stats.total c)
+
+let test_reset_all () =
+  let h = T.Hist.make "test_hist_reset" in
+  T.Hist.observe h 42;
+  V.Obs.set_tracing true;
+  V.Obs.emit V.Obs.ev_shortcut 1;
+  V.Obs.set_tracing false;
+  Alcotest.(check bool) "hist populated" true ((T.Hist.summary h).T.Hist.s_count > 0);
+  let my_slot = Flock.Registry.my_id () in
+  Alcotest.(check bool) "ring populated" true (T.events_of_slot my_slot <> []);
+  V.Stats.reset_all ();
+  Alcotest.(check int) "hist cleared" 0 (T.Hist.summary h).T.Hist.s_count;
+  Alcotest.(check (list (triple int int int))) "ring cleared" []
+    (T.events_of_slot my_slot);
+  Alcotest.(check int) "counters cleared" 0 (V.Stats.total V.Stats.snapshots)
+
+(* --- trace export ------------------------------------------------------ *)
+
+(* Parse an exported trace and validate the Chrome trace-event contract:
+   a traceEvents array, required fields per event, per-domain timestamps
+   non-decreasing, and B/E spans balanced per domain.  Returns the
+   number of non-metadata events. *)
+let validate_trace path =
+  let j =
+    match J.parse_file path with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "trace does not parse: %s" m
+  in
+  let events =
+    match Option.bind (J.member "traceEvents" j) J.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "missing traceEvents array"
+  in
+  let last_ts = Hashtbl.create 8 in
+  let depth = Hashtbl.create 8 in
+  let checked = ref 0 in
+  List.iter
+    (fun ev ->
+      let field name =
+        match J.member name ev with
+        | Some v -> v
+        | None -> Alcotest.failf "event missing %S" name
+      in
+      let str name =
+        match J.to_string (field name) with
+        | Some s -> s
+        | None -> Alcotest.failf "event field %S not a string" name
+      in
+      let num name =
+        match J.to_number (field name) with
+        | Some f -> f
+        | None -> Alcotest.failf "event field %S not a number" name
+      in
+      let _ : string = str "name" in
+      let ph = str "ph" in
+      let _ : float = num "pid" in
+      let tid = int_of_float (num "tid") in
+      if ph <> "M" then begin
+        incr checked;
+        let ts = num "ts" in
+        Alcotest.(check bool) "ts non-negative" true (ts >= 0.);
+        (match Hashtbl.find_opt last_ts tid with
+         | Some prev ->
+             if ts < prev then
+               Alcotest.failf "tid %d time went backwards: %f < %f" tid ts prev
+         | None -> ());
+        Hashtbl.replace last_ts tid ts;
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+        match ph with
+        | "B" -> Hashtbl.replace depth tid (d + 1)
+        | "E" ->
+            if d <= 0 then Alcotest.failf "tid %d: E without matching B" tid;
+            Hashtbl.replace depth tid (d - 1)
+        | "i" -> ()
+        | other -> Alcotest.failf "unexpected phase %S" other
+      end)
+    events;
+  Hashtbl.iter
+    (fun tid d ->
+      if d <> 0 then Alcotest.failf "tid %d: %d unclosed span(s)" tid d)
+    depth;
+  !checked
+
+(* Synthetic multi-domain streams, including the two pathologies the
+   exporter must repair: a stray end (begin lost to ring wrap) and an
+   unclosed begin (end never emitted). *)
+let test_trace_golden () =
+  V.Stats.reset_all ();
+  V.Obs.set_tracing true;
+  let emit_stream kind () =
+    match kind with
+    | `Clean ->
+        V.Obs.emit V.Obs.ev_snap_begin 0;
+        V.Obs.emit V.Obs.ev_shortcut 3;
+        V.Obs.emit V.Obs.ev_snap_end 0;
+        V.Obs.emit V.Obs.ev_truncate 7
+    | `Stray_end ->
+        V.Obs.emit V.Obs.ev_snap_end 0;
+        V.Obs.emit V.Obs.ev_indirect_create 0
+    | `Unclosed ->
+        V.Obs.emit V.Obs.ev_snap_begin 0;
+        V.Obs.emit V.Obs.ev_stamp_incr 9
+  in
+  emit_stream `Clean ();
+  let domains =
+    List.map (fun k -> Domain.spawn (emit_stream k)) [ `Clean; `Stray_end; `Unclosed ]
+  in
+  List.iter Domain.join domains;
+  V.Obs.set_tracing false;
+  let path = Filename.temp_file "verlib_golden" ".json" in
+  let streams = V.Obs.export_trace path in
+  Alcotest.(check bool) "has streams" true (streams >= 2);
+  let n = validate_trace path in
+  Alcotest.(check bool) "has events" true (n >= 8);
+  Sys.remove path
+
+(* A real traced workload end to end: snapshots, updates, shortcuts. *)
+let test_trace_real_run () =
+  let spec =
+    {
+      (Harness.Driver.default_spec (module Dstruct.Btree)) with
+      Harness.Driver.n = 300;
+      duration = 0.05;
+      groups =
+        [
+          {
+            Harness.Driver.g_count = 2;
+            g_update_percent = 50;
+            g_query = Workload.Opgen.Multifinds 4;
+          };
+        ];
+    }
+  in
+  V.Obs.set_tracing true;
+  let (_ : Harness.Driver.result) = Harness.Driver.run spec in
+  V.Obs.set_tracing false;
+  let path = Filename.temp_file "verlib_trace_run" ".json" in
+  let (_ : int) = V.Obs.export_trace path in
+  let n = validate_trace path in
+  Alcotest.(check bool) "traced a real run" true (n > 0);
+  Sys.remove path
+
+(* --- driver obs report / stats JSON ------------------------------------ *)
+
+let smoke_spec () =
+  {
+    (Harness.Driver.default_spec (module Dstruct.Btree)) with
+    Harness.Driver.n = 300;
+    duration = 0.05;
+    lat_sample = 4;
+    groups =
+      [
+        {
+          Harness.Driver.g_count = 2;
+          g_update_percent = 50;
+          g_query = Workload.Opgen.Finds;
+        };
+      ];
+  }
+
+let require_stats_shape j =
+  let counters =
+    match J.member "counters" j with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> Alcotest.fail "missing counters object"
+  in
+  Alcotest.(check bool) "has snapshots counter" true
+    (List.mem_assoc "snapshots" counters);
+  let hists =
+    match J.member "histograms" j with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> Alcotest.fail "missing histograms object"
+  in
+  (* per-op-kind latency histograms with p50/p99 present *)
+  List.iter
+    (fun name ->
+      match List.assoc_opt name hists with
+      | None -> Alcotest.failf "missing histogram %s" name
+      | Some h ->
+          List.iter
+            (fun k ->
+              match Option.bind (J.member k h) J.to_number with
+              | Some _ -> ()
+              | None -> Alcotest.failf "%s missing numeric %s" name k)
+            [ "count"; "p50"; "p99"; "max"; "p50_us"; "p99_us" ])
+    [
+      "lat_find_cycles"; "lat_insert_cycles"; "lat_delete_cycles";
+      "lat_range_cycles"; "lat_multifind_cycles";
+    ]
+
+let test_driver_report () =
+  let r = Harness.Driver.run (smoke_spec ()) in
+  let sampled =
+    List.fold_left
+      (fun acc (s : T.Hist.summary) ->
+        let is_lat =
+          match s.T.Hist.s_name with
+          | "lat_find_cycles" | "lat_insert_cycles" | "lat_delete_cycles"
+          | "lat_range_cycles" | "lat_multifind_cycles" ->
+              true
+          | _ -> false
+        in
+        if is_lat then acc + s.T.Hist.s_count else acc)
+      0 r.Harness.Driver.obs.V.Obs.hists
+  in
+  Alcotest.(check bool) "sampled some latencies" true (sampled > 0);
+  Alcotest.(check bool) "captured counters" true
+    (List.mem_assoc "snapshots" r.Harness.Driver.obs.V.Obs.counters);
+  (* the JSON rendering of the report round-trips through the parser *)
+  let json = Harness.Obs_report.to_json ~extra:[ ("total_mops", "0.5") ]
+      r.Harness.Driver.obs
+  in
+  (match J.parse_result json with
+   | Error m -> Alcotest.failf "report JSON does not parse: %s" m
+   | Ok j -> require_stats_shape j);
+  (* the pretty renderer must not raise *)
+  let devnull = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+  Harness.Obs_report.pretty_print ~out:devnull r.Harness.Driver.obs;
+  close_out devnull
+
+(* `make obs-smoke` runs verlib_run with --stats=json --trace and points
+   these env vars at the artefacts; without them the test validates
+   freshly generated equivalents, so `dune runtest` exercises the same
+   export paths. *)
+let test_smoke_artefacts () =
+  (match Sys.getenv_opt "OBS_SMOKE_STATS" with
+   | Some path -> (
+       match J.parse_file path with
+       | Error m -> Alcotest.failf "stats JSON (%s) does not parse: %s" path m
+       | Ok j -> require_stats_shape j)
+   | None ->
+       let r = Harness.Driver.run (smoke_spec ()) in
+       match J.parse_result (Harness.Obs_report.to_json r.Harness.Driver.obs) with
+       | Error m -> Alcotest.failf "stats JSON does not parse: %s" m
+       | Ok j -> require_stats_shape j);
+  match Sys.getenv_opt "OBS_SMOKE_TRACE" with
+  | Some path ->
+      let n = validate_trace path in
+      Alcotest.(check bool) "trace has events" true (n > 0)
+  | None ->
+      V.Obs.set_tracing true;
+      V.Obs.emit V.Obs.ev_snap_begin 0;
+      V.Obs.emit V.Obs.ev_snap_end 0;
+      V.Obs.set_tracing false;
+      let path = Filename.temp_file "verlib_smoke" ".json" in
+      let (_ : int) = V.Obs.export_trace path in
+      let n = validate_trace path in
+      Alcotest.(check bool) "trace has events" true (n > 0);
+      Sys.remove path
+
+(* --- jsonlite ----------------------------------------------------------- *)
+
+let test_jsonlite () =
+  let ok s = match J.parse_result s with Ok v -> v | Error m -> Alcotest.fail m in
+  (match ok {|{"a":[1,2.5,-3e2],"b":"x\n\"yA","c":{},"d":[],"e":null,"f":true}|} with
+   | J.Obj kvs ->
+       Alcotest.(check int) "keys" 6 (List.length kvs);
+       (match List.assoc "a" kvs with
+        | J.Arr [ J.Num a; J.Num b; J.Num c ] ->
+            Alcotest.(check (float 0.0001)) "1" 1. a;
+            Alcotest.(check (float 0.0001)) "2.5" 2.5 b;
+            Alcotest.(check (float 0.0001)) "-300" (-300.) c
+        | _ -> Alcotest.fail "array shape");
+       (match List.assoc "b" kvs with
+        | J.Str s -> Alcotest.(check string) "escapes" "x\n\"yA" s
+        | _ -> Alcotest.fail "string shape")
+   | _ -> Alcotest.fail "object shape");
+  List.iter
+    (fun bad ->
+      match J.parse_result bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "nul"; "{} x"; "\"unterminated" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "bucket_of" `Quick test_bucket_of;
+          Alcotest.test_case "single-domain exact" `Quick test_hist_single_domain;
+          Alcotest.test_case "multi-domain exact" `Quick test_hist_multi_domain;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "multi-domain exact" `Quick test_counter_multi_domain;
+          Alcotest.test_case "reset_all clears telemetry" `Quick test_reset_all;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "golden export validates" `Quick test_trace_golden;
+          Alcotest.test_case "real traced run validates" `Quick test_trace_real_run;
+        ] );
+      ( "jsonlite",
+        [ Alcotest.test_case "parse and reject" `Quick test_jsonlite ] );
+      ( "smoke",
+        [
+          Alcotest.test_case "driver obs report" `Quick test_driver_report;
+          Alcotest.test_case "exported artefacts" `Quick test_smoke_artefacts;
+        ] );
+    ]

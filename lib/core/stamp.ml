@@ -43,10 +43,16 @@ let read () =
    purpose. *)
 let bump () =
   let s = Atomic.get clock in
-  if Atomic.compare_and_set clock s (s + 1) then Atomic.incr increment_successes
+  if Atomic.compare_and_set clock s (s + 1) then begin
+    Atomic.incr increment_successes;
+    Obs.emit Obs.ev_stamp_incr (s + 1)
+  end
 
 let bump_from s =
-  if Atomic.compare_and_set clock s (s + 1) then Atomic.incr increment_successes
+  if Atomic.compare_and_set clock s (s + 1) then begin
+    Atomic.incr increment_successes;
+    Obs.emit Obs.ev_stamp_incr (s + 1)
+  end
 
 (* A snapshot stamp must satisfy "clock strictly above the stamp before
    the snapshot's first read": any version installed afterwards is then
@@ -71,7 +77,10 @@ let take () =
   | No_stamp -> Atomic.get clock
   | Query_ts ->
       let s = Atomic.get clock in
-      if Atomic.compare_and_set clock s (s + 1) then Atomic.incr increment_successes;
+      if Atomic.compare_and_set clock s (s + 1) then begin
+        Atomic.incr increment_successes;
+        Obs.emit Obs.ev_stamp_incr (s + 1)
+      end;
       s
   | Tl2_ts ->
       (* TL2 GV4-style: if our increment loses the race, the winner's bump
@@ -79,6 +88,7 @@ let take () =
       let s = Atomic.get clock in
       if Atomic.compare_and_set clock s (s + 1) then begin
         Atomic.incr increment_successes;
+        Obs.emit Obs.ev_stamp_incr (s + 1);
         s
       end
       else Atomic.get clock - 1

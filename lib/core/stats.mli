@@ -1,7 +1,13 @@
 (** Low-overhead event counters for experiments and tests.
 
     Counters are per-domain slots summed on read, so increments are plain
-    stores (racy only against the reader, which tolerates it). *)
+    stores (racy only against the reader, which tolerates it).
+
+    {b Quiescence contract:} [total], [reset] and [reset_all] are exact
+    only when every incrementing domain is quiesced (e.g. joined).
+    Concurrent reads are safe but may miss in-flight increments, and a
+    [reset] racing a writer can silently lose that writer's increment —
+    harness code must reset between runs, not during them. *)
 
 type counter
 
@@ -16,6 +22,9 @@ val add : counter -> int -> unit
 val total : counter -> int
 
 val reset : counter -> unit
+
+val all : unit -> counter list
+(** All registered counters, in creation order. *)
 
 (** Events instrumented throughout the library. *)
 
@@ -38,3 +47,6 @@ val truncations : counter
 val snapshots : counter
 
 val reset_all : unit -> unit
+(** Reset every counter {e and} the telemetry layer (histograms, trace
+    rings — see [Flock.Telemetry]).  Subject to the quiescence contract
+    above. *)

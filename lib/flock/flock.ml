@@ -8,10 +8,11 @@
     - {!Fatomic} — idempotent atomic cells ([flck::atomic<T>]);
     - {!Epoch} — epoch-based reclamation ([flck::with_epoch]);
     - {!Idem} — the idempotence machinery behind helping;
-    - {!Registry}, {!Backoff} — shared infrastructure. *)
+    - {!Registry}, {!Backoff}, {!Telemetry} — shared infrastructure. *)
 
 module Backoff = Backoff
 module Registry = Registry
+module Telemetry = Telemetry
 module Idem = Idem
 module Fatomic = Fatomic
 module Lock = Lock
