@@ -1,4 +1,10 @@
-.PHONY: all build test bench bench-full examples obs-smoke doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke doc clean
+
+# Sections that produce BENCH json rows (see bench/main.ml --json).
+BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist
+# Generous on purpose: CI-scale runs on a time-shared core are noisy;
+# the gate catches collapses and census violations, not drift.
+BENCH_THRESHOLD = 60
 
 all: build
 
@@ -14,6 +20,23 @@ bench:
 bench-full:
 	dune exec bench/main.exe -- --full
 
+# Regenerate the committed machine-readable baseline (BENCH_PR2.json):
+# one row per benchmark cell with throughput, latency percentiles, the
+# final chain census and bytes-per-entry.  Schema: Harness.Bench_json.
+bench-json:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- --ci --label baseline \
+	  --json BENCH_PR2.json $(BENCH_JSON_SECTIONS)
+
+# Perf trajectory gate: rerun the same sections at the same scale and
+# diff against the committed baseline; non-zero exit on regression.
+bench-check:
+	dune build bench/main.exe bin/bench_diff.exe
+	dune exec bench/main.exe -- --ci --label check \
+	  --json /tmp/verlib_bench_current.json $(BENCH_JSON_SECTIONS)
+	dune exec bin/bench_diff.exe -- BENCH_PR2.json \
+	  /tmp/verlib_bench_current.json --threshold $(BENCH_THRESHOLD)
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/order_book.exe
@@ -21,16 +44,30 @@ examples:
 	dune exec examples/metrics_cut.exe
 
 # End-to-end observability smoke: a short instrumented run through the
-# CLI, then the exported stats JSON and Chrome trace validated by the
-# test binary (the same alcotest cases `dune runtest` runs on freshly
-# generated artefacts).
+# CLI (with a chain census and the background census sampler on), then
+# the exported stats JSON and Chrome trace validated by the test binary
+# (the same alcotest cases `dune runtest` runs on freshly generated
+# artefacts), and finally a zero-violation census check on every
+# versioned structure.
 obs-smoke:
 	dune build bin/verlib_run.exe test/test_obs.exe
 	dune exec bin/verlib_run.exe -- -d 0.2 -r 1 --stats=json \
+	  --census --census-interval 0.05 \
 	  --trace /tmp/verlib_trace.json > /tmp/verlib_stats.json
 	OBS_SMOKE_TRACE=/tmp/verlib_trace.json \
 	  OBS_SMOKE_STATS=/tmp/verlib_stats.json \
 	  dune exec test/test_obs.exe -- test smoke
+	@for s in dlist hashtable btree arttree skiplist; do \
+	  echo "census check: $$s"; \
+	  dune exec bin/verlib_run.exe -- -s $$s -n 500 -d 0.1 -r 1 \
+	    --census --stats=json > /tmp/verlib_census_$$s.json || exit 1; \
+	  grep -q '"census":{' /tmp/verlib_census_$$s.json \
+	    || { echo "FAIL: no census block for $$s"; exit 1; }; \
+	  if grep -Eq '"violations":[1-9][0-9]*\}' /tmp/verlib_census_$$s.json; then \
+	    echo "FAIL: census violations for $$s"; exit 1; \
+	  fi; \
+	done
+	@echo "obs-smoke: census clean on all five versioned structures"
 
 doc:
 	dune build @doc

@@ -2,9 +2,15 @@
    evaluation (§8), scaled to this machine.  See EXPERIMENTS.md for the
    mapping and for paper-vs-measured discussion.
 
-   Usage:  main.exe [--full] [section ...]
+   Usage:  main.exe [--full|--ci] [--json FILE] [--label TEXT] [section ...]
    Sections: fig8a fig8b fig8c fig8d fig8dlist fig9 fig10 fig11 fig12
-             direct_stores extra_skiplist micro   (default: all) *)
+             direct_stores extra_skiplist micro   (default: all)
+
+   --json FILE additionally records one machine-readable row per
+   benchmark cell (throughput, latency percentiles, chain census, space)
+   and writes a Harness.Bench_json document — the BENCH_PR2.json format
+   that `make bench-check` diffs against the committed baseline.  --ci is
+   a deliberately tiny scale for that gating run. *)
 
 module D = Harness.Driver
 module T = Harness.Table
@@ -22,7 +28,64 @@ let quick = { n = 10_000; n_dlist = 500; threads = 4; duration = 0.25; repeats =
 
 let full = { n = 100_000; n_dlist = 1_000; threads = 4; duration = 1.0; repeats = 3 }
 
+(* Regression-gate scale: small enough that the JSON subset finishes in
+   well under a minute on one core, large enough that chains actually
+   form and the census has something to audit. *)
+let ci = { n = 2_000; n_dlist = 300; threads = 2; duration = 0.08; repeats = 1 }
+
 let scale = ref quick
+
+(* --- machine-readable rows (BENCH json) -------------------------------- *)
+
+let json_path : string option ref = ref None
+
+let json_label = ref ""
+
+let json_rows : Harness.Bench_json.row list ref = ref []
+
+let recording () = !json_path <> None
+
+(* Representative per-op latency: the lat_* histogram with the most
+   samples (the dominant operation of the mix), as microseconds. *)
+let lat_percentiles (r : D.result) =
+  let module H = Verlib.Obs.Hist in
+  let best =
+    List.fold_left
+      (fun acc (s : H.summary) ->
+        let is_lat =
+          String.length s.H.s_name >= 4 && String.sub s.H.s_name 0 4 = "lat_"
+        in
+        if not (is_lat && s.H.s_count > 0) then acc
+        else
+          match acc with
+          | Some (b : H.summary) when b.H.s_count >= s.H.s_count -> acc
+          | _ -> Some s)
+      None r.D.obs.Verlib.Obs.hists
+  in
+  match best with
+  | None -> (0., 0.)
+  | Some s ->
+      (Verlib.Hwclock.to_us s.H.s_p50, Verlib.Hwclock.to_us s.H.s_p99)
+
+let row_of_result ~figure ~label (r : D.result) =
+  let p50, p99 = lat_percentiles r in
+  let ci_ f = match r.D.census with Some c -> f c | None -> 0 in
+  {
+    Harness.Bench_json.r_figure = figure;
+    r_label = label;
+    r_mops = r.D.total_mops;
+    r_p50_us = p50;
+    r_p99_us = p99;
+    r_chain_max = ci_ (fun c -> c.Verlib.Chainscan.c_max_chain);
+    r_chain_p99 = ci_ Verlib.Chainscan.chain_p99;
+    r_indirect_links = ci_ (fun c -> c.Verlib.Chainscan.c_indirect_links);
+    r_reclaimable = ci_ (fun c -> c.Verlib.Chainscan.c_reclaimable);
+    r_violations = ci_ (fun c -> c.Verlib.Chainscan.c_violation_count);
+    r_space_bytes = r.D.space_bytes_per_entry;
+  }
+
+let record ~figure ~label r =
+  if recording () then json_rows := row_of_result ~figure ~label r :: !json_rows
 
 let base_spec map =
   let s = !scale in
@@ -33,6 +96,11 @@ let base_spec map =
     repeats = s.repeats;
     groups =
       [ { D.g_count = s.threads; g_update_percent = 20; g_query = Workload.Opgen.Multifinds 16 } ];
+    (* When emitting JSON rows, every run also samples latencies and
+       takes a quiescent final census so the rows carry the §4-§5
+       mechanism numbers, not just Mops. *)
+    lat_sample = (if recording () then 64 else 0);
+    census = recording ();
   }
 
 let with_updates spec pct =
@@ -48,11 +116,16 @@ let vptr_series =
 let series_for (module M : Dstruct.Map_intf.MAP) =
   List.filter M.supports_mode vptr_series
 
-let run_row spec = (D.run spec).D.total_mops
+let run_row ?figure ?label spec =
+  let r = D.run spec in
+  (match (figure, label) with
+   | Some figure, Some label -> record ~figure ~label r
+   | _ -> ());
+  r.D.total_mops
 
 (* --- Figure 8: versioned pointer implementations ----------------------- *)
 
-let fig8_panel ~title ~map ~xs ~make_spec ~xlabel =
+let fig8_panel ~figure ~title ~map ~xs ~make_spec ~xlabel =
   let module M = (val map : Dstruct.Map_intf.MAP) in
   let series = series_for map in
   let header = xlabel :: List.map V.Vptr.mode_name series in
@@ -61,7 +134,11 @@ let fig8_panel ~title ~map ~xs ~make_spec ~xlabel =
       (fun x ->
         string_of_int x
         :: List.map
-             (fun mode -> T.mops (run_row { (make_spec x) with D.mode = mode }))
+             (fun mode ->
+               T.mops
+                 (run_row ~figure
+                    ~label:(Printf.sprintf "%s%d %s" xlabel x (V.Vptr.mode_name mode))
+                    { (make_spec x) with D.mode = mode }))
              series)
       xs
   in
@@ -69,7 +146,7 @@ let fig8_panel ~title ~map ~xs ~make_spec ~xlabel =
 
 let fig8a () =
   let spec = base_spec (module Dstruct.Btree) in
-  fig8_panel ~title:"Figure 8a: btree, throughput (Mop/s) vs update %"
+  fig8_panel ~figure:"fig8a" ~title:"Figure 8a: btree, throughput (Mop/s) vs update %"
     ~map:(module Dstruct.Btree)
     ~xs:[ 0; 5; 20; 50; 100 ]
     ~make_spec:(fun pct -> with_updates spec pct)
@@ -78,7 +155,7 @@ let fig8a () =
 let fig8b () =
   let spec = base_spec (module Dstruct.Btree) in
   let sizes = if !scale == full then [ 1_000; 10_000; 100_000; 1_000_000 ] else [ 1_000; 10_000; 100_000 ] in
-  fig8_panel ~title:"Figure 8b: btree, throughput (Mop/s) vs size"
+  fig8_panel ~figure:"fig8b" ~title:"Figure 8b: btree, throughput (Mop/s) vs size"
     ~map:(module Dstruct.Btree)
     ~xs:sizes
     ~make_spec:(fun n -> { spec with D.n })
@@ -86,7 +163,7 @@ let fig8b () =
 
 let fig8c () =
   let spec = base_spec (module Dstruct.Arttree) in
-  fig8_panel ~title:"Figure 8c: arttree, throughput (Mop/s) vs update %"
+  fig8_panel ~figure:"fig8c" ~title:"Figure 8c: arttree, throughput (Mop/s) vs update %"
     ~map:(module Dstruct.Arttree)
     ~xs:[ 0; 5; 20; 50; 100 ]
     ~make_spec:(fun pct -> with_updates spec pct)
@@ -111,7 +188,8 @@ let fig8d () =
 
 let fig8dlist () =
   let spec = { (base_spec (module Dstruct.Dlist)) with D.n = !scale.n_dlist } in
-  fig8_panel ~title:"Figure 8 (dlist panel): dlist, throughput (Mop/s) vs update %"
+  fig8_panel ~figure:"fig8dlist"
+    ~title:"Figure 8 (dlist panel): dlist, throughput (Mop/s) vs update %"
     ~map:(module Dstruct.Dlist)
     ~xs:[ 0; 20; 50 ]
     ~make_spec:(fun pct -> with_updates spec pct)
@@ -128,7 +206,11 @@ let fig9 () =
       (fun pct ->
         string_of_int pct
         :: List.map
-             (fun scheme -> T.mops (run_row { (with_updates spec pct) with D.scheme }))
+             (fun scheme ->
+               T.mops
+                 (run_row ~figure:"fig9"
+                    ~label:(Printf.sprintf "update%%%d %s" pct (V.Stamp.scheme_name scheme))
+                    { (with_updates spec pct) with D.scheme }))
              schemes)
       [ 0; 5; 20; 50; 100 ]
   in
@@ -260,7 +342,24 @@ let fig12 () =
       Workload.Opgen.fill gen (Workload.Splitmix.create 7) ~insert:(fun k v ->
           M.insert t k v);
       let entries = M.size t in
-      Some (Harness.Space.bytes_per_entry ~root:(Obj.repr t) ~entries)
+      let bytes = Harness.Space.bytes_per_entry ~root:(Obj.repr t) ~entries in
+      if recording () then
+        json_rows :=
+          {
+            Harness.Bench_json.r_figure = "fig12";
+            r_label = Printf.sprintf "%s %s" name (V.Vptr.mode_name mode);
+            r_mops = 0.;
+            r_p50_us = 0.;
+            r_p99_us = 0.;
+            r_chain_max = 0;
+            r_chain_p99 = 0;
+            r_indirect_links = 0;
+            r_reclaimable = 0;
+            r_violations = 0;
+            r_space_bytes = bytes;
+          }
+          :: !json_rows;
+      Some bytes
     end
   in
   let fmt = function Some b -> Printf.sprintf "%.1f" b | None -> "-" in
@@ -307,6 +406,7 @@ let extra_skiplist () =
     List.map
       (fun mode ->
         let r = D.run { spec with D.mode } in
+        record ~figure:"extra_skiplist" ~label:(V.Vptr.mode_name mode) r;
         [
           V.Vptr.mode_name mode;
           T.mops r.D.total_mops;
@@ -406,14 +506,35 @@ let sections =
     ("micro", micro);
   ]
 
+let scale_name () =
+  if !scale == full then "full" else if !scale == ci then "ci" else "quick"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let fullness, wanted = List.partition (fun a -> a = "--full") args in
-  if fullness <> [] then scale := full;
+  let rec parse wanted = function
+    | [] -> List.rev wanted
+    | "--full" :: rest ->
+        scale := full;
+        parse wanted rest
+    | "--ci" :: rest ->
+        scale := ci;
+        parse wanted rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse wanted rest
+    | "--label" :: l :: rest ->
+        json_label := l;
+        parse wanted rest
+    | ("--json" | "--label") :: [] ->
+        prerr_endline "--json/--label need an argument";
+        exit 2
+    | a :: rest -> parse (a :: wanted) rest
+  in
+  let wanted = parse [] args in
   let wanted = if wanted = [] then List.map fst sections else wanted in
   Printf.printf
     "VERLIB reproduction benchmarks (%s scale: n=%d, %d threads, %.2fs/run, %d repeat(s))\n"
-    (if !scale == full then "full" else "quick")
+    (scale_name ())
     !scale.n !scale.threads !scale.duration !scale.repeats;
   Printf.printf "Machine: %d recommended domain(s) — see EXPERIMENTS.md for scaling notes.\n"
     (Domain.recommended_domain_count ());
@@ -431,4 +552,15 @@ let () =
             (Harness.Obs_report.one_line (V.Obs.capture ()));
           Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
       | None -> Printf.eprintf "unknown section %S\n" name)
-    wanted
+    wanted;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Harness.Bench_json.make_doc ~label:!json_label ~scale:(scale_name ())
+          (List.rev !json_rows)
+      in
+      Harness.Bench_json.write_file path doc;
+      Printf.printf "[json] %d row(s) written to %s\n%!"
+        (List.length doc.Harness.Bench_json.d_rows)
+        path

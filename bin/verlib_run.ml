@@ -83,6 +83,23 @@ let trace_file =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let census =
+  let doc =
+    "Register the structure with the chain-census registry, take a quiescent \
+     final census after the run (chain-length distribution, live vs. \
+     reclaimable versions, indirect links, shortcut ratio) and audit the \
+     chain invariants; reported in the stats output."
+  in
+  Arg.(value & flag & info [ "census" ] ~doc)
+
+let census_interval =
+  let doc =
+    "With $(b,--census), additionally sample a census every $(docv) seconds \
+     from a background domain while the workers run, reporting a time series \
+     (chain growth and reclamation lag over time).  0 disables the sampler."
+  in
+  Arg.(value & opt float 0. & info [ "census-interval" ] ~docv:"SECONDS" ~doc)
+
 let lat_sample_of_stats = function `None -> 0 | `Pretty | `Json -> 64
 
 let parse_query s =
@@ -93,7 +110,7 @@ let parse_query s =
   | _ -> Error (`Msg (Printf.sprintf "bad query spec %S" s))
 
 let run structure mode scheme lock_mode threads size updates query theta duration repeats
-    stats_fmt trace_file =
+    stats_fmt trace_file census census_interval =
   match parse_query query with
   | Error (`Msg m) ->
       prerr_endline m;
@@ -120,6 +137,8 @@ let run structure mode scheme lock_mode threads size updates query theta duratio
           repeats;
           seed = 42;
           lat_sample = lat_sample_of_stats stats_fmt;
+          census;
+          census_interval;
         }
       in
       if trace_file <> None then Verlib.Obs.set_tracing true;
@@ -148,7 +167,27 @@ let run structure mode scheme lock_mode threads size updates query theta duratio
                ("final_size", string_of_int r.Harness.Driver.final_size);
                ("clock_increments", string_of_int r.Harness.Driver.increments);
                ("optimistic_aborts", string_of_int r.Harness.Driver.aborts);
+               ( "space",
+                 Printf.sprintf "{\"bytes_per_entry\":%.1f}"
+                   r.Harness.Driver.space_bytes_per_entry );
              ]
+           in
+           let extra =
+             match r.Harness.Driver.census with
+             | None -> extra
+             | Some c ->
+                 let series =
+                   r.Harness.Driver.census_series
+                   |> List.map (fun (t, c) ->
+                          Printf.sprintf "{\"t_s\":%.3f,\"census\":%s}" t
+                            (Harness.Obs_report.json_of_census c))
+                   |> String.concat ","
+                 in
+                 extra
+                 @ [
+                     ("census", Harness.Obs_report.json_of_census c);
+                     ("census_series", Printf.sprintf "[%s]" series);
+                   ]
            in
            print_endline (Harness.Obs_report.to_json ~extra r.Harness.Driver.obs)
        | `None | `Pretty ->
@@ -162,8 +201,22 @@ let run structure mode scheme lock_mode threads size updates query theta duratio
              r.Harness.Driver.total_mops r.Harness.Driver.final_size;
            Printf.printf "clock increments: %d, optimistic aborts: %d\n"
              r.Harness.Driver.increments r.Harness.Driver.aborts;
+           Printf.printf "space: %.1f bytes/entry\n"
+             r.Harness.Driver.space_bytes_per_entry;
            if stats_fmt = `Pretty then
-             Harness.Obs_report.pretty_print r.Harness.Driver.obs);
+             Harness.Obs_report.pretty_print r.Harness.Driver.obs;
+           (match r.Harness.Driver.census with
+            | None -> ()
+            | Some c ->
+                Harness.Obs_report.pretty_census c;
+                List.iter
+                  (fun (t, (c : Verlib.Chainscan.census)) ->
+                    Printf.printf
+                      "census @ %.2fs: versions=%d reclaimable=%d \
+                       indirect_links=%d max_chain=%d violations=%d\n"
+                      t c.Verlib.Chainscan.c_versions c.c_reclaimable
+                      c.c_indirect_links c.c_max_chain c.c_violation_count)
+                  r.Harness.Driver.census_series));
       match trace_file with
       | None -> ()
       | Some path ->
@@ -176,6 +229,7 @@ let cmd =
     (Cmd.info "verlib_run" ~doc)
     Term.(
       const run $ structure $ mode $ scheme $ lock_mode $ threads $ size $ updates
-      $ query $ theta $ duration $ repeats $ stats_fmt $ trace_file)
+      $ query $ theta $ duration $ repeats $ stats_fmt $ trace_file $ census
+      $ census_interval)
 
 let () = exit (Cmd.eval cmd)

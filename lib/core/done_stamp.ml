@@ -31,6 +31,16 @@ let refresh () =
 
 let reset () = Atomic.set cache 0
 
+(* Reclamation lag of the version layer (a [Telemetry] gauge, captured
+   into every [Obs] report): distance between the global clock and the
+   lower bound on ongoing snapshot stamps.  Versions older than the
+   bound are reclaimable (shortcuttable / truncatable); a growing lag
+   means some snapshot is pinning history — the space failure mode the
+   multiversion-GC literature bounds. *)
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "stamp_lag" (fun () ->
+      max 0 (Stamp.read () - refresh ()))
+
 let interval = 32
 
 let countdown : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)

@@ -43,6 +43,10 @@ let ev_truncate = 6
 
 let ev_stamp_incr = 7
 
+let ev_census = 8
+
+let ev_census_violation = 9
+
 type phase = Instant | Span_begin | Span_end
 
 let describe code =
@@ -53,6 +57,8 @@ let describe code =
   else if code = ev_shortcut then ("shortcut", Instant)
   else if code = ev_truncate then ("truncate", Instant)
   else if code = ev_stamp_incr then ("stamp_incr", Instant)
+  else if code = ev_census then ("census", Instant)
+  else if code = ev_census_violation then ("census_violation", Instant)
   else if code = Flock.Telemetry.ev_lock_acquire then ("lock_acquire", Instant)
   else if code = Flock.Telemetry.ev_lock_help then ("lock_help", Instant)
   else if code = Flock.Telemetry.ev_epoch_advance then ("epoch_advance", Instant)
@@ -111,6 +117,8 @@ let dwell_sample () = sample_tick ~off:1 ~mask:15
 type report = {
   counters : (string * int) list;  (** every [Stats] counter, by name *)
   hists : Hist.summary list;  (** every registered histogram *)
+  gauges : (string * int) list;
+      (** every [Flock.Telemetry.Gauge], read at capture time *)
 }
 
 let capture () =
@@ -119,6 +127,7 @@ let capture () =
       List.map (fun c -> (Stats.name c, Stats.total c)) (Stats.all ())
       @ [ ("lock_helps", Flock.Lock.help_count ()) ];
     hists = List.map Hist.summary (Hist.all ());
+    gauges = Flock.Telemetry.Gauge.capture ();
   }
 
 (* ------------------------------------------------------------------ *)

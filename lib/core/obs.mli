@@ -28,6 +28,13 @@ val ev_truncate : int
 
 val ev_stamp_incr : int
 
+val ev_census : int
+(** One census completed; arg = number of versions counted. *)
+
+val ev_census_violation : int
+(** A chain-invariant audit failure ({!Chainscan}); arg = violation
+    code. *)
+
 type phase = Instant | Span_begin | Span_end
 
 val describe : int -> string * phase
@@ -74,6 +81,9 @@ val dwell_sample : unit -> bool
 type report = {
   counters : (string * int) list;  (** every [Stats] counter, by name *)
   hists : Hist.summary list;  (** every registered histogram *)
+  gauges : (string * int) list;
+      (** every [Flock.Telemetry.Gauge] (epoch lag, deferred-queue depth,
+          stamp lag, ...), read at capture time *)
 }
 
 val capture : unit -> report

@@ -30,6 +30,7 @@ module Vptr = Vptr
 module Snapshot = Snapshot
 module Stats = Stats
 module Obs = Obs
+module Chainscan = Chainscan
 
 let with_snapshot = Snapshot.with_snapshot
 

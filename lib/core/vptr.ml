@@ -309,6 +309,15 @@ let head_kind t =
   | Cval None -> `Nil
   | Cval (Some _) -> `Direct
 
+(* Passive read for structure walkers (census roots): no set-stamp
+   helping, no shortcutting, no snapshot semantics — observing must not
+   perturb the mechanisms under observation. *)
+let peek t = chain_value (Atomic.get t.head)
+
+let unsafe_head t = Atomic.get t.head
+
+let unsafe_meta_of t = t.d.meta_of
+
 let rec walk d chain depth oldest =
   match chain with
   | Cval None -> (depth, oldest)

@@ -80,6 +80,20 @@ val direct_stores : unit -> bool
 
 val head_kind : 'a t -> [ `Direct | `Indirect | `Nil ]
 
+val peek : 'a t -> 'a option
+(** Current value without any side effect: no set-stamp helping, no
+    shortcutting, no snapshot semantics.  The passive read used by
+    structure walkers ({!Chainscan} roots) that must not perturb the
+    mechanisms they observe. *)
+
+val unsafe_head : 'a t -> 'a Vtypes.chain
+(** Raw head chain cell, for {!Chainscan}'s census walk.  Racy by
+    nature; see [Vtypes] for which fields are safe to read. *)
+
+val unsafe_meta_of : 'a t -> 'a -> 'a Vtypes.meta
+(** The metadata accessor of the pointer's descriptor (for chain
+    walks). *)
+
 val version_depth : 'a t -> int
 (** Number of versions currently reachable from the head (racy walk). *)
 

@@ -362,6 +362,22 @@ let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
 
 let multifind t keys = Map_intf.multifind_via_snapshot find t keys
 
+(* Census walk: the root cell plus every child cell of every inner node,
+   including empty slots (a Direct node's nil cells still carry version
+   history).  Passive ([Vptr.peek]), unlike [iter_children]. *)
+let iter_vptrs t emit =
+  let rec walk cell =
+    emit (Verlib.Chainscan.Target cell);
+    match Vptr.peek cell with
+    | None | Some (Leaf _) -> ()
+    | Some (Inner n) -> (
+        match n.kind with
+        | Small s -> Array.iter walk s.cells
+        | Indexed x -> Array.iter walk x.cells
+        | Direct d -> Array.iter walk d.cells)
+  in
+  walk t.root
+
 let to_sorted_list t = range t 0 max_int
 
 let size t = range_count t 0 max_int

@@ -471,6 +471,18 @@ let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
 
 let multifind t keys = Map_intf.multifind_via_snapshot find t keys
 
+(* Census walk: the root cell plus every child cell, recursively.
+   Passive ([Vptr.peek]): the census must not help, shortcut or
+   truncate. *)
+let iter_vptrs t emit =
+  let rec walk cell =
+    emit (Verlib.Chainscan.Target cell);
+    match Vptr.peek cell with
+    | None | Some (Leaf _) -> ()
+    | Some (Inner n) -> Array.iter walk n.children
+  in
+  walk t.root
+
 let to_sorted_list t = range t min_int max_int
 
 let size t = range_count t min_int max_int

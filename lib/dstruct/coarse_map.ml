@@ -46,4 +46,7 @@ let size t = Rwlock.with_read t.rw (fun () -> IntMap.cardinal t.map)
 
 let to_sorted_list t = Rwlock.with_read t.rw (fun () -> IntMap.bindings t.map)
 
+(* No versioned pointers: a reader-writer-locked functional map. *)
+let iter_vptrs (_ : t) (_ : Verlib.Chainscan.target -> unit) = ()
+
 let check (_ : t) = ()

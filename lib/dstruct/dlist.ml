@@ -162,6 +162,16 @@ let to_sorted_list t =
 
 let size t = List.length (to_sorted_list t)
 
+(* Census walk: every reachable node's next pointer, head sentinel
+   included.  Passive ([Vptr.peek]) so the walk never helps, shortcuts
+   or truncates. *)
+let iter_vptrs t emit =
+  let rec walk n =
+    emit (Verlib.Chainscan.Target n.next);
+    match Vptr.peek n.next with Some m -> walk m | None -> ()
+  in
+  walk t.head
+
 (* Quiescent structural check: strictly sorted keys, consistent back
    pointers, no removed node reachable. *)
 let check t =

@@ -104,6 +104,10 @@ let size t = fold t ~init:0 ~f:(fun acc _ _ -> acc + 1)
 let to_sorted_list t =
   List.sort compare (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
 
+(* Census walk: one versioned cell per bucket, the whole structure. *)
+let iter_vptrs t emit =
+  Array.iter (fun c -> emit (Verlib.Chainscan.Target c)) t.cells
+
 let check t =
   Array.iteri
     (fun i c ->

@@ -41,6 +41,14 @@ module type MAP = sig
   (** Validate structural invariants; raises [Failure] on violation.
       Call at quiescence. *)
 
+  val iter_vptrs : t -> (Verlib.Chainscan.target -> unit) -> unit
+  (** Emit every versioned pointer currently reachable in the structure,
+      for the {!Verlib.Chainscan} census.  The walk must be passive
+      ([Verlib.Vptr.peek], never [load]) so observing does not perturb
+      the shortcut/truncation mechanisms under observation.  Safe to run
+      concurrently with mutators (may miss in-flight nodes); emits
+      nothing on structures without versioned pointers. *)
+
   val supports_range : bool
 
   val supports_mode : Verlib.Vptr.mode -> bool

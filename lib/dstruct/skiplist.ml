@@ -282,6 +282,16 @@ let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
 
 let multifind t keys = Map_intf.multifind_via_snapshot find t keys
 
+(* Census walk: every tower cell of every node reachable at level 0 —
+   the level where all nodes appear.  Passive ([Vptr.peek]). *)
+let iter_vptrs t emit =
+  let rec walk n =
+    Array.iter (fun c -> emit (Verlib.Chainscan.Target c)) n.nexts;
+    if n.key <> max_int then
+      match Vptr.peek n.nexts.(0) with Some m -> walk m | None -> ()
+  in
+  walk t.head
+
 let to_sorted_list t =
   let rec collect acc node =
     match Vptr.load node.nexts.(0) with

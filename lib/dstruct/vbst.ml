@@ -210,6 +210,10 @@ let range_count t lo hi = List.length (range t lo hi)
 
 let multifind t keys = validated t (fun () -> Array.map (fun k -> find t k) keys)
 
+(* No versioned pointers: the vbst is a plain-atomics baseline (seqlock
+   range queries), so the census has nothing to walk. *)
+let iter_vptrs (_ : t) (_ : Verlib.Chainscan.target -> unit) = ()
+
 let to_sorted_list t = range t min_int max_int
 
 let size t = List.length (to_sorted_list t)

@@ -21,6 +21,27 @@ let pending_count () =
   Mutex.unlock pending_mutex;
   n
 
+(* Reclamation-health gauges (captured into [Verlib.Obs] reports):
+
+   - [epoch_pending]: depth of the deferred-callback queue — the EBR
+     analogue of the deferred-free list whose growth the multiversion-GC
+     line of work (Ben-David et al., Wei & Fatourou) identifies as the
+     space failure mode;
+   - [epoch_lag]: how far the slowest active domain trails the global
+     epoch (0 when every domain is quiescent or caught up).  A large lag
+     means deferred callbacks — and, above us, version chains — cannot
+     drain. *)
+let epoch_lag () =
+  let m = ref quiescent in
+  Registry.iter_ids (fun i ->
+      let a = Atomic.get announcement.(i) in
+      if a < !m then m := a);
+  if !m = quiescent then 0 else max 0 (Atomic.get global - !m)
+
+let (_ : Telemetry.Gauge.t) = Telemetry.Gauge.make "epoch_pending" pending_count
+
+let (_ : Telemetry.Gauge.t) = Telemetry.Gauge.make "epoch_lag" epoch_lag
+
 let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let in_epoch () = !(Domain.DLS.get depth_key) > 0

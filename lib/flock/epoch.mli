@@ -32,3 +32,10 @@ val flush : unit -> unit
 
 val pending_count : unit -> int
 (** Number of deferred callbacks not yet executed (racy, for tests). *)
+
+val epoch_lag : unit -> int
+(** How far the slowest active domain trails the global epoch; 0 when all
+    domains are quiescent or caught up.  Also registered as the
+    [epoch_lag] gauge ({!Telemetry.Gauge}), alongside [epoch_pending]
+    (the deferred-callback queue depth): the reclamation-health pair the
+    multiversion-GC literature watches. *)

@@ -146,6 +146,44 @@ module Hist = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+
+(* A gauge is a named instantaneous reading — a closure evaluated at
+   report-capture time, not a stored value.  Reclamation health lives
+   here: epoch lag, deferred-callback queue depth (registered by
+   [Epoch]), and the verlib layer adds stamp lag.  Reading a gauge is
+   as racy as its closure; captures happen at (or near) quiescence. *)
+
+module Gauge = struct
+  type t = { gname : string; gread : unit -> int }
+
+  let registry : t list ref = ref []
+
+  let registry_mutex = Mutex.create ()
+
+  let make gname gread =
+    let g = { gname; gread } in
+    Mutex.lock registry_mutex;
+    registry := g :: !registry;
+    Mutex.unlock registry_mutex;
+    g
+
+  let name g = g.gname
+
+  (* A gauge closure that raises would poison every capture; clamp to 0
+     instead (gauges are diagnostics, not control flow). *)
+  let read g = try g.gread () with _ -> 0
+
+  let all () =
+    Mutex.lock registry_mutex;
+    let l = !registry in
+    Mutex.unlock registry_mutex;
+    List.rev l
+
+  let capture () = List.map (fun g -> (g.gname, read g)) (all ())
+end
+
+(* ------------------------------------------------------------------ *)
 (* Event tracing                                                       *)
 
 (* Event codes are small ints; the catalogue (names, Chrome phases)

@@ -56,6 +56,30 @@ module Hist : sig
   (** Bucket counts aggregated across all domain shards. *)
 end
 
+(** {1 Gauges}
+
+    Named instantaneous readings, evaluated (not stored) at capture
+    time.  [Epoch] registers reclamation-health gauges here; the verlib
+    layer adds its own.  Closures must be cheap and side-effect free;
+    a raising closure reads as 0. *)
+
+module Gauge : sig
+  type t
+
+  val make : string -> (unit -> int) -> t
+  (** Create and register a gauge; it appears in every subsequent
+      {!capture} (and hence in [Verlib.Obs] reports). *)
+
+  val name : t -> string
+
+  val read : t -> int
+
+  val all : unit -> t list
+
+  val capture : unit -> (string * int) list
+  (** All registered gauges, read now, oldest first. *)
+end
+
 (** {1 Event tracing}
 
     Fixed-size per-domain rings of [(timestamp, code, arg)] triples.

@@ -17,6 +17,8 @@ type spec = {
   repeats : int;
   seed : int;
   lat_sample : int;
+  census : bool;
+  census_interval : float;
 }
 
 let default_spec map =
@@ -34,6 +36,8 @@ let default_spec map =
     repeats = 1;
     seed = 42;
     lat_sample = 0;
+    census = false;
+    census_interval = 0.;
   }
 
 type result = {
@@ -43,6 +47,9 @@ type result = {
   increments : int;
   final_size : int;
   obs : Verlib.Obs.report;
+  space_bytes_per_entry : float;
+  census : Verlib.Chainscan.census option;
+  census_series : (float * Verlib.Chainscan.census) list;
 }
 
 let run_once spec =
@@ -119,6 +126,40 @@ let run_once spec =
       done;
     Atomic.set cnt !ops
   in
+  let iter_targets emit = M.iter_vptrs t emit in
+  (* Register the structure as a census root for the run, so in-process
+     samplers (and anything else watching [Chainscan.census_all]) can
+     see it; unregistered before returning so runs do not accumulate. *)
+  let registration =
+    if spec.census then Some (Verlib.Chainscan.register ~name:M.name iter_targets)
+    else None
+  in
+  let series = ref [] in
+  (* Optional low-frequency background census sampler: an extra domain
+     that walks the structure every [census_interval] seconds while the
+     workers run, recording a (elapsed, census) time series — chain
+     growth and reclamation lag over time, not just the final state.
+     Sleeps in small slices so it exits promptly at the stop flag. *)
+  let sampler () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    while not (Atomic.get stop) do
+      let deadline = Unix.gettimeofday () +. spec.census_interval in
+      while (not (Atomic.get stop)) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.005
+      done;
+      if not (Atomic.get stop) then begin
+        let c = Verlib.Chainscan.census_of_iter iter_targets in
+        series := (Unix.gettimeofday () -. t0, c) :: !series
+      end
+    done
+  in
+  let sampler_domain =
+    if spec.census && spec.census_interval > 0. then Some (Domain.spawn sampler)
+    else None
+  in
   let domains =
     List.concat
       (List.map2
@@ -138,21 +179,38 @@ let run_once spec =
      the denominator would deflate throughput. *)
   let t1 = Unix.gettimeofday () in
   List.iter Domain.join domains;
+  Option.iter Domain.join sampler_domain;
   let elapsed = t1 -. t0 in
   let group_ops =
     List.map (fun cnts -> Array.fold_left (fun a c -> a + Atomic.get c) 0 cnts) counts
   in
   let total_ops = List.fold_left ( + ) 0 group_ops in
   M.check t;
+  let entries = M.size t in
+  (* Quiescent space measurement: workers are joined, so reachable_words
+     sees the settled structure (chains may still hold old versions that
+     the next update would truncate — that retained tail is part of the
+     cost being measured). *)
+  let space = Space.bytes_per_entry ~root:(Obj.repr t) ~entries in
+  (* Final census is taken quiescently too, so its audit is exact: any
+     violation it reports is a real invariant break, not a race artifact. *)
+  let final_census =
+    if spec.census then Some (Verlib.Chainscan.census_of_iter iter_targets)
+    else None
+  in
+  Option.iter Verlib.Chainscan.unregister registration;
   {
     total_mops = Float.of_int total_ops /. elapsed /. 1e6;
     group_mops = List.map (fun o -> Float.of_int o /. elapsed /. 1e6) group_ops;
     aborts = Verlib.Stats.total Verlib.Stats.snapshot_aborts;
     increments = Verlib.Stamp.increments ();
-    final_size = M.size t;
+    final_size = entries;
     (* Workers are joined, so the capture is exact; counters were reset
        at the top of the run, so totals are per-run deltas. *)
     obs = Verlib.Obs.capture ();
+    space_bytes_per_entry = space;
+    census = final_census;
+    census_series = List.rev !series;
   }
 
 let run spec =
@@ -169,4 +227,7 @@ let run spec =
     increments = last.increments;
     final_size = last.final_size;
     obs = last.obs;
+    space_bytes_per_entry = last.space_bytes_per_entry;
+    census = last.census;
+    census_series = last.census_series;
   }

@@ -31,6 +31,14 @@ type spec = {
       (** 0 disables per-op latency sampling (the default); a power of
           two [n] samples 1-in-[n] operations into the [Verlib.Obs]
           per-op-kind latency histograms. *)
+  census : bool;
+      (** register the structure with [Verlib.Chainscan] for the run and
+          take a quiescent final census (exact audit) after workers join. *)
+  census_interval : float;
+      (** when [census] is set and this is > 0, a background domain
+          additionally walks the structure every [census_interval] seconds
+          while the workers run, recording a time series of censuses
+          (chain growth / reclamation lag over time). *)
 }
 
 val default_spec : (module Dstruct.Map_intf.MAP) -> spec
@@ -47,6 +55,16 @@ type result = {
       (** per-run counter deltas and histogram summaries (counters are
           reset at the top of each run; captured after workers join, so
           exact).  Of the last repeat when [repeats > 1]. *)
+  space_bytes_per_entry : float;
+      (** quiescent [Space.bytes_per_entry] over the whole structure,
+          including any version-chain tails still retained. *)
+  census : Verlib.Chainscan.census option;
+      (** quiescent final census when [spec.census]; its audit is exact
+          (any reported violation is a real invariant break). *)
+  census_series : (float * Verlib.Chainscan.census) list;
+      (** (elapsed-seconds, census) samples from the background sampler,
+          oldest first; empty unless [spec.census] and
+          [spec.census_interval > 0]. *)
 }
 
 val run : spec -> result

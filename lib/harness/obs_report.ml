@@ -47,9 +47,59 @@ let pretty_hists ?out (r : Obs.report) =
     ~header:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
     rows
 
+let pretty_gauges ?out (r : Obs.report) =
+  if r.Obs.gauges <> [] then
+    Table.print ?out ~title:"Observability: gauges (instantaneous, at capture)"
+      ~header:[ "gauge"; "value" ]
+      (List.map (fun (name, v) -> [ name; string_of_int v ]) r.Obs.gauges)
+
 let pretty_print ?out (r : Obs.report) =
   pretty_counters ?out r;
-  pretty_hists ?out r
+  pretty_hists ?out r;
+  pretty_gauges ?out r
+
+(* --- census ------------------------------------------------------------- *)
+
+module Chainscan = Verlib.Chainscan
+
+let pretty_census ?(out = stdout) (c : Chainscan.census) =
+  Table.print ~out ~title:"Chain census"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "pointers"; string_of_int c.Chainscan.c_pointers ];
+      [ "plain_pointers"; string_of_int c.c_plain_pointers ];
+      [ "versions"; string_of_int c.c_versions ];
+      [ "live_versions"; string_of_int c.c_live_versions ];
+      [ "reclaimable"; string_of_int c.c_reclaimable ];
+      [ "indirect_heads"; string_of_int c.c_indirect_heads ];
+      [ "indirect_links"; string_of_int c.c_indirect_links ];
+      [ "shortcutable"; string_of_int c.c_shortcutable ];
+      [ "shortcut_ratio"; Printf.sprintf "%.3f" (Chainscan.shortcut_ratio c) ];
+      [ "chain_p50"; string_of_int (Chainscan.chain_p50 c) ];
+      [ "chain_p99"; string_of_int (Chainscan.chain_p99 c) ];
+      [ "chain_max"; string_of_int c.c_max_chain ];
+      [ "done_stamp"; string_of_int c.c_done_stamp ];
+      [ "clock"; string_of_int c.c_clock ];
+      [ "violations"; string_of_int c.c_violation_count ];
+    ];
+  List.iter
+    (fun v ->
+      Printf.fprintf out "  VIOLATION: %s\n" (Chainscan.describe_violation v))
+    c.Chainscan.c_violations
+
+let json_of_census (c : Chainscan.census) =
+  Printf.sprintf
+    "{\"pointers\":%d,\"plain_pointers\":%d,\"nil_heads\":%d,\"direct_heads\":%d,\
+     \"indirect_heads\":%d,\"tbd_heads\":%d,\"versions\":%d,\"live_versions\":%d,\
+     \"reclaimable\":%d,\"indirect_links\":%d,\"shortcutable\":%d,\
+     \"shortcut_ratio\":%.4f,\"chain_p50\":%d,\"chain_p99\":%d,\"chain_max\":%d,\
+     \"truncated_walks\":%d,\"done_stamp\":%d,\"clock\":%d,\"violations\":%d}"
+    c.Chainscan.c_pointers c.c_plain_pointers c.c_nil_heads c.c_direct_heads
+    c.c_indirect_heads c.c_tbd_heads c.c_versions c.c_live_versions
+    c.c_reclaimable c.c_indirect_links c.c_shortcutable
+    (Chainscan.shortcut_ratio c) (Chainscan.chain_p50 c) (Chainscan.chain_p99 c)
+    c.c_max_chain c.c_truncated_walks c.c_done_stamp c.c_clock
+    c.c_violation_count
 
 (* --- JSON -------------------------------------------------------------- *)
 
@@ -87,6 +137,12 @@ let to_json ?(extra = []) (r : Obs.report) =
       Buffer.add_string b
         (Printf.sprintf "\"%s\":%s" (Jsonlite.escape s.Hist.s_name) (json_of_hist s)))
     r.Obs.hists;
+  Buffer.add_string b "},\"gauges\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Jsonlite.escape name) v))
+    r.Obs.gauges;
   Buffer.add_string b "}}";
   Buffer.contents b
 

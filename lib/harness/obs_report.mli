@@ -7,9 +7,18 @@ val pretty_print : ?out:out_channel -> Verlib.Obs.report -> unit
 (** Counter and histogram tables in the benchmark-table style. *)
 
 val to_json : ?extra:(string * string) list -> Verlib.Obs.report -> string
-(** One JSON object: [{... extra ..., "counters":{..}, "histograms":{..}}].
+(** One JSON object:
+    [{... extra ..., "counters":{..}, "histograms":{..}, "gauges":{..}}].
     [extra] values must already be rendered JSON (numbers, quoted
     strings); keys are escaped. *)
+
+val pretty_census : ?out:out_channel -> Verlib.Chainscan.census -> unit
+(** Chain-census table plus one line per retained violation detail. *)
+
+val json_of_census : Verlib.Chainscan.census -> string
+(** The census as one flat JSON object (counts, derived percentiles,
+    shortcut ratio, violation count) — suitable as a [to_json] [extra]
+    value or a standalone block. *)
 
 val one_line : Verlib.Obs.report -> string
 (** Non-zero counters plus chain-length / snapshot-dwell / lock-retry

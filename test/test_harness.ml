@@ -106,6 +106,151 @@ let test_space_accounting () =
   Alcotest.(check (float 0.01)) "zero entries" 0.
     (Harness.Space.bytes_per_entry ~root:(Obj.repr arr) ~entries:0)
 
+(* --- BENCH json (Bench_json): round trip + regression gate -------------- *)
+
+module B = Harness.Bench_json
+
+let sample_row ?(figure = "fig8a") ?(label = "update%20 IndOnNeed")
+    ?(mops = 1.25) ?(p99 = 40.) ?(space = 120.5) ?(violations = 0) () =
+  {
+    B.r_figure = figure;
+    r_label = label;
+    r_mops = mops;
+    r_p50_us = 10.5;
+    r_p99_us = p99;
+    r_chain_max = 4;
+    r_chain_p99 = 2;
+    r_indirect_links = 7;
+    r_reclaimable = 3;
+    r_violations = violations;
+    r_space_bytes = space;
+  }
+
+let test_bench_json_roundtrip () =
+  let rows =
+    [
+      sample_row ();
+      sample_row ~figure:"fig12" ~label:"btree \"quoted\"" ~mops:0. ~space:98.7 ();
+    ]
+  in
+  let doc = B.make_doc ~label:"round trip" ~scale:"ci" rows in
+  let doc2 =
+    match B.of_string (B.to_json doc) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "BENCH json does not round-trip: %s" e
+  in
+  Alcotest.(check int) "schema" B.schema_version doc2.B.d_schema;
+  Alcotest.(check string) "label" "round trip" doc2.B.d_label;
+  Alcotest.(check string) "scale" "ci" doc2.B.d_scale;
+  Alcotest.(check int) "rows" 2 (List.length doc2.B.d_rows);
+  let r = List.hd doc2.B.d_rows and r0 = List.hd rows in
+  Alcotest.(check string) "figure" r0.B.r_figure r.B.r_figure;
+  Alcotest.(check string) "row label" r0.B.r_label r.B.r_label;
+  Alcotest.(check (float 1e-5)) "mops" r0.B.r_mops r.B.r_mops;
+  Alcotest.(check (float 1e-2)) "p99" r0.B.r_p99_us r.B.r_p99_us;
+  Alcotest.(check int) "chain max" r0.B.r_chain_max r.B.r_chain_max;
+  Alcotest.(check (float 0.05)) "space" r0.B.r_space_bytes r.B.r_space_bytes;
+  (* escaped label survives *)
+  Alcotest.(check bool) "quoted label" true
+    (B.find doc2 ~figure:"fig12" ~label:"btree \"quoted\"" <> None);
+  (* file round trip (what bench-check reads back) *)
+  let path = Filename.temp_file "bench_rt" ".json" in
+  B.write_file path doc;
+  (match B.read_file path with
+   | Ok d -> Alcotest.(check int) "file rows" 2 (List.length d.B.d_rows)
+   | Error e -> Alcotest.failf "file round trip: %s" e);
+  Sys.remove path;
+  (* malformed and wrong-schema inputs are rejected *)
+  (match B.of_string "{\"schema\":1,\"rows\":" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "accepted malformed json");
+  match
+    B.of_string
+      "{\"schema\":99,\"label\":\"\",\"created\":\"\",\"scale\":\"\",\"rows\":[]}"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong schema version"
+
+let test_bench_diff_gate () =
+  let base =
+    B.make_doc ~scale:"ci" [ sample_row (); sample_row ~figure:"fig9" () ]
+  in
+  (* identical: clean *)
+  Alcotest.(check int) "self diff clean" 0 (List.length (B.diff base base));
+  (* small drift within the threshold: clean *)
+  let drift =
+    B.make_doc ~scale:"ci" [ sample_row ~mops:1.0 (); sample_row ~figure:"fig9" () ]
+  in
+  Alcotest.(check int) "20% drift tolerated at 50%" 0
+    (List.length (B.diff ~threshold:50. base drift));
+  (* injected throughput collapse: caught *)
+  let collapsed =
+    B.make_doc ~scale:"ci" [ sample_row ~mops:0.2 (); sample_row ~figure:"fig9" () ]
+  in
+  let issues = B.diff ~threshold:50. base collapsed in
+  Alcotest.(check bool) "mops regression caught" true
+    (List.exists
+       (function B.Regression { metric = "mops"; _ } -> true | _ -> false)
+       issues);
+  (* latency and space growth *)
+  let slower =
+    B.make_doc ~scale:"ci"
+      [ sample_row ~p99:200. ~space:400. (); sample_row ~figure:"fig9" () ]
+  in
+  let issues = B.diff ~threshold:50. ~lat_threshold:50. base slower in
+  Alcotest.(check bool) "p99 regression caught when gated" true
+    (List.exists
+       (function B.Regression { metric = "p99_us"; _ } -> true | _ -> false)
+       issues);
+  Alcotest.(check bool) "space regression caught" true
+    (List.exists
+       (function B.Regression { metric = "space_bytes"; _ } -> true | _ -> false)
+       issues);
+  (* latency is informational by default: only the space issue remains *)
+  Alcotest.(check bool) "p99 not gated by default" false
+    (List.exists
+       (function B.Regression { metric = "p99_us"; _ } -> true | _ -> false)
+       (B.diff ~threshold:50. base slower));
+  (* a vanished row: caught *)
+  let missing = B.make_doc ~scale:"ci" [ sample_row () ] in
+  Alcotest.(check bool) "missing row caught" true
+    (List.exists
+       (function B.Missing_row { figure = "fig9"; _ } -> true | _ -> false)
+       (B.diff base missing));
+  (* census violations fail at any threshold *)
+  let broken =
+    B.make_doc ~scale:"ci"
+      [ sample_row ~violations:2 (); sample_row ~figure:"fig9" () ]
+  in
+  Alcotest.(check bool) "violations caught" true
+    (List.exists
+       (function B.Violations { count = 2; _ } -> true | _ -> false)
+       (B.diff ~threshold:1000. base broken));
+  (* every issue renders *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "describe" true (String.length (B.describe_issue i) > 0))
+    (B.diff ~threshold:50. base slower)
+
+(* The committed baseline, when reachable from the test's cwd, must
+   parse and carry the gate's sections — this keeps BENCH_PR2.json
+   honest as the schema evolves. *)
+let test_committed_baseline () =
+  let candidates = [ "BENCH_PR2.json"; "../../../BENCH_PR2.json" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> ()
+  | Some path -> (
+      match B.read_file path with
+      | Error e -> Alcotest.failf "committed baseline does not parse: %s" e
+      | Ok d ->
+          Alcotest.(check bool) "baseline has rows" true
+            (List.length d.B.d_rows > 0);
+          List.iter
+            (fun fig ->
+              Alcotest.(check bool) (fig ^ " present") true
+                (List.exists (fun r -> r.B.r_figure = fig) d.B.d_rows))
+            [ "fig8a"; "fig9"; "fig12"; "extra_skiplist" ])
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -122,4 +267,10 @@ let () =
       ( "table",
         [ case "alignment" test_table_alignment; case "mops format" test_mops_formatting ] );
       ("space", [ case "accounting" test_space_accounting ]);
+      ( "bench-json",
+        [
+          case "round trip" test_bench_json_roundtrip;
+          case "regression gate" test_bench_diff_gate;
+          case "committed baseline" test_committed_baseline;
+        ] );
     ]

@@ -240,6 +240,7 @@ let smoke_spec () =
           g_query = Workload.Opgen.Finds;
         };
       ];
+    census = true;
   }
 
 let require_stats_shape j =
@@ -270,7 +271,47 @@ let require_stats_shape j =
     [
       "lat_find_cycles"; "lat_insert_cycles"; "lat_delete_cycles";
       "lat_range_cycles"; "lat_multifind_cycles";
-    ]
+    ];
+  (* the epoch/stamp gauges registered at module init *)
+  let gauges =
+    match J.member "gauges" j with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> Alcotest.fail "missing gauges object"
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " gauge present") true
+        (List.mem_assoc name gauges))
+    [ "epoch_pending"; "epoch_lag"; "stamp_lag" ]
+
+(* `make obs-smoke` runs verlib_run with --census, so the exported stats
+   must carry a census block — and the run being quiescent at capture,
+   the audit must be clean. *)
+let require_census_shape j =
+  let census =
+    match J.member "census" j with
+    | Some c -> c
+    | None -> Alcotest.fail "stats JSON missing census block"
+  in
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k census) J.to_number with
+      | Some _ -> ()
+      | None -> Alcotest.failf "census missing numeric %s" k)
+    [
+      "pointers"; "versions"; "live_versions"; "reclaimable";
+      "indirect_links"; "shortcut_ratio"; "chain_p99"; "chain_max";
+      "violations";
+    ];
+  (match Option.bind (J.member "violations" census) J.to_number with
+   | Some v -> Alcotest.(check (float 0.)) "census violations" 0. v
+   | None -> ());
+  (match J.member "census_series" j with
+   | Some (J.Arr _) -> ()
+   | _ -> Alcotest.fail "missing census_series array");
+  match Option.bind (J.member "space" j) (J.member "bytes_per_entry") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "missing space.bytes_per_entry"
 
 let test_driver_report () =
   let r = Harness.Driver.run (smoke_spec ()) in
@@ -290,6 +331,16 @@ let test_driver_report () =
   Alcotest.(check bool) "sampled some latencies" true (sampled > 0);
   Alcotest.(check bool) "captured counters" true
     (List.mem_assoc "snapshots" r.Harness.Driver.obs.V.Obs.counters);
+  (* quiescent census: present (smoke_spec sets census), non-empty, and
+     with a clean audit *)
+  (match r.Harness.Driver.census with
+   | None -> Alcotest.fail "driver did not take the final census"
+   | Some c ->
+       Alcotest.(check bool) "census saw versions" true
+         (c.V.Chainscan.c_versions > 0);
+       Alcotest.(check int) "census violations" 0 c.V.Chainscan.c_violation_count);
+  Alcotest.(check bool) "space measured" true
+    (r.Harness.Driver.space_bytes_per_entry > 0.);
   (* the JSON rendering of the report round-trips through the parser *)
   let json = Harness.Obs_report.to_json ~extra:[ ("total_mops", "0.5") ]
       r.Harness.Driver.obs
@@ -311,7 +362,9 @@ let test_smoke_artefacts () =
    | Some path -> (
        match J.parse_file path with
        | Error m -> Alcotest.failf "stats JSON (%s) does not parse: %s" path m
-       | Ok j -> require_stats_shape j)
+       | Ok j ->
+           require_stats_shape j;
+           require_census_shape j)
    | None ->
        let r = Harness.Driver.run (smoke_spec ()) in
        match J.parse_result (Harness.Obs_report.to_json r.Harness.Driver.obs) with
