@@ -1,7 +1,14 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
 BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist
+# The same list as a comma-separated figure filter for bench_diff: the
+# committed baseline additionally carries "serve" rows (gated by
+# serve-smoke), which bench-check must not report as missing.
+comma := ,
+empty :=
+space := $(empty) $(empty)
+BENCH_JSON_FIGURES = $(subst $(space),$(comma),$(strip $(BENCH_JSON_SECTIONS)))
 # Generous on purpose: CI-scale runs on a time-shared core are noisy;
 # the gate catches collapses and census violations, not drift.
 BENCH_THRESHOLD = 60
@@ -27,6 +34,7 @@ bench-json:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --ci --label baseline \
 	  --json BENCH_PR2.json $(BENCH_JSON_SECTIONS)
+	$(MAKE) serve-baseline
 
 # Perf trajectory gate: rerun the same sections at the same scale and
 # diff against the committed baseline; non-zero exit on regression.
@@ -35,7 +43,8 @@ bench-check:
 	dune exec bench/main.exe -- --ci --label check \
 	  --json /tmp/verlib_bench_current.json $(BENCH_JSON_SECTIONS)
 	dune exec bin/bench_diff.exe -- BENCH_PR2.json \
-	  /tmp/verlib_bench_current.json --threshold $(BENCH_THRESHOLD)
+	  /tmp/verlib_bench_current.json --figures $(BENCH_JSON_FIGURES) \
+	  --threshold $(BENCH_THRESHOLD)
 
 examples:
 	dune exec examples/quickstart.exe
@@ -68,6 +77,66 @@ obs-smoke:
 	  fi; \
 	done
 	@echo "obs-smoke: census clean on all five versioned structures"
+
+# Wire-path smoke: boot verlib-serve on an ephemeral port, prove the
+# snapshot invariant from concurrent client domains (bank mix: MGET/RANGE
+# pair sums stay in {2B, 2B-1}, money conserved at quiescence), drive an
+# opgen throughput run whose rows gate through bench_diff against the
+# committed baseline's "serve" figure, require a clean census in the
+# served STATS, and check the SIGINT drain path flushes the final report.
+serve-smoke:
+	dune build bin/verlib_serve.exe bin/verlib_loadgen.exe bin/bench_diff.exe
+	@set -e; \
+	./_build/default/bin/verlib_serve.exe -s btree -p 0 -t 6 \
+	  --census-interval 0.1 --duration 120 --stats json \
+	  > /tmp/verlib_serve_report.json 2>/tmp/verlib_serve.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk 'NR==1 && $$1=="PORT" {print $$2}' /tmp/verlib_serve_report.json); \
+	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	echo "serve-smoke: server on port $$port"; \
+	echo "serve-smoke: bank snapshot invariant (4 client domains)"; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --mix bank \
+	  -t 4 -d 1 --pairs 32; \
+	echo "serve-smoke: opgen throughput + bench gate"; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
+	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 \
+	  --json /tmp/verlib_serve_rows.json \
+	  --stats-out /tmp/verlib_serve_stats.json; \
+	grep -q '"violations":0' /tmp/verlib_serve_stats.json \
+	  || { echo "FAIL: census violations in served STATS"; exit 1; }; \
+	./_build/default/bin/bench_diff.exe BENCH_PR2.json \
+	  /tmp/verlib_serve_rows.json --figures serve \
+	  --threshold $(BENCH_THRESHOLD); \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	grep -q 'draining' /tmp/verlib_serve.log \
+	  || { echo "FAIL: server did not drain on SIGINT"; exit 1; }; \
+	grep -q '"census":{' /tmp/verlib_serve_report.json \
+	  || { echo "FAIL: no final census in the drained report"; exit 1; }; \
+	echo "serve-smoke: OK"
+
+# Refresh the served-throughput rows (figure "serve") in the committed
+# baseline, at the same scale serve-smoke replays them.
+serve-baseline:
+	dune build bin/verlib_serve.exe bin/verlib_loadgen.exe
+	@set -e; \
+	./_build/default/bin/verlib_serve.exe -s btree -p 0 -t 6 \
+	  --census-interval 0.1 --duration 120 --stats none \
+	  > /tmp/verlib_serve_report.json 2>/tmp/verlib_serve.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk 'NR==1 && $$1=="PORT" {print $$2}' /tmp/verlib_serve_report.json); \
+	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
+	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 \
+	  --json BENCH_PR2.json --merge-into BENCH_PR2.json; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT
 
 doc:
 	dune build @doc

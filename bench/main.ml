@@ -257,6 +257,17 @@ let fig10 () =
       ("coarse (RW-locked)", Harness.Registry.find "coarse", V.Vptr.Plain);
     ]
   in
+  (* Dispatch on the typed capability: only Ordered_range structures can
+     sit in a range-query figure (an Unordered contender would raise). *)
+  let contenders =
+    List.filter
+      (fun (_, map, _) ->
+        let module M = (val map : Dstruct.Map_intf.MAP) in
+        match M.range_capability with
+        | Dstruct.Map_intf.Ordered_range -> true
+        | Dstruct.Map_intf.Unordered -> false)
+      contenders
+  in
   List.iter
     (fun rq_size ->
       let rows =

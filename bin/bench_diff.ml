@@ -3,7 +3,11 @@
    threshold, rows that disappeared, or census invariant violations.
 
    Usage: bench_diff BASE.json CURRENT.json [--threshold PCT]
-                     [--lat-threshold PCT]
+                     [--lat-threshold PCT] [--figures f1,f2,...]
+
+   --figures restricts the comparison to the listed figure ids on both
+   sides — how the serve-smoke target gates only the served-throughput
+   rows against the full committed baseline.
 
    Exit codes: 0 = within threshold, 1 = regression or missing rows,
    2 = unreadable input / usage error.  The threshold defaults to 50%
@@ -15,12 +19,13 @@
 
 let usage () =
   prerr_endline
-    "usage: bench_diff BASE.json CURRENT.json [--threshold PCT] [--lat-threshold PCT]";
+    "usage: bench_diff BASE.json CURRENT.json [--threshold PCT] [--lat-threshold PCT] [--figures f1,f2,...]";
   exit 2
 
 let () =
   let base_path = ref None and cur_path = ref None and threshold = ref 50. in
   let lat_threshold = ref None in
+  let figures = ref None in
   let parse_pct flag v =
     match float_of_string_opt v with
     | Some t when t > 0. -> t
@@ -36,7 +41,10 @@ let () =
     | "--lat-threshold" :: v :: rest ->
         lat_threshold := Some (parse_pct "lat-threshold" v);
         parse rest
-    | ("--threshold" | "--lat-threshold") :: [] -> usage ()
+    | "--figures" :: v :: rest ->
+        figures := Some (String.split_on_char ',' v |> List.filter (( <> ) ""));
+        parse rest
+    | ("--threshold" | "--lat-threshold" | "--figures") :: [] -> usage ()
     | a :: rest ->
         (if !base_path = None then base_path := Some a
          else if !cur_path = None then cur_path := Some a
@@ -57,6 +65,19 @@ let () =
         exit 2
   in
   let base = load base_path and cur = load cur_path in
+  let restrict (d : Harness.Bench_json.doc) =
+    match !figures with
+    | None -> d
+    | Some fs ->
+        {
+          d with
+          Harness.Bench_json.d_rows =
+            List.filter
+              (fun r -> List.mem r.Harness.Bench_json.r_figure fs)
+              d.Harness.Bench_json.d_rows;
+        }
+  in
+  let base = restrict base and cur = restrict cur in
   let issues =
     Harness.Bench_json.diff ~threshold:!threshold ?lat_threshold:!lat_threshold
       base cur

@@ -1,0 +1,698 @@
+(* verlib-loadgen: multi-domain closed-loop client for verlib-serve.
+
+   Two mixes:
+
+   - [--mix opgen] (default): each client domain owns one connection and
+     one [Workload.Opgen] stream (finds / range counts / multifinds plus
+     updates, uniform or Zipfian keys), sends batches of [--pipeline]
+     commands and reads the replies back-to-back.  Batch round-trip
+     latency is recorded into the existing [Verlib.Obs] histograms
+     (attributed to the batch's first command kind), so the report and
+     JSON plumbing is shared with the in-process harness.  With [--json]
+     the run emits [Harness.Bench_json] schema-v1 rows (figure "serve"
+     by default) that gate through bench_diff like any other benchmark.
+
+   - [--mix bank]: the snapshot-consistency workload.  Writer domains
+     own disjoint account pairs (a = 2i+1, b = 2i+2, both seeded with
+     BASE) and move one unit per transfer with a single pipelined
+     [DEL a; PUT a (va-1); DEL b; PUT b (vb+1)] sequence.  Reader
+     domains issue MGET a b (and RANGE a b when the structure is
+     ordered); because both run on one snapshot, any observed pair with
+     both accounts present must sum to 2*BASE (transfer complete) or
+     2*BASE - 1 (between the two PUTs) — an account absent is a visible
+     in-flight DEL and is skipped.  A non-atomic multi-read fails this
+     quickly: va only ever decreases and vb only ever increases, so
+     mixing versions drifts outside the two-value window.  On shutdown a
+     quiescent MGET of every account must sum to exactly 2*BASE*pairs.
+
+   Exit codes: 0 = clean; 1 = invariant violation, reply errors, or
+   census violations reported by the server's STATS; 2 = usage. *)
+
+open Cmdliner
+module P = Server.Protocol
+module C = Server.Client
+
+(* --- CLI ------------------------------------------------------------------ *)
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+
+let port =
+  Arg.(value & opt int 7379 & info [ "port" ] ~doc:"Server TCP port.")
+
+let threads =
+  Arg.(value & opt int 4 & info [ "t"; "threads" ]
+       ~doc:"Client domains (one connection each).")
+
+let depth =
+  Arg.(value & opt int 16 & info [ "p"; "pipeline" ]
+       ~doc:"Pipelining depth: commands per batch before reading replies.")
+
+let size =
+  Arg.(value & opt int 10_000 & info [ "n"; "size" ]
+       ~doc:"Intended structure size (the opgen key universe is 2n).")
+
+let updates =
+  Arg.(value & opt int 20 & info [ "u"; "updates" ]
+       ~doc:"Update percentage (0-100) for the opgen mix.")
+
+let query =
+  Arg.(value & opt string "multifind:16" & info [ "q"; "query" ]
+       ~doc:"Query kind for non-update operations: find, range:SIZE, multifind:K.")
+
+let theta =
+  Arg.(value & opt float 0. & info [ "z"; "zipf" ]
+       ~doc:"Zipfian parameter (0 = uniform).")
+
+let duration =
+  Arg.(value & opt float 1.0 & info [ "d"; "duration" ] ~doc:"Seconds to run.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let mix =
+  let alist = [ ("opgen", `Opgen); ("bank", `Bank) ] in
+  Arg.(value & opt (enum alist) `Opgen & info [ "mix" ]
+       ~doc:"Workload: opgen (throughput) or bank (snapshot invariant).")
+
+let pairs =
+  Arg.(value & opt int 64 & info [ "pairs" ]
+       ~doc:"Account pairs for the bank mix.")
+
+let no_fill =
+  Arg.(value & flag & info [ "no-fill" ]
+       ~doc:"Skip the pipelined fill phase (opgen mix).")
+
+let ci =
+  Arg.(value & flag & info [ "ci" ]
+       ~doc:"Smoke scale: clamps size to 1000 and duration to 0.5s.")
+
+let json_out =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"Write Bench_json schema-v1 rows (figure $(b,--figure)) to $(docv).")
+
+let merge_into =
+  Arg.(value & opt (some string) None & info [ "merge-into" ] ~docv:"BASE"
+       ~doc:"With $(b,--json), merge the rows into the doc read from \
+             $(docv) (replacing same figure+label rows) instead of \
+             writing a fresh doc.")
+
+let figure =
+  Arg.(value & opt string "serve" & info [ "figure" ]
+       ~doc:"Figure id for emitted Bench_json rows.")
+
+let stats_out =
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE"
+       ~doc:"Write the server's raw STATS JSON (post-run) to $(docv).")
+
+(* --- shared machinery ----------------------------------------------------- *)
+
+let stop = Atomic.make false
+
+let go = Atomic.make false
+
+let ready = Atomic.make 0
+
+let install_signal_handlers () =
+  let handle _ = Atomic.set stop true in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let wait_go () =
+  Atomic.incr ready;
+  while not (Atomic.get go || Atomic.get stop) do
+    Domain.cpu_relax ()
+  done
+
+let parse_query s =
+  match String.split_on_char ':' s with
+  | [ "find" ] | [ "finds" ] -> Ok Workload.Opgen.Finds
+  | [ "range"; n ] -> Ok (Workload.Opgen.Ranges (int_of_string n))
+  | [ "multifind"; n ] -> Ok (Workload.Opgen.Multifinds (int_of_string n))
+  | _ -> Error (`Msg (Printf.sprintf "bad query spec %S" s))
+
+type kind = K_find | K_insert | K_delete | K_range | K_multifind
+
+let kind_index = function
+  | K_find -> 0 | K_insert -> 1 | K_delete -> 2 | K_range -> 3 | K_multifind -> 4
+
+let kind_name = function
+  | K_find -> "find" | K_insert -> "insert" | K_delete -> "delete"
+  | K_range -> "range" | K_multifind -> "multifind"
+
+let hist_of_kind = function
+  | K_find -> Verlib.Obs.lat_find
+  | K_insert -> Verlib.Obs.lat_insert
+  | K_delete -> Verlib.Obs.lat_delete
+  | K_range -> Verlib.Obs.lat_range
+  | K_multifind -> Verlib.Obs.lat_multifind
+
+let translate = function
+  | Workload.Opgen.Insert (k, v) -> (P.Put (k, v), K_insert)
+  | Workload.Opgen.Delete k -> (P.Del k, K_delete)
+  | Workload.Opgen.Find k -> (P.Get k, K_find)
+  | Workload.Opgen.Range (a, b) -> (P.Rangecount (a, b), K_range)
+  | Workload.Opgen.Multifind ks -> (P.Mget ks, K_multifind)
+
+type wstats = {
+  ops : int array;  (** per {!kind} index *)
+  mutable errors : int;
+  mutable first_error : string option;
+}
+
+let new_wstats () = { ops = Array.make 5 0; errors = 0; first_error = None }
+
+let note_error st msg =
+  st.errors <- st.errors + 1;
+  if st.first_error = None then st.first_error <- Some msg
+
+(* --- opgen mix ------------------------------------------------------------ *)
+
+let fill_over_wire conn gen rng =
+  let batch = ref [] and count = ref 0 in
+  let flush () =
+    if !batch <> [] then begin
+      (match C.pipeline conn (List.rev !batch) with
+       | Ok _ -> ()
+       | Error e -> failwith ("loadgen fill: " ^ e));
+      batch := [];
+      count := 0
+    end
+  in
+  Workload.Opgen.fill gen rng ~insert:(fun k v ->
+      batch := P.Put (k, v) :: !batch;
+      incr count;
+      if !count >= 512 then flush ();
+      true);
+  flush ()
+
+let opgen_worker ~host ~port ~depth ~gen_of ~wid st () =
+  match C.connect ~host ~retries:20 ~port () with
+  | exception e ->
+      note_error st ("connect: " ^ Printexc.to_string e);
+      Atomic.incr ready
+  | conn ->
+      let gen = gen_of wid in
+      let rng = Workload.Splitmix.create (0x10adc0de + (wid * 7919)) in
+      wait_go ();
+      (try
+         while not (Atomic.get stop) do
+           let cmds = ref [] and kinds = ref [] in
+           for _ = 1 to depth do
+             let c, k = translate (Workload.Opgen.next gen rng) in
+             cmds := c :: !cmds;
+             kinds := k :: !kinds
+           done;
+           let cmds = List.rev !cmds and kinds = List.rev !kinds in
+           let t0 = Verlib.Hwclock.now () in
+           (match C.pipeline conn cmds with
+            | Ok replies ->
+                let t1 = Verlib.Hwclock.now () in
+                (match kinds with
+                 | k :: _ ->
+                     Verlib.Obs.Hist.observe (hist_of_kind k) (t1 - t0)
+                 | [] -> ());
+                List.iter2
+                  (fun k r ->
+                    let i = kind_index k in
+                    st.ops.(i) <- st.ops.(i) + 1;
+                    match r with
+                    | P.Err msg -> note_error st msg
+                    | _ -> ())
+                  kinds replies
+            | Error e ->
+                if not (Atomic.get stop) then note_error st e;
+                Atomic.set stop true)
+         done
+       with e -> note_error st (Printexc.to_string e));
+      C.close conn
+
+(* --- bank mix ------------------------------------------------------------- *)
+
+let bank_base = 1_000_000
+
+type bank_stats = {
+  mutable transfers : int;
+  mutable checks : int;
+  mutable skipped : int;  (** a pair member was in-flight (absent) *)
+  mutable violations : int;
+  mutable berrors : int;
+  mutable detail : string option;
+}
+
+let new_bank_stats () =
+  { transfers = 0; checks = 0; skipped = 0; violations = 0; berrors = 0;
+    detail = None }
+
+let bank_note_violation st msg =
+  st.violations <- st.violations + 1;
+  if st.detail = None then st.detail <- Some msg
+
+let bank_note_error st msg =
+  st.berrors <- st.berrors + 1;
+  if st.detail = None then st.detail <- Some msg
+
+(* Writer [w] owns pairs {i | i mod nwriters = w}; local shadows of the
+   two balances make every transfer a blind pipelined write sequence. *)
+let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
+  match C.connect ~host ~retries:20 ~port () with
+  | exception e ->
+      bank_note_error st ("connect: " ^ Printexc.to_string e);
+      Atomic.incr ready
+  | conn ->
+      let owned =
+        List.init pairs Fun.id
+        |> List.filter (fun i -> i mod nwriters = wid)
+        |> Array.of_list
+      in
+      let va = Hashtbl.create 16 and vb = Hashtbl.create 16 in
+      Array.iter
+        (fun i ->
+          Hashtbl.replace va i bank_base;
+          Hashtbl.replace vb i bank_base)
+        owned;
+      let rng = Workload.Splitmix.create (0xba9c + (wid * 104729)) in
+      wait_go ();
+      (try
+         while not (Atomic.get stop) && Array.length owned > 0 do
+           let i = owned.(Workload.Splitmix.below rng (Array.length owned)) in
+           let a = (2 * i) + 1 and b = (2 * i) + 2 in
+           let na = Hashtbl.find va i - 1 and nb = Hashtbl.find vb i + 1 in
+           let cmds = [ P.Del a; P.Put (a, na); P.Del b; P.Put (b, nb) ] in
+           match C.pipeline conn cmds with
+           | Ok [ _; P.Ok_; _; P.Ok_ ] ->
+               Hashtbl.replace va i na;
+               Hashtbl.replace vb i nb;
+               st.transfers <- st.transfers + 1
+           | Ok rs ->
+               bank_note_error st
+                 ("transfer replies: "
+                 ^ String.concat " " (List.map P.pp_reply rs));
+               Atomic.set stop true
+           | Error e ->
+               if not (Atomic.get stop) then bank_note_error st e;
+               Atomic.set stop true
+         done
+       with e -> bank_note_error st (Printexc.to_string e));
+      C.close conn
+
+let check_pair_sum st ~via a b = function
+  | None -> st.skipped <- st.skipped + 1
+  | Some sum ->
+      st.checks <- st.checks + 1;
+      if sum <> 2 * bank_base && sum <> (2 * bank_base) - 1 then
+        bank_note_violation st
+          (Printf.sprintf
+             "%s pair (%d,%d): sum %d not in {%d,%d} — non-atomic multi-read"
+             via a b sum (2 * bank_base) ((2 * bank_base) - 1))
+
+(* Extract both balances from an MGET reply ([Int|Nil; Int|Nil]). *)
+let sum_of_mget = function
+  | P.Arr [ P.Int x; P.Int y ] -> Ok (Some (x + y))
+  | P.Arr [ _; _ ] -> Ok None  (* an account is mid-transfer *)
+  | r -> Error ("MGET reply: " ^ P.pp_reply r)
+
+(* Extract both balances from a RANGE a b reply (flat [k;v;...]). *)
+let sum_of_range a b = function
+  | P.Arr items ->
+      let rec pairs = function
+        | P.Int k :: P.Int v :: rest -> ((k, v) :: pairs rest)
+        | [] -> []
+        | _ -> raise Exit
+      in
+      (try
+         let kvs = pairs items in
+         (match (List.assoc_opt a kvs, List.assoc_opt b kvs) with
+          | Some x, Some y -> Ok (Some (x + y))
+          | _ -> Ok None)
+       with Exit -> Error "RANGE reply: odd k/v framing")
+  | P.Err _ -> Ok None (* capability probed at start; treat as skip *)
+  | r -> Error ("RANGE reply: " ^ P.pp_reply r)
+
+let bank_reader ~host ~port ~pairs ~rid st () =
+  match C.connect ~host ~retries:20 ~port () with
+  | exception e ->
+      bank_note_error st ("connect: " ^ Printexc.to_string e);
+      Atomic.incr ready
+  | conn ->
+      (* Probe once whether RANGE is supported (ordered structure). *)
+      let ranges_ok =
+        match C.request conn (P.Range (1, 2)) with
+        | Ok (P.Err _) -> false
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      let rng = Workload.Splitmix.create (0x5ead + (rid * 65537)) in
+      wait_go ();
+      (try
+         while not (Atomic.get stop) do
+           let i = Workload.Splitmix.below rng pairs in
+           let a = (2 * i) + 1 and b = (2 * i) + 2 in
+           let use_range = ranges_ok && Workload.Splitmix.below rng 2 = 0 in
+           let cmd = if use_range then P.Range (a, b) else P.Mget [| a; b |] in
+           match C.request conn cmd with
+           | Ok r -> (
+               let sum =
+                 if use_range then sum_of_range a b r else sum_of_mget r
+               in
+               match sum with
+               | Ok s ->
+                   check_pair_sum st ~via:(if use_range then "RANGE" else "MGET")
+                     a b s
+               | Error e ->
+                   bank_note_error st e;
+                   Atomic.set stop true)
+           | Error e ->
+               if not (Atomic.get stop) then bank_note_error st e;
+               Atomic.set stop true
+         done
+       with e -> bank_note_error st (Printexc.to_string e));
+      C.close conn
+
+(* Quiescent audit: after every domain is joined, the sum over all
+   accounts must be exactly 2*BASE*pairs (each pipelined transfer runs
+   to completion before the writer observes the stop flag). *)
+let bank_final_audit ~host ~port ~pairs =
+  let conn = C.connect ~host ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  let keys = Array.init (2 * pairs) (fun j -> j + 1) in
+  match C.request conn (P.Mget keys) with
+  | Ok (P.Arr items) ->
+      let missing = ref 0 and total = ref 0 in
+      List.iter
+        (function
+          | P.Int v -> total := !total + v
+          | _ -> incr missing)
+        items;
+      if !missing > 0 then
+        Error (Printf.sprintf "final audit: %d account(s) missing" !missing)
+      else if !total <> 2 * bank_base * pairs then
+        Error
+          (Printf.sprintf "final audit: total %d, expected %d (money %s)"
+             !total
+             (2 * bank_base * pairs)
+             (if !total < 2 * bank_base * pairs then "destroyed" else "created"))
+      else Ok !total
+  | Ok r -> Error ("final audit reply: " ^ P.pp_reply r)
+  | Error e -> Error ("final audit: " ^ e)
+
+(* --- server STATS --------------------------------------------------------- *)
+
+type server_census = {
+  sc_chain_max : int;
+  sc_chain_p99 : int;
+  sc_indirect : int;
+  sc_reclaimable : int;
+  sc_violations : int;
+}
+
+let fetch_stats ~host ~port =
+  match C.connect ~host ~retries:5 ~port () with
+  | exception e -> Error (Printexc.to_string e)
+  | conn ->
+      Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+      (match C.request conn P.Stats with
+       | Ok (P.Bulk s) -> Ok s
+       | Ok r -> Error ("STATS reply: " ^ P.pp_reply r)
+       | Error e -> Error e)
+
+let census_of_stats raw =
+  match Harness.Jsonlite.parse_result raw with
+  | Error e -> Error ("STATS json: " ^ e)
+  | Ok j ->
+      let num path dflt =
+        let rec walk j = function
+          | [] -> Harness.Jsonlite.to_number j
+          | k :: rest -> (
+              match Harness.Jsonlite.member k j with
+              | Some j' -> walk j' rest
+              | None -> None)
+        in
+        match walk j path with Some f -> int_of_float f | None -> dflt
+      in
+      (match Harness.Jsonlite.member "census" j with
+       | None -> Ok None
+       | Some _ ->
+           Ok
+             (Some
+                {
+                  sc_chain_max = num [ "census"; "chain_max" ] 0;
+                  sc_chain_p99 = num [ "census"; "chain_p99" ] 0;
+                  sc_indirect = num [ "census"; "indirect_links" ] 0;
+                  sc_reclaimable = num [ "census"; "reclaimable" ] 0;
+                  sc_violations = num [ "census_violations_total" ] 0;
+                }))
+
+(* --- reporting ------------------------------------------------------------ *)
+
+let us_percentiles kind =
+  let s = Verlib.Obs.Hist.summary (hist_of_kind kind) in
+  if s.Verlib.Obs.Hist.s_count = 0 then (0., 0.)
+  else
+    ( Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p50,
+      Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p99 )
+
+let row ~figure ~label ~mops ~p50 ~p99 census =
+  {
+    Harness.Bench_json.r_figure = figure;
+    r_label = label;
+    r_mops = mops;
+    r_p50_us = p50;
+    r_p99_us = p99;
+    r_chain_max = (match census with Some c -> c.sc_chain_max | None -> 0);
+    r_chain_p99 = (match census with Some c -> c.sc_chain_p99 | None -> 0);
+    r_indirect_links = (match census with Some c -> c.sc_indirect | None -> 0);
+    r_reclaimable = (match census with Some c -> c.sc_reclaimable | None -> 0);
+    r_violations = (match census with Some c -> c.sc_violations | None -> 0);
+    r_space_bytes = 0.;
+  }
+
+let write_rows ~json_out ~merge_into ~ci rows =
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        match merge_into with
+        | Some base -> (
+            match Harness.Bench_json.read_file base with
+            | Ok d -> Harness.Bench_json.merge_rows d rows
+            | Error e ->
+                Printf.eprintf
+                  "verlib_loadgen: cannot merge into %s (%s); writing fresh doc\n"
+                  base e;
+                Harness.Bench_json.make_doc ~label:"serve"
+                  ~scale:(if ci then "ci" else "quick")
+                  rows)
+        | None ->
+            Harness.Bench_json.make_doc ~label:"serve"
+              ~scale:(if ci then "ci" else "quick")
+              rows
+      in
+      Harness.Bench_json.write_file path doc;
+      Printf.eprintf "verlib_loadgen: %d row(s) -> %s\n%!" (List.length rows)
+        path
+
+(* --- driver --------------------------------------------------------------- *)
+
+let run host port threads depth size updates query theta duration seed mix pairs
+    no_fill ci json_out merge_into figure stats_out =
+  install_signal_handlers ();
+  let size = if ci then min size 1_000 else size in
+  let duration = if ci then min duration 0.5 else duration in
+  let threads = max 1 threads and depth = max 1 depth in
+  let pairs = max 1 pairs in
+  let exit_bad = ref false in
+  let timed_run spawn_all =
+    let ds = spawn_all () in
+    let nds = List.length ds in
+    (* wait until every domain is connected and parked at the barrier *)
+    let t_wait = Unix.gettimeofday () +. 10. in
+    while Atomic.get ready < nds && Unix.gettimeofday () < t_wait do
+      Unix.sleepf 0.002
+    done;
+    Atomic.set go true;
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. duration in
+    while (not (Atomic.get stop)) && Unix.gettimeofday () < deadline do
+      (try Unix.sleepf 0.02 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    Atomic.set stop true;
+    List.iter Domain.join ds;
+    Unix.gettimeofday () -. t0
+  in
+  match mix with
+  | `Bank ->
+      let nwriters = max 1 (threads / 2) in
+      let nreaders = max 1 (threads - nwriters) in
+      (* Seed every account before any writer or reader starts. *)
+      (try
+         let conn = C.connect ~host ~retries:50 ~port () in
+         Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+         let cmds =
+           List.init pairs (fun i ->
+               [ P.Put ((2 * i) + 1, bank_base); P.Put ((2 * i) + 2, bank_base) ])
+           |> List.concat
+         in
+         match C.pipeline conn cmds with
+         | Ok rs ->
+             List.iter
+               (function
+                 | P.Ok_ -> ()
+                 | r -> failwith ("bank seed reply: " ^ P.pp_reply r))
+               rs
+         | Error e -> failwith ("bank seed: " ^ e)
+       with e ->
+         prerr_endline ("verlib_loadgen: " ^ Printexc.to_string e);
+         exit 1);
+      let wstats = Array.init nwriters (fun _ -> new_bank_stats ()) in
+      let rstats = Array.init nreaders (fun _ -> new_bank_stats ()) in
+      let elapsed =
+        timed_run (fun () ->
+            List.init nwriters (fun w ->
+                Domain.spawn
+                  (bank_writer ~host ~port ~pairs ~nwriters ~wid:w wstats.(w)))
+            @ List.init nreaders (fun r ->
+                  Domain.spawn (bank_reader ~host ~port ~pairs ~rid:r rstats.(r))))
+      in
+      let sum f arr = Array.fold_left (fun acc s -> acc + f s) 0 arr in
+      let transfers = sum (fun s -> s.transfers) wstats in
+      let checks = sum (fun s -> s.checks) rstats in
+      let skipped = sum (fun s -> s.skipped) rstats in
+      let violations =
+        sum (fun s -> s.violations) wstats + sum (fun s -> s.violations) rstats
+      in
+      let errors =
+        sum (fun s -> s.berrors) wstats + sum (fun s -> s.berrors) rstats
+      in
+      Array.iter
+        (fun s -> Option.iter (Printf.eprintf "  detail: %s\n") s.detail)
+        (Array.append wstats rstats);
+      let audit = bank_final_audit ~host ~port ~pairs in
+      Printf.printf
+        "bank: %d writer(s) %d reader(s) %d pair(s), %.2fs\n\
+         transfers=%d checks=%d inflight_skips=%d violations=%d errors=%d\n"
+        nwriters nreaders pairs elapsed transfers checks skipped violations
+        errors;
+      (match audit with
+       | Ok total -> Printf.printf "final audit: OK (total %d)\n" total
+       | Error e ->
+           print_endline ("final audit: FAIL — " ^ e);
+           exit_bad := true);
+      if checks = 0 then begin
+        print_endline "bank: FAIL — no atomic checks completed";
+        exit_bad := true
+      end;
+      if violations > 0 || errors > 0 then exit_bad := true;
+      if !exit_bad then exit 1
+  | `Opgen -> (
+      match parse_query query with
+      | Error (`Msg m) ->
+          prerr_endline m;
+          exit 2
+      | Ok q ->
+          let mk_gen wid =
+            Workload.Opgen.create ~theta ~seed:(seed + wid) ~n:size
+              ~update_percent:updates ~query:q ()
+          in
+          if not no_fill then begin
+            try
+              let conn = C.connect ~host ~retries:50 ~port () in
+              Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+              fill_over_wire conn (mk_gen 0) (Workload.Splitmix.create seed)
+            with e ->
+              prerr_endline ("verlib_loadgen: " ^ Printexc.to_string e);
+              exit 1
+          end;
+          let stats = Array.init threads (fun _ -> new_wstats ()) in
+          let elapsed =
+            timed_run (fun () ->
+                List.init threads (fun w ->
+                    Domain.spawn
+                      (opgen_worker ~host ~port ~depth ~gen_of:mk_gen ~wid:w
+                         stats.(w))))
+          in
+          let total_ops =
+            Array.fold_left
+              (fun acc s -> acc + Array.fold_left ( + ) 0 s.ops)
+              0 stats
+          in
+          let kind_ops k =
+            Array.fold_left (fun acc s -> acc + s.ops.(kind_index k)) 0 stats
+          in
+          let errors = Array.fold_left (fun acc s -> acc + s.errors) 0 stats in
+          Array.iter
+            (fun s ->
+              Option.iter (Printf.eprintf "  first error: %s\n") s.first_error)
+            stats;
+          let mops = float_of_int total_ops /. elapsed /. 1e6 in
+          let qkind =
+            match q with
+            | Workload.Opgen.Finds -> K_find
+            | Workload.Opgen.Ranges _ -> K_range
+            | Workload.Opgen.Multifinds _ -> K_multifind
+          in
+          let qp50, qp99 = us_percentiles qkind in
+          Printf.printf
+            "served: %d domain(s) x depth %d, %.2fs — %.3f Mop/s (%d ops, %d \
+             errors)\n"
+            threads depth elapsed mops total_ops errors;
+          Printf.printf
+            "%s batch rtt: p50 %.1fus p99 %.1fus (batches of %d, first-command \
+             attribution)\n"
+            (kind_name qkind) qp50 qp99 depth;
+          let census =
+            match fetch_stats ~host ~port with
+            | Error e ->
+                Printf.eprintf "verlib_loadgen: STATS unavailable: %s\n" e;
+                None
+            | Ok raw -> (
+                Option.iter
+                  (fun path ->
+                    let oc = open_out path in
+                    output_string oc raw;
+                    output_char oc '\n';
+                    close_out oc;
+                    Printf.eprintf "verlib_loadgen: STATS -> %s\n%!" path)
+                  stats_out;
+                match census_of_stats raw with
+                | Ok c -> c
+                | Error e ->
+                    Printf.eprintf "verlib_loadgen: %s\n" e;
+                    exit_bad := true;
+                    None)
+          in
+          (match census with
+           | Some c ->
+               Printf.printf
+                 "server census: chain_max=%d chain_p99=%d indirect=%d \
+                  reclaimable=%d violations=%d\n"
+                 c.sc_chain_max c.sc_chain_p99 c.sc_indirect c.sc_reclaimable
+                 c.sc_violations;
+               if c.sc_violations > 0 then exit_bad := true
+           | None -> ());
+          let qmops = float_of_int (kind_ops qkind) /. elapsed /. 1e6 in
+          let rows =
+            [
+              row ~figure ~label:"total" ~mops ~p50:qp50 ~p99:qp99 census;
+              row ~figure ~label:(kind_name qkind) ~mops:qmops ~p50:qp50
+                ~p99:qp99 census;
+            ]
+          in
+          write_rows ~json_out ~merge_into ~ci rows;
+          if errors > 0 then exit_bad := true;
+          if total_ops = 0 then begin
+            print_endline "served: FAIL — no operations completed";
+            exit_bad := true
+          end;
+          if !exit_bad then exit 1)
+
+let cmd =
+  let doc = "closed-loop load generator for verlib-serve" in
+  Cmd.v
+    (Cmd.info "verlib_loadgen" ~doc)
+    Term.(
+      const run $ host $ port $ threads $ depth $ size $ updates $ query $ theta
+      $ duration $ seed $ mix $ pairs $ no_fill $ ci $ json_out $ merge_into
+      $ figure $ stats_out)
+
+let () = exit (Cmd.eval cmd)

@@ -109,8 +109,27 @@ let parse_query s =
   | [ "multifind"; n ] -> Ok (Workload.Opgen.Multifinds (int_of_string n))
   | _ -> Error (`Msg (Printf.sprintf "bad query spec %S" s))
 
+(* First SIGINT/SIGTERM: cooperative stop — the driver winds the run
+   down (workers joined, background census domain stopped) and the
+   stats / census / trace reports are still written in full, instead of
+   the process dying mid-write.  A second signal force-exits. *)
+let install_signal_handlers () =
+  let signalled = ref false in
+  let handle _ =
+    if !signalled then exit 130
+    else begin
+      signalled := true;
+      prerr_endline "verlib_run: stopping (again to force-quit)...";
+      Harness.Driver.request_stop ()
+    end
+  in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 let run structure mode scheme lock_mode threads size updates query theta duration repeats
     stats_fmt trace_file census census_interval =
+  install_signal_handlers ();
   match parse_query query with
   | Error (`Msg m) ->
       prerr_endline m;

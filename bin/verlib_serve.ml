@@ -1,0 +1,160 @@
+(* verlib-serve CLI: mount one versioned structure behind the wire
+   protocol (docs/PROTOCOL.md) and serve it until SIGINT/SIGTERM (or
+   for --duration seconds).  Shutdown is a graceful drain: accepting
+   stops, in-flight connections are answered, every domain (including
+   the background census domain) is joined, and the final stats report
+   — with a quiescent, exact-audit chain census — is flushed before
+   exit. *)
+
+open Cmdliner
+
+let structure =
+  let doc =
+    Printf.sprintf "Data structure to serve: %s."
+      (String.concat ", " Harness.Registry.names)
+  in
+  Arg.(value & opt string "btree" & info [ "s"; "structure" ] ~docv:"NAME" ~doc)
+
+let mode =
+  let alist =
+    [
+      ("indonneed", Verlib.Vptr.Ind_on_need);
+      ("indirect", Verlib.Vptr.Indirect);
+      ("noshortcut", Verlib.Vptr.No_shortcut);
+      ("reconce", Verlib.Vptr.Rec_once);
+      ("plain", Verlib.Vptr.Plain);
+    ]
+  in
+  Arg.(value & opt (enum alist) Verlib.Vptr.Ind_on_need & info [ "m"; "mode" ]
+       ~doc:"Versioned pointer implementation.")
+
+let port =
+  Arg.(value & opt int 7379 & info [ "p"; "port" ]
+       ~doc:"TCP port on 127.0.0.1; 0 picks an ephemeral port (printed on stdout).")
+
+let domains =
+  Arg.(value & opt int 4 & info [ "t"; "domains" ]
+       ~doc:"Worker domains (also the max concurrent connections).")
+
+let n_hint =
+  Arg.(value & opt int 10_000 & info [ "n"; "size-hint" ]
+       ~doc:"Structure size hint (e.g. hash bucket count).")
+
+let prefill =
+  Arg.(value & opt int 0 & info [ "prefill" ]
+       ~doc:"Insert keys 1..$(docv) (value = key) before serving." ~docv:"N")
+
+let queue_depth =
+  Arg.(value & opt int 64 & info [ "queue-depth" ]
+       ~doc:"Bound of the accept-to-worker handoff queue (backpressure).")
+
+let census_interval =
+  Arg.(value & opt float 0. & info [ "census-interval" ] ~docv:"SECONDS"
+       ~doc:"Walk the structure's version chains every $(docv) seconds from a \
+             background domain ([Verlib.Chainscan]); the latest census is \
+             reported by STATS and a final quiescent census on shutdown.  0 \
+             disables.")
+
+let duration =
+  Arg.(value & opt float 0. & info [ "d"; "duration" ]
+       ~doc:"Serve for this many seconds then drain and exit; 0 = until \
+             SIGINT/SIGTERM.")
+
+let stats_fmt =
+  let alist = [ ("none", `None); ("json", `Json) ] in
+  Arg.(value & opt (enum alist) `Json & info [ "stats" ] ~docv:"FMT"
+       ~doc:"Final report on shutdown: json (stdout) or none.")
+
+let trace_file =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+       ~doc:"Record typed events and export Chrome trace-event JSON to $(docv) \
+             on shutdown.")
+
+let stop_requested = Atomic.make false
+
+(* First signal: graceful drain (the main loop calls [Server.stop],
+   which flushes the final stats/census instead of dying mid-write).
+   Second signal: force-quit. *)
+let install_signal_handlers () =
+  let handle _ =
+    if Atomic.get stop_requested then exit 130
+    else begin
+      Atomic.set stop_requested true;
+      prerr_endline "verlib-serve: draining (signal again to force-quit)..."
+    end
+  in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let run structure mode port domains n_hint prefill queue_depth census_interval
+    duration stats_fmt trace_file =
+  let map = Harness.Registry.find structure in
+  let module M = (val map : Dstruct.Map_intf.MAP) in
+  if not (M.supports_mode mode) then begin
+    Printf.eprintf "%s does not support mode %s\n" structure
+      (Verlib.Vptr.mode_name mode);
+    exit 2
+  end;
+  Verlib.reset ();
+  if trace_file <> None then Verlib.Obs.set_tracing true;
+  let mount = Server.Mount.mount ~mode ~n_hint map in
+  for k = 1 to prefill do
+    ignore (Server.Mount.exec mount (Server.Protocol.Put (k, k)))
+  done;
+  let config =
+    {
+      Server.default_config with
+      Server.port;
+      domains;
+      queue_depth;
+      census_interval;
+    }
+  in
+  let srv = Server.create ~config mount in
+  install_signal_handlers ();
+  Server.start srv;
+  Printf.printf "PORT %d\n%!" (Server.port srv);
+  Printf.eprintf
+    "verlib-serve: %s (%s, %s) on 127.0.0.1:%d — %d worker domain(s)%s\n%!"
+    structure
+    (Verlib.Vptr.mode_name mode)
+    (Dstruct.Map_intf.range_capability_name M.range_capability)
+    (Server.port srv) domains
+    (if census_interval > 0. then
+       Printf.sprintf ", census every %.2fs" census_interval
+     else "");
+  let deadline =
+    if duration > 0. then Some (Unix.gettimeofday () +. duration) else None
+  in
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  in
+  while not (Atomic.get stop_requested || expired ()) do
+    (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  Server.stop srv;
+  (match stats_fmt with
+   | `None -> ()
+   | `Json -> print_endline (Server.stats_json srv));
+  (match trace_file with
+   | None -> ()
+   | Some path ->
+       Verlib.Obs.set_tracing false;
+       let streams = Verlib.Obs.export_trace path in
+       Printf.eprintf "trace: %d domain stream(s) written to %s\n%!" streams path);
+  let violations = Server.census_violations_total srv in
+  if violations > 0 then begin
+    Printf.eprintf "verlib-serve: %d census invariant violation(s)\n%!" violations;
+    exit 1
+  end
+
+let cmd =
+  let doc = "serve a versioned map over TCP (pipelined RESP-like protocol)" in
+  Cmd.v
+    (Cmd.info "verlib_serve" ~doc)
+    Term.(
+      const run $ structure $ mode $ port $ domains $ n_hint $ prefill
+      $ queue_depth $ census_interval $ duration $ stats_fmt $ trace_file)
+
+let () = exit (Cmd.eval cmd)

@@ -4,7 +4,7 @@ module Lock = Flock.Lock
 
 let name = "arttree"
 
-let supports_range = true
+let range_capability = Map_intf.Ordered_range
 
 (* Deletion stores null into cells, which RecOnce cannot express. *)
 let supports_mode (m : Vptr.mode) = m <> Vptr.Rec_once
@@ -361,6 +361,10 @@ let range t lo hi = Map_intf.range_as_list fold_range t lo hi
 let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
 
 let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+(* ART keys are non-negative (radix on byte decomposition), so the
+   whole-keyspace fold starts at 0, like [to_sorted_list]. *)
+let scan t ~init ~f = Map_intf.scan_via_fold_range ~lo:0 fold_range t ~init ~f
 
 (* Census walk: the root cell plus every child cell of every inner node,
    including empty slots (a Direct node's nil cells still carry version

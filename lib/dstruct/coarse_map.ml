@@ -2,7 +2,7 @@ module IntMap = Map.Make (Int)
 
 let name = "coarse"
 
-let supports_range = true
+let range_capability = Map_intf.Ordered_range
 
 let supports_mode (m : Verlib.Vptr.mode) = m = Verlib.Vptr.Plain
 
@@ -41,6 +41,9 @@ let range_count t lo hi = List.length (range t lo hi)
 
 let multifind t keys =
   Rwlock.with_read t.rw (fun () -> Array.map (fun k -> IntMap.find_opt k t.map) keys)
+
+let scan t ~init ~f =
+  Rwlock.with_read t.rw (fun () -> IntMap.fold (fun k v acc -> f acc k v) t.map init)
 
 let size t = Rwlock.with_read t.rw (fun () -> IntMap.cardinal t.map)
 

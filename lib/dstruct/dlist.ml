@@ -4,7 +4,7 @@ module Lock = Flock.Lock
 
 let name = "dlist"
 
-let supports_range = true
+let range_capability = Map_intf.Ordered_range
 
 (* Removal stores an existing node into the predecessor's next pointer, so
    the list is not recorded-once (the paper, likewise, only builds a
@@ -152,6 +152,8 @@ let range t lo hi = Map_intf.range_as_list fold_range t lo hi
 let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
 
 let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+let scan t ~init ~f = Map_intf.scan_via_fold_range fold_range t ~init ~f
 
 let to_sorted_list t =
   let rec collect acc cur =

@@ -2,7 +2,7 @@ module Vptr = Verlib.Vptr
 
 let name = "hashtable"
 
-let supports_range = false
+let range_capability = Map_intf.Unordered
 
 (* RecOnce is unsound here: deleting down to a shared state re-records
    bucket objects?  No — every update installs a freshly allocated bucket,
@@ -100,6 +100,12 @@ let fold t ~init ~f =
     init t.cells
 
 let size t = fold t ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+(* The snapshot makes the bucket-by-bucket walk atomic: every [Vptr.load]
+   inside resolves against one timestamp, so an unordered map can serve
+   the same multi-point read paths (wire MGET / SCAN) as the ordered
+   ones. *)
+let scan t ~init ~f = Map_intf.scan_via_snapshot fold t ~init ~f
 
 let to_sorted_list t =
   List.sort compare (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))

@@ -6,6 +6,22 @@
     versioned mode; on [Plain] structures they are best-effort, exactly as
     in the paper's non-versioned baselines. *)
 
+(** What multi-point queries a structure can serve — a typed capability
+    rather than a bool, so consumers (the wire server, the benchmark
+    harness, the tests) dispatch with an exhaustive match instead of
+    guessing what [false] implied. *)
+type range_capability =
+  | Ordered_range
+      (** Keys are ordered: [range] / [range_count] work (and are
+          linearizable in versioned modes). *)
+  | Unordered
+      (** No key order: [range] raises [Invalid_argument]; multi-point
+          reads go through [multifind] or the [scan] snapshot fold. *)
+
+let range_capability_name = function
+  | Ordered_range -> "ordered-range"
+  | Unordered -> "unordered"
+
 module type MAP = sig
   type t
 
@@ -33,6 +49,13 @@ module type MAP = sig
   val multifind : t -> int array -> int option array
   (** Atomic batch of finds. *)
 
+  val scan : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+  (** Snapshot-consistent fold over every binding, in unspecified order —
+      the multi-point read that works on {e every} structure, including
+      unordered ones ([range_capability = Unordered]).  On versioned
+      structures the whole fold runs against one atomic snapshot; on
+      [Plain] baselines it is best-effort, like [range]. *)
+
   val size : t -> int
 
   val to_sorted_list : t -> (int * int) list
@@ -49,7 +72,7 @@ module type MAP = sig
       concurrently with mutators (may miss in-flight nodes); emits
       nothing on structures without versioned pointers. *)
 
-  val supports_range : bool
+  val range_capability : range_capability
 
   val supports_mode : Verlib.Vptr.mode -> bool
 end
@@ -62,3 +85,14 @@ let multifind_via_snapshot find t keys =
 (** Shared helper: range via collecting fold. *)
 let range_as_list fold_range t lo hi =
   List.rev (fold_range t lo hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+(** Shared helper: [scan] for ordered structures whose [fold_range] is
+    already snapshot-wrapped — a whole-keyspace fold. *)
+let scan_via_fold_range ?(lo = min_int) fold_range t ~init ~f =
+  fold_range t lo max_int ~init ~f
+
+(** Shared helper: [scan] for unordered structures with a plain (racy)
+    structural fold — wrapping it in one snapshot makes the whole walk
+    atomic, the same construction as {!multifind_via_snapshot}. *)
+let scan_via_snapshot fold t ~init ~f =
+  Verlib.with_snapshot (fun () -> fold t ~init ~f)

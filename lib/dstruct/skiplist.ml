@@ -4,7 +4,7 @@ module Lock = Flock.Lock
 
 let name = "skiplist"
 
-let supports_range = true
+let range_capability = Map_intf.Ordered_range
 
 let supports_mode (m : Vptr.mode) = m <> Vptr.Rec_once
 
@@ -281,6 +281,8 @@ let range t lo hi = Map_intf.range_as_list fold_range t lo hi
 let range_count t lo hi = fold_range t lo hi ~init:0 ~f:(fun acc _ _ -> acc + 1)
 
 let multifind t keys = Map_intf.multifind_via_snapshot find t keys
+
+let scan t ~init ~f = Map_intf.scan_via_fold_range fold_range t ~init ~f
 
 (* Census walk: every tower cell of every node reachable at level 0 —
    the level where all nodes appear.  Passive ([Vptr.peek]). *)

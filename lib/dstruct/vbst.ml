@@ -1,6 +1,6 @@
 let name = "vbst"
 
-let supports_range = true
+let range_capability = Map_intf.Ordered_range
 
 let supports_mode (m : Verlib.Vptr.mode) = m = Verlib.Vptr.Plain
 
@@ -209,6 +209,14 @@ let range t lo hi = validated t (fun () -> collect_range t lo hi)
 let range_count t lo hi = List.length (range t lo hi)
 
 let multifind t keys = validated t (fun () -> Array.map (fun k -> find t k) keys)
+
+(* One validated collect, then a pure fold: the whole scan observes a
+   single seqlock-validated state. *)
+let scan t ~init ~f =
+  List.fold_left
+    (fun acc (k, v) -> f acc k v)
+    init
+    (validated t (fun () -> collect_range t min_int max_int))
 
 (* No versioned pointers: the vbst is a plain-atomics baseline (seqlock
    range queries), so the census has nothing to walk. *)

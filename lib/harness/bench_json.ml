@@ -41,6 +41,34 @@ let make_doc ?(label = "") ?(scale = "quick") rows =
   { d_schema = schema_version; d_label = label; d_created = created;
     d_scale = scale; d_rows = rows }
 
+(* Merge fresh rows into an existing doc: a row with the same
+   (figure, label) replaces the old one in place, new rows append at the
+   end — how the served-throughput figures join the committed benchmark
+   baseline without rewriting it. *)
+let merge_rows d rows =
+  let replaced =
+    List.map
+      (fun old ->
+        match
+          List.find_opt
+            (fun r -> r.r_figure = old.r_figure && r.r_label = old.r_label)
+            rows
+        with
+        | Some fresh -> fresh
+        | None -> old)
+      d.d_rows
+  in
+  let fresh_only =
+    List.filter
+      (fun r ->
+        not
+          (List.exists
+             (fun old -> old.r_figure = r.r_figure && old.r_label = r.r_label)
+             d.d_rows))
+      rows
+  in
+  { d with d_rows = replaced @ fresh_only }
+
 (* --- rendering ---------------------------------------------------------- *)
 
 let json_of_row r =

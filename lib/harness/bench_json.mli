@@ -35,6 +35,10 @@ type doc = {
 val make_doc : ?label:string -> ?scale:string -> row list -> doc
 (** Stamps today's date and {!schema_version}. *)
 
+val merge_rows : doc -> row list -> doc
+(** Replace rows with matching (figure, label), append the rest — used
+    to fold served-throughput rows into the committed baseline. *)
+
 val to_json : doc -> string
 
 val write_file : string -> doc -> unit

@@ -40,6 +40,17 @@ let default_spec map =
     census_interval = 0.;
   }
 
+(* Cooperative external stop: the CLIs' SIGINT/SIGTERM handlers call
+   [request_stop]; the measurement sleep is sliced so the run winds down
+   early but {e completely} — workers and the census sampler join, the
+   final census, space measurement and report still happen, nothing dies
+   mid-write. *)
+let external_stop = Atomic.make false
+
+let request_stop () = Atomic.set external_stop true
+
+let interrupted () = Atomic.get external_stop
+
 type result = {
   total_mops : float;
   group_mops : float list;
@@ -171,7 +182,16 @@ let run_once spec =
   in
   let t0 = Unix.gettimeofday () in
   Atomic.set go true;
-  Unix.sleepf spec.duration;
+  let deadline = t0 +. spec.duration in
+  let rec measure () =
+    let now = Unix.gettimeofday () in
+    if now < deadline && not (Atomic.get external_stop) then begin
+      (try Unix.sleepf (Float.min 0.05 (deadline -. now))
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      measure ()
+    end
+  in
+  measure ();
   Atomic.set stop true;
   (* Stamp the end of the measurement window the instant the stop flag is
      raised: workers cease counting as soon as they observe it, so
@@ -214,7 +234,15 @@ let run_once spec =
   }
 
 let run spec =
-  let results = List.init (max 1 spec.repeats) (fun _ -> run_once spec) in
+  (* Stop repeating (but keep every completed run) once an external stop
+     is requested. *)
+  let reps = max 1 spec.repeats in
+  let rec collect acc i =
+    if i >= reps then List.rev acc
+    else if acc <> [] && interrupted () then List.rev acc
+    else collect (run_once spec :: acc) (i + 1)
+  in
+  let results = collect [] 0 in
   let avg f = List.fold_left (fun a r -> a +. f r) 0. results /. Float.of_int (List.length results) in
   let last = List.nth results (List.length results - 1) in
   {

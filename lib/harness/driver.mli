@@ -69,3 +69,13 @@ type result = {
 
 val run : spec -> result
 (** Builds, fills, runs and validates ([check]) the structure. *)
+
+val request_stop : unit -> unit
+(** Cooperative external stop, for signal handlers: the current run's
+    measurement window ends at the next 50 ms slice, remaining repeats
+    are skipped, and [run] still returns a complete result (workers and
+    the census sampler joined, final census and report intact) instead
+    of the process dying mid-write.  Sticky for the process lifetime. *)
+
+val interrupted : unit -> bool
+(** Whether {!request_stop} has been called. *)

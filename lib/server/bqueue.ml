@@ -1,0 +1,62 @@
+type 'a t = {
+  depth : int;
+  q : 'a Queue.t;
+  mutable closed : bool;
+  m : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create depth =
+  {
+    depth = max 1 depth;
+    q = Queue.create ();
+    closed = false;
+    m = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x =
+  with_lock t (fun () ->
+      let rec wait () =
+        if t.closed then false
+        else if Queue.length t.q >= t.depth then begin
+          Condition.wait t.not_full t.m;
+          wait ()
+        end
+        else begin
+          Queue.push x t.q;
+          Condition.signal t.not_empty;
+          true
+        end
+      in
+      wait ())
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.q with
+        | Some x ->
+            Condition.signal t.not_full;
+            Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.not_empty t.m;
+              wait ()
+            end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_full;
+      Condition.broadcast t.not_empty)
+
+let length t = with_lock t (fun () -> Queue.length t.q)

@@ -1,0 +1,26 @@
+(** Bounded blocking queue — the accept→worker handoff with
+    backpressure.  When the queue is full the accepting domain blocks in
+    {!push}, which stops it calling [accept]; the kernel listen backlog
+    then fills and new clients queue in the TCP layer — closed-loop load
+    cannot outrun the workers.
+
+    [close] makes the queue drain-only: {!push} returns [false], {!pop}
+    keeps returning queued items and then [None] — the graceful-shutdown
+    path. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create depth]; depth is clamped to at least 1. *)
+
+val push : 'a t -> 'a -> bool
+(** Blocks while full.  [false] iff the queue was closed (the item is
+    not enqueued). *)
+
+val pop : 'a t -> 'a option
+(** Blocks while empty and open.  [None] iff closed and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes all blocked producers and consumers. *)
+
+val length : 'a t -> int

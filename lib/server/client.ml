@@ -1,0 +1,63 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  out : Buffer.t;
+}
+
+let connect ?(host = "127.0.0.1") ?(retries = 0) ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let rec dial attempt =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENETUNREACH), _, _)
+      when attempt < retries ->
+        (try Unix.close fd with _ -> ());
+        Unix.sleepf 0.1;
+        dial (attempt + 1)
+    | exception e ->
+        (try Unix.close fd with _ -> ());
+        raise e
+  in
+  let fd = dial 0 in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  {
+    fd;
+    reader = Protocol.Reader.create (fun b p l -> Unix.read fd b p l);
+    out = Buffer.create 4096;
+  }
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let flush t =
+  let s = Buffer.contents t.out in
+  Buffer.clear t.out;
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write t.fd b off (len - off))
+  in
+  go 0
+
+let send_raw t s =
+  Buffer.add_string t.out s;
+  flush t
+
+let read_reply t = Protocol.Reader.reply t.reader
+
+let request t c =
+  Protocol.render_command t.out c;
+  flush t;
+  read_reply t
+
+let pipeline t cs =
+  List.iter (Protocol.render_command t.out) cs;
+  flush t;
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | _ :: rest -> (
+        match read_reply t with
+        | Ok r -> go (r :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] cs

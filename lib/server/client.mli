@@ -1,0 +1,28 @@
+(** Blocking loopback client for the verlib-serve protocol — the
+    building block of [bin/verlib_loadgen] and the wire tests.
+
+    Not domain-safe: one client per domain (each holds its own socket
+    and read buffer), mirroring the benchmark discipline of one RNG per
+    thread. *)
+
+type t
+
+val connect : ?host:string -> ?retries:int -> port:int -> unit -> t
+(** [connect ~port ()] dials 127.0.0.1:[port].  [retries] (default 0)
+    retries refused connections every 100 ms — lets a load generator
+    start before the server finishes binding.  Raises [Unix.Unix_error]
+    when the last attempt fails. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.command -> (Protocol.reply, string) result
+(** One command, one reply. *)
+
+val pipeline : t -> Protocol.command list -> (Protocol.reply list, string) result
+(** Write every command in one buffer flush, then read the replies in
+    order — the pipelined closed loop. *)
+
+val send_raw : t -> string -> unit
+(** Write arbitrary bytes (protocol fuzzing). *)
+
+val read_reply : t -> (Protocol.reply, string) result

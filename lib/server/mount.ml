@@ -1,0 +1,69 @@
+type t =
+  | Mount : {
+      m : (module Dstruct.Map_intf.MAP with type t = 'a);
+      h : 'a;
+    }
+      -> t
+
+let mount ?mode ?lock_mode ~n_hint (map : (module Dstruct.Map_intf.MAP)) =
+  let module M = (val map) in
+  let h = M.create ?mode ?lock_mode ~n_hint () in
+  Mount { m = (module M); h }
+
+let name (Mount { m = (module M); _ }) = M.name
+
+let size (Mount { m = (module M); h }) = M.size h
+
+let range_capability (Mount { m = (module M); _ }) = M.range_capability
+
+let iter_vptrs (Mount { m = (module M); h }) emit = M.iter_vptrs h emit
+
+let scan_limit_cap = 1 lsl 20
+
+let unsupported_range name =
+  Protocol.Err
+    (Printf.sprintf
+       "unsupported: RANGE on unordered structure %S; use MGET or SCAN" name)
+
+(* Flat [k; v; k; v; ...] arrays, Redis-style, so the reply grammar
+   needs no nesting. *)
+let pairs_reply pairs =
+  Protocol.Arr (List.concat_map (fun (k, v) -> Protocol.[ Int k; Int v ]) pairs)
+
+let exec (Mount { m = (module M); h }) (c : Protocol.command) : Protocol.reply =
+  try
+    match c with
+    | Protocol.Ping -> Protocol.Pong
+    | Protocol.Get k -> (
+        match M.find h k with Some v -> Protocol.Int v | None -> Protocol.Nil)
+    | Protocol.Put (k, v) ->
+        if M.insert h k v then Protocol.Ok_ else Protocol.Exists
+    | Protocol.Del k -> Protocol.Int (if M.delete h k then 1 else 0)
+    | Protocol.Mget ks ->
+        Protocol.Arr
+          (Array.to_list (M.multifind h ks)
+          |> List.map (function
+               | Some v -> Protocol.Int v
+               | None -> Protocol.Nil))
+    | Protocol.Range (lo, hi) -> (
+        match M.range_capability with
+        | Dstruct.Map_intf.Unordered -> unsupported_range M.name
+        | Dstruct.Map_intf.Ordered_range -> pairs_reply (M.range h lo hi))
+    | Protocol.Rangecount (lo, hi) -> (
+        match M.range_capability with
+        | Dstruct.Map_intf.Unordered -> unsupported_range M.name
+        | Dstruct.Map_intf.Ordered_range -> Protocol.Int (M.range_count h lo hi))
+    | Protocol.Scan limit ->
+        let limit = if limit = 0 then scan_limit_cap else min limit scan_limit_cap in
+        (* One snapshot fold; bindings beyond [limit] are walked but not
+           returned (the fold has no early exit by design — it must
+           visit the snapshot it was given). *)
+        let _, pairs =
+          M.scan h ~init:(0, []) ~f:(fun (n, acc) k v ->
+              if n < limit then (n + 1, (k, v) :: acc) else (n + 1, acc))
+        in
+        pairs_reply (List.rev pairs)
+    | Protocol.Size -> Protocol.Int (M.size h)
+    | Protocol.Stats | Protocol.Quit ->
+        Protocol.Err "connection-level command reached the executor"
+  with e -> Protocol.Err ("internal: " ^ Printexc.to_string e)

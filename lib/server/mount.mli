@@ -1,0 +1,37 @@
+(** A mounted structure: any [Dstruct.Map_intf.MAP]-conforming map,
+    packed with its handle so the server can execute wire commands
+    against it without knowing the concrete type.
+
+    Capability dispatch is typed: [RANGE]/[RANGECOUNT] against an
+    [Unordered] structure produce a [-ERR unsupported ...] reply — never
+    an exception — while [MGET] and [SCAN] work everywhere (the shared
+    snapshot fold of [Map_intf]). *)
+
+type t
+
+val mount :
+  ?mode:Verlib.Vptr.mode ->
+  ?lock_mode:Flock.Lock.mode ->
+  n_hint:int ->
+  (module Dstruct.Map_intf.MAP) ->
+  t
+
+val name : t -> string
+
+val size : t -> int
+
+val range_capability : t -> Dstruct.Map_intf.range_capability
+
+val iter_vptrs : t -> (Verlib.Chainscan.target -> unit) -> unit
+(** For the chain census ([Verlib.Chainscan]). *)
+
+val exec : t -> Protocol.command -> Protocol.reply
+(** Execute one data command.  [Ping] answers [Pong]; [Stats] and
+    [Quit] are connection-level and answered with [-ERR] here (the
+    server intercepts them first).  Structure exceptions are caught and
+    surfaced as [-ERR internal: ...] so a bug cannot take the worker
+    down. *)
+
+val scan_limit_cap : int
+(** Upper bound the server imposes on [SCAN] results (bindings), to
+    bound reply size; [SCAN 0] means "all", capped here. *)

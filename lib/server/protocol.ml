@@ -1,0 +1,278 @@
+type command =
+  | Ping
+  | Get of int
+  | Put of int * int
+  | Del of int
+  | Mget of int array
+  | Range of int * int
+  | Rangecount of int * int
+  | Scan of int
+  | Size
+  | Stats
+  | Quit
+
+type reply =
+  | Ok_
+  | Pong
+  | Exists
+  | Err of string
+  | Int of int
+  | Nil
+  | Bulk of string
+  | Arr of reply list
+
+(* --- command parsing ---------------------------------------------------- *)
+
+(* Tokenise one line: split on single spaces, drop empty tokens (so runs
+   of spaces and a trailing \r are harmless). *)
+let tokens line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let int_arg name s k =
+  match int_of_string_opt s with
+  | Some v -> k v
+  | None -> Error (Printf.sprintf "%s: not an integer %S" name s)
+
+let parse_command line =
+  (* Total by construction; the catch-all is belt-and-braces so a parser
+     bug can never take a connection (or the server) down. *)
+  try
+    match tokens line with
+    | [] -> Error "empty command"
+    | verb :: args -> (
+        match (String.uppercase_ascii verb, args) with
+        | "PING", [] -> Ok Ping
+        | "GET", [ k ] -> int_arg "key" k (fun k -> Ok (Get k))
+        | "PUT", [ k; v ] ->
+            int_arg "key" k (fun k -> int_arg "value" v (fun v -> Ok (Put (k, v))))
+        | "DEL", [ k ] -> int_arg "key" k (fun k -> Ok (Del k))
+        | "MGET", (_ :: _ as ks) ->
+            let rec go acc = function
+              | [] -> Ok (Mget (Array.of_list (List.rev acc)))
+              | k :: rest -> int_arg "key" k (fun k -> go (k :: acc) rest)
+            in
+            go [] ks
+        | "MGET", [] -> Error "MGET needs at least one key"
+        | "RANGE", [ lo; hi ] ->
+            int_arg "lo" lo (fun lo -> int_arg "hi" hi (fun hi -> Ok (Range (lo, hi))))
+        | "RANGECOUNT", [ lo; hi ] ->
+            int_arg "lo" lo (fun lo ->
+                int_arg "hi" hi (fun hi -> Ok (Rangecount (lo, hi))))
+        | "SCAN", [] -> Ok (Scan 0)
+        | "SCAN", [ n ] -> int_arg "limit" n (fun n -> Ok (Scan (max 0 n)))
+        | "SIZE", [] -> Ok Size
+        | "STATS", [] -> Ok Stats
+        | "QUIT", [] -> Ok Quit
+        | ( (("PING" | "GET" | "PUT" | "DEL" | "RANGE" | "RANGECOUNT" | "SCAN"
+             | "SIZE" | "STATS" | "QUIT") as v),
+            _ ) ->
+            Error (Printf.sprintf "wrong number of arguments for %s" v)
+        | v, _ ->
+            (* Cap the echoed verb so garbage can't bloat the error. *)
+            let v = if String.length v > 32 then String.sub v 0 32 ^ "..." else v in
+            Error (Printf.sprintf "unknown command %S" v))
+  with _ -> Error "unparsable command"
+
+(* --- command rendering --------------------------------------------------- *)
+
+let render_command buf c =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match c with
+   | Ping -> p "PING"
+   | Get k -> p "GET %d" k
+   | Put (k, v) -> p "PUT %d %d" k v
+   | Del k -> p "DEL %d" k
+   | Mget ks ->
+       p "MGET";
+       Array.iter (fun k -> p " %d" k) ks
+   | Range (lo, hi) -> p "RANGE %d %d" lo hi
+   | Rangecount (lo, hi) -> p "RANGECOUNT %d %d" lo hi
+   | Scan n -> p "SCAN %d" n
+   | Size -> p "SIZE"
+   | Stats -> p "STATS"
+   | Quit -> p "QUIT");
+  Buffer.add_string buf "\r\n"
+
+let command_line c =
+  let b = Buffer.create 32 in
+  render_command b c;
+  Buffer.contents b
+
+(* --- reply rendering ----------------------------------------------------- *)
+
+(* Error messages travel on a single line: control bytes would break
+   framing, so they are mapped to spaces. *)
+let sanitize msg =
+  String.map (fun ch -> if Char.code ch < 0x20 then ' ' else ch) msg
+
+let rec render_reply buf r =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match r with
+  | Ok_ -> p "+OK\r\n"
+  | Pong -> p "+PONG\r\n"
+  | Exists -> p "+EXISTS\r\n"
+  | Err msg -> p "-ERR %s\r\n" (sanitize msg)
+  | Int n -> p ":%d\r\n" n
+  | Nil -> p "$-1\r\n"
+  | Bulk s ->
+      p "$%d\r\n" (String.length s);
+      Buffer.add_string buf s;
+      Buffer.add_string buf "\r\n"
+  | Arr rs ->
+      p "*%d\r\n" (List.length rs);
+      List.iter (render_reply buf) rs
+
+let rec reply_equal a b =
+  match (a, b) with
+  | Ok_, Ok_ | Pong, Pong | Exists, Exists | Nil, Nil -> true
+  | Err x, Err y | Bulk x, Bulk y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Arr x, Arr y ->
+      List.length x = List.length y && List.for_all2 reply_equal x y
+  | _ -> false
+
+let rec pp_reply = function
+  | Ok_ -> "OK"
+  | Pong -> "PONG"
+  | Exists -> "EXISTS"
+  | Err m -> "ERR " ^ m
+  | Int n -> string_of_int n
+  | Nil -> "nil"
+  | Bulk s ->
+      if String.length s > 40 then Printf.sprintf "bulk[%d]" (String.length s)
+      else Printf.sprintf "bulk(%s)" s
+  | Arr rs -> "[" ^ String.concat "; " (List.map pp_reply rs) ^ "]"
+
+(* --- incremental reply reader -------------------------------------------- *)
+
+module Reader = struct
+  type t = {
+    read : bytes -> int -> int -> int;
+    chunk : bytes;
+    buf : Buffer.t;  (** bytes received, not yet consumed *)
+    mutable pos : int;  (** consumed prefix of [buf] *)
+  }
+
+  let create read = { read; chunk = Bytes.create 65536; buf = Buffer.create 4096; pos = 0 }
+
+  let of_string s =
+    let consumed = ref 0 in
+    create (fun b p l ->
+        let n = min l (String.length s - !consumed) in
+        Bytes.blit_string s !consumed b p n;
+        consumed := !consumed + n;
+        n)
+
+  (* Compact once the consumed prefix dominates, so long-lived
+     connections don't grow the buffer without bound. *)
+  let compact t =
+    if t.pos > 0 && t.pos >= Buffer.length t.buf then begin
+      Buffer.clear t.buf;
+      t.pos <- 0
+    end
+    else if t.pos > 65536 then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  let refill t =
+    compact t;
+    match t.read t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> false
+    | n ->
+        Buffer.add_subbytes t.buf t.chunk 0 n;
+        true
+    | exception _ -> false
+
+  let max_line = 1 lsl 20
+
+  (* One CRLF/LF-terminated line, without the terminator. *)
+  let rec line t =
+    let len = Buffer.length t.buf in
+    let rec find i = if i >= len then None else if Buffer.nth t.buf i = '\n' then Some i else find (i + 1) in
+    match find t.pos with
+    | Some i ->
+        let stop = if i > t.pos && Buffer.nth t.buf (i - 1) = '\r' then i - 1 else i in
+        let l = Buffer.sub t.buf t.pos (stop - t.pos) in
+        t.pos <- i + 1;
+        Ok l
+    | None ->
+        if len - t.pos > max_line then Error "reply line too long"
+        else if refill t then line t
+        else Error "connection closed mid-reply"
+
+  (* Exactly [n] payload bytes followed by CRLF (or LF). *)
+  let rec payload t n =
+    let avail = Buffer.length t.buf - t.pos in
+    if avail >= n + 1 then begin
+      match Buffer.nth t.buf (t.pos + n) with
+      | '\n' ->
+          let s = Buffer.sub t.buf t.pos n in
+          t.pos <- t.pos + n + 1;
+          Ok s
+      | '\r' when avail >= n + 2 ->
+          if Buffer.nth t.buf (t.pos + n + 1) = '\n' then begin
+            let s = Buffer.sub t.buf t.pos n in
+            t.pos <- t.pos + n + 2;
+            Ok s
+          end
+          else Error "bulk reply not newline-terminated"
+      | '\r' ->
+          (* only the \r of the CRLF has arrived — wait for the \n *)
+          if refill t then payload t n else Error "connection closed mid-bulk"
+      | _ -> Error "bulk reply not newline-terminated"
+    end
+    else if refill t then payload t n
+    else Error "connection closed mid-bulk"
+
+  let ( let* ) = Result.bind
+
+  let rec reply t =
+    let* l = line t in
+    if String.length l = 0 then Error "empty reply line"
+    else
+      let body = String.sub l 1 (String.length l - 1) in
+      match l.[0] with
+      | '+' -> (
+          match body with
+          | "OK" -> Ok Ok_
+          | "PONG" -> Ok Pong
+          | "EXISTS" -> Ok Exists
+          | other -> Error (Printf.sprintf "unknown simple reply %S" other))
+      | '-' ->
+          let msg =
+            if String.length body >= 4 && String.sub body 0 4 = "ERR " then
+              String.sub body 4 (String.length body - 4)
+            else body
+          in
+          Ok (Err msg)
+      | ':' -> (
+          match int_of_string_opt body with
+          | Some n -> Ok (Int n)
+          | None -> Error (Printf.sprintf "bad integer reply %S" body))
+      | '$' -> (
+          match int_of_string_opt body with
+          | Some -1 -> Ok Nil
+          | Some n when n >= 0 && n <= max_line ->
+              let* s = payload t n in
+              Ok (Bulk s)
+          | Some _ | None -> Error (Printf.sprintf "bad bulk length %S" body))
+      | '*' -> (
+          match int_of_string_opt body with
+          | Some n when n >= 0 && n <= 16_777_216 ->
+              let rec go acc i =
+                if i = 0 then Ok (Arr (List.rev acc))
+                else
+                  let* r = reply t in
+                  go (r :: acc) (i - 1)
+              in
+              go [] n
+          | Some _ | None -> Error (Printf.sprintf "bad array length %S" body))
+      | c -> Error (Printf.sprintf "unknown reply type %C" c)
+end

@@ -1,0 +1,73 @@
+(** The verlib-serve wire protocol: a small RESP-like pipelined text
+    protocol over TCP.
+
+    Commands are single CRLF- (or LF-) terminated lines of
+    space-separated tokens; replies use the RESP framing conventions
+    ([+simple], [-ERR msg], [:int], [$len bulk / $-1 nil], [*n array]).
+    Clients may pipeline: send any number of command lines before
+    reading; the server answers strictly in order.
+
+    The parser is {e total}: any byte sequence yields [Ok] or [Error],
+    never an exception, so a garbage line costs one [-ERR] reply and the
+    connection stays usable.  See docs/PROTOCOL.md for the normative
+    description. *)
+
+type command =
+  | Ping
+  | Get of int
+  | Put of int * int
+  | Del of int
+  | Mget of int array  (** snapshot-consistent batch of finds *)
+  | Range of int * int  (** inclusive bounds; ordered structures only *)
+  | Rangecount of int * int
+  | Scan of int
+      (** snapshot fold over all bindings, unspecified order; the
+          argument caps returned bindings (0 = unbounded) *)
+  | Size
+  | Stats  (** jsonlite observability report as a bulk reply *)
+  | Quit
+
+type reply =
+  | Ok_  (** [+OK] *)
+  | Pong  (** [+PONG] *)
+  | Exists  (** [+EXISTS] — PUT of an already-present key (no update) *)
+  | Err of string  (** [-ERR msg] *)
+  | Int of int  (** [:n] *)
+  | Nil  (** [$-1] — absent key *)
+  | Bulk of string  (** [$len] payload *)
+  | Arr of reply list  (** [*n] then n elements *)
+
+val parse_command : string -> (command, string) result
+(** Parse one line (without the trailing newline; a trailing ['\r'] is
+    tolerated).  Total: never raises. *)
+
+val render_command : Buffer.t -> command -> unit
+(** Append the canonical wire form of a command, CRLF-terminated. *)
+
+val command_line : command -> string
+(** [render_command] into a fresh string. *)
+
+val render_reply : Buffer.t -> reply -> unit
+(** Append the wire form of a reply (error messages are sanitised so
+    they cannot break framing). *)
+
+val reply_equal : reply -> reply -> bool
+
+val pp_reply : reply -> string
+(** Debug rendering (not the wire form). *)
+
+(** Incremental reply reader over any byte source — the client half of
+    the protocol, also used to fuzz reply framing round-trips. *)
+module Reader : sig
+  type t
+
+  val create : (bytes -> int -> int -> int) -> t
+  (** [create read] where [read buf pos len] returns the number of bytes
+      filled, 0 on EOF (the [Unix.read] contract). *)
+
+  val of_string : string -> t
+
+  val reply : t -> (reply, string) result
+  (** Read exactly one reply; [Error] on EOF mid-reply or framing
+      violations.  Never raises on malformed input. *)
+end

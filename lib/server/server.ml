@@ -1,0 +1,300 @@
+module Protocol = Protocol
+module Bqueue = Bqueue
+module Mount = Mount
+module Client = Client
+
+type config = {
+  port : int;
+  domains : int;
+  backlog : int;
+  queue_depth : int;
+  census_interval : float;
+}
+
+let default_config =
+  { port = 7379; domains = 4; backlog = 64; queue_depth = 64; census_interval = 0. }
+
+type t = {
+  mount : Mount.t;
+  cfg : config;
+  stop_flag : bool Atomic.t;
+  queue : Unix.file_descr Bqueue.t;
+  mutable lsock : Unix.file_descr option;
+  mutable bound_port : int;
+  mutable accept_d : unit Domain.t option;
+  mutable worker_ds : unit Domain.t list;
+  mutable census_d : unit Domain.t option;
+  mutable census_reg : Verlib.Chainscan.registration option;
+  mutable started : bool;
+  mutable stopped : bool;
+  mutable started_at : float;
+  (* counters (read approximately by STATS, exactly after stop) *)
+  conns_total : int Atomic.t;
+  conns_active : int Atomic.t;
+  commands_total : int Atomic.t;
+  errors_total : int Atomic.t;
+  census_samples : int Atomic.t;
+  census_violations : int Atomic.t;
+  latest_census : Verlib.Chainscan.census option Atomic.t;
+  final_census : Verlib.Chainscan.census option Atomic.t;
+}
+
+let create ?(config = default_config) mount =
+  {
+    mount;
+    cfg = config;
+    stop_flag = Atomic.make false;
+    queue = Bqueue.create config.queue_depth;
+    lsock = None;
+    bound_port = config.port;
+    accept_d = None;
+    worker_ds = [];
+    census_d = None;
+    census_reg = None;
+    started = false;
+    stopped = false;
+    started_at = 0.;
+    conns_total = Atomic.make 0;
+    conns_active = Atomic.make 0;
+    commands_total = Atomic.make 0;
+    errors_total = Atomic.make 0;
+    census_samples = Atomic.make 0;
+    census_violations = Atomic.make 0;
+    latest_census = Atomic.make None;
+    final_census = Atomic.make None;
+  }
+
+let port t = t.bound_port
+
+let running t = t.started && not t.stopped
+
+(* --- STATS --------------------------------------------------------------- *)
+
+let stats_json t =
+  let uptime = if t.started then Unix.gettimeofday () -. t.started_at else 0. in
+  let census_extra =
+    match
+      (match Atomic.get t.final_census with
+       | Some c -> Some c
+       | None -> Atomic.get t.latest_census)
+    with
+    | None -> []
+    | Some c ->
+        [
+          ("census", Harness.Obs_report.json_of_census c);
+          ("census_samples", string_of_int (Atomic.get t.census_samples));
+          ( "census_violations_total",
+            string_of_int (Atomic.get t.census_violations) );
+        ]
+  in
+  let extra =
+    [
+      ("server", "\"verlib-serve\"");
+      ("structure", Printf.sprintf "%S" (Mount.name t.mount));
+      ( "range_capability",
+        Printf.sprintf "%S"
+          (Dstruct.Map_intf.range_capability_name (Mount.range_capability t.mount))
+      );
+      ("uptime_s", Printf.sprintf "%.3f" uptime);
+      ("domains", string_of_int t.cfg.domains);
+      ("connections_total", string_of_int (Atomic.get t.conns_total));
+      ("connections_active", string_of_int (Atomic.get t.conns_active));
+      ("commands_total", string_of_int (Atomic.get t.commands_total));
+      ("protocol_errors", string_of_int (Atomic.get t.errors_total));
+      ("size", string_of_int (Mount.size t.mount));
+    ]
+    @ census_extra
+  in
+  Harness.Obs_report.to_json ~extra (Verlib.Obs.capture ())
+
+(* --- connection serving -------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let max_line = 1 lsl 20
+
+(* Serve one connection to completion.  Reads are buffered; every
+   complete line in a read chunk is parsed and executed, and all the
+   replies are flushed in a single write — this is what makes pipelining
+   pay.  A short receive timeout keeps the worker responsive to the stop
+   flag even against an idle client. *)
+let serve_conn t fd =
+  Atomic.incr t.conns_active;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2 with _ -> ());
+  let chunk = Bytes.create 65536 in
+  let pending = Buffer.create 4096 in
+  let scanned = ref 0 in
+  (* first index of [pending] not yet scanned for '\n' *)
+  let out = Buffer.create 4096 in
+  let quit = ref false in
+  let reply r = Protocol.render_reply out r in
+  let run_command line =
+    Atomic.incr t.commands_total;
+    match Protocol.parse_command line with
+    | Error msg ->
+        Atomic.incr t.errors_total;
+        reply (Protocol.Err msg)
+    | Ok Protocol.Quit ->
+        reply Protocol.Ok_;
+        quit := true
+    | Ok Protocol.Stats -> reply (Protocol.Bulk (stats_json t))
+    | Ok c ->
+        let r = Mount.exec t.mount c in
+        (match r with Protocol.Err _ -> Atomic.incr t.errors_total | _ -> ());
+        reply r
+  in
+  (* Split the pending buffer into complete lines, execute each; keep
+     the trailing partial line for the next read. *)
+  let process_pending () =
+    let s = Buffer.contents pending in
+    let len = String.length s in
+    let start = ref 0 in
+    let i = ref !scanned in
+    while (not !quit) && !i < len do
+      if s.[!i] = '\n' then begin
+        let stop = if !i > !start && s.[!i - 1] = '\r' then !i - 1 else !i in
+        run_command (String.sub s !start (stop - !start));
+        start := !i + 1
+      end;
+      incr i
+    done;
+    Buffer.clear pending;
+    if (not !quit) && !start < len then
+      Buffer.add_substring pending s !start (len - !start);
+    scanned := Buffer.length pending
+  in
+  (try
+     while not !quit do
+       match Unix.read fd chunk 0 (Bytes.length chunk) with
+       | 0 -> quit := true
+       | n ->
+           Buffer.add_subbytes pending chunk 0 n;
+           if Buffer.length pending > max_line then begin
+             Protocol.render_reply out (Protocol.Err "line too long");
+             Atomic.incr t.errors_total;
+             quit := true
+           end
+           else process_pending ();
+           if Buffer.length out > 0 then begin
+             write_all fd (Buffer.contents out);
+             Buffer.clear out
+           end;
+           (* Graceful drain: everything read so far is answered; stop
+              taking more. *)
+           if Atomic.get t.stop_flag then quit := true
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+         ->
+           if Atomic.get t.stop_flag then quit := true
+       | exception Unix.Unix_error _ -> quit := true
+     done
+   with _ -> ());
+  (try Unix.close fd with _ -> ());
+  Atomic.decr t.conns_active
+
+(* --- domains ------------------------------------------------------------- *)
+
+let accept_loop t lsock () =
+  (* select-with-timeout so the loop observes the stop flag without
+     relying on cross-domain close semantics. *)
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ lsock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept lsock with
+        | fd, _ ->
+            Atomic.incr t.conns_total;
+            if not (Bqueue.push t.queue fd) then (try Unix.close fd with _ -> ())
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+  done
+
+let rec worker_loop t () =
+  match Bqueue.pop t.queue with
+  | None -> ()
+  | Some fd ->
+      serve_conn t fd;
+      worker_loop t ()
+
+let take_census t =
+  let c = Verlib.Chainscan.census_of_iter (Mount.iter_vptrs t.mount) in
+  Atomic.set t.latest_census (Some c);
+  Atomic.incr t.census_samples;
+  if c.Verlib.Chainscan.c_violation_count > 0 then
+    ignore
+      (Atomic.fetch_and_add t.census_violations c.Verlib.Chainscan.c_violation_count);
+  c
+
+let census_loop t () =
+  while not (Atomic.get t.stop_flag) do
+    let deadline = Unix.gettimeofday () +. t.cfg.census_interval in
+    while (not (Atomic.get t.stop_flag)) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    if not (Atomic.get t.stop_flag) then ignore (take_census t)
+  done
+
+let start t =
+  if t.started then invalid_arg "Server.start: already started";
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, t.cfg.port));
+  Unix.listen lsock t.cfg.backlog;
+  (match Unix.getsockname lsock with
+   | Unix.ADDR_INET (_, p) -> t.bound_port <- p
+   | _ -> ());
+  t.lsock <- Some lsock;
+  t.started <- true;
+  t.started_at <- Unix.gettimeofday ();
+  if t.cfg.census_interval > 0. then begin
+    t.census_reg <-
+      Some
+        (Verlib.Chainscan.register
+           ~name:("serve:" ^ Mount.name t.mount)
+           (Mount.iter_vptrs t.mount));
+    t.census_d <- Some (Domain.spawn (census_loop t))
+  end;
+  t.worker_ds <-
+    List.init (max 1 t.cfg.domains) (fun _ -> Domain.spawn (worker_loop t));
+  t.accept_d <- Some (Domain.spawn (accept_loop t lsock))
+
+let stop t =
+  if t.started && not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop_flag true;
+    Option.iter Domain.join t.accept_d;
+    t.accept_d <- None;
+    (match t.lsock with
+     | Some fd ->
+         (try Unix.close fd with _ -> ());
+         t.lsock <- None
+     | None -> ());
+    (* Drain: queued connections are still served (their loops exit as
+       soon as they have answered what was already sent). *)
+    Bqueue.close t.queue;
+    List.iter Domain.join t.worker_ds;
+    t.worker_ds <- [];
+    Option.iter Domain.join t.census_d;
+    t.census_d <- None;
+    (* Quiescent final census: workers are joined, so the audit is
+       exact. *)
+    if t.cfg.census_interval > 0. then begin
+      let c = take_census t in
+      Atomic.set t.final_census (Some c)
+    end;
+    Option.iter Verlib.Chainscan.unregister t.census_reg;
+    t.census_reg <- None
+  end
+
+let final_census t = Atomic.get t.final_census
+
+let census_violations_total t = Atomic.get t.census_violations

@@ -1,0 +1,65 @@
+(** verlib-serve — a pipelined multi-domain TCP front end over the
+    versioned maps.
+
+    Architecture: one accept domain feeds a bounded {!Bqueue} of
+    accepted sockets (backpressure: a full queue stalls [accept], which
+    fills the kernel backlog); [domains] worker domains pop connections
+    and serve them to completion with per-connection buffered reads and
+    writes — all replies for the commands found in one read are written
+    in one [write], so pipelined clients get batched responses.  An
+    optional census domain walks the mounted structure's versioned
+    pointers every [census_interval] seconds ([Verlib.Chainscan]),
+    keeping the latest census for [STATS] and accumulating the
+    invariant-violation count.
+
+    {!stop} is a graceful drain: the listen socket closes, the handoff
+    queue drains, in-flight connections answer what they have already
+    read and close, every domain is joined, and a final {e quiescent}
+    census (exact audit) is taken. *)
+
+module Protocol = Protocol
+module Bqueue = Bqueue
+module Mount = Mount
+module Client = Client
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  domains : int;  (** worker domains; also the max concurrent connections *)
+  backlog : int;  (** listen(2) backlog *)
+  queue_depth : int;  (** accept→worker handoff bound *)
+  census_interval : float;  (** seconds; 0 disables the census domain *)
+}
+
+val default_config : config
+(** port 7379, 4 domains, backlog 64, queue_depth 64, no census. *)
+
+type t
+
+val create : ?config:config -> Mount.t -> t
+
+val start : t -> unit
+(** Bind, listen and spawn the domains.  Raises [Unix.Unix_error] if
+    the port cannot be bound. *)
+
+val port : t -> int
+(** The bound port (resolves port 0); only valid after {!start}. *)
+
+val running : t -> bool
+
+val stop : t -> unit
+(** Graceful drain as described above; idempotent; blocks until all
+    domains are joined. *)
+
+val final_census : t -> Verlib.Chainscan.census option
+(** The quiescent census {!stop} took (when the census domain was
+    enabled); [None] before {!stop}. *)
+
+val census_violations_total : t -> int
+(** Cumulative invariant violations over every census taken (background
+    samples + final); 0 is the healthy reading. *)
+
+val stats_json : t -> string
+(** The [STATS] payload: one jsonlite object — server counters
+    (connections, commands, errors, uptime), the [Verlib.Obs] report
+    (counters / histograms / gauges) and, when the census domain is on,
+    the latest census headline ([Harness.Obs_report.json_of_census]). *)

@@ -66,7 +66,7 @@ let test_sequential_bulk (module M : MAP) mode () =
   M.check t
 
 let test_sorted_order (module M : MAP) () =
-  if not M.supports_range then ()
+  if M.range_capability = Dstruct.Map_intf.Unordered then ()
   else begin
     V.reset ();
     let t = M.create ~n_hint:256 () in
@@ -77,7 +77,7 @@ let test_sorted_order (module M : MAP) () =
   end
 
 let test_range_semantics (module M : MAP) () =
-  if not M.supports_range then ()
+  if M.range_capability = Dstruct.Map_intf.Unordered then ()
   else begin
     V.reset ();
     let t = M.create ~n_hint:256 () in
@@ -146,7 +146,7 @@ let model_agrees (module M : MAP) mode cmds =
   &&
   (M.check t;
    let range_ok =
-     if not M.supports_range then true
+     if M.range_capability = Dstruct.Map_intf.Unordered then true
      else
        let lo = 50 and hi = 270 in
        let expected =
@@ -207,7 +207,7 @@ let test_concurrent_updates (module M : MAP) mode lock_mode () =
    writer.  This is a direct linearizability probe for range queries. *)
 let test_range_prefix_linearizable (module M : MAP) mode () =
   let mode = if M.supports_mode mode then mode else V.Vptr.Plain in
-  if not M.supports_range then ()
+  if M.range_capability = Dstruct.Map_intf.Unordered then ()
   else begin
     V.reset ();
     let t = M.create ~mode ~n_hint:4096 () in

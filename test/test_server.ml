@@ -1,0 +1,504 @@
+(* Tests for the wire subsystem (lib/server): protocol round-trips and
+   parser fuzz (qcheck), the bounded handoff queue, capability-typed
+   command dispatch, and live-socket tests on an ephemeral port — ending
+   with the bank-transfer snapshot-consistency invariant driven from
+   concurrent client domains. *)
+
+module S = Server
+module P = Server.Protocol
+module C = Server.Client
+
+(* --- qcheck: command round-trip ---------------------------------------- *)
+
+let gen_key = QCheck.Gen.int_range (-1000) 100_000
+
+let gen_command =
+  let open QCheck.Gen in
+  oneof
+    [
+      return P.Ping;
+      map (fun k -> P.Get k) gen_key;
+      map2 (fun k v -> P.Put (k, v)) gen_key gen_key;
+      map (fun k -> P.Del k) gen_key;
+      map
+        (fun ks -> P.Mget (Array.of_list ks))
+        (list_size (int_range 1 12) gen_key);
+      map2 (fun a b -> P.Range (a, b)) gen_key gen_key;
+      map2 (fun a b -> P.Rangecount (a, b)) gen_key gen_key;
+      map (fun n -> P.Scan n) (int_range 0 1000);
+      return P.Size;
+      return P.Stats;
+      return P.Quit;
+    ]
+
+let command_eq a b =
+  match (a, b) with
+  | P.Mget x, P.Mget y -> x = y
+  | a, b -> a = b
+
+let arb_command = QCheck.make ~print:P.command_line gen_command
+
+let test_command_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"render/parse command round-trip"
+    arb_command (fun c ->
+      let line = P.command_line c in
+      (* the renderer terminates with CRLF; the server's line splitter
+         hands the parser the line without the \n, with or without the
+         \r — check both forms *)
+      let body = String.sub line 0 (String.length line - 2) in
+      match (P.parse_command body, P.parse_command (body ^ "\r")) with
+      | Ok c1, Ok c2 -> command_eq c c1 && command_eq c c2
+      | _ -> false)
+
+(* --- qcheck: reply round-trip ------------------------------------------ *)
+
+(* Err text must survive the sanitiser (control bytes become spaces), so
+   generate printable payloads for Err; Bulk payloads are arbitrary
+   bytes — the length-prefixed framing must carry anything. *)
+let gen_printable =
+  QCheck.Gen.(string_size (int_range 0 24) ~gen:(map Char.chr (int_range 32 126)))
+
+let gen_bytes =
+  QCheck.Gen.(string_size (int_range 0 64) ~gen:(map Char.chr (int_range 0 255)))
+
+let gen_reply =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return P.Ok_;
+            return P.Pong;
+            return P.Exists;
+            return P.Nil;
+            map (fun n -> P.Int n) small_signed_int;
+            map (fun s -> P.Err s) gen_printable;
+            map (fun s -> P.Bulk s) gen_bytes;
+          ]
+      in
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun rs -> P.Arr rs) (list_size (int_range 0 4) (self (n / 2))));
+          ])
+
+let arb_reply = QCheck.make ~print:P.pp_reply gen_reply
+
+let render_reply_string r =
+  let b = Buffer.create 64 in
+  P.render_reply b r;
+  Buffer.contents b
+
+let test_reply_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"render/read reply round-trip" arb_reply
+    (fun r ->
+      let reader = P.Reader.of_string (render_reply_string r) in
+      match P.Reader.reply reader with
+      | Ok r' -> P.reply_equal r r'
+      | Error _ -> false)
+
+(* --- qcheck: fuzz — garbage never raises -------------------------------- *)
+
+let arb_garbage =
+  QCheck.make
+    ~print:(Printf.sprintf "%S")
+    QCheck.Gen.(string_size (int_range 0 80) ~gen:(map Char.chr (int_range 0 255)))
+
+let test_parse_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"parse_command never raises" arb_garbage
+    (fun s ->
+      match P.parse_command s with Ok _ | Error _ -> true)
+
+let test_reader_never_raises =
+  QCheck.Test.make ~count:1000 ~name:"Reader.reply never raises on garbage"
+    arb_garbage (fun s ->
+      let reader = P.Reader.of_string s in
+      match P.Reader.reply reader with Ok _ | Error _ -> true)
+
+(* split delivery: framing must survive one-byte reads *)
+let test_reader_split_delivery () =
+  let r = P.Arr [ P.Bulk "hello\r\nworld"; P.Int 42; P.Nil; P.Err "boom" ] in
+  let s = render_reply_string r in
+  let pos = ref 0 in
+  let reader =
+    P.Reader.create (fun b p _l ->
+        if !pos >= String.length s then 0
+        else begin
+          Bytes.set b p s.[!pos];
+          incr pos;
+          1
+        end)
+  in
+  match P.Reader.reply reader with
+  | Ok r' -> Alcotest.(check bool) "equal" true (P.reply_equal r r')
+  | Error e -> Alcotest.fail e
+
+(* --- bounded queue ------------------------------------------------------ *)
+
+let test_bqueue_order_and_close () =
+  let q = S.Bqueue.create 4 in
+  Alcotest.(check bool) "push 1" true (S.Bqueue.push q 1);
+  Alcotest.(check bool) "push 2" true (S.Bqueue.push q 2);
+  Alcotest.(check int) "length" 2 (S.Bqueue.length q);
+  S.Bqueue.close q;
+  Alcotest.(check bool) "push after close" false (S.Bqueue.push q 3);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (S.Bqueue.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (S.Bqueue.pop q);
+  Alcotest.(check (option int)) "drained" None (S.Bqueue.pop q)
+
+let test_bqueue_backpressure () =
+  let q = S.Bqueue.create 1 in
+  Alcotest.(check bool) "fill" true (S.Bqueue.push q 0);
+  let consumer =
+    Domain.spawn (fun () ->
+        (* drain slowly so the producer must block at least once *)
+        let got = ref [] in
+        for _ = 1 to 4 do
+          Unix.sleepf 0.01;
+          match S.Bqueue.pop q with
+          | Some v -> got := v :: !got
+          | None -> ()
+        done;
+        List.rev !got)
+  in
+  for i = 1 to 3 do
+    Alcotest.(check bool) "push blocks then succeeds" true (S.Bqueue.push q i)
+  done;
+  let got = Domain.join consumer in
+  Alcotest.(check (list int)) "fifo under backpressure" [ 0; 1; 2; 3 ] got
+
+(* --- mount dispatch (no sockets) ---------------------------------------- *)
+
+let test_mount_capability () =
+  Verlib.reset ();
+  let m = S.Mount.mount ~n_hint:64 (module Dstruct.Hashtable) in
+  Alcotest.(check bool) "unordered" true
+    (S.Mount.range_capability m = Dstruct.Map_intf.Unordered);
+  (match S.Mount.exec m (P.Range (1, 9)) with
+   | P.Err msg ->
+       Alcotest.(check bool) "typed unsupported error" true
+         (String.length msg >= 11 && String.sub msg 0 11 = "unsupported")
+   | r -> Alcotest.fail ("RANGE on hashtable: " ^ P.pp_reply r));
+  (* MGET and SCAN still work on unordered structures *)
+  ignore (S.Mount.exec m (P.Put (1, 10)));
+  ignore (S.Mount.exec m (P.Put (2, 20)));
+  (match S.Mount.exec m (P.Mget [| 1; 2; 3 |]) with
+   | P.Arr [ P.Int 10; P.Int 20; P.Nil ] -> ()
+   | r -> Alcotest.fail ("MGET: " ^ P.pp_reply r));
+  match S.Mount.exec m (P.Scan 0) with
+  | P.Arr items -> Alcotest.(check int) "scan k;v pairs" 4 (List.length items)
+  | r -> Alcotest.fail ("SCAN: " ^ P.pp_reply r)
+
+(* --- live server helpers ------------------------------------------------ *)
+
+let with_server ?(domains = 4) ?(census_interval = 0.) map f =
+  Verlib.reset ();
+  let mount = S.Mount.mount ~n_hint:1024 map in
+  let config =
+    { S.default_config with S.port = 0; domains; queue_depth = 16; census_interval }
+  in
+  let srv = S.create ~config mount in
+  S.start srv;
+  let finally () = S.stop srv in
+  Fun.protect ~finally (fun () -> f srv (S.port srv))
+
+let req conn c =
+  match C.request conn c with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("request: " ^ e)
+
+(* --- live: basic semantics over the wire -------------------------------- *)
+
+let test_wire_basics () =
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  Alcotest.(check bool) "ping" true (req conn P.Ping = P.Pong);
+  Alcotest.(check bool) "put" true (req conn (P.Put (1, 10)) = P.Ok_);
+  Alcotest.(check bool) "put dup" true (req conn (P.Put (1, 99)) = P.Exists);
+  Alcotest.(check bool) "get" true (req conn (P.Get 1) = P.Int 10);
+  Alcotest.(check bool) "get absent" true (req conn (P.Get 7) = P.Nil);
+  Alcotest.(check bool) "del" true (req conn (P.Del 1) = P.Int 1);
+  Alcotest.(check bool) "del absent" true (req conn (P.Del 1) = P.Int 0);
+  ignore (req conn (P.Put (5, 50)));
+  ignore (req conn (P.Put (6, 60)));
+  Alcotest.(check bool) "size" true (req conn P.Size = P.Int 2);
+  Alcotest.(check bool) "rangecount" true
+    (req conn (P.Rangecount (0, 100)) = P.Int 2);
+  (match req conn (P.Range (0, 100)) with
+   | P.Arr [ P.Int 5; P.Int 50; P.Int 6; P.Int 60 ] -> ()
+   | r -> Alcotest.fail ("range: " ^ P.pp_reply r));
+  Alcotest.(check bool) "quit" true (req conn P.Quit = P.Ok_)
+
+let test_wire_pipelining_order () =
+  with_server (module Dstruct.Skiplist) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  let cmds =
+    [ P.Put (1, 1); P.Put (2, 2); P.Get 1; P.Get 2; P.Get 3; P.Size; P.Ping ]
+  in
+  match C.pipeline conn cmds with
+  | Ok [ P.Ok_; P.Ok_; P.Int 1; P.Int 2; P.Nil; P.Int 2; P.Pong ] -> ()
+  | Ok rs ->
+      Alcotest.fail
+        ("pipeline order: " ^ String.concat " " (List.map P.pp_reply rs))
+  | Error e -> Alcotest.fail e
+
+(* A protocol error must poison neither the connection nor the server. *)
+let test_wire_errors_keep_connection () =
+  with_server (module Dstruct.Hashtable) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  (* unsupported capability *)
+  (match req conn (P.Range (1, 9)) with
+   | P.Err _ -> ()
+   | r -> Alcotest.fail ("expected -ERR, got " ^ P.pp_reply r));
+  Alcotest.(check bool) "usable after capability error" true
+    (req conn P.Ping = P.Pong);
+  (* garbage lines: every one answered with -ERR, connection survives *)
+  List.iter
+    (fun garbage ->
+      C.send_raw conn (garbage ^ "\r\n");
+      match C.read_reply conn with
+      | Ok (P.Err _) -> ()
+      | Ok r -> Alcotest.fail ("garbage got " ^ P.pp_reply r)
+      | Error e -> Alcotest.fail ("garbage killed connection: " ^ e))
+    [
+      "";
+      "   ";
+      "FROB 1 2 3";
+      "GET";
+      "GET not-a-number";
+      "PUT 1";
+      "MGET";
+      "\x01\x02\x03binary";
+      String.make 300 'X';
+    ];
+  Alcotest.(check bool) "usable after garbage" true (req conn P.Ping = P.Pong);
+  ignore (req conn (P.Put (3, 33)));
+  Alcotest.(check bool) "state intact" true (req conn (P.Get 3) = P.Int 33)
+
+let test_wire_stats_json () =
+  with_server ~census_interval:0.05 (module Dstruct.Btree) @@ fun srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  for k = 1 to 50 do
+    ignore (req conn (P.Put (k, k)))
+  done;
+  Unix.sleepf 0.15;
+  (* let the census domain sample *)
+  match req conn P.Stats with
+  | P.Bulk raw -> (
+      match Harness.Jsonlite.parse_result raw with
+      | Error e -> Alcotest.fail ("STATS is not valid JSON: " ^ e)
+      | Ok j ->
+          let num k =
+            Option.bind (Harness.Jsonlite.member k j) Harness.Jsonlite.to_number
+          in
+          Alcotest.(check (option string))
+            "structure" (Some "btree")
+            (Option.bind
+               (Harness.Jsonlite.member "structure" j)
+               Harness.Jsonlite.to_string);
+          Alcotest.(check bool) "size reported" true (num "size" = Some 50.);
+          Alcotest.(check bool) "commands counted" true
+            (match num "commands_total" with Some c -> c >= 50. | None -> false);
+          Alcotest.(check bool) "census present" true
+            (Harness.Jsonlite.member "census" j <> None);
+          Alcotest.(check bool) "no census violations" true
+            (Option.bind
+               (Harness.Jsonlite.member "census" j)
+               (fun c ->
+                 Option.map int_of_float
+                   (Option.bind
+                      (Harness.Jsonlite.member "violations" c)
+                      Harness.Jsonlite.to_number))
+            = Some 0);
+          ignore srv)
+  | r -> Alcotest.fail ("STATS: " ^ P.pp_reply r)
+
+let test_wire_graceful_stop () =
+  Verlib.reset ();
+  let mount = S.Mount.mount ~n_hint:256 (module Dstruct.Btree) in
+  let config =
+    { S.default_config with S.port = 0; domains = 2; census_interval = 0.05 }
+  in
+  let srv = S.create ~config mount in
+  S.start srv;
+  let port = S.port srv in
+  let conn = C.connect ~retries:20 ~port () in
+  for k = 1 to 20 do
+    ignore (req conn (P.Put (k, k)))
+  done;
+  C.close conn;
+  S.stop srv;
+  Alcotest.(check bool) "stopped" false (S.running srv);
+  (match S.final_census srv with
+   | None -> Alcotest.fail "no final census"
+   | Some c ->
+       Alcotest.(check int) "quiescent audit clean" 0
+         c.Verlib.Chainscan.c_violation_count);
+  Alcotest.(check int) "no violations overall" 0 (S.census_violations_total srv);
+  (* idempotent *)
+  S.stop srv
+
+(* --- live: bank-transfer snapshot invariant ----------------------------- *)
+
+(* Writer domains own disjoint account pairs (a = 2i+1, b = 2i+2, both
+   seeded with [base]) and move one unit per transfer with a pipelined
+   [DEL a; PUT a (va-1); DEL b; PUT b (vb+1)].  Readers MGET (and RANGE,
+   on ordered structures) a pair in one snapshot: with both accounts
+   present the sum must be 2*base (no transfer in flight) or 2*base - 1
+   (between the two PUTs).  Because va only decreases and vb only
+   increases, a non-atomic multi-read drifts outside that window. *)
+let bank_over_wire map ~use_range =
+  let base = 1_000 in
+  let pairs = 8 in
+  let nwriters = 2 and nreaders = 2 in
+  with_server ~domains:(nwriters + nreaders + 1) map @@ fun _srv port ->
+  (let conn = C.connect ~retries:20 ~port () in
+   Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+   for i = 0 to pairs - 1 do
+     ignore (req conn (P.Put ((2 * i) + 1, base)));
+     ignore (req conn (P.Put ((2 * i) + 2, base)))
+   done);
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let checks = Atomic.make 0 in
+  let transfers = Atomic.make 0 in
+  let writer w () =
+    let conn = C.connect ~retries:20 ~port () in
+    Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+    let owned =
+      List.init pairs Fun.id |> List.filter (fun i -> i mod nwriters = w)
+    in
+    let va = Hashtbl.create 8 and vb = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+        Hashtbl.replace va i base;
+        Hashtbl.replace vb i base)
+      owned;
+    let rng = Workload.Splitmix.create (100 + w) in
+    let owned = Array.of_list owned in
+    while not (Atomic.get stop) do
+      let i = owned.(Workload.Splitmix.below rng (Array.length owned)) in
+      let a = (2 * i) + 1 and b = (2 * i) + 2 in
+      let na = Hashtbl.find va i - 1 and nb = Hashtbl.find vb i + 1 in
+      match
+        C.pipeline conn [ P.Del a; P.Put (a, na); P.Del b; P.Put (b, nb) ]
+      with
+      | Ok [ _; P.Ok_; _; P.Ok_ ] ->
+          Hashtbl.replace va i na;
+          Hashtbl.replace vb i nb;
+          Atomic.incr transfers
+      | Ok _ | Error _ -> Atomic.set stop true
+    done
+  in
+  let reader r () =
+    let conn = C.connect ~retries:20 ~port () in
+    Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+    let rng = Workload.Splitmix.create (200 + r) in
+    while not (Atomic.get stop) do
+      let i = Workload.Splitmix.below rng pairs in
+      let a = (2 * i) + 1 and b = (2 * i) + 2 in
+      let ranged = use_range && Workload.Splitmix.below rng 2 = 0 in
+      let sum =
+        if ranged then
+          match C.request conn (P.Range (a, b)) with
+          | Ok (P.Arr items) ->
+              let rec kvs = function
+                | P.Int k :: P.Int v :: rest -> (k, v) :: kvs rest
+                | _ -> []
+              in
+              let kvs = kvs items in
+              (match (List.assoc_opt a kvs, List.assoc_opt b kvs) with
+               | Some x, Some y -> Some (x + y)
+               | _ -> None)
+          | _ -> None
+        else
+          match C.request conn (P.Mget [| a; b |]) with
+          | Ok (P.Arr [ P.Int x; P.Int y ]) -> Some (x + y)
+          | _ -> None
+      in
+      match sum with
+      | None -> () (* an account is mid-transfer: visible DEL, skip *)
+      | Some s ->
+          Atomic.incr checks;
+          if s <> 2 * base && s <> (2 * base) - 1 then Atomic.incr violations
+    done
+  in
+  let ds =
+    List.init nwriters (fun w -> Domain.spawn (writer w))
+    @ List.init nreaders (fun r -> Domain.spawn (reader r))
+  in
+  Unix.sleepf 0.4;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no snapshot violations" 0 (Atomic.get violations);
+  Alcotest.(check bool) "made transfers" true (Atomic.get transfers > 0);
+  Alcotest.(check bool) "made atomic checks" true (Atomic.get checks > 0);
+  (* quiescent audit: money is conserved exactly *)
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  let keys = Array.init (2 * pairs) (fun j -> j + 1) in
+  match C.request conn (P.Mget keys) with
+  | Ok (P.Arr items) ->
+      let total =
+        List.fold_left
+          (fun acc r ->
+            match r with
+            | P.Int v -> acc + v
+            | _ -> Alcotest.fail "account missing at quiescence")
+          0 items
+      in
+      Alcotest.(check int) "total conserved" (2 * base * pairs) total
+  | Ok r -> Alcotest.fail ("audit: " ^ P.pp_reply r)
+  | Error e -> Alcotest.fail ("audit: " ^ e)
+
+let test_bank_btree () = bank_over_wire (module Dstruct.Btree) ~use_range:true
+
+let test_bank_hashtable () =
+  bank_over_wire (module Dstruct.Hashtable) ~use_range:false
+
+(* --- suite -------------------------------------------------------------- *)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      test_command_roundtrip;
+      test_reply_roundtrip;
+      test_parse_never_raises;
+      test_reader_never_raises;
+    ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ("protocol", qsuite);
+      ( "protocol-framing",
+        [ Alcotest.test_case "split delivery" `Quick test_reader_split_delivery ]
+      );
+      ( "bqueue",
+        [
+          Alcotest.test_case "order and close" `Quick test_bqueue_order_and_close;
+          Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
+        ] );
+      ( "mount",
+        [ Alcotest.test_case "typed capability" `Quick test_mount_capability ] );
+      ( "wire",
+        [
+          Alcotest.test_case "basics" `Quick test_wire_basics;
+          Alcotest.test_case "pipelining order" `Quick test_wire_pipelining_order;
+          Alcotest.test_case "errors keep connection" `Quick
+            test_wire_errors_keep_connection;
+          Alcotest.test_case "stats json" `Quick test_wire_stats_json;
+          Alcotest.test_case "graceful stop" `Quick test_wire_graceful_stop;
+        ] );
+      ( "bank-invariant",
+        [
+          Alcotest.test_case "btree (mget+range)" `Quick test_bank_btree;
+          Alcotest.test_case "hashtable (mget)" `Quick test_bank_hashtable;
+        ] );
+    ]
