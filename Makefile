@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
 BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist
@@ -137,6 +137,53 @@ serve-baseline:
 	kill -INT $$srv; \
 	wait $$srv; \
 	trap - EXIT
+
+# Chaos gate (docs/RESILIENCE.md).  Three stanzas:
+#   1. bin/verlib_soak: the bank mix against a live in-process server
+#      while a named fault plan fires at the versioning core and the
+#      wire; exits non-zero unless the final quiescent census is
+#      violation-free, no domain is left parked, clients saw zero
+#      errors, and money is conserved exactly.
+#   2. Overload: a 1-worker server with admission control is overdriven
+#      by 6 client domains — the loadgen must observe -BUSY sheds
+#      (shed > 0) — and must then serve an untroubled follow-up run
+#      (shed = 0, 0 errors): shedding engages and releases.
+#   3. The loadgen's own --faults path: the bank invariant holds over a
+#      flaky wire masked by the client retry layer.
+chaos-smoke:
+	dune build bin/verlib_soak.exe bin/verlib_serve.exe bin/verlib_loadgen.exe
+	@set -e; \
+	for plan in crash-stop-locker flaky-wire stalled-reclaimer yield-storm; do \
+	  echo "chaos-smoke: soak under $$plan"; \
+	  ./_build/default/bin/verlib_soak.exe --plan $$plan --duration 1.5 --ci; \
+	done
+	@set -e; \
+	echo "chaos-smoke: overload shedding (1 worker, admission control)"; \
+	./_build/default/bin/verlib_serve.exe -s btree -p 0 -t 1 --queue-depth 8 \
+	  --shed-queue 1 --retry-after-ms 1 --duration 120 --stats none \
+	  > /tmp/verlib_shed_port.txt 2>/tmp/verlib_shed_srv.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk '$$1=="PORT"{print $$2}' /tmp/verlib_shed_port.txt); \
+	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port -t 6 -p 4 -u 20 \
+	  -d 1.5 -n 2000 | tee /tmp/verlib_shed_over.txt; \
+	grep -Eq 'shed=[1-9]' /tmp/verlib_shed_over.txt \
+	  || { echo "FAIL: overdrive produced no -BUSY sheds"; exit 1; }; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port -t 1 -p 4 -u 20 \
+	  -d 0.5 -n 2000 --no-fill | tee /tmp/verlib_shed_rec.txt; \
+	grep -Eq 'shed=0' /tmp/verlib_shed_rec.txt \
+	  || { echo "FAIL: server still shedding after the overdrive"; exit 1; }; \
+	grep -Eq '0 errors' /tmp/verlib_shed_rec.txt \
+	  || { echo "FAIL: errors after recovery"; exit 1; }; \
+	echo "chaos-smoke: bank invariant over a flaky wire (loadgen --faults)"; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --mix bank \
+	  -t 4 -d 1 --pairs 16 --faults flaky-wire; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	echo "chaos-smoke: OK"
 
 doc:
 	dune build @doc

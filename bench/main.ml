@@ -82,6 +82,8 @@ let row_of_result ~figure ~label (r : D.result) =
     r_reclaimable = ci_ (fun c -> c.Verlib.Chainscan.c_reclaimable);
     r_violations = ci_ (fun c -> c.Verlib.Chainscan.c_violation_count);
     r_space_bytes = r.D.space_bytes_per_entry;
+    r_retries = 0;
+    r_shed = 0;
   }
 
 let record ~figure ~label r =
@@ -368,6 +370,8 @@ let fig12 () =
             r_reclaimable = 0;
             r_violations = 0;
             r_space_bytes = bytes;
+            r_retries = 0;
+            r_shed = 0;
           }
           :: !json_rows;
       Some bytes

@@ -104,6 +104,14 @@ let stats_out =
   Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE"
        ~doc:"Write the server's raw STATS JSON (post-run) to $(docv).")
 
+let faults =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
+       ~doc:"Arm a fault plan (preset name or spec, see docs/RESILIENCE.md) \
+             in $(b,this) process for the measured window — exercises the \
+             client.read/client.write injection points, i.e. a flaky wire \
+             as seen from the client.  The retry layer must mask it; \
+             disarmed again before the audit/STATS phase.")
+
 (* --- shared machinery ----------------------------------------------------- *)
 
 let stop = Atomic.make false
@@ -158,9 +166,12 @@ type wstats = {
   ops : int array;  (** per {!kind} index *)
   mutable errors : int;
   mutable first_error : string option;
+  mutable retries : int;  (** wire retries the rt client absorbed *)
+  mutable shed : int;  (** [-BUSY] replies the rt client observed *)
 }
 
-let new_wstats () = { ops = Array.make 5 0; errors = 0; first_error = None }
+let new_wstats () =
+  { ops = Array.make 5 0; errors = 0; first_error = None; retries = 0; shed = 0 }
 
 let note_error st msg =
   st.errors <- st.errors + 1;
@@ -187,45 +198,52 @@ let fill_over_wire conn gen rng =
   flush ()
 
 let opgen_worker ~host ~port ~depth ~gen_of ~wid st () =
-  match C.connect ~host ~retries:20 ~port () with
-  | exception e ->
-      note_error st ("connect: " ^ Printexc.to_string e);
-      Atomic.incr ready
-  | conn ->
-      let gen = gen_of wid in
-      let rng = Workload.Splitmix.create (0x10adc0de + (wid * 7919)) in
-      wait_go ();
-      (try
-         while not (Atomic.get stop) do
-           let cmds = ref [] and kinds = ref [] in
-           for _ = 1 to depth do
-             let c, k = translate (Workload.Opgen.next gen rng) in
-             cmds := c :: !cmds;
-             kinds := k :: !kinds
-           done;
-           let cmds = List.rev !cmds and kinds = List.rev !kinds in
-           let t0 = Verlib.Hwclock.now () in
-           (match C.pipeline conn cmds with
-            | Ok replies ->
-                let t1 = Verlib.Hwclock.now () in
-                (match kinds with
-                 | k :: _ ->
-                     Verlib.Obs.Hist.observe (hist_of_kind k) (t1 - t0)
-                 | [] -> ());
-                List.iter2
-                  (fun k r ->
+  (* The retrying transport: reconnects and re-issues after wire faults
+     (every opgen command is idempotent), honours [-BUSY] shedding. *)
+  let rt =
+    C.connect_rt ~host ~port ~seed:(0x10adc0de + (wid * 7919)) ()
+  in
+  let gen = gen_of wid in
+  let rng = Workload.Splitmix.create (0x10adc0de + (wid * 7919)) in
+  wait_go ();
+  (try
+     while not (Atomic.get stop) do
+       let cmds = ref [] and kinds = ref [] in
+       for _ = 1 to depth do
+         let c, k = translate (Workload.Opgen.next gen rng) in
+         cmds := c :: !cmds;
+         kinds := k :: !kinds
+       done;
+       let cmds = List.rev !cmds and kinds = List.rev !kinds in
+       let t0 = Verlib.Hwclock.now () in
+       (match C.rt_pipeline rt cmds with
+        | Ok replies ->
+            let t1 = Verlib.Hwclock.now () in
+            (match kinds with
+             | k :: _ ->
+                 Verlib.Obs.Hist.observe (hist_of_kind k) (t1 - t0)
+             | [] -> ());
+            List.iter2
+              (fun k r ->
+                match r with
+                | P.Err msg -> note_error st msg
+                | P.Busy _ ->
+                    (* shed even after the retry budget: not executed,
+                       not an op, not an error *)
+                    ()
+                | _ ->
                     let i = kind_index k in
-                    st.ops.(i) <- st.ops.(i) + 1;
-                    match r with
-                    | P.Err msg -> note_error st msg
-                    | _ -> ())
-                  kinds replies
-            | Error e ->
-                if not (Atomic.get stop) then note_error st e;
-                Atomic.set stop true)
-         done
-       with e -> note_error st (Printexc.to_string e));
-      C.close conn
+                    st.ops.(i) <- st.ops.(i) + 1)
+              kinds replies
+        | Error e ->
+            if not (Atomic.get stop) then note_error st e;
+            Atomic.set stop true)
+     done
+   with e -> note_error st (Printexc.to_string e));
+  let r, b = C.rt_stats rt in
+  st.retries <- r;
+  st.shed <- b;
+  C.rt_close rt
 
 (* --- bank mix ------------------------------------------------------------- *)
 
@@ -238,11 +256,13 @@ type bank_stats = {
   mutable violations : int;
   mutable berrors : int;
   mutable detail : string option;
+  mutable bretries : int;
+  mutable bshed : int;
 }
 
 let new_bank_stats () =
   { transfers = 0; checks = 0; skipped = 0; violations = 0; berrors = 0;
-    detail = None }
+    detail = None; bretries = 0; bshed = 0 }
 
 let bank_note_violation st msg =
   st.violations <- st.violations + 1;
@@ -255,35 +275,53 @@ let bank_note_error st msg =
 (* Writer [w] owns pairs {i | i mod nwriters = w}; local shadows of the
    two balances make every transfer a blind pipelined write sequence. *)
 let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
-  match C.connect ~host ~retries:20 ~port () with
-  | exception e ->
-      bank_note_error st ("connect: " ^ Printexc.to_string e);
-      Atomic.incr ready
-  | conn ->
-      let owned =
-        List.init pairs Fun.id
-        |> List.filter (fun i -> i mod nwriters = wid)
-        |> Array.of_list
-      in
-      let va = Hashtbl.create 16 and vb = Hashtbl.create 16 in
-      Array.iter
-        (fun i ->
-          Hashtbl.replace va i bank_base;
-          Hashtbl.replace vb i bank_base)
-        owned;
-      let rng = Workload.Splitmix.create (0xba9c + (wid * 104729)) in
-      wait_go ();
-      (try
-         while not (Atomic.get stop) && Array.length owned > 0 do
-           let i = owned.(Workload.Splitmix.below rng (Array.length owned)) in
-           let a = (2 * i) + 1 and b = (2 * i) + 2 in
-           let na = Hashtbl.find va i - 1 and nb = Hashtbl.find vb i + 1 in
-           let cmds = [ P.Del a; P.Put (a, na); P.Del b; P.Put (b, nb) ] in
-           match C.pipeline conn cmds with
+  (* Retrying transport.  Re-sending a whole transfer after an ambiguous
+     failure is safe {e because} the writer owns its pairs: replaying
+     [DEL a; PUT a na; DEL b; PUT b nb] against any prefix of its own
+     earlier effects converges to the same balances (the effect-
+     idempotence argument of docs/RESILIENCE.md). *)
+  let rt = C.connect_rt ~host ~port ~seed:(0xba9c + (wid * 104729)) () in
+  let owned =
+    List.init pairs Fun.id
+    |> List.filter (fun i -> i mod nwriters = wid)
+    |> Array.of_list
+  in
+  let va = Hashtbl.create 16 and vb = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      Hashtbl.replace va i bank_base;
+      Hashtbl.replace vb i bank_base)
+    owned;
+  let rng = Workload.Splitmix.create (0xba9c + (wid * 104729)) in
+  wait_go ();
+  (try
+     while not (Atomic.get stop) && Array.length owned > 0 do
+       let i = owned.(Workload.Splitmix.below rng (Array.length owned)) in
+       let a = (2 * i) + 1 and b = (2 * i) + 2 in
+       let na = Hashtbl.find va i - 1 and nb = Hashtbl.find vb i + 1 in
+       let cmds = [ P.Del a; P.Put (a, na); P.Del b; P.Put (b, nb) ] in
+       let has_busy = List.exists (function P.Busy _ -> true | _ -> false) in
+       (* A transfer that came back with [-BUSY] entries past the retry
+          budget executed only a prefix of its effects (sheds refuse
+          {e before} execution).  Replaying the {e whole} sequence is
+          safe — the writer owns the pair, and [DEL;PUT] converges to
+          the target balance from any intermediate state — so settle it
+          before moving on; the conservation audit needs every transfer
+          whole. *)
+       let rec exec tries =
+         if tries > 10_000 then begin
+           bank_note_error st "transfer shed past settle budget";
+           Atomic.set stop true
+         end
+         else
+           match C.rt_pipeline rt cmds with
            | Ok [ _; P.Ok_; _; P.Ok_ ] ->
                Hashtbl.replace va i na;
                Hashtbl.replace vb i nb;
                st.transfers <- st.transfers + 1
+           | Ok rs when has_busy rs ->
+               Unix.sleepf 0.005;
+               exec (tries + 1)
            | Ok rs ->
                bank_note_error st
                  ("transfer replies: "
@@ -292,9 +330,14 @@ let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
            | Error e ->
                if not (Atomic.get stop) then bank_note_error st e;
                Atomic.set stop true
-         done
-       with e -> bank_note_error st (Printexc.to_string e));
-      C.close conn
+       in
+       exec 0
+     done
+   with e -> bank_note_error st (Printexc.to_string e));
+  let r, b = C.rt_stats rt in
+  st.bretries <- r;
+  st.bshed <- b;
+  C.rt_close rt
 
 let check_pair_sum st ~via a b = function
   | None -> st.skipped <- st.skipped + 1
@@ -330,44 +373,44 @@ let sum_of_range a b = function
   | r -> Error ("RANGE reply: " ^ P.pp_reply r)
 
 let bank_reader ~host ~port ~pairs ~rid st () =
-  match C.connect ~host ~retries:20 ~port () with
-  | exception e ->
-      bank_note_error st ("connect: " ^ Printexc.to_string e);
-      Atomic.incr ready
-  | conn ->
-      (* Probe once whether RANGE is supported (ordered structure). *)
-      let ranges_ok =
-        match C.request conn (P.Range (1, 2)) with
-        | Ok (P.Err _) -> false
-        | Ok _ -> true
-        | Error _ -> false
-      in
-      let rng = Workload.Splitmix.create (0x5ead + (rid * 65537)) in
-      wait_go ();
-      (try
-         while not (Atomic.get stop) do
-           let i = Workload.Splitmix.below rng pairs in
-           let a = (2 * i) + 1 and b = (2 * i) + 2 in
-           let use_range = ranges_ok && Workload.Splitmix.below rng 2 = 0 in
-           let cmd = if use_range then P.Range (a, b) else P.Mget [| a; b |] in
-           match C.request conn cmd with
-           | Ok r -> (
-               let sum =
-                 if use_range then sum_of_range a b r else sum_of_mget r
-               in
-               match sum with
-               | Ok s ->
-                   check_pair_sum st ~via:(if use_range then "RANGE" else "MGET")
-                     a b s
-               | Error e ->
-                   bank_note_error st e;
-                   Atomic.set stop true)
+  let rt = C.connect_rt ~host ~port ~seed:(0x5ead + (rid * 65537)) () in
+  (* Probe once whether RANGE is supported (ordered structure). *)
+  let ranges_ok =
+    match C.rt_request rt (P.Range (1, 2)) with
+    | Ok (P.Err _) -> false
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  let rng = Workload.Splitmix.create (0x5ead + (rid * 65537)) in
+  wait_go ();
+  (try
+     while not (Atomic.get stop) do
+       let i = Workload.Splitmix.below rng pairs in
+       let a = (2 * i) + 1 and b = (2 * i) + 2 in
+       let use_range = ranges_ok && Workload.Splitmix.below rng 2 = 0 in
+       let cmd = if use_range then P.Range (a, b) else P.Mget [| a; b |] in
+       match C.rt_request rt cmd with
+       | Ok (P.Busy _) -> () (* shed past the retry budget: skip the check *)
+       | Ok r -> (
+           let sum =
+             if use_range then sum_of_range a b r else sum_of_mget r
+           in
+           match sum with
+           | Ok s ->
+               check_pair_sum st ~via:(if use_range then "RANGE" else "MGET")
+                 a b s
            | Error e ->
-               if not (Atomic.get stop) then bank_note_error st e;
-               Atomic.set stop true
-         done
-       with e -> bank_note_error st (Printexc.to_string e));
-      C.close conn
+               bank_note_error st e;
+               Atomic.set stop true)
+       | Error e ->
+           if not (Atomic.get stop) then bank_note_error st e;
+           Atomic.set stop true
+     done
+   with e -> bank_note_error st (Printexc.to_string e));
+  let r, b = C.rt_stats rt in
+  st.bretries <- r;
+  st.bshed <- b;
+  C.rt_close rt
 
 (* Quiescent audit: after every domain is joined, the sum over all
    accounts must be exactly 2*BASE*pairs (each pipelined transfer runs
@@ -452,7 +495,7 @@ let us_percentiles kind =
     ( Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p50,
       Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p99 )
 
-let row ~figure ~label ~mops ~p50 ~p99 census =
+let row ~figure ~label ~mops ~p50 ~p99 ?(retries = 0) ?(shed = 0) census =
   {
     Harness.Bench_json.r_figure = figure;
     r_label = label;
@@ -465,6 +508,8 @@ let row ~figure ~label ~mops ~p50 ~p99 census =
     r_reclaimable = (match census with Some c -> c.sc_reclaimable | None -> 0);
     r_violations = (match census with Some c -> c.sc_violations | None -> 0);
     r_space_bytes = 0.;
+    r_retries = retries;
+    r_shed = shed;
   }
 
 let write_rows ~json_out ~merge_into ~ci rows =
@@ -495,8 +540,18 @@ let write_rows ~json_out ~merge_into ~ci rows =
 (* --- driver --------------------------------------------------------------- *)
 
 let run host port threads depth size updates query theta duration seed mix pairs
-    no_fill ci json_out merge_into figure stats_out =
+    no_fill ci json_out merge_into figure stats_out faults =
   install_signal_handlers ();
+  let plan =
+    match faults with
+    | None -> None
+    | Some spec -> (
+        match Fault.find_plan spec with
+        | Ok p -> Some p
+        | Error e ->
+            prerr_endline ("verlib_loadgen: bad --faults plan: " ^ e);
+            exit 2)
+  in
   let size = if ci then min size 1_000 else size in
   let duration = if ci then min duration 0.5 else duration in
   let threads = max 1 threads and depth = max 1 depth in
@@ -510,6 +565,9 @@ let run host port threads depth size updates query theta duration seed mix pairs
     while Atomic.get ready < nds && Unix.gettimeofday () < t_wait do
       Unix.sleepf 0.002
     done;
+    (* Fault the measured window only: the fill/seed phases ran clean,
+       and the audit/STATS phase below runs clean again. *)
+    Option.iter Fault.arm plan;
     Atomic.set go true;
     let t0 = Unix.gettimeofday () in
     let deadline = t0 +. duration in
@@ -518,6 +576,7 @@ let run host port threads depth size updates query theta duration seed mix pairs
     done;
     Atomic.set stop true;
     List.iter Domain.join ds;
+    if plan <> None then Fault.disarm ();
     Unix.gettimeofday () -. t0
   in
   match mix with
@@ -564,6 +623,12 @@ let run host port threads depth size updates query theta duration seed mix pairs
       let errors =
         sum (fun s -> s.berrors) wstats + sum (fun s -> s.berrors) rstats
       in
+      let retries =
+        sum (fun s -> s.bretries) wstats + sum (fun s -> s.bretries) rstats
+      in
+      let shed =
+        sum (fun s -> s.bshed) wstats + sum (fun s -> s.bshed) rstats
+      in
       Array.iter
         (fun s -> Option.iter (Printf.eprintf "  detail: %s\n") s.detail)
         (Array.append wstats rstats);
@@ -573,6 +638,8 @@ let run host port threads depth size updates query theta duration seed mix pairs
          transfers=%d checks=%d inflight_skips=%d violations=%d errors=%d\n"
         nwriters nreaders pairs elapsed transfers checks skipped violations
         errors;
+      Printf.printf "wire: retries=%d shed=%d reconnects=%d\n" retries shed
+        (C.reconnect_total ());
       (match audit with
        | Ok total -> Printf.printf "final audit: OK (total %d)\n" total
        | Error e ->
@@ -620,6 +687,10 @@ let run host port threads depth size updates query theta duration seed mix pairs
             Array.fold_left (fun acc s -> acc + s.ops.(kind_index k)) 0 stats
           in
           let errors = Array.fold_left (fun acc s -> acc + s.errors) 0 stats in
+          let retries =
+            Array.fold_left (fun acc s -> acc + s.retries) 0 stats
+          in
+          let shed = Array.fold_left (fun acc s -> acc + s.shed) 0 stats in
           Array.iter
             (fun s ->
               Option.iter (Printf.eprintf "  first error: %s\n") s.first_error)
@@ -640,6 +711,8 @@ let run host port threads depth size updates query theta duration seed mix pairs
             "%s batch rtt: p50 %.1fus p99 %.1fus (batches of %d, first-command \
              attribution)\n"
             (kind_name qkind) qp50 qp99 depth;
+          Printf.printf "wire: retries=%d shed=%d reconnects=%d\n" retries shed
+            (C.reconnect_total ());
           let census =
             match fetch_stats ~host ~port with
             | Error e ->
@@ -673,7 +746,8 @@ let run host port threads depth size updates query theta duration seed mix pairs
           let qmops = float_of_int (kind_ops qkind) /. elapsed /. 1e6 in
           let rows =
             [
-              row ~figure ~label:"total" ~mops ~p50:qp50 ~p99:qp99 census;
+              row ~figure ~label:"total" ~mops ~p50:qp50 ~p99:qp99 ~retries
+                ~shed census;
               row ~figure ~label:(kind_name qkind) ~mops:qmops ~p50:qp50
                 ~p99:qp99 census;
             ]
@@ -693,6 +767,6 @@ let cmd =
     Term.(
       const run $ host $ port $ threads $ depth $ size $ updates $ query $ theta
       $ duration $ seed $ mix $ pairs $ no_fill $ ci $ json_out $ merge_into
-      $ figure $ stats_out)
+      $ figure $ stats_out $ faults)
 
 let () = exit (Cmd.eval cmd)

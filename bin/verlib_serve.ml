@@ -60,6 +60,46 @@ let duration =
        ~doc:"Serve for this many seconds then drain and exit; 0 = until \
              SIGINT/SIGTERM.")
 
+let max_conns =
+  Arg.(value & opt int 0 & info [ "max-conns" ]
+       ~doc:"Answer -BUSY at accept beyond this many simultaneous \
+             connections; 0 = unlimited.")
+
+let idle_timeout =
+  Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS"
+       ~doc:"Close connections idle for $(docv) seconds; 0 = never.")
+
+let write_timeout =
+  Arg.(value & opt float 5. & info [ "write-timeout" ] ~docv:"SECONDS"
+       ~doc:"Kill connections whose reply flush blocks for $(docv) seconds \
+             (peer stopped reading); 0 = forever.")
+
+let shed_queue =
+  Arg.(value & opt int 0 & info [ "shed-queue" ]
+       ~doc:"Admission control: shed snapshot-heavy commands with -BUSY while \
+             the accept-to-worker queue holds at least this many connections \
+             (all data commands at twice it); 0 = off.")
+
+let shed_epoch_lag =
+  Arg.(value & opt int 0 & info [ "shed-epoch-lag" ]
+       ~doc:"Shed against the epoch-lag reclamation gauge; 0 = off.")
+
+let shed_chain_p99 =
+  Arg.(value & opt int 0 & info [ "shed-chain-p99" ]
+       ~doc:"Shed against the latest census's p99 version-chain length \
+             (needs --census-interval); 0 = off.")
+
+let retry_after_ms =
+  Arg.(value & opt int 50 & info [ "retry-after-ms" ]
+       ~doc:"The retry hint carried in -BUSY replies.")
+
+let faults =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
+       ~doc:"Arm a fault plan (preset name or raw spec, docs/RESILIENCE.md) \
+             for the lifetime of the server: injects faults at the core \
+             (lock/vptr/epoch) and server wire points in this process.  \
+             Disarmed before the final quiescent census.")
+
 let stats_fmt =
   let alist = [ ("none", `None); ("json", `Json) ] in
   Arg.(value & opt (enum alist) `Json & info [ "stats" ] ~docv:"FMT"
@@ -88,7 +128,18 @@ let install_signal_handlers () =
     [ Sys.sigint; Sys.sigterm ]
 
 let run structure mode port domains n_hint prefill queue_depth census_interval
-    duration stats_fmt trace_file =
+    max_conns idle_timeout write_timeout shed_queue shed_epoch_lag
+    shed_chain_p99 retry_after_ms faults duration stats_fmt trace_file =
+  let plan =
+    match faults with
+    | None -> None
+    | Some spec -> (
+        match Fault.find_plan spec with
+        | Ok p -> Some p
+        | Error e ->
+            prerr_endline ("verlib-serve: bad --faults plan: " ^ e);
+            exit 2)
+  in
   let map = Harness.Registry.find structure in
   let module M = (val map : Dstruct.Map_intf.MAP) in
   if not (M.supports_mode mode) then begin
@@ -109,11 +160,24 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
       domains;
       queue_depth;
       census_interval;
+      max_conns;
+      idle_timeout;
+      write_timeout;
+      shed_queue;
+      shed_epoch_lag;
+      shed_chain_p99;
+      retry_after_ms;
     }
   in
   let srv = Server.create ~config mount in
   install_signal_handlers ();
   Server.start srv;
+  (match plan with
+   | None -> ()
+   | Some p ->
+       Fault.arm p;
+       Printf.eprintf "verlib-serve: fault plan armed: %s\n%!"
+         (Fault.plan_to_string p));
   Printf.printf "PORT %d\n%!" (Server.port srv);
   Printf.eprintf
     "verlib-serve: %s (%s, %s) on 127.0.0.1:%d — %d worker domain(s)%s\n%!"
@@ -133,6 +197,13 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
   while not (Atomic.get stop_requested || expired ()) do
     (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
   done;
+  (* Disarm before the drain: crash-stopped domains resume, so the join
+     inside [Server.stop] terminates and the final census is quiescent
+     and fault-free. *)
+  if plan <> None then begin
+    Fault.disarm ();
+    Unix.sleepf 0.05
+  end;
   Server.stop srv;
   (match stats_fmt with
    | `None -> ()
@@ -155,6 +226,8 @@ let cmd =
     (Cmd.info "verlib_serve" ~doc)
     Term.(
       const run $ structure $ mode $ port $ domains $ n_hint $ prefill
-      $ queue_depth $ census_interval $ duration $ stats_fmt $ trace_file)
+      $ queue_depth $ census_interval $ max_conns $ idle_timeout
+      $ write_timeout $ shed_queue $ shed_epoch_lag $ shed_chain_p99
+      $ retry_after_ms $ faults $ duration $ stats_fmt $ trace_file)
 
 let () = exit (Cmd.eval cmd)

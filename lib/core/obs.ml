@@ -25,6 +25,15 @@ module Hist = Flock.Telemetry.Hist
    side effect runs before any event can be emitted. *)
 let () = Flock.Telemetry.set_clock Hwclock.now
 
+(* Resilience gauges: process-lifetime fault-injection totals ([Fault]
+   sits below Flock and cannot register gauges itself).  The server and
+   client wire layers register their own shed/retry gauges alongside. *)
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "faults_fired" Fault.fired_total
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "faults_stalled" Fault.stalled_now
+
 (* ------------------------------------------------------------------ *)
 (* Event catalogue.  Verlib owns codes 1..31; Flock reserves 32..
    (see Flock.Telemetry).                                              *)

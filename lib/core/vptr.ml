@@ -21,6 +21,19 @@ type 'a t = { head : 'a chain Atomic.t; d : 'a desc }
 
 let desc t = t.d
 
+(* Fault-injection sites (docs/RESILIENCE.md).  [stamp.set] fires
+   between observing a TBD stamp and the CAS that resolves it — a pause
+   there widens the TBD window so other threads must go through
+   set-stamp helping (the non-idempotent helping of Theorem 6.2).
+   [vptr.cas] fires just before the machine CAS on the head, and
+   [vptr.install] while a new version (direct or indirect) is being
+   built before publication. *)
+let fp_stamp = Fault.Point.make "stamp.set"
+
+let fp_cas = Fault.Point.make "vptr.cas"
+
+let fp_install = Fault.Point.make "vptr.install"
+
 let use_direct_stores = Atomic.make true
 
 let set_direct_stores b = Atomic.set use_direct_stores b
@@ -53,8 +66,10 @@ let make d v =
    helping (Theorem 6.2).                                              *)
 
 let set_stamp_meta m =
-  if Atomic.get m.stamp = Stamp.tbd then
+  if Atomic.get m.stamp = Stamp.tbd then begin
+    Fault.hit fp_stamp;
     ignore (Atomic.compare_and_set m.stamp Stamp.tbd (Stamp.read ()))
+  end
 
 let set_stamp d chain =
   match chain_meta d.meta_of chain with
@@ -165,6 +180,7 @@ let chain_stamp d = function
   | Cval None -> Stamp.zero
 
 let primcas t old_chain new_chain =
+  Fault.hit fp_cas;
   if Flock.Idem.in_frame () then begin
     ignore (Atomic.compare_and_set t.head old_chain new_chain);
     Atomic.get t.head == new_chain || chain_stamp t.d new_chain <> Stamp.tbd
@@ -185,6 +201,7 @@ let plain_primcas t old_chain new_chain =
 (* CAS (Algorithm 5 lines 39-61, plus Algorithm 4 for Indirect mode)   *)
 
 let build_new_version t old new_v =
+  Fault.hit fp_install;
   (* Decide whether this version needs an indirect link: always for null
      and for objects whose metadata is already claimed; never in Rec_once
      mode, whose contract promises fresh metadata. *)

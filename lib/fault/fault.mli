@@ -1,0 +1,146 @@
+(** Fault injection for the versioning core and the wire layer.
+
+    VERLIB's central theorems are adversarial-schedule claims: a
+    lock-free lock finishes even when its acquirer stalls forever
+    (helping, Theorem 6.1); set-stamp and shortcutting converge under
+    arbitrary interleavings of non-idempotent helpers (Theorem 6.2);
+    version chains stay bounded only while reclamation keeps pace.  The
+    scheduler will not produce those schedules on demand — this module
+    does.
+
+    Design, mirroring [Flock.Telemetry]'s discipline:
+
+    - {b Named points.}  Instrumented sites create a {!Point.t} once at
+      module init ([Fault.Point.make "lock.acquire"]) and call
+      {!hit} / {!io_check} inline.  The catalogue of shipped points is
+      documented in docs/RESILIENCE.md.
+    - {b Zero cost when disabled.}  [hit] starts with a single
+      [Atomic.get] of the global gate and a not-taken branch — the same
+      cost class as [Telemetry.emit] with tracing off, already paid on
+      these paths.
+    - {b Deterministic seeded plans.}  A {!plan} is a list of
+      [point-pattern / trigger / action] rules plus a seed.  Triggers
+      are evaluated against per-domain hit counters and a per-domain
+      splitmix RNG derived from [(seed, domain ordinal)], so replaying
+      the same plan against the same per-domain hit sequence reproduces
+      the same fire/no-fire decisions ([test/test_fault.ml] checks
+      this).
+    - {b Crash-stop, not crash-dead.}  {!action.Stall_forever} parks the
+      hitting domain until the plan is disarmed (or replaced), modelling
+      a crash-stopped thread for the duration of the experiment while
+      still allowing a quiescent join at shutdown. *)
+
+exception Injected of string
+(** What [Fail] rules raise at the injection site. *)
+
+(** {1 Actions} *)
+
+type action =
+  | Pause of float  (** sleep this many seconds at the site *)
+  | Stall_forever
+      (** park until {!disarm} (crash-stop for the armed window) *)
+  | Yield_storm of int  (** [Thread.yield] this many times *)
+  | Fail of exn  (** raise at the site (wire points; see docs) *)
+  | Short_write of int
+      (** I/O: cap one [write] at this many bytes (caller-interpreted) *)
+  | Econnreset  (** I/O: raise [Unix_error (ECONNRESET, _, _)] *)
+  | Eagain_burst of int
+      (** I/O: answer the next call with [EAGAIN] (caller-interpreted;
+          the argument is a burst hint carried to the site) *)
+
+(** {1 Triggers} *)
+
+type trigger =
+  | Always
+  | Once  (** fire exactly once process-wide (first domain to arrive) *)
+  | Nth of int  (** fire on the n-th hit of each domain (1-based) *)
+  | Every of int  (** fire on every n-th hit of each domain *)
+  | Prob of float  (** fire with this probability (per-domain seeded RNG) *)
+
+(** {1 Plans} *)
+
+type rule = {
+  r_point : string;
+      (** exact point name, or a prefix pattern ending in ['*']
+          (["server.*"], ["*"]) *)
+  r_trigger : trigger;
+  r_action : action;
+}
+
+type plan = { p_name : string; p_seed : int; p_rules : rule list }
+
+val plan : ?name:string -> ?seed:int -> rule list -> plan
+(** Default seed 1. *)
+
+val plan_of_string : string -> (plan, string) result
+(** Parse the plan grammar (docs/RESILIENCE.md):
+    [\[seed=N;\] RULE (";" RULE)*] where
+    [RULE := POINT ":" ACTION \["@" TRIGGER\]],
+    [ACTION := pause=MS | stall | yield=N | fail\[=MSG\] | shortwrite=N
+    | econnreset | eagain=N] and
+    [TRIGGER := always | once | nth=N | every=N | p=F] (default
+    [always]).  Example:
+    ["seed=7;lock.acquire:stall@once;client.write:econnreset@p=0.02"]. *)
+
+val plan_to_string : plan -> string
+(** Canonical spec; [plan_of_string] round-trips it. *)
+
+val presets : (string * string) list
+(** Named plans shipped with the repo: [crash-stop-locker],
+    [blocking-convoy], [stalled-reclaimer], [tbd-window], [yield-storm],
+    [flaky-wire]. *)
+
+val find_plan : string -> (plan, string) result
+(** A preset name, or a raw spec via {!plan_of_string}. *)
+
+(** {1 Arming} *)
+
+val arm : plan -> unit
+(** Install [plan] as the process-wide armed plan (replacing any other)
+    and open the gate.  Per-domain trigger state (hit counters, RNG)
+    restarts from the plan seed. *)
+
+val disarm : unit -> unit
+(** Close the gate and release every domain parked in
+    [Stall_forever].  Idempotent. *)
+
+val armed : unit -> plan option
+
+(** {1 Points} *)
+
+module Point : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-intern: points are process-global and live forever;
+      calling [make] twice with one name returns the same point. *)
+
+  val name : t -> string
+
+  val all_names : unit -> string list
+  (** Registered points, registration order — the live catalogue. *)
+end
+
+val hit : Point.t -> unit
+(** Evaluate the armed plan at this site.  Scheduling actions (pause /
+    stall / yield) are performed in place; [Fail e] raises [e]; I/O
+    actions are {e ignored} here (they need caller interpretation — use
+    {!io_check} at wire sites). *)
+
+val io_check : Point.t -> action option
+(** Like {!hit}, but returns [Short_write]/[Econnreset]/[Eagain_burst]
+    to the caller for interpretation against the actual file
+    descriptor.  Scheduling actions are still performed in place (and
+    return [None]); [Fail e] still raises. *)
+
+(** {1 Accounting} *)
+
+val fired_total : unit -> int
+(** Faults fired since process start (all points, all plans) — exported
+    as the [faults_fired] gauge by [Verlib.Obs]. *)
+
+val fired_at : string -> int
+(** Fired count of one named point (0 for unknown points). *)
+
+val stalled_now : unit -> int
+(** Domains currently parked in [Stall_forever]. *)

@@ -80,11 +80,21 @@ let defer cb =
   pending := (e, cb) :: !pending;
   Mutex.unlock pending_mutex
 
+(* Fault-injection sites: [epoch.enter] fires with the domain announced
+   in the current epoch — a pause there is a stalled reclaimer (the
+   global epoch cannot pass it; [epoch_lag] climbs and deferred
+   callbacks pile up until it releases).  [epoch.advance] fires between
+   reading the global epoch and the advance CAS. *)
+let fp_enter = Fault.Point.make "epoch.enter"
+
+let fp_advance = Fault.Point.make "epoch.advance"
+
 (* Advance the global epoch if every active domain has caught up with it;
    called on epoch entry so that the clock moves as long as operations keep
    arriving (the standard lazy EBR advance). *)
 let try_advance () =
   let g = Atomic.get global in
+  Fault.hit fp_advance;
   if min_announced () >= g && Atomic.compare_and_set global g (g + 1) then
     Telemetry.emit Telemetry.ev_epoch_advance (g + 1)
 
@@ -98,6 +108,13 @@ let with_epoch f =
     let slot = announcement.(Registry.my_id ()) in
     try_advance ();
     Atomic.set slot (Atomic.get global);
+    (* Announced and pinned: a pause here stalls reclamation for
+       everyone (see fp_enter above).  A [fail] rule must not leak the
+       announcement — unpin before propagating. *)
+    (try Fault.hit fp_enter
+     with e ->
+       Atomic.set slot quiescent;
+       raise e);
     incr depth;
     let finally () =
       decr depth;

@@ -60,6 +60,12 @@ let next_slot fr =
   fr.pos <- fr.pos + 1;
   slot
 
+(* Fault-injection site: between computing a candidate value and the
+   CAS-once that publishes it — pausing here widens the window in which
+   a racing helper computes its own candidate and the two must agree
+   through the slot (Theorem 6.2's idempotence argument). *)
+let fp_cas = Fault.Point.make "idem.cas"
+
 let once (type a) (f : unit -> a) : a =
   match !(stack ()) with
   | [] -> f ()
@@ -69,6 +75,7 @@ let once (type a) (f : unit -> a) : a =
       if v != empty then Obj.obj v
       else begin
         let x = f () in
+        Fault.hit fp_cas;
         if Atomic.compare_and_set slot empty (Obj.repr x) then x
         else Obj.obj (Atomic.get slot)
       end

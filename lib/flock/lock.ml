@@ -46,6 +46,20 @@ let mode_of t = t.mode
    their count from the operation count if needed. *)
 let retries_hist = Telemetry.Hist.make "lock_retries"
 
+(* Fault-injection sites (docs/RESILIENCE.md): the paper's helping
+   windows.  [lock.acquire] fires with the lock {e held} by the hitting
+   domain — its descriptor installed and taken but its critical section
+   not yet run — so a [stall] there is the Theorem 6.1 crash-stop
+   schedule (peers finish via helping in lock-free mode; in blocking
+   mode contenders convoy, which is the point of that control).
+   [lock.help] fires on entry to a help, [lock.release] just before the
+   release CAS. *)
+let fp_acquire = Fault.Point.make "lock.acquire"
+
+let fp_help = Fault.Point.make "lock.help"
+
+let fp_release = Fault.Point.make "lock.release"
+
 let helps = Atomic.make 0
 
 let retires = Atomic.make 0
@@ -88,11 +102,13 @@ let run_and_release t d =
           helper's install CAS lands after the abort decision; they are
           simply removed below without running anything. *)
        ());
+  Fault.hit fp_release;
   ignore (Atomic.compare_and_set t.state d unlocked)
 
 let help t d =
   Atomic.incr helps;
   Telemetry.emit Telemetry.ev_lock_help 0;
+  Fault.hit fp_help;
   run_and_release t d
 
 (* Lock-free acquisition.  The decision (taken/aborted) must be identical
@@ -116,7 +132,17 @@ let try_lock_free t (f : unit -> Obj.t) : Obj.t option =
   end
   else begin
     let installed = Atomic.compare_and_set t.state unlocked d in
-    if installed then ignore (Atomic.compare_and_set d.status Pending Taken)
+    if installed then begin
+      ignore (Atomic.compare_and_set d.status Pending Taken);
+      (* The acquirer owns the lock but has not run its critical section:
+         a stall here is the crash-stop schedule of Theorem 6.1.  A
+         [fail] rule must not leak the held lock — complete the acquire
+         (thunk + release) before propagating. *)
+      try Fault.hit fp_acquire
+      with e ->
+        run_and_release t d;
+        raise e
+    end
     else if Atomic.get t.state == d then
       (* Another helper of this same acquire installed d. *)
       ignore (Atomic.compare_and_set d.status Pending Taken)
@@ -154,7 +180,17 @@ let try_lock_blocking t f =
       result = Atomic.make None }
   in
   if Atomic.compare_and_set t.state unlocked token then begin
-    let out = (try Ok (f ()) with e -> Error e) in
+    (* Same crash-stop site as the lock-free path, but with no helping:
+       a stall here convoys every contender until disarm — the blocking
+       control the oversubscription experiments measure.  Inside the
+       try so a [fail] rule releases the token like any raising critical
+       section. *)
+    let out =
+      try
+        Fault.hit fp_acquire;
+        Ok (f ())
+      with e -> Error e
+    in
     Atomic.set t.state unlocked;
     match out with Ok v -> Some v | Error e -> raise e
   end

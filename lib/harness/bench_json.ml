@@ -22,6 +22,8 @@ type row = {
   r_reclaimable : int;
   r_violations : int;
   r_space_bytes : float;  (* bytes per entry; 0. when not measured *)
+  r_retries : int;  (* client wire retries absorbed by the run (serve rows) *)
+  r_shed : int;  (* -BUSY sheds observed by the run (serve rows) *)
 }
 
 type doc = {
@@ -72,13 +74,19 @@ let merge_rows d rows =
 (* --- rendering ---------------------------------------------------------- *)
 
 let json_of_row r =
+  (* retries/shed are emitted only when non-zero: the committed baseline
+     predates them and stays byte-comparable for fault-free runs. *)
+  let resilience =
+    if r.r_retries = 0 && r.r_shed = 0 then ""
+    else Printf.sprintf ",\"retries\":%d,\"shed\":%d" r.r_retries r.r_shed
+  in
   Printf.sprintf
     "{\"figure\":\"%s\",\"label\":\"%s\",\"mops\":%.6f,\"p50_us\":%.3f,\
      \"p99_us\":%.3f,\"chain_max\":%d,\"chain_p99\":%d,\"indirect_links\":%d,\
-     \"reclaimable\":%d,\"violations\":%d,\"space_bytes\":%.1f}"
+     \"reclaimable\":%d,\"violations\":%d,\"space_bytes\":%.1f%s}"
     (Jsonlite.escape r.r_figure) (Jsonlite.escape r.r_label) r.r_mops r.r_p50_us
     r.r_p99_us r.r_chain_max r.r_chain_p99 r.r_indirect_links r.r_reclaimable
-    r.r_violations r.r_space_bytes
+    r.r_violations r.r_space_bytes resilience
 
 let to_json d =
   let b = Buffer.create 4096 in
@@ -122,6 +130,10 @@ let row_of_json j =
   let* reclaimable = num "reclaimable" j in
   let* violations = num "violations" j in
   let* space = num "space_bytes" j in
+  (* Optional (absent in pre-resilience baselines): default 0. *)
+  let opt_int name = match num name j with Some v -> int_of_float v | None -> 0 in
+  let retries = opt_int "retries" in
+  let shed = opt_int "shed" in
   Some
     {
       r_figure = figure;
@@ -135,6 +147,8 @@ let row_of_json j =
       r_reclaimable = int_of_float reclaimable;
       r_violations = int_of_float violations;
       r_space_bytes = space;
+      r_retries = retries;
+      r_shed = shed;
     }
 
 let of_json j =

@@ -22,6 +22,10 @@ type row = {
   r_reclaimable : int;
   r_violations : int;  (** census chain-invariant violations (want 0) *)
   r_space_bytes : float;  (** bytes per entry; 0. when not measured *)
+  r_retries : int;
+      (** client wire retries the run absorbed (serve rows; parsed as 0
+          from pre-resilience files, serialised only when non-zero) *)
+  r_shed : int;  (** [-BUSY] sheds the run observed (same conventions) *)
 }
 
 type doc = {

@@ -1,10 +1,57 @@
+(* Wire-layer fault points (docs/RESILIENCE.md).  [io_check] returns the
+   I/O actions for interpretation against the live socket; injected
+   resets surface as the same [Unix.Unix_error] a real peer reset
+   produces, so the retry layer cannot tell them apart — which is the
+   point. *)
+let fp_read = Fault.Point.make "client.read"
+
+let fp_write = Fault.Point.make "client.write"
+
+(* Process-wide retry accounting, exported as gauges so every
+   [Verlib.Obs] report carries them next to [shed_total] /
+   [faults_fired]. *)
+let retry_total_a = Atomic.make 0
+
+let reconnect_total_a = Atomic.make 0
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "retry_total" (fun () -> Atomic.get retry_total_a)
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "reconnect_total" (fun () ->
+      Atomic.get reconnect_total_a)
+
+let retry_total () = Atomic.get retry_total_a
+
+let reconnect_total () = Atomic.get reconnect_total_a
+
 type t = {
   fd : Unix.file_descr;
   reader : Protocol.Reader.t;
   out : Buffer.t;
 }
 
-let connect ?(host = "127.0.0.1") ?(retries = 0) ~port () =
+(* EINTR-immune read for the reply reader.  Anything else —
+   EOF, a real or injected reset, or EAGAIN from an expired
+   SO_RCVTIMEO — propagates into [Protocol.Reader.refill], which maps
+   any exception to a framing error ("connection closed mid-reply"):
+   exactly the ambiguous-failure shape the retry layer handles. *)
+let read_fd fd b p l =
+  (match Fault.io_check fp_read with
+   | Some Fault.Econnreset ->
+       raise (Unix.Unix_error (Unix.ECONNRESET, "read", "fault"))
+   | Some _ | None -> ());
+  let rec go () =
+    match Unix.read fd b p l with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let connect ?(host = "127.0.0.1") ?(retries = 0) ?read_timeout ~port () =
+  (* Mirror the server: a reset peer must cost an exception, never a
+     process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let rec dial attempt =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -21,21 +68,38 @@ let connect ?(host = "127.0.0.1") ?(retries = 0) ~port () =
   in
   let fd = dial 0 in
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
-  {
-    fd;
-    reader = Protocol.Reader.create (fun b p l -> Unix.read fd b p l);
-    out = Buffer.create 4096;
-  }
+  (match read_timeout with
+   | Some s when s > 0. ->
+       (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ())
+   | Some _ | None -> ());
+  { fd; reader = Protocol.Reader.create (read_fd fd); out = Buffer.create 4096 }
 
 let close t = try Unix.close t.fd with _ -> ()
 
+(* Push the whole out-buffer, surviving EINTR and partial writes.
+   Injected [Short_write] caps one syscall; injected [Econnreset] (and
+   real EPIPE/ECONNRESET) raise to the caller. *)
 let flush t =
   let s = Buffer.contents t.out in
   Buffer.clear t.out;
   let b = Bytes.unsafe_of_string s in
   let len = Bytes.length b in
   let rec go off =
-    if off < len then go (off + Unix.write t.fd b off (len - off))
+    if off < len then begin
+      let cap =
+        match Fault.io_check fp_write with
+        | Some (Fault.Short_write n) -> max 1 (min n (len - off))
+        | Some Fault.Econnreset ->
+            raise (Unix.Unix_error (Unix.ECONNRESET, "write", "fault"))
+        | Some (Fault.Eagain_burst _) | Some _ | None -> len - off
+      in
+      match Unix.write t.fd b off cap with
+      | n -> go (off + n)
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          go off
+    end
   in
   go 0
 
@@ -61,3 +125,146 @@ let pipeline t cs =
         | Error e -> Error e)
   in
   go [] cs
+
+(* --- retrying transport --------------------------------------------------- *)
+
+type rt = {
+  rt_host : string;
+  rt_port : int;
+  rt_read_timeout : float;
+  rt_max_attempts : int;
+  rt_retry_busy : bool;
+  rt_rng : Workload.Splitmix.t;
+  mutable rt_conn : t option;
+  mutable rt_dialed : bool;  (* first dial is not a "reconnect" *)
+  mutable rt_retries : int;
+  mutable rt_busy : int;
+}
+
+let connect_rt ?(host = "127.0.0.1") ?(read_timeout = 2.) ?(max_attempts = 10)
+    ?(retry_busy = true) ?(seed = 1) ~port () =
+  {
+    rt_host = host;
+    rt_port = port;
+    rt_read_timeout = read_timeout;
+    rt_max_attempts = max max_attempts 1;
+    rt_retry_busy = retry_busy;
+    rt_rng = Workload.Splitmix.create (seed lxor 0x7e57c0de);
+    rt_conn = None;
+    rt_dialed = false;
+    rt_retries = 0;
+    rt_busy = 0;
+  }
+
+let rt_stats rt = (rt.rt_retries, rt.rt_busy)
+
+let rt_drop rt =
+  match rt.rt_conn with
+  | Some c ->
+      close c;
+      rt.rt_conn <- None
+  | None -> ()
+
+let rt_close = rt_drop
+
+let ensure rt =
+  match rt.rt_conn with
+  | Some c -> c
+  | None ->
+      let c =
+        connect ~host:rt.rt_host ~retries:50
+          ~read_timeout:rt.rt_read_timeout ~port:rt.rt_port ()
+      in
+      if rt.rt_dialed then Atomic.incr reconnect_total_a;
+      rt.rt_dialed <- true;
+      rt.rt_conn <- Some c;
+      c
+
+(* Full jitter on a doubling base, capped at ~128 ms — the
+   [Flock.Backoff] shape, in wall-clock seconds. *)
+let backoff rt attempt =
+  let base = 0.001 *. Float.of_int (1 lsl min attempt 7) in
+  Unix.sleepf (base *. (0.5 +. Workload.Splitmix.float rt.rt_rng))
+
+let busy_wait rt ms =
+  let s = Float.of_int (max ms 1) /. 1000. in
+  Unix.sleepf (s *. (0.5 +. Workload.Splitmix.float rt.rt_rng))
+
+let count_retry rt =
+  rt.rt_retries <- rt.rt_retries + 1;
+  Atomic.incr retry_total_a
+
+(* One command with transparent recovery.  Ambiguous transport failures
+   (reset, EOF mid-reply, read timeout) are retried only for
+   [Protocol.idempotent] commands — the reply may have been lost after
+   execution.  [-BUSY] is shed {e before} execution, so it is retried
+   (after the server's hinted delay, jittered) regardless of
+   idempotency, as long as [retry_busy] is set. *)
+let rt_request rt c =
+  let retryable = Protocol.idempotent c in
+  let rec go attempt =
+    let fail_retry e =
+      rt_drop rt;
+      if retryable && attempt + 1 < rt.rt_max_attempts then begin
+        count_retry rt;
+        backoff rt attempt;
+        go (attempt + 1)
+      end
+      else Error e
+    in
+    match request (ensure rt) c with
+    | Ok (Protocol.Busy ms) ->
+        rt.rt_busy <- rt.rt_busy + 1;
+        if rt.rt_retry_busy && attempt + 1 < rt.rt_max_attempts then begin
+          count_retry rt;
+          busy_wait rt ms;
+          go (attempt + 1)
+        end
+        else Ok (Protocol.Busy ms)
+    | Ok r -> Ok r
+    | Error e -> fail_retry e
+    | exception Unix.Unix_error (err, _, _) ->
+        fail_retry (Unix.error_message err)
+  in
+  go 0
+
+(* Pipelined batch with recovery.  The whole batch is re-sent on a
+   transport failure only when {e every} command is idempotent (replies
+   are only handed back once all have arrived, so a retry can't
+   double-report).  [-BUSY] entries in a successful batch are re-issued
+   individually through {!rt_request}. *)
+let rt_pipeline rt cs =
+  let retryable = List.for_all Protocol.idempotent cs in
+  let fix_busy rs =
+    let rec go acc cs rs =
+      match (cs, rs) with
+      | [], [] -> Ok (List.rev acc)
+      | c :: cs', Protocol.Busy ms :: rs' when rt.rt_retry_busy -> (
+          rt.rt_busy <- rt.rt_busy + 1;
+          count_retry rt;
+          busy_wait rt ms;
+          match rt_request rt c with
+          | Ok r -> go (r :: acc) cs' rs'
+          | Error e -> Error e)
+      | _ :: cs', r :: rs' -> go (r :: acc) cs' rs'
+      | _ -> Error "pipeline reply arity mismatch"
+    in
+    go [] cs rs
+  in
+  let rec attempt_loop attempt =
+    let fail_retry e =
+      rt_drop rt;
+      if retryable && attempt + 1 < rt.rt_max_attempts then begin
+        count_retry rt;
+        backoff rt attempt;
+        attempt_loop (attempt + 1)
+      end
+      else Error e
+    in
+    match pipeline (ensure rt) cs with
+    | Ok rs -> fix_busy rs
+    | Error e -> fail_retry e
+    | exception Unix.Unix_error (err, _, _) ->
+        fail_retry (Unix.error_message err)
+  in
+  attempt_loop 0

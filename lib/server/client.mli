@@ -3,15 +3,31 @@
 
     Not domain-safe: one client per domain (each holds its own socket
     and read buffer), mirroring the benchmark discipline of one RNG per
-    thread. *)
+    thread.
+
+    Two layers:
+
+    - the bare transport ({!connect} / {!request} / {!pipeline}): one
+      socket, failures surface as [Error _] or [Unix.Unix_error];
+    - the {e retrying} transport ({!connect_rt} / {!rt_request} /
+      {!rt_pipeline}): transparently reconnects and re-issues
+      {!Protocol.idempotent} commands after ambiguous wire failures with
+      jittered exponential backoff, and honours [-BUSY retry-after-ms]
+      shedding (always safe to retry — shed commands never executed).
+      See docs/RESILIENCE.md for the retry semantics and the [Put]/[Del]
+      idempotency caveat. *)
 
 type t
 
-val connect : ?host:string -> ?retries:int -> port:int -> unit -> t
+val connect :
+  ?host:string -> ?retries:int -> ?read_timeout:float -> port:int -> unit -> t
 (** [connect ~port ()] dials 127.0.0.1:[port].  [retries] (default 0)
     retries refused connections every 100 ms — lets a load generator
-    start before the server finishes binding.  Raises [Unix.Unix_error]
-    when the last attempt fails. *)
+    start before the server finishes binding.  [read_timeout] (seconds)
+    arms [SO_RCVTIMEO]: a reply that doesn't arrive in time surfaces as
+    a reader error instead of blocking forever.  Ignores SIGPIPE
+    process-wide.  Raises [Unix.Unix_error] when the last attempt
+    fails. *)
 
 val close : t -> unit
 
@@ -26,3 +42,48 @@ val send_raw : t -> string -> unit
 (** Write arbitrary bytes (protocol fuzzing). *)
 
 val read_reply : t -> (Protocol.reply, string) result
+
+(** {1 Retrying transport} *)
+
+type rt
+
+val connect_rt :
+  ?host:string ->
+  ?read_timeout:float ->
+  ?max_attempts:int ->
+  ?retry_busy:bool ->
+  ?seed:int ->
+  port:int ->
+  unit ->
+  rt
+(** Lazy: the socket is dialed (with connect retries) on first use and
+    re-dialed after any failure.  [read_timeout] default 2 s;
+    [max_attempts] (per command, default 10) bounds
+    reconnect+retry loops; [retry_busy] (default true) re-issues
+    commands the server answered [-BUSY], after the hinted delay,
+    jittered; [seed] derives the private backoff-jitter RNG. *)
+
+val rt_close : rt -> unit
+
+val rt_request : rt -> Protocol.command -> (Protocol.reply, string) result
+(** One command with transparent reconnect/retry.  Ambiguous transport
+    failures are retried only for {!Protocol.idempotent} commands;
+    [Error _] after [max_attempts] is a genuine failure.  With
+    [retry_busy] a surviving [Busy _] reply means the server shed it
+    [max_attempts] times running. *)
+
+val rt_pipeline :
+  rt -> Protocol.command list -> (Protocol.reply list, string) result
+(** Pipelined batch: re-sent wholesale on transport failure only when
+    every command is idempotent; [-BUSY] entries of a successful batch
+    are re-issued individually. *)
+
+val rt_stats : rt -> int * int
+(** [(retries, busy)] this client performed/observed so far. *)
+
+(** {1 Process-wide accounting} (also the [retry_total] /
+    [reconnect_total] gauges in [Verlib.Obs] reports) *)
+
+val retry_total : unit -> int
+
+val reconnect_total : unit -> int

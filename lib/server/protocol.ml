@@ -16,10 +16,30 @@ type reply =
   | Pong
   | Exists
   | Err of string
+  | Busy of int
   | Int of int
   | Nil
   | Bulk of string
   | Arr of reply list
+
+(* --- command classification ---------------------------------------------- *)
+
+(* Safe to re-issue after an ambiguous failure.  Reads trivially; PUT and
+   DEL because re-applying the same binding/removal converges to the same
+   map state (effect idempotence — see docs/RESILIENCE.md for the caveat
+   about interleaved writers to the same key).  QUIT is excluded: blindly
+   re-sending it after a reconnect would close the fresh connection. *)
+let idempotent = function
+  | Ping | Get _ | Put _ | Del _ | Mget _ | Range _ | Rangecount _ | Scan _
+  | Size | Stats ->
+      true
+  | Quit -> false
+
+(* Commands whose execution takes a snapshot and walks many versioned
+   pointers — the expensive class, shed first under overload. *)
+let snapshot_heavy = function
+  | Mget _ | Range _ | Rangecount _ | Scan _ -> true
+  | Ping | Get _ | Put _ | Del _ | Size | Stats | Quit -> false
 
 (* --- command parsing ---------------------------------------------------- *)
 
@@ -116,6 +136,7 @@ let rec render_reply buf r =
   | Pong -> p "+PONG\r\n"
   | Exists -> p "+EXISTS\r\n"
   | Err msg -> p "-ERR %s\r\n" (sanitize msg)
+  | Busy ms -> p "-BUSY %d\r\n" (max 0 ms)
   | Int n -> p ":%d\r\n" n
   | Nil -> p "$-1\r\n"
   | Bulk s ->
@@ -130,7 +151,7 @@ let rec reply_equal a b =
   match (a, b) with
   | Ok_, Ok_ | Pong, Pong | Exists, Exists | Nil, Nil -> true
   | Err x, Err y | Bulk x, Bulk y -> String.equal x y
-  | Int x, Int y -> x = y
+  | Int x, Int y | Busy x, Busy y -> x = y
   | Arr x, Arr y ->
       List.length x = List.length y && List.for_all2 reply_equal x y
   | _ -> false
@@ -140,6 +161,7 @@ let rec pp_reply = function
   | Pong -> "PONG"
   | Exists -> "EXISTS"
   | Err m -> "ERR " ^ m
+  | Busy ms -> Printf.sprintf "BUSY %d" ms
   | Int n -> string_of_int n
   | Nil -> "nil"
   | Bulk s ->
@@ -246,12 +268,17 @@ module Reader = struct
           | "EXISTS" -> Ok Exists
           | other -> Error (Printf.sprintf "unknown simple reply %S" other))
       | '-' ->
-          let msg =
-            if String.length body >= 4 && String.sub body 0 4 = "ERR " then
-              String.sub body 4 (String.length body - 4)
-            else body
-          in
-          Ok (Err msg)
+          if String.length body >= 5 && String.sub body 0 5 = "BUSY " then
+            match int_of_string_opt (String.sub body 5 (String.length body - 5)) with
+            | Some ms when ms >= 0 -> Ok (Busy ms)
+            | Some _ | None -> Error (Printf.sprintf "bad BUSY reply %S" body)
+          else
+            let msg =
+              if String.length body >= 4 && String.sub body 0 4 = "ERR " then
+                String.sub body 4 (String.length body - 4)
+              else body
+            in
+            Ok (Err msg)
       | ':' -> (
           match int_of_string_opt body with
           | Some n -> Ok (Int n)

@@ -32,10 +32,22 @@ type reply =
   | Pong  (** [+PONG] *)
   | Exists  (** [+EXISTS] — PUT of an already-present key (no update) *)
   | Err of string  (** [-ERR msg] *)
+  | Busy of int
+      (** [-BUSY retry-after-ms] — load shed; the command was {e not}
+          executed, so retrying (after the hinted delay) is always safe *)
   | Int of int  (** [:n] *)
   | Nil  (** [$-1] — absent key *)
   | Bulk of string  (** [$len] payload *)
   | Arr of reply list  (** [*n] then n elements *)
+
+val idempotent : command -> bool
+(** Safe to re-issue after an ambiguous wire failure (the retry layer's
+    criterion).  True for everything except [Quit]; [Put]/[Del] qualify
+    by effect idempotence — see docs/RESILIENCE.md for the caveat. *)
+
+val snapshot_heavy : command -> bool
+(** Takes a snapshot and walks many versioned pointers ([Mget], [Range],
+    [Rangecount], [Scan]) — the class an overloaded server sheds first. *)
 
 val parse_command : string -> (command, string) result
 (** Parse one line (without the trailing newline; a trailing ['\r'] is

@@ -9,10 +9,51 @@ type config = {
   backlog : int;
   queue_depth : int;
   census_interval : float;
+  max_conns : int;
+  idle_timeout : float;
+  write_timeout : float;
+  shed_queue : int;
+  shed_epoch_lag : int;
+  shed_chain_p99 : int;
+  retry_after_ms : int;
 }
 
 let default_config =
-  { port = 7379; domains = 4; backlog = 64; queue_depth = 64; census_interval = 0. }
+  {
+    port = 7379;
+    domains = 4;
+    backlog = 64;
+    queue_depth = 64;
+    census_interval = 0.;
+    max_conns = 0;
+    idle_timeout = 0.;
+    write_timeout = 5.;
+    shed_queue = 0;
+    shed_epoch_lag = 0;
+    shed_chain_p99 = 0;
+    retry_after_ms = 50;
+  }
+
+(* --- resilience accounting ----------------------------------------------- *)
+
+(* Process-wide totals (all server instances), exported as gauges so they
+   land in every [Verlib.Obs] report next to [faults_fired]. *)
+let shed_total_a = Atomic.make 0
+
+let deadline_kills_a = Atomic.make 0
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "shed_total" (fun () -> Atomic.get shed_total_a)
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "deadline_kills" (fun () ->
+      Atomic.get deadline_kills_a)
+
+(* Wire-layer fault points (docs/RESILIENCE.md): interpreted against the
+   live file descriptor by [write_all] / the read loop below. *)
+let fp_read = Fault.Point.make "server.read"
+
+let fp_write = Fault.Point.make "server.write"
 
 type t = {
   mount : Mount.t;
@@ -35,6 +76,8 @@ type t = {
   errors_total : int Atomic.t;
   census_samples : int Atomic.t;
   census_violations : int Atomic.t;
+  shed : int Atomic.t;
+  deadline_kills : int Atomic.t;
   latest_census : Verlib.Chainscan.census option Atomic.t;
   final_census : Verlib.Chainscan.census option Atomic.t;
 }
@@ -60,6 +103,8 @@ let create ?(config = default_config) mount =
     errors_total = Atomic.make 0;
     census_samples = Atomic.make 0;
     census_violations = Atomic.make 0;
+    shed = Atomic.make 0;
+    deadline_kills = Atomic.make 0;
     latest_census = Atomic.make None;
     final_census = Atomic.make None;
   }
@@ -101,6 +146,8 @@ let stats_json t =
       ("connections_active", string_of_int (Atomic.get t.conns_active));
       ("commands_total", string_of_int (Atomic.get t.commands_total));
       ("protocol_errors", string_of_int (Atomic.get t.errors_total));
+      ("shed", string_of_int (Atomic.get t.shed));
+      ("deadline_kills", string_of_int (Atomic.get t.deadline_kills));
       ("size", string_of_int (Mount.size t.mount));
     ]
     @ census_extra
@@ -109,34 +156,85 @@ let stats_json t =
 
 (* --- connection serving -------------------------------------------------- *)
 
-let write_all fd s =
+exception Write_deadline
+
+(* Push every byte of [s] to [fd], surviving EINTR and partial writes
+   (short TCP buffers, SO_SNDTIMEO expiry, injected [Short_write]).  A
+   peer that stops reading cannot wedge the worker: once [deadline]
+   (absolute, [infinity] = none) passes with bytes still queued the
+   write is abandoned with [Write_deadline] and the connection is
+   killed.  EPIPE/ECONNRESET propagate to the caller (dead peer); with
+   SIGPIPE ignored (see [start]) EPIPE is an exception, not a signal. *)
+let write_all ?(deadline = infinity) fd s =
   let len = String.length s in
   let b = Bytes.unsafe_of_string s in
   let rec go off =
     if off < len then begin
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
+      let cap =
+        match Fault.io_check fp_write with
+        | Some (Fault.Short_write n) -> max 1 (min n (len - off))
+        | Some Fault.Econnreset ->
+            raise (Unix.Unix_error (Unix.ECONNRESET, "write", "fault"))
+        | Some (Fault.Eagain_burst _) | Some _ | None -> len - off
+      in
+      match Unix.write fd b off cap with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if Unix.gettimeofday () > deadline then raise Write_deadline
+          else go off
     end
   in
   go 0
 
 let max_line = 1 lsl 20
 
+(* Admission control.  0 = admit everything; 1 = shed snapshot-heavy
+   commands; 2 = shed every data command (PING/STATS/QUIT are always
+   answered — an overloaded server stays observable).  Any configured
+   pressure signal at its threshold sheds the expensive class; the same
+   signal at twice its threshold sheds point ops too.  The signals are
+   the handoff-queue depth (work the workers have not reached) and the
+   reclamation-health gauges the census line of work watches: epoch lag
+   and the p99 version-chain length — exactly the quantities that grow
+   when snapshot-heavy load outruns truncation. *)
+let overload_level t =
+  let level = ref 0 in
+  let look v thr =
+    if thr > 0 && v >= thr then level := max !level (if v >= 2 * thr then 2 else 1)
+  in
+  look (Bqueue.length t.queue) t.cfg.shed_queue;
+  look (Flock.Epoch.epoch_lag ()) t.cfg.shed_epoch_lag;
+  (match Atomic.get t.latest_census with
+   | Some c -> look (Verlib.Chainscan.chain_p99 c) t.cfg.shed_chain_p99
+   | None -> ());
+  !level
+
+let count_shed t =
+  Atomic.incr t.shed;
+  Atomic.incr shed_total_a
+
 (* Serve one connection to completion.  Reads are buffered; every
    complete line in a read chunk is parsed and executed, and all the
    replies are flushed in a single write — this is what makes pipelining
    pay.  A short receive timeout keeps the worker responsive to the stop
-   flag even against an idle client. *)
+   flag even against an idle client; [idle_timeout] (if set) reclaims
+   the worker from a client that connects and goes silent. *)
 let serve_conn t fd =
   Atomic.incr t.conns_active;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2 with _ -> ());
+  if t.cfg.write_timeout > 0. then
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO (min 0.2 t.cfg.write_timeout)
+     with _ -> ());
   let chunk = Bytes.create 65536 in
   let pending = Buffer.create 4096 in
   let scanned = ref 0 in
   (* first index of [pending] not yet scanned for '\n' *)
   let out = Buffer.create 4096 in
   let quit = ref false in
+  let last_act = ref (Unix.gettimeofday ()) in
   let reply r = Protocol.render_reply out r in
   let run_command line =
     Atomic.incr t.commands_total;
@@ -148,10 +246,18 @@ let serve_conn t fd =
         reply Protocol.Ok_;
         quit := true
     | Ok Protocol.Stats -> reply (Protocol.Bulk (stats_json t))
+    | Ok Protocol.Ping -> reply Protocol.Pong
     | Ok c ->
-        let r = Mount.exec t.mount c in
-        (match r with Protocol.Err _ -> Atomic.incr t.errors_total | _ -> ());
-        reply r
+        let lvl = overload_level t in
+        if lvl >= 2 || (lvl >= 1 && Protocol.snapshot_heavy c) then begin
+          count_shed t;
+          reply (Protocol.Busy t.cfg.retry_after_ms)
+        end
+        else begin
+          let r = Mount.exec t.mount c in
+          (match r with Protocol.Err _ -> Atomic.incr t.errors_total | _ -> ());
+          reply r
+        end
   in
   (* Split the pending buffer into complete lines, execute each; keep
      the trailing partial line for the next read. *)
@@ -173,29 +279,66 @@ let serve_conn t fd =
       Buffer.add_substring pending s !start (len - !start);
     scanned := Buffer.length pending
   in
+  let flush_out () =
+    if Buffer.length out > 0 then begin
+      let deadline =
+        if t.cfg.write_timeout > 0. then
+          Unix.gettimeofday () +. t.cfg.write_timeout
+        else infinity
+      in
+      (try write_all ~deadline fd (Buffer.contents out)
+       with Write_deadline ->
+         (* Peer stopped reading: reclaim the worker. *)
+         Atomic.incr t.deadline_kills;
+         Atomic.incr deadline_kills_a;
+         quit := true);
+      Buffer.clear out
+    end
+  in
   (try
      while not !quit do
-       match Unix.read fd chunk 0 (Bytes.length chunk) with
-       | 0 -> quit := true
-       | n ->
-           Buffer.add_subbytes pending chunk 0 n;
-           if Buffer.length pending > max_line then begin
-             Protocol.render_reply out (Protocol.Err "line too long");
-             Atomic.incr t.errors_total;
-             quit := true
-           end
-           else process_pending ();
-           if Buffer.length out > 0 then begin
-             write_all fd (Buffer.contents out);
-             Buffer.clear out
-           end;
-           (* Graceful drain: everything read so far is answered; stop
-              taking more. *)
-           if Atomic.get t.stop_flag then quit := true
-       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-         ->
-           if Atomic.get t.stop_flag then quit := true
-       | exception Unix.Unix_error _ -> quit := true
+       let read_cap =
+         match Fault.io_check fp_read with
+         | Some Fault.Econnreset -> -1 (* injected peer reset *)
+         | Some (Fault.Eagain_burst _) -> 0 (* injected spurious wakeup *)
+         | Some (Fault.Short_write n) -> max 1 n
+         | Some _ | None -> Bytes.length chunk
+       in
+       if read_cap < 0 then quit := true
+       else if read_cap = 0 then begin
+         Thread.yield ();
+         if Atomic.get t.stop_flag then quit := true
+       end
+       else
+         match Unix.read fd chunk 0 read_cap with
+         | 0 -> quit := true
+         | n ->
+             last_act := Unix.gettimeofday ();
+             Buffer.add_subbytes pending chunk 0 n;
+             if Buffer.length pending > max_line then begin
+               Protocol.render_reply out (Protocol.Err "line too long");
+               Atomic.incr t.errors_total;
+               quit := true
+             end
+             else process_pending ();
+             flush_out ();
+             (* Graceful drain: everything read so far is answered; stop
+                taking more. *)
+             if Atomic.get t.stop_flag then quit := true
+         | exception
+             Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+           ->
+             if Atomic.get t.stop_flag then quit := true
+             else if
+               t.cfg.idle_timeout > 0.
+               && Unix.gettimeofday () -. !last_act > t.cfg.idle_timeout
+             then begin
+               (* Idle deadline: the client connected and went silent. *)
+               Atomic.incr t.deadline_kills;
+               Atomic.incr deadline_kills_a;
+               quit := true
+             end
+         | exception Unix.Unix_error _ -> quit := true
      done
    with _ -> ());
   (try Unix.close fd with _ -> ());
@@ -213,7 +356,25 @@ let accept_loop t lsock () =
         match Unix.accept lsock with
         | fd, _ ->
             Atomic.incr t.conns_total;
-            if not (Bqueue.push t.queue fd) then (try Unix.close fd with _ -> ())
+            if
+              t.cfg.max_conns > 0
+              && Atomic.get t.conns_active + Bqueue.length t.queue
+                 >= t.cfg.max_conns
+            then begin
+              (* Connection cap: answer [-BUSY] at the door and close,
+                 instead of parking the socket in a queue no worker will
+                 reach soon.  Best-effort write: the client may already
+                 be gone. *)
+              count_shed t;
+              let b = Buffer.create 32 in
+              Protocol.render_reply b (Protocol.Busy t.cfg.retry_after_ms);
+              (try write_all ~deadline:(Unix.gettimeofday () +. 0.2) fd
+                     (Buffer.contents b)
+               with _ -> ());
+              try Unix.close fd with _ -> ()
+            end
+            else if not (Bqueue.push t.queue fd) then
+              (try Unix.close fd with _ -> ())
         | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
   done
@@ -245,6 +406,9 @@ let census_loop t () =
 
 let start t =
   if t.started then invalid_arg "Server.start: already started";
+  (* A peer that resets mid-reply must cost an EPIPE exception on the
+     writing worker, never a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
   Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, t.cfg.port));
@@ -298,3 +462,7 @@ let stop t =
 let final_census t = Atomic.get t.final_census
 
 let census_violations_total t = Atomic.get t.census_violations
+
+let shed_count t = Atomic.get t.shed
+
+let deadline_kill_count t = Atomic.get t.deadline_kills

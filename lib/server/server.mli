@@ -28,10 +28,31 @@ type config = {
   backlog : int;  (** listen(2) backlog *)
   queue_depth : int;  (** accept→worker handoff bound *)
   census_interval : float;  (** seconds; 0 disables the census domain *)
+  max_conns : int;
+      (** connection cap: beyond [max_conns] simultaneously
+          admitted/queued connections, new arrivals are answered
+          [-BUSY] at accept and closed; 0 = unlimited *)
+  idle_timeout : float;
+      (** seconds a connection may sit with no bytes arriving before the
+          worker closes it (a [deadline_kill]); 0 = never *)
+  write_timeout : float;
+      (** seconds a reply flush may block on a peer that stopped
+          reading before the connection is killed; 0 = forever *)
+  shed_queue : int;
+      (** admission control: shed snapshot-heavy commands while the
+          accept→worker queue holds at least this many connections
+          (and {e all} data commands at twice it); 0 = off *)
+  shed_epoch_lag : int;  (** same, against [Flock.Epoch.epoch_lag]; 0 = off *)
+  shed_chain_p99 : int;
+      (** same, against the p99 version-chain length of the latest
+          census (needs [census_interval > 0]); 0 = off *)
+  retry_after_ms : int;  (** the hint carried in [-BUSY] replies *)
 }
 
 val default_config : config
-(** port 7379, 4 domains, backlog 64, queue_depth 64, no census. *)
+(** port 7379, 4 domains, backlog 64, queue_depth 64, no census; no
+    connection cap, no idle timeout, 5 s write timeout, shedding off,
+    retry hint 50 ms. *)
 
 type t
 
@@ -57,6 +78,15 @@ val final_census : t -> Verlib.Chainscan.census option
 val census_violations_total : t -> int
 (** Cumulative invariant violations over every census taken (background
     samples + final); 0 is the healthy reading. *)
+
+val shed_count : t -> int
+(** Commands/connections this instance refused with [-BUSY] (admission
+    control + the [max_conns] door).  The process-wide total is the
+    [shed_total] gauge in every [Verlib.Obs] report. *)
+
+val deadline_kill_count : t -> int
+(** Connections this instance killed for blowing the idle or write
+    deadline (process-wide: the [deadline_kills] gauge). *)
 
 val stats_json : t -> string
 (** The [STATS] payload: one jsonlite object — server counters

@@ -124,6 +124,8 @@ let sample_row ?(figure = "fig8a") ?(label = "update%20 IndOnNeed")
     r_reclaimable = 3;
     r_violations = violations;
     r_space_bytes = space;
+    r_retries = 0;
+    r_shed = 0;
   }
 
 let test_bench_json_roundtrip () =
