@@ -1,7 +1,7 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke ci doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
-BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist
+BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep
 # The same list as a comma-separated figure filter for bench_diff: the
 # committed baseline additionally carries "serve" rows (gated by
 # serve-smoke), which bench-check must not report as missing.
@@ -66,7 +66,7 @@ obs-smoke:
 	OBS_SMOKE_TRACE=/tmp/verlib_trace.json \
 	  OBS_SMOKE_STATS=/tmp/verlib_stats.json \
 	  dune exec test/test_obs.exe -- test smoke
-	@for s in dlist hashtable btree arttree skiplist; do \
+	@for s in dlist hashtable btree arttree skiplist sharded-btree:4; do \
 	  echo "census check: $$s"; \
 	  dune exec bin/verlib_run.exe -- -s $$s -n 500 -d 0.1 -r 1 \
 	    --census --stats=json > /tmp/verlib_census_$$s.json || exit 1; \
@@ -76,7 +76,7 @@ obs-smoke:
 	    echo "FAIL: census violations for $$s"; exit 1; \
 	  fi; \
 	done
-	@echo "obs-smoke: census clean on all five versioned structures"
+	@echo "obs-smoke: census clean on the versioned structures (incl. a sharded mount)"
 
 # Wire-path smoke: boot verlib-serve on an ephemeral port, prove the
 # snapshot invariant from concurrent client domains (bank mix: MGET/RANGE
@@ -116,6 +116,29 @@ serve-smoke:
 	  || { echo "FAIL: server did not drain on SIGINT"; exit 1; }; \
 	grep -q '"census":{' /tmp/verlib_serve_report.json \
 	  || { echo "FAIL: no final census in the drained report"; exit 1; }; \
+	echo "serve-smoke: sharded mount (sharded-btree:4): bank + opgen + gate"; \
+	./_build/default/bin/verlib_serve.exe -s sharded-btree:4 -p 0 -t 6 \
+	  --census-interval 0.1 --duration 120 --stats json \
+	  > /tmp/verlib_serve_sh_report.json 2>/tmp/verlib_serve_sh.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk 'NR==1 && $$1=="PORT" {print $$2}' /tmp/verlib_serve_sh_report.json); \
+	test -n "$$port" || { echo "FAIL: sharded server did not report a port"; exit 1; }; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --mix bank \
+	  -t 4 -d 1 --pairs 32; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
+	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 --figure serve-sharded \
+	  --json /tmp/verlib_serve_sh_rows.json \
+	  --stats-out /tmp/verlib_serve_sh_stats.json; \
+	grep -q '"violations":0' /tmp/verlib_serve_sh_stats.json \
+	  || { echo "FAIL: census violations in sharded served STATS"; exit 1; }; \
+	./_build/default/bin/bench_diff.exe BENCH_PR2.json \
+	  /tmp/verlib_serve_sh_rows.json --figures serve-sharded \
+	  --threshold $(BENCH_THRESHOLD); \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
 	echo "serve-smoke: OK"
 
 # Refresh the served-throughput rows (figure "serve") in the committed
@@ -133,6 +156,20 @@ serve-baseline:
 	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
 	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
 	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 \
+	  --json BENCH_PR2.json --merge-into BENCH_PR2.json; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	./_build/default/bin/verlib_serve.exe -s sharded-btree:4 -p 0 -t 6 \
+	  --census-interval 0.1 --duration 120 --stats none \
+	  > /tmp/verlib_serve_sh_report.json 2>/tmp/verlib_serve_sh.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk 'NR==1 && $$1=="PORT" {print $$2}' /tmp/verlib_serve_sh_report.json); \
+	test -n "$$port" || { echo "FAIL: sharded server did not report a port"; exit 1; }; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
+	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 --figure serve-sharded \
 	  --json BENCH_PR2.json --merge-into BENCH_PR2.json; \
 	kill -INT $$srv; \
 	wait $$srv; \
@@ -156,7 +193,12 @@ chaos-smoke:
 	for plan in crash-stop-locker flaky-wire stalled-reclaimer yield-storm; do \
 	  echo "chaos-smoke: soak under $$plan"; \
 	  ./_build/default/bin/verlib_soak.exe --plan $$plan --duration 1.5 --ci; \
-	done
+	done; \
+	echo "chaos-smoke: sharded soak (cross-shard snapshots under fire)"; \
+	./_build/default/bin/verlib_soak.exe --plan crash-stop-locker \
+	  -s sharded-btree:4 --duration 1.5 --ci; \
+	./_build/default/bin/verlib_soak.exe --plan flaky-wire \
+	  -s sharded-hashtable:2 --duration 1.5 --ci
 	@set -e; \
 	echo "chaos-smoke: overload shedding (1 worker, admission control)"; \
 	./_build/default/bin/verlib_serve.exe -s btree -p 0 -t 1 --queue-depth 8 \
@@ -184,6 +226,11 @@ chaos-smoke:
 	wait $$srv; \
 	trap - EXIT; \
 	echo "chaos-smoke: OK"
+
+# Everything the CI workflow (.github/workflows/ci.yml) runs, callable
+# locally: full build, the test suites, and the perf-trajectory gate at
+# --ci scale.  The smoke targets are heavier and stay opt-in.
+ci: build test bench-check
 
 doc:
 	dune build @doc

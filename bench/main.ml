@@ -4,7 +4,7 @@
 
    Usage:  main.exe [--full|--ci] [--json FILE] [--label TEXT] [section ...]
    Sections: fig8a fig8b fig8c fig8d fig8dlist fig9 fig10 fig11 fig12
-             direct_stores extra_skiplist micro   (default: all)
+             direct_stores extra_skiplist shard_sweep micro   (default: all)
 
    --json FILE additionally records one machine-readable row per
    benchmark cell (throughput, latency percentiles, chain census, space)
@@ -436,6 +436,44 @@ let extra_skiplist () =
     ~header:[ "mode"; "Mop/s"; "links created"; "shortcuts"; "truncations" ]
     rows
 
+(* --- Shard sweep: partitioned maps, snapshot-atomic cross-shard reads --- *)
+
+(* The scale-out figure: one logical map over 1/2/4/8 shards
+   ([Dstruct.Sharded]), same mixed workload as Figure 8 (20% updates +
+   multifinds).  Every multifind crosses shards under ONE snapshot, so
+   the sweep measures what partitioning costs when atomicity is an O(1)
+   timestamp read — the row set `make bench-check` gates, and the
+   embedded counterpart of the served sweep in `make serve-baseline`.
+   Shard count 1 is the bare base structure (the combinator absent, not
+   merely degenerate), making the x1 column a direct overhead
+   reference. *)
+let shard_sweep () =
+  let bases = [ "btree"; "hashtable" ] in
+  let counts = [ 1; 2; 4; 8 ] in
+  let header = "shards" :: bases in
+  let rows =
+    List.map
+      (fun c ->
+        string_of_int c
+        :: List.map
+             (fun base ->
+               let spec_name =
+                 if c = 1 then base else Printf.sprintf "sharded-%s:%d" base c
+               in
+               let map = Harness.Registry.find spec_name in
+               T.mops
+                 (run_row ~figure:"shard_sweep"
+                    ~label:(Printf.sprintf "%s x%d" base c)
+                    (base_spec map)))
+             bases)
+      counts
+  in
+  T.print
+    ~title:
+      "Shard sweep: throughput (Mop/s) vs shard count, 20% updates + multifinds \
+       (cross-shard multi-point reads under one snapshot)"
+    ~header rows
+
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
 
 type uobj = { v : int; meta : uobj V.Vtypes.meta }
@@ -518,6 +556,7 @@ let sections =
     ("fig12", fig12);
     ("direct_stores", direct_stores);
     ("extra_skiplist", extra_skiplist);
+    ("shard_sweep", shard_sweep);
     ("micro", micro);
   ]
 

@@ -255,6 +255,9 @@ type bank_stats = {
   mutable skipped : int;  (** a pair member was in-flight (absent) *)
   mutable violations : int;
   mutable berrors : int;
+  mutable giveups : int;
+      (** transport retry budget exhausted (reset storm + shedding);
+          the op was settled by replay (writer) or skipped (reader) *)
   mutable detail : string option;
   mutable bretries : int;
   mutable bshed : int;
@@ -262,7 +265,7 @@ type bank_stats = {
 
 let new_bank_stats () =
   { transfers = 0; checks = 0; skipped = 0; violations = 0; berrors = 0;
-    detail = None; bretries = 0; bshed = 0 }
+    giveups = 0; detail = None; bretries = 0; bshed = 0 }
 
 let bank_note_violation st msg =
   st.violations <- st.violations + 1;
@@ -327,9 +330,21 @@ let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
                  ("transfer replies: "
                  ^ String.concat " " (List.map P.pp_reply rs));
                Atomic.set stop true
-           | Error e ->
-               if not (Atomic.get stop) then bank_note_error st e;
-               Atomic.set stop true
+           | Error _ ->
+               (* The retrying transport gave up mid-transfer (a reset
+                  storm on top of [-BUSY] shedding can exhaust its
+                  budget): any prefix of the sequence may have
+                  executed.  Replaying the whole transfer is safe for
+                  the same reason ambiguous reconnects are (the writer
+                  owns the pair and [DEL;PUT] converges), and settling
+                  it — like a shed batch — is {e required}: a
+                  half-applied transfer left behind would rightly fail
+                  the conservation audit.  Under an injected fault plan
+                  this is an expected liveness event, not a
+                  correctness error; it is reported as [giveups]. *)
+               st.giveups <- st.giveups + 1;
+               Unix.sleepf 0.005;
+               exec (tries + 1)
        in
        exec 0
      done
@@ -400,11 +415,16 @@ let bank_reader ~host ~port ~pairs ~rid st () =
                check_pair_sum st ~via:(if use_range then "RANGE" else "MGET")
                  a b s
            | Error e ->
+               (* a malformed reply is a real protocol violation *)
                bank_note_error st e;
                Atomic.set stop true)
-       | Error e ->
-           if not (Atomic.get stop) then bank_note_error st e;
-           Atomic.set stop true
+       | Error _ ->
+           (* Transport give-up past the retry budget: no reply arrived,
+              so there is nothing to audit — a liveness skip (reads are
+              idempotent and carry no effects), not a correctness
+              error.  Expected under injected reset storms combined
+              with [-BUSY] shedding. *)
+           st.giveups <- st.giveups + 1
      done
    with e -> bank_note_error st (Printexc.to_string e));
   let r, b = C.rt_stats rt in
@@ -629,6 +649,9 @@ let run host port threads depth size updates query theta duration seed mix pairs
       let shed =
         sum (fun s -> s.bshed) wstats + sum (fun s -> s.bshed) rstats
       in
+      let giveups =
+        sum (fun s -> s.giveups) wstats + sum (fun s -> s.giveups) rstats
+      in
       Array.iter
         (fun s -> Option.iter (Printf.eprintf "  detail: %s\n") s.detail)
         (Array.append wstats rstats);
@@ -638,7 +661,8 @@ let run host port threads depth size updates query theta duration seed mix pairs
          transfers=%d checks=%d inflight_skips=%d violations=%d errors=%d\n"
         nwriters nreaders pairs elapsed transfers checks skipped violations
         errors;
-      Printf.printf "wire: retries=%d shed=%d reconnects=%d\n" retries shed
+      Printf.printf "wire: retries=%d shed=%d giveups=%d reconnects=%d\n"
+        retries shed giveups
         (C.reconnect_total ());
       (match audit with
        | Ok total -> Printf.printf "final audit: OK (total %d)\n" total

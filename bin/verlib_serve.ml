@@ -11,7 +11,7 @@ open Cmdliner
 let structure =
   let doc =
     Printf.sprintf "Data structure to serve: %s."
-      (String.concat ", " Harness.Registry.names)
+      Harness.Registry.spec_help
   in
   Arg.(value & opt string "btree" & info [ "s"; "structure" ] ~docv:"NAME" ~doc)
 

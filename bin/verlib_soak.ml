@@ -35,7 +35,7 @@ let plan_arg =
 let structure =
   let doc =
     Printf.sprintf "Structure to soak: %s."
-      (String.concat ", " Harness.Registry.names)
+      Harness.Registry.spec_help
   in
   Arg.(value & opt string "btree" & info [ "s"; "structure" ] ~doc)
 

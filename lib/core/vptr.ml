@@ -116,7 +116,15 @@ let shortcut t chain =
    reaching it has ts >= done >= stamp and accepts it), so its prev edge
    can be dropped.  Called by writers on the version they supersede, which
    bounds chain length by the number of updates concurrent with the oldest
-   live snapshot — the same bound EBR gives the paper. *)
+   live snapshot — the same bound EBR gives the paper.
+
+   Counter exactness: inside critical sections every call site gates this
+   through [Flock.Idem.claim], so helpers cannot inflate [truncations].
+   Outside frames two independent threads can still race [m.prev] (a
+   plain mutable field) and both count one severing of the same edge; an
+   atomic RMW on [prev] would close that sliver at a cost on every
+   traversal, so it stays a documented margin of the counter, not of the
+   mechanism (severing twice is idempotent). *)
 let truncate_chain d chain =
   match chain_meta d.meta_of chain with
   | None -> ()
@@ -163,7 +171,9 @@ let load t =
       set_stamp t.d head;
       if t.d.dmode = Ind_on_need then begin
         shortcut t head;
-        truncate_chain t.d head
+        (* Helped loads truncate (and count) once per section; [head] is
+           logged, so the claim position is the same for every helper. *)
+        if Flock.Idem.claim () then truncate_chain t.d head
       end;
       let ts = Snapctx.local_stamp () in
       if ts = Snapctx.none then chain_value head else read_snapshot t.d head ts
@@ -229,15 +239,19 @@ let build_new_version t old new_v =
             s <> Stamp.tbd)
   in
   if indirect then begin
-    (* Like the counter next to it, the event may be re-emitted by
-       lagging helpers of the same critical section; trace consumers
-       treat indirect-create as approximate under helping. *)
-    Stats.incr Stats.indirect_created;
-    Obs.emit Obs.ev_indirect_create 0;
+    (* Exactly once per critical section: the claim winner records the
+       install; lagging helpers of the same section skip the counter and
+       the event.  The [indirect] decision above is derived from logged
+       reads, so every helper takes this branch and the claim point sits
+       at the same log position for all of them. *)
+    if Flock.Idem.claim () then begin
+      Stats.incr Stats.indirect_created;
+      Obs.emit Obs.ev_indirect_create 0
+    end;
     Flock.Idem.once (fun () -> Clink (make_link ~stamp:Stamp.tbd ~prev:old new_v))
   end
   else begin
-    Stats.incr Stats.direct_installed;
+    if Flock.Idem.claim () then Stats.incr Stats.direct_installed;
     let o =
       match new_v with
       | Some o -> o
@@ -272,16 +286,30 @@ let cas t exp new_v =
     in
     if succeeded then begin
       set_stamp t.d new_chain;
+      (* Once per critical section, not per helper: the claim winner
+         performs the retire notice and the truncation; lagging helpers
+         skip them.  All helpers agree on [succeeded] (the primcas
+         evidence is stable) and on [old]/[new_chain] (logged), so the
+         claim point is position-aligned.  [shortcut] needs no gate: its
+         side effects are already CAS-gated on the head, so at most one
+         thread — helper or not — can claim a given splice.
+         [Stamp.on_update] stays per-helper by design: timestamp traffic
+         is the deliberately non-idempotent part (Theorem 6.2). *)
+      let winner = Flock.Idem.claim () in
       (match old with
-       | Clink l when overwrote_link -> Flock.retire l
+       | Clink l when overwrote_link -> if winner then Flock.retire l
        | Clink _ | Cval _ -> ());
       if is_link new_chain && t.d.dmode = Ind_on_need then shortcut t new_chain;
-      truncate_chain t.d old;
+      if winner then truncate_chain t.d old;
       Stamp.on_update ();
       true
     end
     else begin
-      (match new_chain with Clink l -> Flock.retire l | Cval _ -> ());
+      (* The section's shared new cell (idempotently allocated, so the
+         same for every helper) is dead; retire it exactly once. *)
+      (match new_chain with
+       | Clink l -> if Flock.Idem.claim () then Flock.retire l
+       | Cval _ -> ());
       set_stamp t.d (Atomic.get t.head);
       false
     end
@@ -303,13 +331,16 @@ let store_norace t new_v =
   else begin
     set_stamp t.d old;
     let new_chain = build_new_version t old new_v in
+    (* Claimed unconditionally (every helper reaches this point), then
+       used to gate the per-section side effects below — see [cas]. *)
+    let winner = Flock.Idem.claim () in
     (match old with
      | Clink l ->
-         if primcas t old new_chain then Flock.retire l
+         if primcas t old new_chain then (if winner then Flock.retire l)
          else ignore (Atomic.compare_and_set t.head l.ldirect new_chain)
      | Cval _ -> ignore (Atomic.compare_and_set t.head old new_chain));
     set_stamp t.d new_chain;
-    truncate_chain t.d old;
+    if winner then truncate_chain t.d old;
     Stamp.on_update ();
     if is_link new_chain && t.d.dmode = Ind_on_need then shortcut t new_chain
   end
@@ -335,18 +366,39 @@ let unsafe_head t = Atomic.get t.head
 
 let unsafe_meta_of t = t.d.meta_of
 
+(* Diagnostic chain walks are capped like [chain_length]: a pinned
+   snapshot can hold O(history) versions live, and an uncapped walk
+   would turn a probe into an O(history) stall.  The cap is far above
+   any healthy chain (these are test/experiment probes, not hot-path
+   instruments); hitting it is reported through the [walk_saturations]
+   counter and the [diag_walk_saturated] gauge so a truncated reading is
+   never mistaken for a short chain. *)
+let diag_walk_cap = 1024
+
+let walk_saturated = Atomic.make 0
+
+let walk_saturation_count () = Atomic.get walk_saturated
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "diag_walk_saturated" walk_saturation_count
+
 let rec walk d chain depth oldest =
-  match chain with
-  | Cval None -> (depth, oldest)
-  | Cval (Some o) ->
-      let m = d.meta_of o in
-      let s = Atomic.get m.stamp in
-      if s = Stamp.tbd || s > Stamp.zero then walk d m.prev (depth + 1) s
-      else (depth + 1, s)
-  | Clink l ->
-      let s = Atomic.get l.lmeta.stamp in
-      if s = Stamp.tbd || s > Stamp.zero then walk d l.lmeta.prev (depth + 1) s
-      else (depth + 1, s)
+  if depth >= diag_walk_cap then begin
+    Atomic.incr walk_saturated;
+    (depth, oldest)
+  end
+  else
+    match chain with
+    | Cval None -> (depth, oldest)
+    | Cval (Some o) ->
+        let m = d.meta_of o in
+        let s = Atomic.get m.stamp in
+        if s = Stamp.tbd || s > Stamp.zero then walk d m.prev (depth + 1) s
+        else (depth + 1, s)
+    | Clink l ->
+        let s = Atomic.get l.lmeta.stamp in
+        if s = Stamp.tbd || s > Stamp.zero then walk d l.lmeta.prev (depth + 1) s
+        else (depth + 1, s)
 
 let version_depth t =
   if t.d.dmode = Plain then 1 else fst (walk t.d (Atomic.get t.head) 0 Stamp.zero)

@@ -95,9 +95,23 @@ val unsafe_meta_of : 'a t -> 'a -> 'a Vtypes.meta
     walks). *)
 
 val version_depth : 'a t -> int
-(** Number of versions currently reachable from the head (racy walk). *)
+(** Number of versions currently reachable from the head (racy walk,
+    capped at {!diag_walk_cap}; a capped result is counted by
+    {!walk_saturation_count} and the [diag_walk_saturated] gauge). *)
 
 val oldest_reachable_stamp : 'a t -> int
+(** Stamp of the oldest version {!version_depth} reaches; under the same
+    cap, so on a saturated walk this is the oldest stamp {e seen}, not
+    the oldest in history. *)
+
+val diag_walk_cap : int
+(** Upper bound on the diagnostic chain walks above — a pinned snapshot
+    can hold O(history) versions live, and a diagnostic must not turn
+    into an O(history) stall. *)
+
+val walk_saturation_count : unit -> int
+(** How many diagnostic walks hit {!diag_walk_cap} since start
+    (monotone; also exported as the [diag_walk_saturated] gauge). *)
 
 val unsafe_describe : 'a t -> string
 (** Racy rendering of the version chain, for debugging. *)

@@ -1,0 +1,31 @@
+(** Sharding combinator: one logical map partitioned over N sub-maps.
+
+    Point operations ([insert]/[delete]/[find]) route to exactly one
+    shard; every multi-point operation ([range], [range_count],
+    [multifind], [scan], [size], [to_sorted_list]) wraps the per-shard
+    work in a {e single} [Verlib.with_snapshot], so the cross-shard read
+    is exactly as linearizable as the single-shard case — the payoff of
+    snapshots being an O(1) timestamp read against a clock all shards
+    share.  [iter_vptrs] and [check] fan out over every shard, so the
+    chain census and the invariant audit cover the whole partition (plus
+    a shard-ownership check: every key a shard holds must route to it).
+
+    Partitioning follows the base's {!Map_intf.range_capability}:
+    hash-partition for [Unordered] bases; contiguous range-partition for
+    [Ordered_range] bases (intervals sized from [n_hint] against the
+    benchmark key universe [0, 2n)), preserving [Ordered_range] — ranges
+    touch only intersecting shards and per-shard output concatenates
+    sorted. *)
+
+module type SPEC = sig
+  module Base : Map_intf.MAP
+
+  val shards : int
+end
+
+module Make (_ : SPEC) : Map_intf.MAP
+
+val make : shards:int -> (module Map_intf.MAP) -> (module Map_intf.MAP)
+(** Run-time variant of {!Make} for call sites that pick the base and
+    shard count dynamically (CLI structure specs, benchmark sweeps).
+    Raises [Invalid_argument] on [shards < 1]. *)

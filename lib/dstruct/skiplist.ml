@@ -22,6 +22,17 @@ type node = {
   value : int;
   nexts : node Vptr.t array; (* index = level; length = tower height *)
   removed : bool Fatomic.t; (* set at the level-0 splice (under locks) *)
+  unlinked : bool Fatomic.t array;
+  (* [unlinked.(l)]: this node has been spliced out of level [l] (set
+     under both splice locks, monotone — a torn node is never re-linked).
+     The upper-level analogue of [removed]: "p not removed" alone does NOT
+     witness that p is still reachable at level l, because deletion
+     unlinks the uppers first and sets [removed] only at the level-0
+     splice.  Without this flag, an unlink pass with a stale predecessor
+     can splice against an already-unlinked chain and silently miss its
+     victim, leaving a fully-deleted node permanently reachable at an
+     upper level — a ghost on which every later [find_preds] below it
+     spins. *)
   tearing : bool Fatomic.t; (* removal announced; uppers being unlinked *)
   lock : Lock.t;
   meta : node Verlib.Vtypes.meta;
@@ -43,6 +54,7 @@ let make_node desc lock_mode key value ~levels ~next =
     value;
     nexts = Array.init levels (fun i -> Vptr.make desc (next i));
     removed = Fatomic.make false;
+    unlinked = Array.init levels (fun _ -> Fatomic.make false);
     tearing = Fatomic.make false;
     lock = Lock.create ~mode:lock_mode ();
     meta = Verlib.Vtypes.fresh_meta ();
@@ -95,11 +107,21 @@ let find_preds t k =
   go t.head (max_levels - 1);
   preds
 
+(* The level-0 walk continues from [preds.(0)] rather than trusting a
+   single reload: between [find_preds]'s last load and a re-load of
+   [preds.(0).nexts.(0)], a concurrent insert can place a key from
+   (preds.(0).key, k) after the predecessor, so the re-load may surface a
+   {e smaller} key.  Point operations outside snapshots must treat that
+   as "keep walking" (or retry), never as evidence about [k]. *)
 let find t k =
   let preds = find_preds t k in
-  match Vptr.load preds.(0).nexts.(0) with
-  | Some n when n.key = k -> Some n.value
-  | Some _ | None -> None
+  let rec go node =
+    match Vptr.load node.nexts.(0) with
+    | Some n when n.key < k -> go n
+    | Some n when n.key = k -> Some n.value
+    | Some _ | None -> None
+  in
+  go preds.(0)
 
 let is_node n = function Some m -> m == n | None -> false
 
@@ -115,7 +137,18 @@ let check_key k =
 
    Splice [node] into level [level] after a valid predecessor; the upper
    levels are retried a few times and otherwise abandoned — they are
-   search accelerators, level 0 alone defines the contents. *)
+   search accelerators, level 0 alone defines the contents.  Returns
+   whether the level is linked, so [link_upper] can keep towers {e prefix
+   contiguous}: a node occupies levels [0..k] with no holes.  This is not
+   cosmetic.  [find_preds] descends by walking level [l] starting from
+   the predecessor it found at level [l+1], which is only sound if
+   "reachable at [l+1] implies reachable at [l]" — a hole-y tower
+   (linked at 2, abandoned at 1) breaks it: the hole node passes the
+   liveness validation below yet its level-1 pointer is a vacuous [None],
+   so an unlink pass descending through it confirms its victim absent
+   while the victim is live in the real level-1 chain, leaving a
+   fully-deleted ghost permanently reachable there (and every later walk
+   below the ghost spinning on dead predecessors). *)
 let link_level t node level =
   let rec attempt tries =
     if tries > 0 && not (Fatomic.load node.tearing) then begin
@@ -123,7 +156,8 @@ let link_level t node level =
       let p = preds.(level) in
       let ok =
         Lock.try_lock_bool p.lock (fun () ->
-            if Fatomic.load p.removed then false
+            if Fatomic.load p.removed || Fatomic.load p.unlinked.(level) then
+              false (* p is no longer reachable at this level *)
             else
               match Vptr.load p.nexts.(level) with
               | Some s when s == node -> true (* already linked *)
@@ -133,8 +167,9 @@ let link_level t node level =
                   true
               | Some _ | None -> false)
       in
-      if not ok then attempt (tries - 1)
+      if ok then true else attempt (tries - 1)
     end
+    else false
   in
   attempt 3
 
@@ -144,7 +179,14 @@ let link_level t node level =
    linker holds the same lock while it checks [tearing] and commits, so
    either the linker commits first (and this pass, serialized after it,
    sees and removes the link) or this pass confirms absence first (and the
-   linker's subsequent in-lock [tearing] check forbids the commit). *)
+   linker's subsequent in-lock [tearing] check forbids the commit).
+
+   "The same lock" is only guaranteed because both sides re-validate that
+   their predecessor is still live at this level ([removed] and
+   [unlinked.(level)]): the reachable chain at a level is sorted, so two
+   passes that each hold a {e live} predecessor of the same key hold the
+   {e same} predecessor.  A stale (already unlinked) predecessor would let
+   the two passes lock different nodes and miss each other. *)
 let unlink_level t node level =
   let backoff = Flock.Backoff.create () in
   let rec confirm () =
@@ -152,12 +194,33 @@ let unlink_level t node level =
     let p = preds.(level) in
     let verdict =
       Lock.try_lock p.lock (fun () ->
-          if Fatomic.load p.removed then `Shifted
+          if Fatomic.load p.removed || Fatomic.load p.unlinked.(level) then
+            (* p itself left this level between our walk and the lock:
+               confirming [node]'s absence against p's (now orphaned)
+               chain would be meaningless — re-locate on the live chain. *)
+            `Shifted
           else
             match Vptr.load p.nexts.(level) with
-            | Some s when s == node ->
-                Vptr.store_locked p.nexts.(level) (Vptr.load node.nexts.(level));
-                `Gone
+            | Some s when s == node -> (
+                (* Splice under BOTH locks.  [node.nexts.(level)] is
+                   written by the unlink of [node]'s successor (which
+                   holds [node.lock] as its predecessor lock), so reading
+                   it with only [p.lock] races: a stale read here would
+                   re-link an already-unlinked successor — a fully deleted
+                   ghost permanently reachable at this level, on which
+                   later unlink/link passes spin forever.  Nesting
+                   [node.lock] (ascending key order, the same pred→victim
+                   discipline [delete] uses at level 0; [try_lock] never
+                   blocks, so lock-order cycles cannot deadlock) makes
+                   read-and-splice atomic wrt successor unlinks. *)
+                match
+                  Lock.try_lock node.lock (fun () ->
+                      Fatomic.store node.unlinked.(level) true;
+                      Vptr.store_locked p.nexts.(level)
+                        (Vptr.load node.nexts.(level)))
+                with
+                | Some () -> `Gone
+                | None -> `Shifted)
             | Some s when s.key > node.key || (s.key = node.key && s != node) ->
                 `Gone (* position for node's key is occupied by another/none *)
             | None -> `Gone
@@ -177,9 +240,12 @@ let unlink_upper t node =
   done
 
 let link_upper t node =
-  for level = 1 to height node - 1 do
-    link_level t node level
-  done;
+  (* Stop at the first abandoned level: towers are prefix contiguous
+     (see [link_level]); giving up on level [l] gives up on [l+1..]. *)
+  let rec go level =
+    if level < height node && link_level t node level then go (level + 1)
+  in
+  go 1;
   (* close the link/delete race: if removal was announced while we were
      linking, finish the unlinking on its behalf (whichever of the two
      passes runs last sees the other's work) *)
@@ -194,6 +260,13 @@ let insert t k v =
         let pred = preds.(0) in
         match Vptr.load pred.nexts.(0) with
         | Some succ when succ.key = k -> false
+        | Some succ when succ.key < k ->
+            (* [pred] went stale between the walk and this load (see
+               [find]): a key in (pred.key, k) slid in behind it.
+               Committing here would order [k] before that key and
+               corrupt level 0 — re-locate instead. *)
+            Flock.Backoff.once backoff;
+            loop ()
         | succ_opt -> (
             let succ = match succ_opt with Some s -> s | None -> t.tail in
             let levels = random_levels t in
@@ -232,6 +305,11 @@ let delete t k =
         let preds = find_preds t k in
         let pred = preds.(0) in
         match Vptr.load pred.nexts.(0) with
+        | Some n when n.key < k ->
+            (* stale predecessor (see [find]): this load says nothing
+               about [k]'s presence — re-locate *)
+            Flock.Backoff.once backoff;
+            loop ()
         | Some victim when victim.key = k -> (
             (* announce, then unlink top-down, then splice level 0: upper
                links must disappear (version-wise) before the level-0

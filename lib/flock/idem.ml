@@ -79,3 +79,14 @@ let once (type a) (f : unit -> a) : a =
         if Atomic.compare_and_set slot empty (Obj.repr x) then x
         else Obj.obj (Atomic.get slot)
       end
+
+(* A private heap block distinct from [empty]: the token a claim winner
+   installs.  Its value is never read back, only compared away. *)
+let claimed : Obj.t = Obj.repr (ref 1)
+
+let claim () =
+  match !(stack ()) with
+  | [] -> true
+  | fr :: _ ->
+      let slot = next_slot fr in
+      Atomic.get slot == empty && Atomic.compare_and_set slot empty claimed

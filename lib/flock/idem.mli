@@ -48,5 +48,15 @@ val once : (unit -> 'a) -> 'a
     the canonical use: losers' objects are dropped and reclaimed by the
     GC. *)
 
+val claim : unit -> bool
+(** A claim point: among all helpers replaying this position of a
+    critical section, exactly one receives [true]; the rest (and every
+    later replay) receive [false].  Outside a frame it is always [true].
+    The winner performs the section's once-per-critical-section side
+    effects — statistics increments, retire notices, trace events — so
+    helped executions do not inflate them.  Like {!once} it consumes one
+    log slot, so it must sit on the same control path for every
+    helper. *)
+
 val frame_depth : unit -> int
 (** Nesting depth of the calling domain (0 when outside any frame). *)

@@ -50,8 +50,10 @@ val new_obj : (unit -> 'a) -> 'a
 
 val retire : 'a -> unit
 (** [flck::Retire].  Reclamation itself is the GC's job in OCaml; this
-    counts the retirement (visible in {!helping_count} style stats) and is
-    idempotence-safe. *)
+    counts the retirement (the [retires] figure in stats reports).  The
+    count is a plain increment: call sites inside critical sections gate
+    it through {!Idem.claim} so one retirement counts once per critical
+    section, never once per helper (as {!Vptr} does). *)
 
 val holding_lock : unit -> bool
 (** Whether the calling domain is currently inside a lock-free critical

@@ -11,10 +11,40 @@ let all : (string * (module Dstruct.Map_intf.MAP)) list =
 
 let names = List.map fst all
 
-let find name =
-  match List.assoc_opt name all with
-  | Some m -> m
+let spec_help =
+  Printf.sprintf "%s, or sharded-<base>:<n> (e.g. sharded-btree:4)"
+    (String.concat ", " names)
+
+let unknown spec =
+  failwith (Printf.sprintf "unknown structure %S (expected one of: %s)" spec spec_help)
+
+(* [sharded-<base>:<n>]: partition <base> over <n> sub-maps
+   ([Dstruct.Sharded]).  Parsed here so every CLI that mounts a structure
+   by name (verlib_run, verlib_serve, verlib_soak) gets sharding for
+   free. *)
+let parse_sharded spec =
+  match String.index_opt spec ':' with
   | None ->
       failwith
-        (Printf.sprintf "unknown structure %S (expected one of: %s)" name
-           (String.concat ", " names))
+        (Printf.sprintf "bad sharded spec %S (expected sharded-<base>:<n>)" spec)
+  | Some i ->
+      let base = String.sub spec 8 (i - 8) in
+      let count = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match int_of_string_opt count with
+       | Some n when n >= 1 -> (base, n)
+       | Some _ | None ->
+           failwith
+             (Printf.sprintf "bad shard count %S in %S (expected an int >= 1)"
+                count spec))
+
+let find spec =
+  match List.assoc_opt spec all with
+  | Some m -> m
+  | None ->
+      if String.length spec > 8 && String.sub spec 0 8 = "sharded-" then begin
+        let base, shards = parse_sharded spec in
+        match List.assoc_opt base all with
+        | Some m -> Dstruct.Sharded.make ~shards m
+        | None -> unknown base
+      end
+      else unknown spec

@@ -4,6 +4,12 @@
 val all : (string * (module Dstruct.Map_intf.MAP)) list
 
 val find : string -> (module Dstruct.Map_intf.MAP)
-(** Raises [Not_found] with a helpful message on unknown names. *)
+(** Resolve a structure spec: a bare name from {!names}, or
+    [sharded-<base>:<n>] for [<base>] partitioned over [n] shards
+    ({!Dstruct.Sharded}), e.g. [sharded-btree:4].  Raises [Failure] with
+    a helpful message on unknown names or malformed specs. *)
 
 val names : string list
+
+val spec_help : string
+(** Human-readable list of accepted specs, for CLI [--help] text. *)

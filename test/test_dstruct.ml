@@ -6,6 +6,34 @@ module V = Verlib
 
 module type MAP = Dstruct.Map_intf.MAP
 
+(* Sharded instances run the same battery as their bases: the combinator
+   must be indistinguishable from a single map.  Two bases (one ordered,
+   one unordered) at two shard counts each, one of them deliberately not
+   a divisor of anything, to exercise interval clamping. *)
+module Sharded_hashtable_2 = Dstruct.Sharded.Make (struct
+  module Base = Dstruct.Hashtable
+
+  let shards = 2
+end)
+
+module Sharded_hashtable_5 = Dstruct.Sharded.Make (struct
+  module Base = Dstruct.Hashtable
+
+  let shards = 5
+end)
+
+module Sharded_btree_2 = Dstruct.Sharded.Make (struct
+  module Base = Dstruct.Btree
+
+  let shards = 2
+end)
+
+module Sharded_btree_8 = Dstruct.Sharded.Make (struct
+  module Base = Dstruct.Btree
+
+  let shards = 8
+end)
+
 let maps : (module MAP) list =
   [
     (module Dstruct.Dlist);
@@ -15,6 +43,10 @@ let maps : (module MAP) list =
     (module Dstruct.Skiplist);
     (module Dstruct.Vbst);
     (module Dstruct.Coarse_map);
+    (module Sharded_hashtable_2);
+    (module Sharded_hashtable_5);
+    (module Sharded_btree_2);
+    (module Sharded_btree_8);
   ]
 
 let modes_for (module M : MAP) =
@@ -286,6 +318,108 @@ let test_multifind_atomic (module M : MAP) mode () =
   Domain.join w;
   Alcotest.(check int) "multifind sees consistent cuts" 0 !violations
 
+(* --- cross-shard bank atomicity (qcheck-randomized) -------------------- *)
+
+(* The sharded combinator's headline claim under test: a multi-point
+   read spanning shards is one atomic snapshot.  Bank invariant, as in
+   test_server's wire variant: pair [i] is the accounts
+   [a = 2i + 1] (low keys) and [b = a + 100] (high keys), both seeded
+   with [base].  Writers own disjoint pairs and move one unit per
+   transfer with the deliberately non-atomic sequence
+   [DEL a; INS a (va-1); DEL b; INS b (vb+1)], so [va] only decreases
+   and [vb] only increases.  A snapshot that sees both members must see
+   [va + vb] in {2*base - 1, 2*base}; a torn per-shard read drifts
+   below the window and stays there.
+
+   Pair placement straddles shards: deterministically for the
+   range-partitioned btree (with [n_hint = 64] and 8 shards the
+   combinator carves [0, 128) into width-16 intervals, and the members
+   differ by 100 > 6 intervals), probabilistically for the
+   hash-partitioned table (splitmix placement scatters the members).
+
+   Readers audit both cross-shard read paths: [multifind] on one pair,
+   and a whole-map [scan] whose single snapshot must show EVERY pair
+   inside the window at once.  4 domains beyond the main one: 2 writers
+   + 2 readers, all racing on a single core so domains preempt one
+   another mid-transfer constantly. *)
+let bank_violations (module M : MAP) ~seed ~pairs =
+  V.reset ();
+  let base = 1_000 in
+  let t = M.create ~mode:V.Vptr.Ind_on_need ~n_hint:64 () in
+  let key_a i = (2 * i) + 1 in
+  let key_b i = key_a i + 100 in
+  for i = 0 to pairs - 1 do
+    assert (M.insert t (key_a i) base);
+    assert (M.insert t (key_b i) base)
+  done;
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let readers_done = Atomic.make 0 in
+  let nwriters = 2 and nreaders = 2 in
+  let writer w () =
+    let owned =
+      List.init pairs Fun.id
+      |> List.filter (fun i -> i mod nwriters = w)
+      |> Array.of_list
+    in
+    let va = Array.make pairs base and vb = Array.make pairs base in
+    let rng = Workload.Splitmix.create (seed + (w * 7919)) in
+    while not (Atomic.get stop) do
+      let i = owned.(Workload.Splitmix.below rng (Array.length owned)) in
+      let na = va.(i) - 1 and nb = vb.(i) + 1 in
+      ignore (M.delete t (key_a i));
+      ignore (M.insert t (key_a i) na);
+      ignore (M.delete t (key_b i));
+      ignore (M.insert t (key_b i) nb);
+      va.(i) <- na;
+      vb.(i) <- nb
+    done
+  in
+  let audit_sum = function
+    | Some x, Some y ->
+        if not (x + y = 2 * base || x + y = (2 * base) - 1) then
+          Atomic.incr violations
+    | _ -> () (* a member mid-delete: no sum to audit *)
+  in
+  let reader r () =
+    let rng = Workload.Splitmix.create (seed + 104729 + (r * 31)) in
+    for check = 1 to 600 do
+      if check land 1 = 0 then begin
+        (* point audit: one pair through the snapshot multifind *)
+        let i = Workload.Splitmix.below rng pairs in
+        match M.multifind t [| key_a i; key_b i |] with
+        | [| a; b |] -> audit_sum (a, b)
+        | _ -> Atomic.incr violations
+      end
+      else begin
+        (* global audit: one scan snapshot must show every pair coherent *)
+        let kvs = M.scan t ~init:[] ~f:(fun acc k v -> (k, v) :: acc) in
+        for i = 0 to pairs - 1 do
+          audit_sum (List.assoc_opt (key_a i) kvs, List.assoc_opt (key_b i) kvs)
+        done
+      end
+    done;
+    if Atomic.fetch_and_add readers_done 1 = nreaders - 1 then
+      Atomic.set stop true
+  in
+  let ws = List.init nwriters (fun w -> Domain.spawn (writer w)) in
+  let rs = List.init nreaders (fun r -> Domain.spawn (reader r)) in
+  List.iter Domain.join rs;
+  List.iter Domain.join ws;
+  M.check t;
+  Atomic.get violations
+
+let bank_qcheck_tests =
+  List.map
+    (fun (m : (module MAP)) ->
+      let module M = (val m) in
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:3
+           ~name:(M.name ^ " cross-shard bank atomicity")
+           QCheck.(pair small_nat (int_range 4 10))
+           (fun (seed, pairs) -> bank_violations m ~seed ~pairs = 0)))
+    [ (module Sharded_btree_8 : MAP); (module Sharded_hashtable_5 : MAP) ]
+
 let case name f = Alcotest.test_case name `Quick f
 
 let per_map_cases (module M : MAP) =
@@ -324,4 +458,5 @@ let () =
     [
       ("maps", List.concat_map per_map_cases maps);
       ("qcheck-model", qcheck_model_tests);
+      ("sharded-bank", bank_qcheck_tests);
     ]

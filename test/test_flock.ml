@@ -293,6 +293,68 @@ let test_new_obj_idempotent () =
   Flock.Idem.exit ();
   Alcotest.(check bool) "same allocation across replays" true (a == b)
 
+(* --- Idem.claim ------------------------------------------------------- *)
+
+let test_claim_outside_frame () =
+  (* no helping outside a frame: the caller is trivially the winner *)
+  Alcotest.(check bool) "outside" true (Flock.Idem.claim ());
+  Alcotest.(check bool) "outside again" true (Flock.Idem.claim ())
+
+let test_claim_once_per_position () =
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  let w1 = Flock.Idem.claim () in
+  let w2 = Flock.Idem.claim () in
+  Flock.Idem.exit ();
+  (* a lagging helper replays the identical section over the same log *)
+  Flock.Idem.enter log;
+  let r1 = Flock.Idem.claim () in
+  let r2 = Flock.Idem.claim () in
+  Flock.Idem.exit ();
+  Alcotest.(check bool) "first pass wins position 0" true w1;
+  Alcotest.(check bool) "first pass wins position 1" true w2;
+  Alcotest.(check bool) "replay loses position 0" false r1;
+  Alcotest.(check bool) "replay loses position 1" false r2
+
+let test_claim_consumes_one_slot () =
+  (* claim must advance the log by exactly one slot so surrounding onces
+     stay position-aligned across replays *)
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  let a = Flock.Idem.once (fun () -> 10) in
+  let w = Flock.Idem.claim () in
+  let b = Flock.Idem.once (fun () -> 20) in
+  Flock.Idem.exit ();
+  Flock.Idem.enter log;
+  let a' = Flock.Idem.once (fun () -> 111) in
+  let w' = Flock.Idem.claim () in
+  let b' = Flock.Idem.once (fun () -> 222) in
+  Flock.Idem.exit ();
+  Alcotest.(check int) "once before claim replays" a a';
+  Alcotest.(check int) "once after claim replays" b b';
+  Alcotest.(check bool) "claim winner" true w;
+  Alcotest.(check bool) "claim loser" false w';
+  Alcotest.(check int) "values" 30 (a + b)
+
+let test_claim_concurrent_single_winner () =
+  (* many domains replaying the same log position: exactly one winner *)
+  let log = Flock.Idem.create_log () in
+  let wins = Atomic.make 0 in
+  let go = Atomic.make false in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            Flock.Idem.enter log;
+            if Flock.Idem.claim () then Atomic.incr wins;
+            Flock.Idem.exit ()))
+  in
+  Atomic.set go true;
+  List.iter Domain.join ds;
+  Alcotest.(check int) "exactly one winner" 1 (Atomic.get wins)
+
 (* --- Epoch ----------------------------------------------------------- *)
 
 let test_epoch_nesting () =
@@ -337,6 +399,74 @@ let test_epoch_defer_blocked_by_active_domain () =
   Flock.Epoch.flush ();
   Alcotest.(check bool) "runs once the blocker leaves" true !ran
 
+(* --- Epoch buckets (per-domain deferral) ------------------------------ *)
+
+let test_epoch_pending_accounting () =
+  Flock.with_epoch (fun () -> ());
+  Flock.Epoch.flush ();
+  let base = Flock.Epoch.pending_count () in
+  Flock.with_epoch (fun () ->
+      for _ = 1 to 5 do
+        Flock.Epoch.defer (fun () -> ())
+      done;
+      Alcotest.(check int) "pending counts in-epoch defers" (base + 5)
+        (Flock.Epoch.pending_count ()));
+  Flock.with_epoch (fun () -> ());
+  Flock.Epoch.flush ();
+  Alcotest.(check int) "drained" base (Flock.Epoch.pending_count ())
+
+let test_epoch_flush_exactly_once () =
+  Flock.with_epoch (fun () -> ());
+  Flock.Epoch.flush ();
+  let runs = Array.make 20 0 in
+  Flock.with_epoch (fun () ->
+      Array.iteri
+        (fun i _ -> Flock.Epoch.defer (fun () -> runs.(i) <- runs.(i) + 1))
+        runs);
+  Flock.with_epoch (fun () -> ());
+  Flock.Epoch.flush ();
+  Flock.Epoch.flush ();
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check int) (Printf.sprintf "callback %d exactly once" i) 1 n)
+    runs
+
+let test_epoch_flush_covers_foreign_buckets () =
+  (* Deferred work lives in per-domain buckets; a global flush must drain
+     buckets whose owning domain has since exited (its registry slot may
+     even be recycled).  A blocker pins the epoch so the deferring
+     domain's own exit flush cannot run the callback. *)
+  Flock.with_epoch (fun () -> ());
+  Flock.Epoch.flush ();
+  let ran = Atomic.make 0 in
+  let hold_in = Atomic.make false and hold_out = Atomic.make false in
+  let blocker =
+    Domain.spawn (fun () ->
+        Flock.with_epoch (fun () ->
+            Atomic.set hold_in true;
+            while not (Atomic.get hold_out) do
+              Thread.yield ()
+            done))
+  in
+  while not (Atomic.get hold_in) do
+    Thread.yield ()
+  done;
+  let d =
+    Domain.spawn (fun () ->
+        Flock.with_epoch (fun () ->
+            Flock.Epoch.defer (fun () -> Atomic.incr ran)))
+  in
+  Domain.join d;
+  Alcotest.(check int) "pinned epoch: callback held" 0 (Atomic.get ran);
+  Alcotest.(check bool) "pinned epoch: still accounted" true
+    (Flock.Epoch.pending_count () >= 1);
+  Atomic.set hold_out true;
+  Domain.join blocker;
+  Flock.with_epoch (fun () -> ());
+  Flock.Epoch.flush ();
+  Alcotest.(check int) "foreign bucket drained by global flush" 1
+    (Atomic.get ran)
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -355,6 +485,13 @@ let () =
           case "replay agrees" test_once_replay_agrees;
           case "chunk chaining" test_once_many_slots_cross_chunks;
           case "frame nesting" test_frame_nesting;
+        ] );
+      ( "idem-claim",
+        [
+          case "outside frame" test_claim_outside_frame;
+          case "once per position" test_claim_once_per_position;
+          case "consumes one slot" test_claim_consumes_one_slot;
+          case "single winner under helping" test_claim_concurrent_single_winner;
         ] );
       ( "fatomic",
         [
@@ -384,5 +521,8 @@ let () =
           case "nesting" test_epoch_nesting;
           case "defer after quiescence" test_epoch_defer_runs_after_quiescence;
           case "defer blocked by active domain" test_epoch_defer_blocked_by_active_domain;
+          case "pending accounting" test_epoch_pending_accounting;
+          case "flush exactly once" test_epoch_flush_exactly_once;
+          case "flush covers foreign buckets" test_epoch_flush_covers_foreign_buckets;
         ] );
     ]

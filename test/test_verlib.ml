@@ -348,6 +348,62 @@ let test_store_norace_replay () =
   Alcotest.(check (option int)) "lagging norace store is inert" (Some 3)
     (value_of (V.Vptr.load p))
 
+(* Regression: the side-effect counters inside critical sections must be
+   {e exact} under helping, not merely approximate.  Every helper replays
+   the same section with the same Idem log, so the gauge-bearing effects
+   (indirect links created, retirements, truncations) are gated through
+   {!Flock.Idem.claim} — exactly one pass per log position wins.  Before
+   that gate, each replay re-incremented the counters, which skewed the
+   reclamation gauges the observability layer exports. *)
+let test_helping_counters_exact () =
+  reset ();
+  let d = desc V.Vptr.Indirect in
+  let a = mk 1 and b = mk 2 and c = mk 3 in
+  let p = V.Vptr.make d (Some a) in
+  (* one committed update so the head is an indirect link: the section
+     under test then both creates a link and retires the old one *)
+  Alcotest.(check bool) "setup cas" true (V.Vptr.cas p (Some a) (Some b));
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  let r1 = V.Vptr.cas p (Some b) (Some c) in
+  Flock.Idem.exit ();
+  Alcotest.(check bool) "section succeeds" true r1;
+  let ind = V.Stats.total V.Stats.indirect_created in
+  let ret = Flock.Lock.retire_count () in
+  let trunc = V.Stats.total V.Stats.truncations in
+  Alcotest.(check bool) "section created an indirect link" true (ind > 0);
+  (* three lagging helpers replay the identical critical section *)
+  for _ = 1 to 3 do
+    Flock.Idem.enter log;
+    ignore (V.Vptr.cas p (Some b) (Some c));
+    Flock.Idem.exit ()
+  done;
+  Alcotest.(check int) "indirect_created exact under helping" ind
+    (V.Stats.total V.Stats.indirect_created);
+  Alcotest.(check int) "retires exact under helping" ret
+    (Flock.Lock.retire_count ());
+  Alcotest.(check int) "truncations exact under helping" trunc
+    (V.Stats.total V.Stats.truncations)
+
+(* Same gate on the direct-install counter: a Plain-mode replayed store
+   must not recount its installation. *)
+let test_helping_direct_installed_exact () =
+  reset ();
+  let d = desc V.Vptr.Plain in
+  let p = V.Vptr.make d (Some (mk 1)) in
+  let log = Flock.Idem.create_log () in
+  Flock.Idem.enter log;
+  V.Vptr.store_norace p (Some (mk 2));
+  Flock.Idem.exit ();
+  let direct = V.Stats.total V.Stats.direct_installed in
+  for _ = 1 to 3 do
+    Flock.Idem.enter log;
+    V.Vptr.store_norace p (Some (mk 2));
+    Flock.Idem.exit ()
+  done;
+  Alcotest.(check int) "direct_installed exact under helping" direct
+    (V.Stats.total V.Stats.direct_installed)
+
 (* --- Version-chain truncation ------------------------------------------ *)
 
 let test_truncation_bounds_chains () =
@@ -656,6 +712,9 @@ let () =
           case "replay agrees" test_cas_replay_consistent;
           case "lagging replay after later update" test_cas_replay_after_subsequent_update;
           case "lagging store_norace is inert" test_store_norace_replay;
+          case "counters exact under helping" test_helping_counters_exact;
+          case "direct_installed exact under helping"
+            test_helping_direct_installed_exact;
         ] );
       ("qcheck-history", qcheck_history_tests);
       ( "truncation",
