@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke ci doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke ci doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
 BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep
@@ -227,10 +227,66 @@ chaos-smoke:
 	trap - EXIT; \
 	echo "chaos-smoke: OK"
 
+# Observability gate (docs/OBSERVABILITY.md).  One server under a
+# deterministic stall plan (a 30 ms pause at lock.acquire every 40th
+# per-domain hit) with the full metrics plane armed — request tracing,
+# METRICS sweeps, SLO watchdog, flight recorder — driven by a traced
+# loadgen run.  Asserts the whole pipeline end to end:
+#   - traced samples joined client-side, every phase decomposition
+#     nesting inside its client-measured RTT (the loadgen exits non-zero
+#     otherwise);
+#   - the METRICS exposition parses under the strict line-format parser;
+#   - the shutdown Chrome trace carries per-request span tracks;
+#   - at least one flight dump was filed by the SLO watchdog naming the
+#     injected [stall] phase, and the stall dominates a dump's span
+#     aggregate — chaos shows up attributed, not as mystery latency.
+# Artifacts (uploaded by CI): /tmp/verlib_req_trace.json,
+# /tmp/verlib_trace_join.json, /tmp/verlib_metrics.txt, /tmp/verlib_flight/.
+trace-smoke:
+	dune build bin/verlib_serve.exe bin/verlib_loadgen.exe
+	@set -e; \
+	rm -rf /tmp/verlib_flight /tmp/verlib_req_trace.json; \
+	./_build/default/bin/verlib_serve.exe -s sharded-btree:4 -p 0 -t 4 \
+	  --census-interval 0.2 --metrics-interval 0.2 \
+	  --flight-dir /tmp/verlib_flight --flight-min-interval 0 \
+	  --slo-p99-us 5000 \
+	  --faults 'lock.acquire:pause=30@every=40' \
+	  --duration 120 --stats none --trace /tmp/verlib_req_trace.json \
+	  > /tmp/verlib_trace_port.txt 2>/tmp/verlib_trace_srv.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk '$$1=="PORT"{print $$2}' /tmp/verlib_trace_port.txt); \
+	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	echo "trace-smoke: traced opgen against the stalling server (port $$port)"; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port -t 2 -p 4 \
+	  -n 1000 -u 30 -d 2 --trace-sample 7 \
+	  --trace-out /tmp/verlib_trace_join.json \
+	  --metrics-out /tmp/verlib_metrics.txt \
+	  | tee /tmp/verlib_trace_out.txt; \
+	grep -Eq 'trace: [1-9][0-9]* sample' /tmp/verlib_trace_out.txt \
+	  || { echo "FAIL: no traced samples joined"; exit 1; }; \
+	grep -Eq 'metrics: [0-9]+ sample\(s\) validated' /tmp/verlib_trace_out.txt \
+	  || { echo "FAIL: METRICS exposition did not validate"; exit 1; }; \
+	sleep 1; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	grep -q 'requests-domain' /tmp/verlib_req_trace.json \
+	  || { echo "FAIL: no request-span tracks in the Chrome trace"; exit 1; }; \
+	ls /tmp/verlib_flight/flight-*.json >/dev/null 2>&1 \
+	  || { echo "FAIL: no flight-recorder dumps"; exit 1; }; \
+	grep -l '"slo_phase":"stall"' /tmp/verlib_flight/flight-*.json >/dev/null \
+	  || { echo "FAIL: no slo-breach dump naming the injected stall phase"; exit 1; }; \
+	grep -l '"dominant_phase":"stall"' /tmp/verlib_flight/flight-*.json >/dev/null \
+	  || { echo "FAIL: injected stall dominates no dump's span aggregate"; exit 1; }; \
+	echo "trace-smoke: OK ($$(ls /tmp/verlib_flight | wc -l) flight dump(s), join in /tmp/verlib_trace_join.json)"
+
 # Everything the CI workflow (.github/workflows/ci.yml) runs, callable
-# locally: full build, the test suites, and the perf-trajectory gate at
-# --ci scale.  The smoke targets are heavier and stay opt-in.
-ci: build test bench-check
+# locally: full build, the test suites, the perf-trajectory gate at
+# --ci scale, and the observability gate.  The heavier smoke targets
+# (serve-smoke, chaos-smoke, obs-smoke) stay opt-in.
+ci: build test bench-check trace-smoke
 
 doc:
 	dune build @doc

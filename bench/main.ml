@@ -84,6 +84,9 @@ let row_of_result ~figure ~label (r : D.result) =
     r_space_bytes = r.D.space_bytes_per_entry;
     r_retries = 0;
     r_shed = 0;
+    r_giveups = 0;
+    r_walk_saturation = 0;
+    r_phases = [];
   }
 
 let record ~figure ~label r =
@@ -372,6 +375,9 @@ let fig12 () =
             r_space_bytes = bytes;
             r_retries = 0;
             r_shed = 0;
+            r_giveups = 0;
+            r_walk_saturation = 0;
+            r_phases = [];
           }
           :: !json_rows;
       Some bytes

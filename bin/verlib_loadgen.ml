@@ -104,6 +104,26 @@ let stats_out =
   Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE"
        ~doc:"Write the server's raw STATS JSON (post-run) to $(docv).")
 
+let trace_sample =
+  Arg.(value & opt int 0 & info [ "trace-sample" ] ~docv:"N"
+       ~doc:"Opgen mix: after every $(docv)th batch each worker sends one \
+             extra command singly under a TRACE prefix and joins the \
+             server's phase decomposition with its own measured RTT \
+             (docs/OBSERVABILITY.md).  The run fails if any sample's phase \
+             sum exceeds its RTT by more than 5% — the decomposition must \
+             nest inside the client-observed latency.  0 = off.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+       ~doc:"Write the joined trace samples (client RTT plus server phase \
+             breakdown, one JSON object) to $(docv).")
+
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+       ~doc:"Fetch METRICS after the run, validate the Prometheus text \
+             exposition with the strict line parser, and write it to \
+             $(docv).  A malformed exposition fails the run.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
        ~doc:"Arm a fault plan (preset name or spec, see docs/RESILIENCE.md) \
@@ -162,16 +182,28 @@ let translate = function
   | Workload.Opgen.Range (a, b) -> (P.Rangecount (a, b), K_range)
   | Workload.Opgen.Multifind ks -> (P.Mget ks, K_multifind)
 
+(* One traced request joined with its client-measured round trip: the
+   server's phase decomposition (the [@]-frame) must nest inside the
+   RTT — phases are exclusive and the span begins at request-byte
+   arrival, so [phase sum <= rtt] up to µs-conversion rounding. *)
+type tsample = {
+  ts_cmd : string;
+  ts_rtt_us : float;
+  ts_trace : P.trace_info;
+}
+
 type wstats = {
   ops : int array;  (** per {!kind} index *)
   mutable errors : int;
   mutable first_error : string option;
   mutable retries : int;  (** wire retries the rt client absorbed *)
   mutable shed : int;  (** [-BUSY] replies the rt client observed *)
+  mutable samples : tsample list;  (** traced requests, newest first *)
 }
 
 let new_wstats () =
-  { ops = Array.make 5 0; errors = 0; first_error = None; retries = 0; shed = 0 }
+  { ops = Array.make 5 0; errors = 0; first_error = None; retries = 0;
+    shed = 0; samples = [] }
 
 let note_error st msg =
   st.errors <- st.errors + 1;
@@ -197,7 +229,7 @@ let fill_over_wire conn gen rng =
       true);
   flush ()
 
-let opgen_worker ~host ~port ~depth ~gen_of ~wid st () =
+let opgen_worker ~host ~port ~depth ~gen_of ~trace_sample ~wid st () =
   (* The retrying transport: reconnects and re-issues after wire faults
      (every opgen command is idempotent), honours [-BUSY] shedding. *)
   let rt =
@@ -205,6 +237,35 @@ let opgen_worker ~host ~port ~depth ~gen_of ~wid st () =
   in
   let gen = gen_of wid in
   let rng = Workload.Splitmix.create (0x10adc0de + (wid * 7919)) in
+  let batches = ref 0 in
+  (* One traced request, sent singly (not pipelined) so the RTT it joins
+     against measures exactly one server-side span.  Shed or errored
+     replies carry no usable decomposition and are dropped. *)
+  let trace_one () =
+    let c, k = translate (Workload.Opgen.next gen rng) in
+    let id = ((wid + 1) * 1_000_000) + !batches in
+    let t0 = Verlib.Hwclock.now () in
+    match C.rt_request_traced rt ~trace_id:id c with
+    | Ok r, tr ->
+        let t1 = Verlib.Hwclock.now () in
+        (match r with
+         | P.Err msg -> note_error st msg
+         | P.Busy _ -> ()
+         | _ ->
+             let i = kind_index k in
+             st.ops.(i) <- st.ops.(i) + 1;
+             (match tr with
+              | Some t ->
+                  st.samples <-
+                    { ts_cmd = kind_name k;
+                      ts_rtt_us = Verlib.Hwclock.to_us (t1 - t0);
+                      ts_trace = t }
+                    :: st.samples
+              | None -> ()))
+    | Error e, _ ->
+        if not (Atomic.get stop) then note_error st e;
+        Atomic.set stop true
+  in
   wait_go ();
   (try
      while not (Atomic.get stop) do
@@ -237,7 +298,13 @@ let opgen_worker ~host ~port ~depth ~gen_of ~wid st () =
               kinds replies
         | Error e ->
             if not (Atomic.get stop) then note_error st e;
-            Atomic.set stop true)
+            Atomic.set stop true);
+       incr batches;
+       if
+         trace_sample > 0
+         && !batches mod trace_sample = 0
+         && not (Atomic.get stop)
+       then trace_one ()
      done
    with e -> note_error st (Printexc.to_string e));
   let r, b = C.rt_stats rt in
@@ -479,6 +546,30 @@ let fetch_stats ~host ~port =
        | Ok r -> Error ("STATS reply: " ^ P.pp_reply r)
        | Error e -> Error e)
 
+let fetch_metrics ~host ~port =
+  match C.connect ~host ~retries:5 ~port () with
+  | exception e -> Error (Printexc.to_string e)
+  | conn ->
+      Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+      (match C.request conn P.Metrics with
+       | Ok (P.Bulk s) -> Ok s
+       | Ok r -> Error ("METRICS reply: " ^ P.pp_reply r)
+       | Error e -> Error e)
+
+(* A named gauge out of the STATS JSON ("gauges" object); 0 when absent
+   or unparsable — gauges are advisory. *)
+let gauge_of_stats raw name =
+  match Harness.Jsonlite.parse_result raw with
+  | Error _ -> 0
+  | Ok j -> (
+      match
+        Option.bind (Harness.Jsonlite.member "gauges" j) (fun g ->
+            Option.bind (Harness.Jsonlite.member name g)
+              Harness.Jsonlite.to_number)
+      with
+      | Some f -> int_of_float f
+      | None -> 0)
+
 let census_of_stats raw =
   match Harness.Jsonlite.parse_result raw with
   | Error e -> Error ("STATS json: " ^ e)
@@ -515,7 +606,8 @@ let us_percentiles kind =
     ( Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p50,
       Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p99 )
 
-let row ~figure ~label ~mops ~p50 ~p99 ?(retries = 0) ?(shed = 0) census =
+let row ~figure ~label ~mops ~p50 ~p99 ?(retries = 0) ?(shed = 0)
+    ?(giveups = 0) ?(walk_saturation = 0) ?(phases = []) census =
   {
     Harness.Bench_json.r_figure = figure;
     r_label = label;
@@ -530,6 +622,9 @@ let row ~figure ~label ~mops ~p50 ~p99 ?(retries = 0) ?(shed = 0) census =
     r_space_bytes = 0.;
     r_retries = retries;
     r_shed = shed;
+    r_giveups = giveups;
+    r_walk_saturation = walk_saturation;
+    r_phases = phases;
   }
 
 let write_rows ~json_out ~merge_into ~ci rows =
@@ -557,10 +652,131 @@ let write_rows ~json_out ~merge_into ~ci rows =
       Printf.eprintf "verlib_loadgen: %d row(s) -> %s\n%!" (List.length rows)
         path
 
+(* --- trace-sample join ---------------------------------------------------- *)
+
+let phase_sum (t : P.trace_info) =
+  List.fold_left (fun acc (_, v) -> acc +. v) 0. t.P.t_phase_us
+
+(* Mean µs per phase across the samples, in canonical phase order —
+   these become the row's ["phases"] object in the Bench_json output. *)
+let mean_phases samples =
+  let n = List.length samples in
+  if n = 0 then []
+  else
+    List.filter_map
+      (fun p ->
+        let name = Verlib.Obs.Span.phase_name p in
+        let total =
+          List.fold_left
+            (fun acc s ->
+              match List.assoc_opt name s.ts_trace.P.t_phase_us with
+              | Some v -> acc +. v
+              | None -> acc)
+            0. samples
+        in
+        if total > 0. then Some (name, total /. float_of_int n) else None)
+      Verlib.Obs.Span.phases
+
+let json_of_samples samples =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"trace-join-v1\",\"samples\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":%d,\"cmd\":\"%s\",\"rtt_us\":%.3f,\"total_us\":%.3f,\
+            \"outcome\":\"%s\",\"fanout\":%d,\"phase_sum_us\":%.3f,\"phases\":{"
+           s.ts_trace.P.t_id
+           (Harness.Jsonlite.escape s.ts_cmd)
+           s.ts_rtt_us s.ts_trace.P.t_total_us
+           (Harness.Jsonlite.escape s.ts_trace.P.t_outcome)
+           s.ts_trace.P.t_fanout (phase_sum s.ts_trace));
+      List.iteri
+        (fun j (name, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%.3f" (Harness.Jsonlite.escape name) v))
+        s.ts_trace.P.t_phase_us;
+      Buffer.add_string b "}}")
+    samples;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Report the join and enforce the nesting invariant: phases are
+   exclusive and the span opens at request-byte arrival and closes with
+   the reply rendered, so the phase sum can never exceed the
+   client-measured RTT (5% slack absorbs µs rounding and the two
+   processes' independent tick calibrations).  Coverage below 1.0 is the
+   un-attributed wire + syscall time on either side of the span. *)
+let report_trace_join ~trace_out ~exit_bad samples =
+  match samples with
+  | [] -> []
+  | _ ->
+      let n = List.length samples in
+      let covs =
+        List.map
+          (fun s ->
+            if s.ts_rtt_us > 0. then phase_sum s.ts_trace /. s.ts_rtt_us
+            else 1.)
+          samples
+      in
+      let mean = List.fold_left ( +. ) 0. covs /. float_of_int n in
+      let lo = List.fold_left min infinity covs
+      and hi = List.fold_left max neg_infinity covs in
+      let over =
+        List.length (List.filter (fun c -> c > 1.05) covs)
+      in
+      let phases = mean_phases samples in
+      Printf.printf
+        "trace: %d sample(s), phase-sum/rtt mean=%.2f min=%.2f max=%.2f\n" n
+        mean lo hi;
+      Printf.printf "trace phases (mean us): %s\n"
+        (String.concat " "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%.1f" k v) phases));
+      if over > 0 then begin
+        Printf.printf
+          "trace: FAIL — %d sample(s) with phase sum > 1.05x client RTT\n"
+          over;
+        exit_bad := true
+      end;
+      (match trace_out with
+       | None -> ()
+       | Some path ->
+           let oc = open_out path in
+           output_string oc (json_of_samples samples);
+           output_char oc '\n';
+           close_out oc;
+           Printf.eprintf "verlib_loadgen: %d trace sample(s) -> %s\n%!" n path);
+      phases
+
+(* Fetch + strictly validate the METRICS exposition; a server whose
+   metrics plane emits unparsable text fails the run. *)
+let check_metrics ~host ~port ~exit_bad = function
+  | None -> ()
+  | Some path -> (
+      match fetch_metrics ~host ~port with
+      | Error e ->
+          Printf.eprintf "verlib_loadgen: METRICS unavailable: %s\n" e;
+          exit_bad := true
+      | Ok text ->
+          (match Harness.Obs_report.parse_prometheus text with
+           | Ok samples ->
+               Printf.printf "metrics: %d sample(s) validated\n"
+                 (List.length samples)
+           | Error e ->
+               Printf.printf "metrics: FAIL — malformed exposition: %s\n" e;
+               exit_bad := true);
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.eprintf "verlib_loadgen: METRICS -> %s\n%!" path)
+
 (* --- driver --------------------------------------------------------------- *)
 
 let run host port threads depth size updates query theta duration seed mix pairs
-    no_fill ci json_out merge_into figure stats_out faults =
+    no_fill ci json_out merge_into figure stats_out trace_sample trace_out
+    metrics_out faults =
   install_signal_handlers ();
   let plan =
     match faults with
@@ -669,6 +885,25 @@ let run host port threads depth size updates query theta duration seed mix pairs
        | Error e ->
            print_endline ("final audit: FAIL — " ^ e);
            exit_bad := true);
+      check_metrics ~host ~port ~exit_bad metrics_out;
+      (* One row per bank run so the liveness figures ([giveups] above
+         all — transfers the retry layer had to settle by replay) gate
+         through bench_diff like the throughput rows do. *)
+      if json_out <> None then begin
+        let census, walk_saturation =
+          match fetch_stats ~host ~port with
+          | Error _ -> (None, 0)
+          | Ok raw ->
+              ( (match census_of_stats raw with Ok c -> c | Error _ -> None),
+                gauge_of_stats raw "diag_walk_saturated" )
+        in
+        let mops = float_of_int transfers /. elapsed /. 1e6 in
+        write_rows ~json_out ~merge_into ~ci
+          [
+            row ~figure ~label:"bank" ~mops ~p50:0. ~p99:0. ~retries ~shed
+              ~giveups ~walk_saturation census;
+          ]
+      end;
       if checks = 0 then begin
         print_endline "bank: FAIL — no atomic checks completed";
         exit_bad := true
@@ -699,8 +934,8 @@ let run host port threads depth size updates query theta duration seed mix pairs
             timed_run (fun () ->
                 List.init threads (fun w ->
                     Domain.spawn
-                      (opgen_worker ~host ~port ~depth ~gen_of:mk_gen ~wid:w
-                         stats.(w))))
+                      (opgen_worker ~host ~port ~depth ~gen_of:mk_gen
+                         ~trace_sample ~wid:w stats.(w))))
           in
           let total_ops =
             Array.fold_left
@@ -737,12 +972,12 @@ let run host port threads depth size updates query theta duration seed mix pairs
             (kind_name qkind) qp50 qp99 depth;
           Printf.printf "wire: retries=%d shed=%d reconnects=%d\n" retries shed
             (C.reconnect_total ());
-          let census =
+          let stats_raw =
             match fetch_stats ~host ~port with
             | Error e ->
                 Printf.eprintf "verlib_loadgen: STATS unavailable: %s\n" e;
                 None
-            | Ok raw -> (
+            | Ok raw ->
                 Option.iter
                   (fun path ->
                     let oc = open_out path in
@@ -751,12 +986,27 @@ let run host port threads depth size updates query theta duration seed mix pairs
                     close_out oc;
                     Printf.eprintf "verlib_loadgen: STATS -> %s\n%!" path)
                   stats_out;
+                Some raw
+          in
+          let census =
+            match stats_raw with
+            | None -> None
+            | Some raw -> (
                 match census_of_stats raw with
                 | Ok c -> c
                 | Error e ->
                     Printf.eprintf "verlib_loadgen: %s\n" e;
                     exit_bad := true;
                     None)
+          in
+          (* The bounded-walk saturation gauge of the server's census
+             walker (docs/OBSERVABILITY.md) — surfaced into the row so a
+             saturated (hence under-counting) census is visible in the
+             benchmark trail. *)
+          let walk_saturation =
+            match stats_raw with
+            | Some raw -> gauge_of_stats raw "diag_walk_saturated"
+            | None -> 0
           in
           (match census with
            | Some c ->
@@ -767,11 +1017,16 @@ let run host port threads depth size updates query theta duration seed mix pairs
                  c.sc_violations;
                if c.sc_violations > 0 then exit_bad := true
            | None -> ());
+          let samples =
+            Array.fold_left (fun acc s -> s.samples @ acc) [] stats
+          in
+          let phases = report_trace_join ~trace_out ~exit_bad samples in
+          check_metrics ~host ~port ~exit_bad metrics_out;
           let qmops = float_of_int (kind_ops qkind) /. elapsed /. 1e6 in
           let rows =
             [
               row ~figure ~label:"total" ~mops ~p50:qp50 ~p99:qp99 ~retries
-                ~shed census;
+                ~shed ~walk_saturation ~phases census;
               row ~figure ~label:(kind_name qkind) ~mops:qmops ~p50:qp50
                 ~p99:qp99 census;
             ]
@@ -791,6 +1046,6 @@ let cmd =
     Term.(
       const run $ host $ port $ threads $ depth $ size $ updates $ query $ theta
       $ duration $ seed $ mix $ pairs $ no_fill $ ci $ json_out $ merge_into
-      $ figure $ stats_out $ faults)
+      $ figure $ stats_out $ trace_sample $ trace_out $ metrics_out $ faults)
 
 let () = exit (Cmd.eval cmd)

@@ -93,6 +93,29 @@ let retry_after_ms =
   Arg.(value & opt int 50 & info [ "retry-after-ms" ]
        ~doc:"The retry hint carried in -BUSY replies.")
 
+let metrics_interval =
+  Arg.(value & opt float 0. & info [ "metrics-interval" ] ~docv:"SECONDS"
+       ~doc:"Metrics-plane sweep period: every $(docv) seconds a background \
+             census is taken and the request-phase p99s are checked against \
+             --slo-p99-us; 0 = off.")
+
+let flight_dir =
+  Arg.(value & opt string "" & info [ "flight-dir" ] ~docv:"DIR"
+       ~doc:"Arm the anomaly flight recorder: deadline kills, hard-shed \
+             engagement, census invariant violations and SLO breaches each \
+             dump the recent-span ring plus live gauges to \
+             $(docv)/flight-<ms>-<trigger>.json.  Empty = off.")
+
+let flight_min_interval =
+  Arg.(value & opt float 5. & info [ "flight-min-interval" ] ~docv:"SECONDS"
+       ~doc:"Flight-recorder cooldown: at most one dump per $(docv) seconds.")
+
+let slo_p99_us =
+  Arg.(value & opt float 0. & info [ "slo-p99-us" ] ~docv:"US"
+       ~doc:"Flight trigger: any request phase whose p99 exceeds $(docv) \
+             microseconds files a dump (checked every --metrics-interval); \
+             0 = off.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
        ~doc:"Arm a fault plan (preset name or raw spec, docs/RESILIENCE.md) \
@@ -129,7 +152,8 @@ let install_signal_handlers () =
 
 let run structure mode port domains n_hint prefill queue_depth census_interval
     max_conns idle_timeout write_timeout shed_queue shed_epoch_lag
-    shed_chain_p99 retry_after_ms faults duration stats_fmt trace_file =
+    shed_chain_p99 retry_after_ms metrics_interval flight_dir
+    flight_min_interval slo_p99_us faults duration stats_fmt trace_file =
   let plan =
     match faults with
     | None -> None
@@ -149,6 +173,10 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
   end;
   Verlib.reset ();
   if trace_file <> None then Verlib.Obs.set_tracing true;
+  if slo_p99_us > 0. && metrics_interval <= 0. then
+    prerr_endline
+      "verlib-serve: note: --slo-p99-us has no effect without \
+       --metrics-interval";
   let mount = Server.Mount.mount ~mode ~n_hint map in
   for k = 1 to prefill do
     ignore (Server.Mount.exec mount (Server.Protocol.Put (k, k)))
@@ -167,6 +195,10 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
       shed_epoch_lag;
       shed_chain_p99;
       retry_after_ms;
+      metrics_interval;
+      flight_dir;
+      flight_min_interval;
+      slo_p99_us;
     }
   in
   let srv = Server.create ~config mount in
@@ -214,6 +246,12 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
        Verlib.Obs.set_tracing false;
        let streams = Verlib.Obs.export_trace path in
        Printf.eprintf "trace: %d domain stream(s) written to %s\n%!" streams path);
+  if flight_dir <> "" then
+    Printf.eprintf "flight: %d dump(s)%s\n%!"
+      (Server.flight_dump_count srv)
+      (match Server.flight_last_path srv with
+       | Some p -> ", last " ^ p
+       | None -> "");
   let violations = Server.census_violations_total srv in
   if violations > 0 then begin
     Printf.eprintf "verlib-serve: %d census invariant violation(s)\n%!" violations;
@@ -228,6 +266,7 @@ let cmd =
       const run $ structure $ mode $ port $ domains $ n_hint $ prefill
       $ queue_depth $ census_interval $ max_conns $ idle_timeout
       $ write_timeout $ shed_queue $ shed_epoch_lag $ shed_chain_p99
-      $ retry_after_ms $ faults $ duration $ stats_fmt $ trace_file)
+      $ retry_after_ms $ metrics_interval $ flight_dir $ flight_min_interval
+      $ slo_p99_us $ faults $ duration $ stats_fmt $ trace_file)
 
 let () = exit (Cmd.eval cmd)

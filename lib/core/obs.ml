@@ -121,6 +121,234 @@ let chain_sample () = sample_tick ~off:0 ~mask:15
 let dwell_sample () = sample_tick ~off:1 ~mask:15
 
 (* ------------------------------------------------------------------ *)
+(* Request spans                                                       *)
+
+(* One span per served request, decomposed into named phases.  The
+   accounting is EXCLUSIVE: a span keeps a stack of open phases and
+   every tick between two transitions is booked to the phase on top, so
+   nested attributions (a snapshot inside an op, a per-shard fan-out
+   call inside a snapshot, an injected stall inside anything) subtract
+   from their parent instead of double-counting — which is what makes
+   [sum over phases <= end - begin] hold by construction, the property
+   the loadgen's RTT-vs-phase-sum join relies on.
+
+   The current span is registry-slot-private (the [ticks] discipline
+   above): instrumented call sites ([Snapshot.with_snapshot],
+   [Dstruct.Sharded]'s fan-out, the [Fault] blocking observer) attribute
+   into whatever span their domain currently carries, and are single
+   atomic-load no-ops when no span exists anywhere in the process. *)
+
+module Span = struct
+  type phase =
+    | Accept  (** accept() to handoff-queue push *)
+    | Queue  (** handoff-queue dwell until a worker popped the fd *)
+    | Parse  (** wire line to command *)
+    | Shed  (** admission-control evaluation (terminal when shed) *)
+    | Route  (** per-shard fan-out work ([Dstruct.Sharded] sub-calls) *)
+    | Snapshot  (** inside [with_snapshot], net of nested phases *)
+    | Op  (** structure execution, net of nested phases *)
+    | Reply  (** reply rendering *)
+    | Stall  (** injected fault stalls ([Fault] blocking actions) *)
+
+  let nphases = 9
+
+  let phase_index = function
+    | Accept -> 0
+    | Queue -> 1
+    | Parse -> 2
+    | Shed -> 3
+    | Route -> 4
+    | Snapshot -> 5
+    | Op -> 6
+    | Reply -> 7
+    | Stall -> 8
+
+  let phase_names =
+    [| "accept"; "queue"; "parse"; "shed"; "route"; "snapshot"; "op"; "reply";
+       "stall" |]
+
+  let phase_name p = phase_names.(phase_index p)
+
+  let phases =
+    [ Accept; Queue; Parse; Shed; Route; Snapshot; Op; Reply; Stall ]
+
+  let phase_of_name n =
+    List.find_opt (fun p -> phase_name p = n) phases
+
+  type t = {
+    mutable sp_trace_id : int;  (** 0 = untraced *)
+    mutable sp_cmd : string;
+    mutable sp_begin : int;  (** ticks *)
+    mutable sp_end : int;  (** 0 until finished *)
+    sp_phase : int array;  (** accumulated ticks per phase index *)
+    mutable sp_fanout : int;  (** per-shard sub-calls performed *)
+    mutable sp_outcome : string;  (** ok | shed | error | killed *)
+    mutable sp_stack : int list;  (** open phase indices, top first *)
+    mutable sp_last : int;  (** tick of the last transition *)
+    mutable sp_slot : int;
+  }
+
+  (* Cheap global gate: instrumented hot paths shared with the
+     in-process harness (snapshots, sharded fan-out) pay one atomic load
+     while no span has ever been started in this process. *)
+  let any = Atomic.make false
+
+  let current_by_slot : t option array =
+    Array.make Flock.Registry.max_slots None
+
+  (* Per-domain rings of recently finished spans, for the flight
+     recorder and the Chrome exporter.  Slot-private writes; cross-
+     domain reads are approximate (same contract as the histograms). *)
+  let ring_capacity = 64
+
+  let rings : t option array array =
+    Array.init Flock.Registry.max_slots (fun _ -> Array.make ring_capacity None)
+
+  let ring_cursors = Array.make Flock.Registry.max_slots 0
+
+  (* Phase-latency histograms (ticks; the [_cycles] suffix makes every
+     report render them in µs) plus whole-request latency. *)
+  let phase_hists =
+    Array.map (fun n -> Hist.make ("phase_" ^ n ^ "_cycles")) phase_names
+
+  let span_total = Hist.make "span_total_cycles"
+
+  let phase_hist p = phase_hists.(phase_index p)
+
+  let current () = current_by_slot.(Flock.Registry.my_id ())
+
+  let start ?(trace_id = 0) ?begin_ticks ~cmd () =
+    if not (Atomic.get any) then Atomic.set any true;
+    let slot = Flock.Registry.my_id () in
+    let now = Hwclock.now () in
+    let b = match begin_ticks with Some t when t > 0 -> t | _ -> now in
+    let sp =
+      {
+        sp_trace_id = trace_id;
+        sp_cmd = cmd;
+        sp_begin = b;
+        sp_end = 0;
+        sp_phase = Array.make nphases 0;
+        sp_fanout = 0;
+        sp_outcome = "ok";
+        sp_stack = [];
+        sp_last = now;
+        sp_slot = slot;
+      }
+    in
+    current_by_slot.(slot) <- Some sp;
+    sp
+
+  let set_cmd sp cmd = sp.sp_cmd <- cmd
+
+  let set_trace_id sp id = sp.sp_trace_id <- id
+
+  (* Book the segment since the last transition to the open phase. *)
+  let account sp now =
+    (match sp.sp_stack with
+     | p :: _ -> sp.sp_phase.(p) <- sp.sp_phase.(p) + max 0 (now - sp.sp_last)
+     | [] -> ());
+    sp.sp_last <- now
+
+  let enter_sp sp p =
+    account sp (Hwclock.now ());
+    sp.sp_stack <- phase_index p :: sp.sp_stack
+
+  let leave_sp sp =
+    account sp (Hwclock.now ());
+    match sp.sp_stack with [] -> () | _ :: rest -> sp.sp_stack <- rest
+
+  let enter p = match current () with None -> () | Some sp -> enter_sp sp p
+
+  let leave () = match current () with None -> () | Some sp -> leave_sp sp
+
+  let in_phase p f =
+    if not (Atomic.get any) then f ()
+    else
+      match current () with
+      | None -> f ()
+      | Some sp ->
+          enter_sp sp p;
+          Fun.protect ~finally:(fun () -> leave_sp sp) f
+
+  let add p ticks =
+    match current () with
+    | None -> ()
+    | Some sp ->
+        let i = phase_index p in
+        sp.sp_phase.(i) <- sp.sp_phase.(i) + max 0 ticks
+
+  let add_to sp p ticks =
+    let i = phase_index p in
+    sp.sp_phase.(i) <- sp.sp_phase.(i) + max 0 ticks
+
+  let note_fanout () =
+    if Atomic.get any then
+      match current () with
+      | None -> ()
+      | Some sp -> sp.sp_fanout <- sp.sp_fanout + 1
+
+  let finish ?(outcome = "ok") sp =
+    let now = Hwclock.now () in
+    account sp now;
+    sp.sp_stack <- [];
+    sp.sp_end <- now;
+    sp.sp_outcome <- outcome;
+    Hist.observe span_total (now - sp.sp_begin);
+    Array.iteri
+      (fun i v -> if v > 0 then Hist.observe phase_hists.(i) v)
+      sp.sp_phase;
+    let slot = sp.sp_slot in
+    let cur = ring_cursors.(slot) in
+    rings.(slot).(cur mod ring_capacity) <- Some sp;
+    ring_cursors.(slot) <- cur + 1;
+    (match current_by_slot.(slot) with
+     | Some c when c == sp -> current_by_slot.(slot) <- None
+     | Some _ | None -> ())
+
+  let abandon sp =
+    let slot = sp.sp_slot in
+    match current_by_slot.(slot) with
+    | Some c when c == sp -> current_by_slot.(slot) <- None
+    | Some _ | None -> ()
+
+  let total_ticks sp = if sp.sp_end = 0 then 0 else sp.sp_end - sp.sp_begin
+
+  let phase_ticks sp p = sp.sp_phase.(phase_index p)
+
+  (* All finished spans currently retained, oldest first per slot.
+     Approximate under concurrent writers (the flight-recorder
+     contract). *)
+  let recent () =
+    let acc = ref [] in
+    for slot = Flock.Registry.max_slots - 1 downto 0 do
+      let cur = ring_cursors.(slot) in
+      if cur > 0 then begin
+        let n = min cur ring_capacity in
+        for i = n - 1 downto 0 do
+          match rings.(slot).((cur - 1 - i) mod ring_capacity) with
+          | Some sp when sp.sp_end > 0 -> acc := sp :: !acc
+          | Some _ | None -> ()
+        done
+      end
+    done;
+    List.rev !acc
+
+  let reset () =
+    Array.iteri
+      (fun slot ring ->
+        Array.fill ring 0 (Array.length ring) None;
+        ring_cursors.(slot) <- 0)
+      rings
+end
+
+(* Attribute injected blocking faults (pause / stall / yield storms) to
+   the current request span's [stall] phase — this is what makes a chaos
+   plan legible in a request trace ("the op was fine; the stall was
+   injected") instead of a mystery-slow op phase. *)
+let () = Fault.set_blocking_observer (fun f -> Span.in_phase Span.Stall f)
+
+(* ------------------------------------------------------------------ *)
 (* Structured report                                                   *)
 
 type report = {
@@ -160,11 +388,15 @@ let export_trace path =
         | evs -> Some (i, evs))
       slots
   in
+  let spans = Span.recent () in
   let base =
     List.fold_left
       (fun acc (_, evs) ->
         List.fold_left (fun acc (ts, _, _) -> min acc ts) acc evs)
       max_int streams
+  in
+  let base =
+    List.fold_left (fun acc sp -> min acc sp.Span.sp_begin) base spans
   in
   let base = if base = max_int then 0 else base in
   let buf = Buffer.create 65536 in
@@ -221,9 +453,44 @@ let export_trace path =
         add_event ~name:"ring_dropped" ~ph:"i" ~tid ~ts_us:!last_ts
           ~arg:(Some dropped))
     streams;
+  (* Finished request spans ride along as "X" complete events on their
+     own track family ([requests-domain-N]), with the exclusive
+     per-phase breakdown in µs as args — one row per served request,
+     next to the instrument stream of the domain that served it. *)
+  let span_tids = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      let tid = 1000 + sp.Span.sp_slot in
+      if not (Hashtbl.mem span_tids tid) then begin
+        Hashtbl.add span_tids tid ();
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"requests-domain-%d\"}}"
+             tid sp.Span.sp_slot)
+      end;
+      let ts_us = Float.of_int (sp.Span.sp_begin - base) /. cpus in
+      let dur_us = Float.of_int (Span.total_ticks sp) /. cpus in
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%S,\"cat\":\"request\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":%d,\"outcome\":%S,\"fanout\":%d"
+           sp.Span.sp_cmd tid ts_us dur_us sp.Span.sp_trace_id
+           sp.Span.sp_outcome sp.Span.sp_fanout);
+      Array.iteri
+        (fun i v ->
+          if v > 0 then
+            Buffer.add_string buf
+              (Printf.sprintf ",\"%s_us\":%.3f" Span.phase_names.(i)
+                 (Float.of_int v /. cpus)))
+        sp.Span.sp_phase;
+      Buffer.add_string buf "}}")
+    spans;
   Buffer.add_string buf "]}";
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> Buffer.output_buffer oc buf);
-  List.length streams
+  List.length streams + Hashtbl.length span_tids

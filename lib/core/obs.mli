@@ -76,6 +76,115 @@ val chain_sample : unit -> bool
 
 val dwell_sample : unit -> bool
 
+(** {1 Request spans}
+
+    One span per served request, decomposed into named phases with
+    {e exclusive} stack-based accounting: entering a nested phase pauses
+    its parent, so the per-phase ticks of a finished span sum to at most
+    [end - begin] with no double counting — the property that lets
+    [verlib_loadgen] reconcile server-side phase decompositions against
+    client-measured RTTs.
+
+    The current span is registry-slot-private; instrumented call sites
+    elsewhere in the tree ([Snapshot.with_snapshot], [Dstruct.Sharded]
+    fan-out, the [Fault] blocking observer installed by this module)
+    attribute into whatever span their domain currently carries and cost
+    one atomic load when no span has ever been started. *)
+
+module Span : sig
+  type phase =
+    | Accept
+    | Queue
+    | Parse
+    | Shed
+    | Route
+    | Snapshot
+    | Op
+    | Reply
+    | Stall
+
+  val nphases : int
+
+  val phases : phase list
+  (** All phases, index order. *)
+
+  val phase_index : phase -> int
+
+  val phase_name : phase -> string
+  (** Lower-case wire/report name ([accept], [queue], ...). *)
+
+  val phase_of_name : string -> phase option
+
+  type t = {
+    mutable sp_trace_id : int;  (** 0 = untraced *)
+    mutable sp_cmd : string;
+    mutable sp_begin : int;  (** ticks *)
+    mutable sp_end : int;  (** 0 until finished *)
+    sp_phase : int array;  (** accumulated ticks, indexed by {!phase_index} *)
+    mutable sp_fanout : int;  (** per-shard sub-calls performed *)
+    mutable sp_outcome : string;  (** [ok] / [shed] / [error] / [killed] *)
+    mutable sp_stack : int list;
+    mutable sp_last : int;
+    mutable sp_slot : int;
+  }
+
+  val start : ?trace_id:int -> ?begin_ticks:int -> cmd:string -> unit -> t
+  (** Open a span and make it the calling domain's current span.
+      [begin_ticks] backdates the start (e.g. to the accept or
+      read-chunk mark); elapsed ticks before the first {!enter} are
+      unattributed. *)
+
+  val set_cmd : t -> string -> unit
+
+  val set_trace_id : t -> int -> unit
+
+  val current : unit -> t option
+
+  val enter : phase -> unit
+  (** Push [phase] on the current span's stack (no-op without one). *)
+
+  val leave : unit -> unit
+
+  val in_phase : phase -> (unit -> 'a) -> 'a
+  (** [enter]/[leave] bracket, exception-safe; just runs the thunk when
+      the domain has no current span. *)
+
+  val add : phase -> int -> unit
+  (** Credit externally measured ticks (e.g. queue dwell stamped by the
+      producer) to the current span without opening the phase. *)
+
+  val add_to : t -> phase -> int -> unit
+
+  val note_fanout : unit -> unit
+  (** Count one per-shard sub-call on the current span. *)
+
+  val finish : ?outcome:string -> t -> unit
+  (** Close all open phases, stamp [sp_end], feed the phase and total
+      histograms, retire the span into its domain's recent-span ring and
+      clear the current-span slot. *)
+
+  val abandon : t -> unit
+  (** Clear the current-span slot without recording anything. *)
+
+  val total_ticks : t -> int
+
+  val phase_ticks : t -> phase -> int
+
+  val phase_hist : phase -> Hist.t
+  (** The [phase_<name>_cycles] histogram. *)
+
+  val span_total : Hist.t
+
+  val ring_capacity : int
+
+  val recent : unit -> t list
+  (** Finished spans currently retained across all domain rings, oldest
+      first per slot (approximate under concurrent writers — the flight
+      recorder's contract). *)
+
+  val reset : unit -> unit
+end
+
 (** {1 Structured report} *)
 
 type report = {
@@ -92,9 +201,11 @@ val capture : unit -> report
 (** {1 Chrome trace export} *)
 
 val export_trace : string -> int
-(** [export_trace path] writes the per-domain event rings as a Chrome
+(** [export_trace path] writes the per-domain event rings {e and} every
+    retained finished request span ({!Span.recent}) as a Chrome
     trace-event JSON file (Perfetto / chrome://tracing compatible) and
-    returns the number of domain streams written.  Snapshot begin/end
-    become "B"/"E" duration events; everything else instants.  Streams
-    broken by ring wrap-around are repaired so the file always
-    balances. *)
+    returns the number of tracks written.  Snapshot begin/end become
+    "B"/"E" duration events, other instrument events instants, and
+    request spans "X" complete events on [requests-domain-N] tracks with
+    the per-phase µs breakdown in [args].  Streams broken by ring
+    wrap-around are repaired so the file always balances. *)

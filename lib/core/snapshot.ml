@@ -69,10 +69,14 @@ let with_snapshot f =
       if t0 <> 0 then Obs.Hist.observe Obs.snap_dwell (Hwclock.now () - t0);
       Obs.emit Obs.ev_snap_end 0
     in
-    Fun.protect ~finally:finish (fun () ->
-        if Stamp.is_optimistic () then optimistic_with_snapshot f
-        else begin
-          let (_ : int) = enter Stamp.take in
-          Fun.protect ~finally:leave f
-        end)
+    (* Request-span attribution: the whole outer-snapshot window books
+       to the [snapshot] phase, net of nested phases (per-shard fan-out
+       opens [route] inside it) — exclusive accounting is Span's. *)
+    Obs.Span.in_phase Obs.Span.Snapshot (fun () ->
+        Fun.protect ~finally:finish (fun () ->
+            if Stamp.is_optimistic () then optimistic_with_snapshot f
+            else begin
+              let (_ : int) = enter Stamp.take in
+              Fun.protect ~finally:leave f
+            end))
   end

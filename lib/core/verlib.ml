@@ -42,4 +42,5 @@ let reset ?(scheme = Stamp.Query_ts) ?(lock_mode = Flock.Lock.Lock_free)
   Done_stamp.reset ();
   Flock.Lock.set_default_mode lock_mode;
   Vptr.set_direct_stores direct_stores;
-  Stats.reset_all ()
+  Stats.reset_all ();
+  Obs.Span.reset ()

@@ -485,6 +485,8 @@ let iter_vptrs t emit =
   in
   walk t.root
 
+let shard_views t = Map_intf.single_shard_view name iter_vptrs t
+
 let to_sorted_list t = range t min_int max_int
 
 let size t = range_count t min_int max_int

@@ -52,4 +52,6 @@ let to_sorted_list t = Rwlock.with_read t.rw (fun () -> IntMap.bindings t.map)
 (* No versioned pointers: a reader-writer-locked functional map. *)
 let iter_vptrs (_ : t) (_ : Verlib.Chainscan.target -> unit) = ()
 
+let shard_views t = Map_intf.single_shard_view name iter_vptrs t
+
 let check (_ : t) = ()

@@ -176,6 +176,8 @@ let iter_vptrs t emit =
 
 (* Quiescent structural check: strictly sorted keys, consistent back
    pointers, no removed node reachable. *)
+let shard_views t = Map_intf.single_shard_view name iter_vptrs t
+
 let check t =
   let rec walk prev cur =
     if Fatomic.load cur.removed then failwith "Dlist.check: removed node reachable";

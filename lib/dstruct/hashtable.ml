@@ -114,6 +114,8 @@ let to_sorted_list t =
 let iter_vptrs t emit =
   Array.iter (fun c -> emit (Verlib.Chainscan.Target c)) t.cells
 
+let shard_views t = Map_intf.single_shard_view name iter_vptrs t
+
 let check t =
   Array.iteri
     (fun i c ->

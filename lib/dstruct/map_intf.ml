@@ -72,6 +72,14 @@ module type MAP = sig
       concurrently with mutators (may miss in-flight nodes); emits
       nothing on structures without versioned pointers. *)
 
+  val shard_views : t -> (string * ((Verlib.Chainscan.target -> unit) -> unit)) list
+  (** Named census walkers, one per independently meaningful partition
+      of the structure.  Monolithic structures return a singleton
+      [(name, iter_vptrs t)]; [Sharded] returns one view per shard
+      ([shard-0], [shard-1], ...) so the server's [STATS] can expose a
+      per-shard chain-census breakdown.  Same passivity contract as
+      {!iter_vptrs}. *)
+
   val range_capability : range_capability
 
   val supports_mode : Verlib.Vptr.mode -> bool
@@ -90,6 +98,10 @@ let range_as_list fold_range t lo hi =
     already snapshot-wrapped — a whole-keyspace fold. *)
 let scan_via_fold_range ?(lo = min_int) fold_range t ~init ~f =
   fold_range t lo max_int ~init ~f
+
+(** Shared helper: the singleton {!MAP.shard_views} of a monolithic
+    structure. *)
+let single_shard_view name iter_vptrs t = [ (name, fun f -> iter_vptrs t f) ]
 
 (** Shared helper: [scan] for unordered structures with a plain (racy)
     structural fold — wrapping it in one snapshot makes the whole walk

@@ -75,12 +75,21 @@ module Make (S : SPEC) = struct
 
   let sub t k = t.subs.(t.route k)
 
+  (* Request-span attribution: every per-shard sub-call books to the
+     [route] phase of the current request span (exclusive accounting —
+     inside the outer snapshot this subtracts from the [snapshot] phase)
+     and bumps the span's fanout counter.  One atomic load when no span
+     exists anywhere in the process. *)
+  let routed f =
+    Verlib.Obs.Span.note_fanout ();
+    Verlib.Obs.Span.in_phase Verlib.Obs.Span.Route f
+
   (* Point operations touch exactly one shard — no snapshot, no fan-out. *)
-  let insert t k v = Base.insert (sub t k) k v
+  let insert t k v = routed (fun () -> Base.insert (sub t k) k v)
 
-  let delete t k = Base.delete (sub t k) k
+  let delete t k = routed (fun () -> Base.delete (sub t k) k)
 
-  let find t k = Base.find (sub t k) k
+  let find t k = routed (fun () -> Base.find (sub t k) k)
 
   (* Multi-point operations: ONE snapshot around the per-shard work.
      Every shard is then read at the same timestamp, which is the whole
@@ -100,7 +109,7 @@ module Make (S : SPEC) = struct
                  prepended in order: contiguous partitioning makes the
                  concatenation globally sorted with no merge. *)
               for i = i1 downto i0 do
-                acc := Base.range t.subs.(i) lo hi @ !acc
+                acc := routed (fun () -> Base.range t.subs.(i) lo hi) @ !acc
               done;
               !acc
             end)
@@ -115,7 +124,7 @@ module Make (S : SPEC) = struct
             else begin
               let n = ref 0 in
               for i = t.route lo to t.route hi do
-                n := !n + Base.range_count t.subs.(i) lo hi
+                n := !n + routed (fun () -> Base.range_count t.subs.(i) lo hi)
               done;
               !n
             end)
@@ -127,11 +136,15 @@ module Make (S : SPEC) = struct
 
   let scan t ~init ~f =
     Verlib.with_snapshot (fun () ->
-        Array.fold_left (fun acc s -> Base.scan s ~init:acc ~f) init t.subs)
+        Array.fold_left
+          (fun acc s -> routed (fun () -> Base.scan s ~init:acc ~f))
+          init t.subs)
 
   let size t =
     Verlib.with_snapshot (fun () ->
-        Array.fold_left (fun acc s -> acc + Base.size s) 0 t.subs)
+        Array.fold_left
+          (fun acc s -> acc + routed (fun () -> Base.size s))
+          0 t.subs)
 
   let to_sorted_list t =
     Verlib.with_snapshot (fun () ->
@@ -147,6 +160,12 @@ module Make (S : SPEC) = struct
      audit must see all shards or per-shard pathologies would hide. *)
 
   let iter_vptrs t emit = Array.iter (fun s -> Base.iter_vptrs s emit) t.subs
+
+  let shard_views t =
+    Array.to_list
+      (Array.mapi
+         (fun i s -> (Printf.sprintf "shard-%d" i, fun f -> Base.iter_vptrs s f))
+         t.subs)
 
   let check t =
     Array.iteri

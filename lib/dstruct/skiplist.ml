@@ -372,6 +372,8 @@ let iter_vptrs t emit =
   in
   walk t.head
 
+let shard_views t = Map_intf.single_shard_view name iter_vptrs t
+
 let to_sorted_list t =
   let rec collect acc node =
     match Vptr.load node.nexts.(0) with

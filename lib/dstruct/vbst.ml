@@ -222,6 +222,8 @@ let scan t ~init ~f =
    range queries), so the census has nothing to walk. *)
 let iter_vptrs (_ : t) (_ : Verlib.Chainscan.target -> unit) = ()
 
+let shard_views t = Map_intf.single_shard_view name iter_vptrs t
+
 let to_sorted_list t = range t min_int max_int
 
 let size t = List.length (to_sorted_list t)

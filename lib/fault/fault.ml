@@ -251,6 +251,20 @@ let evaluate (p : Point.t) : action option =
            | None -> ());
           !chosen)
 
+(* Observer for blocking actions (pause/stall/yield): layers above can
+   wrap the blocked interval to attribute it — [Verlib.Obs] installs a
+   wrapper that books the time into the current request span's "stall"
+   phase, which is how injected chaos shows up as a named phase in
+   request traces instead of silently inflating whatever phase was
+   open.  The default is transparent.  This module sits below Flock, so
+   the hook is how attribution crosses the layering without a
+   dependency. *)
+let blocking_observer : ((unit -> unit) -> unit) ref = ref (fun f -> f ())
+
+let set_blocking_observer f = blocking_observer := f
+
+let observe_blocking f = !blocking_observer f
+
 (* Park until the generation moves (disarm or a new plan). *)
 let stall_here () =
   let g = Atomic.get generation in
@@ -263,12 +277,13 @@ let stall_here () =
       done)
 
 let perform = function
-  | Pause d -> if d > 0. then Unix.sleepf d
-  | Stall_forever -> stall_here ()
+  | Pause d -> if d > 0. then observe_blocking (fun () -> Unix.sleepf d)
+  | Stall_forever -> observe_blocking stall_here
   | Yield_storm n ->
-      for _ = 1 to n do
-        Thread.yield ()
-      done
+      observe_blocking (fun () ->
+          for _ = 1 to n do
+            Thread.yield ()
+          done)
   | Fail e -> raise e
   | Short_write _ | Econnreset | Eagain_burst _ ->
       (* I/O actions need a file descriptor to interpret against; at a

@@ -133,6 +133,18 @@ val io_check : Point.t -> action option
     descriptor.  Scheduling actions are still performed in place (and
     return [None]); [Fail e] still raises. *)
 
+(** {1 Attribution} *)
+
+val set_blocking_observer : ((unit -> unit) -> unit) -> unit
+(** Install a wrapper around the blocking actions ([Pause],
+    [Stall_forever], [Yield_storm]): [perform] runs the blocked interval
+    as [wrapper sleep] instead of [sleep].  [Verlib.Obs] installs a
+    wrapper that books the interval into the current request span's
+    [stall] phase, so injected chaos is attributed by name in request
+    traces rather than inflating whichever phase happened to be open.
+    The wrapper must call its argument exactly once; the default is
+    [fun f -> f ()]. *)
+
 (** {1 Accounting} *)
 
 val fired_total : unit -> int

@@ -24,6 +24,11 @@ type row = {
   r_space_bytes : float;  (* bytes per entry; 0. when not measured *)
   r_retries : int;  (* client wire retries absorbed by the run (serve rows) *)
   r_shed : int;  (* -BUSY sheds observed by the run (serve rows) *)
+  r_giveups : int;  (* operations abandoned after retry exhaustion *)
+  r_walk_saturation : int;  (* bounded chain walks that hit the cap (PR 5) *)
+  r_phases : (string * float) list;
+      (* mean per-request phase decomposition in µs (serve rows with
+         tracing on); empty = not measured *)
 }
 
 type doc = {
@@ -74,19 +79,36 @@ let merge_rows d rows =
 (* --- rendering ---------------------------------------------------------- *)
 
 let json_of_row r =
-  (* retries/shed are emitted only when non-zero: the committed baseline
-     predates them and stays byte-comparable for fault-free runs. *)
+  (* Post-baseline fields are emitted only when non-zero / non-empty:
+     the committed baseline predates them and stays byte-comparable for
+     fault-free untraced runs. *)
   let resilience =
     if r.r_retries = 0 && r.r_shed = 0 then ""
     else Printf.sprintf ",\"retries\":%d,\"shed\":%d" r.r_retries r.r_shed
   in
+  let diag =
+    (if r.r_giveups = 0 then "" else Printf.sprintf ",\"giveups\":%d" r.r_giveups)
+    ^
+    if r.r_walk_saturation = 0 then ""
+    else Printf.sprintf ",\"walk_saturation\":%d" r.r_walk_saturation
+  in
+  let phases =
+    if r.r_phases = [] then ""
+    else
+      Printf.sprintf ",\"phases\":{%s}"
+        (String.concat ","
+           (List.map
+              (fun (name, us) ->
+                Printf.sprintf "\"%s\":%.3f" (Jsonlite.escape name) us)
+              r.r_phases))
+  in
   Printf.sprintf
     "{\"figure\":\"%s\",\"label\":\"%s\",\"mops\":%.6f,\"p50_us\":%.3f,\
      \"p99_us\":%.3f,\"chain_max\":%d,\"chain_p99\":%d,\"indirect_links\":%d,\
-     \"reclaimable\":%d,\"violations\":%d,\"space_bytes\":%.1f%s}"
+     \"reclaimable\":%d,\"violations\":%d,\"space_bytes\":%.1f%s%s%s}"
     (Jsonlite.escape r.r_figure) (Jsonlite.escape r.r_label) r.r_mops r.r_p50_us
     r.r_p99_us r.r_chain_max r.r_chain_p99 r.r_indirect_links r.r_reclaimable
-    r.r_violations r.r_space_bytes resilience
+    r.r_violations r.r_space_bytes resilience diag phases
 
 let to_json d =
   let b = Buffer.create 4096 in
@@ -134,6 +156,19 @@ let row_of_json j =
   let opt_int name = match num name j with Some v -> int_of_float v | None -> 0 in
   let retries = opt_int "retries" in
   let shed = opt_int "shed" in
+  let giveups = opt_int "giveups" in
+  let walk_saturation = opt_int "walk_saturation" in
+  let phases =
+    match Jsonlite.member "phases" j with
+    | Some (Jsonlite.Obj members) ->
+        List.filter_map
+          (fun (k, v) ->
+            match Jsonlite.to_number v with
+            | Some f -> Some (k, f)
+            | None -> None)
+          members
+    | Some _ | None -> []
+  in
   Some
     {
       r_figure = figure;
@@ -149,6 +184,9 @@ let row_of_json j =
       r_space_bytes = space;
       r_retries = retries;
       r_shed = shed;
+      r_giveups = giveups;
+      r_walk_saturation = walk_saturation;
+      r_phases = phases;
     }
 
 let of_json j =

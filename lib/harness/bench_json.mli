@@ -26,6 +26,17 @@ type row = {
       (** client wire retries the run absorbed (serve rows; parsed as 0
           from pre-resilience files, serialised only when non-zero) *)
   r_shed : int;  (** [-BUSY] sheds the run observed (same conventions) *)
+  r_giveups : int;
+      (** operations abandoned after retry exhaustion (loadgen bank mix;
+          same serialisation conventions as [r_retries]) *)
+  r_walk_saturation : int;
+      (** bounded chain walks that hit the per-walk version cap — the
+          PR-5 saturation diagnostic, surfaced from the
+          [diag_walk_saturated] gauge *)
+  r_phases : (string * float) list;
+      (** mean per-request phase decomposition in µs, from server-side
+          request spans (serve rows with tracing); empty = not measured,
+          omitted from the serialisation *)
 }
 
 type doc = {

@@ -146,6 +146,236 @@ let to_json ?(extra = []) (r : Obs.report) =
   Buffer.add_string b "}}";
   Buffer.contents b
 
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+(* The live metrics plane: render every Stats counter, every registered
+   histogram (raw bucket counts, not just summaries) and every gauge in
+   Prometheus text exposition format (version 0.0.4) — the format the
+   [METRICS] wire command speaks.  Tick-valued histograms ([_cycles]
+   suffix) are converted to µs with [_us] names so dashboards never see
+   raw rdtsc units.  No dependency: the renderer is a Buffer walk, and
+   {!parse_prometheus} below is the line-format validator the test suite
+   and the loadgen share. *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "verlib_" ^ Bytes.to_string b
+
+(* Render a float the exposition format accepts (no OCaml "1." forms). *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let prom_hist b (h : Hist.t) =
+  let name = Hist.name h in
+  let buckets = Hist.buckets h in
+  let cycles = is_cycles name in
+  let base =
+    if cycles then
+      prom_name (String.sub name 0 (String.length name - String.length "_cycles"))
+      ^ "_us"
+    else prom_name name
+  in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" base);
+  let hi = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then hi := i) buckets;
+  let cum = ref 0 in
+  let sum = ref 0 in
+  for i = 0 to !hi do
+    cum := !cum + buckets.(i);
+    let bound = Hist.bucket_bound i in
+    (* Weight the sum by bucket upper bounds — the histogram stores
+       counts only; the exposition [_sum] is the same <=2x overestimate
+       the percentile summaries already quote. *)
+    sum := !sum + (buckets.(i) * bound);
+    let le = if cycles then prom_float (us bound) else string_of_int bound in
+    Buffer.add_string b
+      (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" base le !cum)
+  done;
+  let total = Array.fold_left ( + ) 0 buckets in
+  Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" base total);
+  let s = if cycles then prom_float (us !sum) else string_of_int !sum in
+  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" base s);
+  Buffer.add_string b (Printf.sprintf "%s_count %d\n" base total)
+
+let prometheus ?(extra = []) () =
+  let r = Verlib.Obs.capture () in
+  let b = Buffer.create 8192 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    r.Obs.counters;
+  List.iter (prom_hist b) (Hist.all ());
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n v))
+    (r.Obs.gauges @ extra);
+  Buffer.contents b
+
+(* --- Prometheus line-format parser -------------------------------------- *)
+
+type prom_sample = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let parse_prom_line lineno line =
+  (* name{label="v",...} value  — labels optional. *)
+  let fail msg = Error (Printf.sprintf "line %d: %s (%s)" lineno msg line) in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then fail "expected metric name"
+  else begin
+    let name = String.sub line 0 !i in
+    let labels = ref [] in
+    let ok = ref true in
+    let err = ref "" in
+    if !i < n && line.[!i] = '{' then begin
+      incr i;
+      let stop = ref false in
+      while (not !stop) && !ok do
+        if !i >= n then begin ok := false; err := "unterminated labels" end
+        else if line.[!i] = '}' then begin incr i; stop := true end
+        else begin
+          let j = ref !i in
+          while !j < n && is_name_char line.[!j] do incr j done;
+          if !j = !i || !j >= n || line.[!j] <> '=' then begin
+            ok := false;
+            err := "expected label=\"value\""
+          end
+          else begin
+            let k = String.sub line !i (!j - !i) in
+            i := !j + 1;
+            if !i >= n || line.[!i] <> '"' then begin
+              ok := false;
+              err := "expected opening quote"
+            end
+            else begin
+              incr i;
+              let v = Buffer.create 8 in
+              while !i < n && line.[!i] <> '"' do
+                if line.[!i] = '\\' && !i + 1 < n then begin
+                  Buffer.add_char v line.[!i + 1];
+                  i := !i + 2
+                end
+                else begin
+                  Buffer.add_char v line.[!i];
+                  incr i
+                end
+              done;
+              if !i >= n then begin ok := false; err := "unterminated quote" end
+              else begin
+                incr i;
+                labels := (k, Buffer.contents v) :: !labels;
+                if !i < n && line.[!i] = ',' then incr i
+              end
+            end
+          end
+        end
+      done
+    end;
+    if not !ok then fail !err
+    else if !i >= n || line.[!i] <> ' ' then fail "expected space before value"
+    else begin
+      let value = String.sub line (!i + 1) (n - !i - 1) |> String.trim in
+      match
+        if value = "+Inf" then Some infinity
+        else if value = "-Inf" then Some neg_infinity
+        else if value = "NaN" then Some Float.nan
+        else float_of_string_opt value
+      with
+      | None -> fail "unparsable value"
+      | Some v -> Ok { m_name = name; m_labels = List.rev !labels; m_value = v }
+    end
+  end
+
+let parse_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || (String.length line > 0 && line.[0] = '#') then
+          go (lineno + 1) acc rest
+        else begin
+          match parse_prom_line lineno line with
+          | Error _ as e -> e
+          | Ok s -> go (lineno + 1) (s :: acc) rest
+        end
+  in
+  match go 1 [] lines with
+  | Error _ as e -> e
+  | Ok samples ->
+      (* Histogram consistency: cumulative buckets must be
+         non-decreasing in appearance order and agree with _count. *)
+      let tbl = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun s ->
+          let bl = String.length "_bucket" in
+          let nl = String.length s.m_name in
+          if nl > bl && String.sub s.m_name (nl - bl) bl = "_bucket" then begin
+            let base = String.sub s.m_name 0 (nl - bl) in
+            if not (Hashtbl.mem tbl base) then begin
+              Hashtbl.add tbl base (ref []);
+              order := base :: !order
+            end;
+            let r = Hashtbl.find tbl base in
+            r := s.m_value :: !r
+          end)
+        samples;
+      let bad = ref None in
+      List.iter
+        (fun base ->
+          let cum = List.rev !(Hashtbl.find tbl base) in
+          let mono =
+            fst
+              (List.fold_left
+                 (fun (ok, prev) v -> (ok && v >= prev, v))
+                 (true, neg_infinity) cum)
+          in
+          if not mono then
+            bad := Some (Printf.sprintf "%s: buckets not cumulative" base)
+          else begin
+            let count =
+              List.find_opt
+                (fun s -> s.m_name = base ^ "_count" && s.m_labels = [])
+                samples
+            in
+            match (count, List.rev cum) with
+            | Some c, last :: _ when c.m_value <> last ->
+                bad :=
+                  Some
+                    (Printf.sprintf "%s: _count %g <> +Inf bucket %g" base
+                       c.m_value last)
+            | _ -> ()
+          end)
+        (List.rev !order);
+      (match !bad with Some msg -> Error msg | None -> Ok samples)
+
+let prom_find samples name =
+  List.find_opt (fun s -> s.m_name = name && s.m_labels = []) samples
+  |> Option.map (fun s -> s.m_value)
+
 (* --- one-liner ---------------------------------------------------------- *)
 
 (* Compact mechanism trail for per-figure benchmark output: the non-zero
@@ -177,4 +407,15 @@ let one_line (r : Obs.report) =
         | _ -> None)
       r.Obs.hists
   in
-  String.concat " " (counters @ hists)
+  (* Reclamation-health diagnostics that are gauges, not counters: the
+     bounded-walk saturation count (PR 5) matters whenever non-zero. *)
+  let gauges =
+    List.filter_map
+      (fun (name, v) ->
+        match name with
+        | "diag_walk_saturated" when v <> 0 ->
+            Some (Printf.sprintf "walk_saturation=%d" v)
+        | _ -> None)
+      r.Obs.gauges
+  in
+  String.concat " " (counters @ hists @ gauges)

@@ -22,4 +22,38 @@ val json_of_census : Verlib.Chainscan.census -> string
 
 val one_line : Verlib.Obs.report -> string
 (** Non-zero counters plus chain-length / snapshot-dwell / lock-retry
-    distributions on a single line. *)
+    distributions (and the bounded-walk saturation gauge when non-zero)
+    on a single line. *)
+
+(** {1 Prometheus text exposition}
+
+    The live metrics plane: the [METRICS] wire command and the
+    [--metrics-interval] background census in [verlib_serve] both speak
+    the Prometheus text format (0.0.4) rendered by {!prometheus};
+    {!parse_prometheus} is the validating line-format parser the test
+    suite and [verlib_loadgen] share. *)
+
+val prometheus : ?extra:(string * int) list -> unit -> string
+(** Render every [Verlib.Stats] counter, every registered
+    [Flock.Telemetry] histogram (cumulative [le] buckets, [_sum],
+    [_count]) and every gauge as one exposition.  Metric names are
+    sanitized and prefixed [verlib_]; tick-valued histograms ([_cycles])
+    are converted to µs and renamed [..._us].  [extra] values are
+    appended as gauges (the server adds its connection/shed/queue
+    figures this way).  Quiescence contract as [Verlib.Obs.capture]. *)
+
+type prom_sample = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+val parse_prometheus : string -> (prom_sample list, string) result
+(** Strict line-format parse of a text exposition: comments and blank
+    lines skipped, every sample line must be
+    [name\{label="v",...\} value]; histogram series must have
+    non-decreasing cumulative buckets that agree with their [_count].
+    Returns the samples in file order, or the first offending line. *)
+
+val prom_find : prom_sample list -> string -> float option
+(** Value of the first label-free sample with this exact name. *)

@@ -114,6 +114,18 @@ let request t c =
   flush t;
   read_reply t
 
+(* One traced command: the [TRACE <id>] prefix asks the server for an
+   [@]-framed phase decomposition ahead of the data reply; the reader
+   parses and stashes it, and we hand it back next to the reply.  A
+   [None] trace against an old server (which echoes the unknown verb as
+   an error) or a shed connection is not a transport failure — callers
+   treat it as "this request was not decomposed". *)
+let request_traced t ~trace_id c =
+  Protocol.render_command ~trace_id t.out c;
+  flush t;
+  let r = read_reply t in
+  (r, Protocol.Reader.last_trace t.reader)
+
 let pipeline t cs =
   List.iter (Protocol.render_command t.out) cs;
   flush t;
@@ -223,6 +235,38 @@ let rt_request rt c =
         else Ok (Protocol.Busy ms)
     | Ok r -> Ok r
     | Error e -> fail_retry e
+    | exception Unix.Unix_error (err, _, _) ->
+        fail_retry (Unix.error_message err)
+  in
+  go 0
+
+(* Traced variant of {!rt_request}: same recovery ladder, but the trace
+   frame of the {e successful} attempt rides along.  A retried attempt
+   discards the earlier frame with the earlier reply — the pair the
+   caller sees always describes one server-side execution. *)
+let rt_request_traced rt ~trace_id c =
+  let retryable = Protocol.idempotent c in
+  let rec go attempt =
+    let fail_retry e =
+      rt_drop rt;
+      if retryable && attempt + 1 < rt.rt_max_attempts then begin
+        count_retry rt;
+        backoff rt attempt;
+        go (attempt + 1)
+      end
+      else (Error e, None)
+    in
+    match request_traced (ensure rt) ~trace_id c with
+    | Ok (Protocol.Busy ms), tr ->
+        rt.rt_busy <- rt.rt_busy + 1;
+        if rt.rt_retry_busy && attempt + 1 < rt.rt_max_attempts then begin
+          count_retry rt;
+          busy_wait rt ms;
+          go (attempt + 1)
+        end
+        else (Ok (Protocol.Busy ms), tr)
+    | (Ok _, _) as r -> r
+    | (Error e, _) -> fail_retry e
     | exception Unix.Unix_error (err, _, _) ->
         fail_retry (Unix.error_message err)
   in

@@ -38,6 +38,17 @@ val pipeline : t -> Protocol.command list -> (Protocol.reply list, string) resul
 (** Write every command in one buffer flush, then read the replies in
     order — the pipelined closed loop. *)
 
+val request_traced :
+  t ->
+  trace_id:int ->
+  Protocol.command ->
+  (Protocol.reply, string) result * Protocol.trace_info option
+(** One command under a [TRACE <id>] prefix (docs/PROTOCOL.md): the
+    server answers with an [@]-framed phase decomposition ahead of the
+    data reply, returned here alongside it.  [None] when the server did
+    not emit a frame (pre-trace server, or the reply was an error the
+    parser produced locally). *)
+
 val send_raw : t -> string -> unit
 (** Write arbitrary bytes (protocol fuzzing). *)
 
@@ -71,6 +82,15 @@ val rt_request : rt -> Protocol.command -> (Protocol.reply, string) result
     [Error _] after [max_attempts] is a genuine failure.  With
     [retry_busy] a surviving [Busy _] reply means the server shed it
     [max_attempts] times running. *)
+
+val rt_request_traced :
+  rt ->
+  trace_id:int ->
+  Protocol.command ->
+  (Protocol.reply, string) result * Protocol.trace_info option
+(** {!rt_request} with a [TRACE] prefix; the returned frame belongs to
+    the attempt whose reply is returned (earlier retried attempts are
+    discarded wholesale). *)
 
 val rt_pipeline :
   rt -> Protocol.command list -> (Protocol.reply list, string) result

@@ -18,6 +18,8 @@ let range_capability (Mount { m = (module M); _ }) = M.range_capability
 
 let iter_vptrs (Mount { m = (module M); h }) emit = M.iter_vptrs h emit
 
+let shard_views (Mount { m = (module M); h }) = M.shard_views h
+
 let scan_limit_cap = 1 lsl 20
 
 let unsupported_range name =
@@ -31,6 +33,11 @@ let pairs_reply pairs =
   Protocol.Arr (List.concat_map (fun (k, v) -> Protocol.[ Int k; Int v ]) pairs)
 
 let exec (Mount { m = (module M); h }) (c : Protocol.command) : Protocol.reply =
+  (* The whole structure execution books to the request span's [op]
+     phase; snapshot dwell and per-shard fan-out nested inside subtract
+     from it (exclusive accounting), so [op] ends up meaning "structure
+     work that is neither snapshot overhead nor shard dispatch". *)
+  Verlib.Obs.Span.in_phase Verlib.Obs.Span.Op @@ fun () ->
   try
     match c with
     | Protocol.Ping -> Protocol.Pong
@@ -64,6 +71,6 @@ let exec (Mount { m = (module M); h }) (c : Protocol.command) : Protocol.reply =
         in
         pairs_reply (List.rev pairs)
     | Protocol.Size -> Protocol.Int (M.size h)
-    | Protocol.Stats | Protocol.Quit ->
+    | Protocol.Stats | Protocol.Metrics | Protocol.Quit ->
         Protocol.Err "connection-level command reached the executor"
   with e -> Protocol.Err ("internal: " ^ Printexc.to_string e)

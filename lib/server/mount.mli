@@ -25,10 +25,16 @@ val range_capability : t -> Dstruct.Map_intf.range_capability
 val iter_vptrs : t -> (Verlib.Chainscan.target -> unit) -> unit
 (** For the chain census ([Verlib.Chainscan]). *)
 
+val shard_views : t -> (string * ((Verlib.Chainscan.target -> unit) -> unit)) list
+(** Named per-partition census walkers ([Map_intf.MAP.shard_views]):
+    singleton for monolithic structures, one per shard for [sharded-*]
+    mounts — the server's per-shard [STATS] breakdown reads these. *)
+
 val exec : t -> Protocol.command -> Protocol.reply
-(** Execute one data command.  [Ping] answers [Pong]; [Stats] and
-    [Quit] are connection-level and answered with [-ERR] here (the
-    server intercepts them first).  Structure exceptions are caught and
+(** Execute one data command, booked to the current request span's [op]
+    phase.  [Ping] answers [Pong]; [Stats], [Metrics] and [Quit] are
+    connection-level and answered with [-ERR] here (the server
+    intercepts them first).  Structure exceptions are caught and
     surfaced as [-ERR internal: ...] so a bug cannot take the worker
     down. *)
 

@@ -9,6 +9,7 @@ type command =
   | Scan of int
   | Size
   | Stats
+  | Metrics
   | Quit
 
 type reply =
@@ -31,7 +32,7 @@ type reply =
    re-sending it after a reconnect would close the fresh connection. *)
 let idempotent = function
   | Ping | Get _ | Put _ | Del _ | Mget _ | Range _ | Rangecount _ | Scan _
-  | Size | Stats ->
+  | Size | Stats | Metrics ->
       true
   | Quit -> false
 
@@ -39,7 +40,7 @@ let idempotent = function
    pointers — the expensive class, shed first under overload. *)
 let snapshot_heavy = function
   | Mget _ | Range _ | Rangecount _ | Scan _ -> true
-  | Ping | Get _ | Put _ | Del _ | Size | Stats | Quit -> false
+  | Ping | Get _ | Put _ | Del _ | Size | Stats | Metrics | Quit -> false
 
 (* --- command parsing ---------------------------------------------------- *)
 
@@ -57,11 +58,11 @@ let int_arg name s k =
   | Some v -> k v
   | None -> Error (Printf.sprintf "%s: not an integer %S" name s)
 
-let parse_command line =
+let parse_command_tokens toks =
   (* Total by construction; the catch-all is belt-and-braces so a parser
      bug can never take a connection (or the server) down. *)
   try
-    match tokens line with
+    match toks with
     | [] -> Error "empty command"
     | verb :: args -> (
         match (String.uppercase_ascii verb, args) with
@@ -86,9 +87,10 @@ let parse_command line =
         | "SCAN", [ n ] -> int_arg "limit" n (fun n -> Ok (Scan (max 0 n)))
         | "SIZE", [] -> Ok Size
         | "STATS", [] -> Ok Stats
+        | "METRICS", [] -> Ok Metrics
         | "QUIT", [] -> Ok Quit
         | ( (("PING" | "GET" | "PUT" | "DEL" | "RANGE" | "RANGECOUNT" | "SCAN"
-             | "SIZE" | "STATS" | "QUIT") as v),
+             | "SIZE" | "STATS" | "METRICS" | "QUIT") as v),
             _ ) ->
             Error (Printf.sprintf "wrong number of arguments for %s" v)
         | v, _ ->
@@ -97,10 +99,31 @@ let parse_command line =
             Error (Printf.sprintf "unknown command %S" v))
   with _ -> Error "unparsable command"
 
+(* Trace-context propagation (docs/PROTOCOL.md): any command may be
+   prefixed [TRACE <id>], asking the server to record a request span and
+   answer with an [@]-framed phase decomposition ahead of the data
+   reply.  The id is an opaque positive integer chosen by the client
+   (the loadgen uses it to join client RTT with the server-side span);
+   [TRACE] composes with every verb and is invisible to classification —
+   tracing a command never changes its idempotence or shedding class. *)
+let parse_command_traced line =
+  match tokens line with
+  | verb :: id :: rest when String.uppercase_ascii verb = "TRACE" -> (
+      match int_of_string_opt id with
+      | Some id when id > 0 ->
+          Result.map (fun c -> (Some id, c)) (parse_command_tokens rest)
+      | Some _ | None -> Error (Printf.sprintf "TRACE: bad trace id %S" id))
+  | toks -> Result.map (fun c -> (None, c)) (parse_command_tokens toks)
+
+let parse_command line = parse_command_tokens (tokens line)
+
 (* --- command rendering --------------------------------------------------- *)
 
-let render_command buf c =
+let render_command ?trace_id buf c =
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match trace_id with
+   | Some id when id > 0 -> p "TRACE %d " id
+   | Some _ | None -> ());
   (match c with
    | Ping -> p "PING"
    | Get k -> p "GET %d" k
@@ -114,12 +137,13 @@ let render_command buf c =
    | Scan n -> p "SCAN %d" n
    | Size -> p "SIZE"
    | Stats -> p "STATS"
+   | Metrics -> p "METRICS"
    | Quit -> p "QUIT");
   Buffer.add_string buf "\r\n"
 
-let command_line c =
+let command_line ?trace_id c =
   let b = Buffer.create 32 in
-  render_command b c;
+  render_command ?trace_id b c;
   Buffer.contents b
 
 (* --- reply rendering ----------------------------------------------------- *)
@@ -169,6 +193,93 @@ let rec pp_reply = function
       else Printf.sprintf "bulk(%s)" s
   | Arr rs -> "[" ^ String.concat "; " (List.map pp_reply rs) ^ "]"
 
+(* --- trace-info frames ---------------------------------------------------- *)
+
+(* The server's answer to a [TRACE]-prefixed command: one [@]-framed
+   line carrying the request's phase decomposition, written {e ahead of}
+   the data reply so an incremental reader never has to peek past a
+   reply to know whether trace info follows.  Grammar:
+
+     @<id> total=<us> outcome=<word> [fanout=<n>] [<phase>=<us>]*
+
+   Phases appear in pipeline order and only when non-zero.  µs values
+   carry three decimals.  Untraced clients never see these frames. *)
+
+type trace_info = {
+  t_id : int;
+  t_total_us : float;
+  t_outcome : string;
+  t_fanout : int;
+  t_phase_us : (string * float) list;
+}
+
+let render_trace buf (t : trace_info) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "@%d total=%.3f outcome=%s" t.t_id t.t_total_us (sanitize t.t_outcome);
+  if t.t_fanout > 0 then p " fanout=%d" t.t_fanout;
+  List.iter (fun (name, us) -> if us > 0. then p " %s=%.3f" name us) t.t_phase_us;
+  p "\r\n"
+
+let trace_line t =
+  let b = Buffer.create 64 in
+  render_trace b t;
+  Buffer.contents b
+
+(* [body] is the frame line without the leading ['@']. *)
+let parse_trace body =
+  let fail () = Error (Printf.sprintf "bad trace frame %S" body) in
+  match tokens body with
+  | [] -> fail ()
+  | id :: kvs -> (
+      match int_of_string_opt id with
+      | None -> fail ()
+      | Some id when id <= 0 -> fail ()
+      | Some id -> (
+          let split kv =
+            match String.index_opt kv '=' with
+            | Some i when i > 0 && i < String.length kv - 1 ->
+                Some
+                  ( String.sub kv 0 i,
+                    String.sub kv (i + 1) (String.length kv - i - 1) )
+            | Some _ | None -> None
+          in
+          match List.map split kvs with
+          | pairs when List.exists (fun p -> p = None) pairs -> fail ()
+          | pairs -> (
+              let pairs = List.filter_map Fun.id pairs in
+              let total = ref None and outcome = ref None in
+              let fanout = ref 0 in
+              let phases = ref [] in
+              let ok = ref true in
+              List.iter
+                (fun (k, v) ->
+                  match k with
+                  | "total" -> (
+                      match float_of_string_opt v with
+                      | Some f -> total := Some f
+                      | None -> ok := false)
+                  | "outcome" -> outcome := Some v
+                  | "fanout" -> (
+                      match int_of_string_opt v with
+                      | Some n when n >= 0 -> fanout := n
+                      | Some _ | None -> ok := false)
+                  | _ -> (
+                      match float_of_string_opt v with
+                      | Some f -> phases := (k, f) :: !phases
+                      | None -> ok := false))
+                pairs;
+              match (!ok, !total, !outcome) with
+              | true, Some total, Some outcome ->
+                  Ok
+                    {
+                      t_id = id;
+                      t_total_us = total;
+                      t_outcome = outcome;
+                      t_fanout = !fanout;
+                      t_phase_us = List.rev !phases;
+                    }
+              | _ -> fail ())))
+
 (* --- incremental reply reader -------------------------------------------- *)
 
 module Reader = struct
@@ -177,9 +288,13 @@ module Reader = struct
     chunk : bytes;
     buf : Buffer.t;  (** bytes received, not yet consumed *)
     mutable pos : int;  (** consumed prefix of [buf] *)
+    mutable last_trace : trace_info option;
+        (** trace frame attached to the most recently parsed reply *)
   }
 
-  let create read = { read; chunk = Bytes.create 65536; buf = Buffer.create 4096; pos = 0 }
+  let create read =
+    { read; chunk = Bytes.create 65536; buf = Buffer.create 4096; pos = 0;
+      last_trace = None }
 
   let of_string s =
     let consumed = ref 0 in
@@ -255,12 +370,21 @@ module Reader = struct
 
   let ( let* ) = Result.bind
 
-  let rec reply t =
+  let last_trace t = t.last_trace
+
+  let rec reply_frame t =
     let* l = line t in
     if String.length l = 0 then Error "empty reply line"
     else
       let body = String.sub l 1 (String.length l - 1) in
       match l.[0] with
+      | '@' ->
+          (* Trace frame: precedes the data reply it describes.  Record
+             it and keep parsing — the reply that follows carries it
+             (readable via {!last_trace} until the next reply). *)
+          let* info = parse_trace body in
+          t.last_trace <- Some info;
+          reply_frame t
       | '+' -> (
           match body with
           | "OK" -> Ok Ok_
@@ -296,10 +420,16 @@ module Reader = struct
               let rec go acc i =
                 if i = 0 then Ok (Arr (List.rev acc))
                 else
-                  let* r = reply t in
+                  let* r = reply_frame t in
                   go (r :: acc) (i - 1)
               in
               go [] n
           | Some _ | None -> Error (Printf.sprintf "bad array length %S" body))
       | c -> Error (Printf.sprintf "unknown reply type %C" c)
+
+  (* Each top-level reply starts with a clean trace slot, so a frame
+     only ever describes the reply it immediately precedes. *)
+  let reply t =
+    t.last_trace <- None;
+    reply_frame t
 end

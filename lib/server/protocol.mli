@@ -25,6 +25,11 @@ type command =
           argument caps returned bindings (0 = unbounded) *)
   | Size
   | Stats  (** jsonlite observability report as a bulk reply *)
+  | Metrics
+      (** Prometheus text exposition of every counter / histogram /
+          gauge as a bulk reply — the live metrics plane.  Never shed,
+          like [Ping] and [Stats], so it stays observable under
+          overload. *)
   | Quit
 
 type reply =
@@ -53,10 +58,18 @@ val parse_command : string -> (command, string) result
 (** Parse one line (without the trailing newline; a trailing ['\r'] is
     tolerated).  Total: never raises. *)
 
-val render_command : Buffer.t -> command -> unit
-(** Append the canonical wire form of a command, CRLF-terminated. *)
+val parse_command_traced : string -> (int option * command, string) result
+(** Like {!parse_command} but also accepts the [TRACE <id>] prefix
+    (docs/PROTOCOL.md): [TRACE 42 GET 7] parses as [(Some 42, Get 7)],
+    a bare command as [(None, c)].  Trace ids are opaque positive
+    integers chosen by the client; tracing never changes a command's
+    idempotence or shedding class. *)
 
-val command_line : command -> string
+val render_command : ?trace_id:int -> Buffer.t -> command -> unit
+(** Append the canonical wire form of a command, CRLF-terminated;
+    [trace_id] (when positive) prepends the [TRACE <id>] prefix. *)
+
+val command_line : ?trace_id:int -> command -> string
 (** [render_command] into a fresh string. *)
 
 val render_reply : Buffer.t -> reply -> unit
@@ -67,6 +80,30 @@ val reply_equal : reply -> reply -> bool
 
 val pp_reply : reply -> string
 (** Debug rendering (not the wire form). *)
+
+(** {1 Trace-info frames}
+
+    The server's answer to a traced command: one [@]-framed line,
+    written {e ahead of} the data reply it describes —
+    [@<id> total=<us> outcome=<word> \[fanout=<n>\] \[<phase>=<us>\]*]
+    with phases in pipeline order, non-zero only, three decimals.
+    Untraced clients never receive these frames. *)
+
+type trace_info = {
+  t_id : int;  (** echo of the client's trace id *)
+  t_total_us : float;  (** whole-span duration *)
+  t_outcome : string;  (** [ok] / [shed] / [error] *)
+  t_fanout : int;  (** per-shard sub-calls (0 for monolithic mounts) *)
+  t_phase_us : (string * float) list;  (** exclusive per-phase µs *)
+}
+
+val render_trace : Buffer.t -> trace_info -> unit
+
+val trace_line : trace_info -> string
+
+val parse_trace : string -> (trace_info, string) result
+(** Parse a frame line {e without} the leading ['@'].  Total.
+    Round-trips {!render_trace} output. *)
 
 (** Incremental reply reader over any byte source — the client half of
     the protocol, also used to fuzz reply framing round-trips. *)
@@ -81,5 +118,10 @@ module Reader : sig
 
   val reply : t -> (reply, string) result
   (** Read exactly one reply; [Error] on EOF mid-reply or framing
-      violations.  Never raises on malformed input. *)
+      violations.  Never raises on malformed input.  A leading trace
+      frame is consumed and attached (see {!last_trace}). *)
+
+  val last_trace : t -> trace_info option
+  (** The trace frame that preceded the most recently parsed reply, or
+      [None] if that reply was untraced.  Cleared at each {!reply}. *)
 end

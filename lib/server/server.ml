@@ -16,6 +16,10 @@ type config = {
   shed_epoch_lag : int;
   shed_chain_p99 : int;
   retry_after_ms : int;
+  metrics_interval : float;
+  flight_dir : string;
+  flight_min_interval : float;
+  slo_p99_us : float;
 }
 
 let default_config =
@@ -32,7 +36,13 @@ let default_config =
     shed_epoch_lag = 0;
     shed_chain_p99 = 0;
     retry_after_ms = 50;
+    metrics_interval = 0.;
+    flight_dir = "";
+    flight_min_interval = 5.;
+    slo_p99_us = 0.;
   }
+
+module Span = Verlib.Obs.Span
 
 (* --- resilience accounting ----------------------------------------------- *)
 
@@ -59,12 +69,18 @@ type t = {
   mount : Mount.t;
   cfg : config;
   stop_flag : bool Atomic.t;
-  queue : Unix.file_descr Bqueue.t;
+  (* Handoff carries the accept-time and push-time tick stamps so the
+     worker can book accept work and queue dwell into the connection's
+     first request span. *)
+  queue : (Unix.file_descr * int * int) Bqueue.t;
+  flight : Harness.Flight.t option;
+  hard_shed_on : bool Atomic.t;  (* edge detector for the flight trigger *)
   mutable lsock : Unix.file_descr option;
   mutable bound_port : int;
   mutable accept_d : unit Domain.t option;
   mutable worker_ds : unit Domain.t list;
   mutable census_d : unit Domain.t option;
+  mutable metrics_d : unit Domain.t option;
   mutable census_reg : Verlib.Chainscan.registration option;
   mutable started : bool;
   mutable stopped : bool;
@@ -88,11 +104,19 @@ let create ?(config = default_config) mount =
     cfg = config;
     stop_flag = Atomic.make false;
     queue = Bqueue.create config.queue_depth;
+    flight =
+      (if config.flight_dir = "" then None
+       else
+         Some
+           (Harness.Flight.create ~min_interval:config.flight_min_interval
+              ~dir:config.flight_dir ()));
+    hard_shed_on = Atomic.make false;
     lsock = None;
     bound_port = config.port;
     accept_d = None;
     worker_ds = [];
     census_d = None;
+    metrics_d = None;
     census_reg = None;
     started = false;
     stopped = false;
@@ -113,6 +137,29 @@ let port t = t.bound_port
 
 let running t = t.started && not t.stopped
 
+(* --- flight recorder ------------------------------------------------------ *)
+
+let flight_extra t =
+  [
+    ("queue_depth", string_of_int (Bqueue.length t.queue));
+    ("connections_active", string_of_int (Atomic.get t.conns_active));
+    ("shed", string_of_int (Atomic.get t.shed));
+    ("deadline_kills", string_of_int (Atomic.get t.deadline_kills));
+  ]
+
+let flight_record t ~trigger ?census () =
+  match t.flight with
+  | None -> ()
+  | Some f ->
+      ignore
+        (Harness.Flight.record f ~trigger ?census ~extra:(flight_extra t) ())
+
+let flight_dump_count t =
+  match t.flight with None -> 0 | Some f -> Harness.Flight.dump_count f
+
+let flight_last_path t =
+  match t.flight with None -> None | Some f -> Harness.Flight.last_path f
+
 (* --- STATS --------------------------------------------------------------- *)
 
 let stats_json t =
@@ -132,6 +179,28 @@ let stats_json t =
             string_of_int (Atomic.get t.census_violations) );
         ]
   in
+  (* Per-shard census breakdown for sharded mounts: one fresh (passive,
+     approximate-under-mutators) census per shard view, so a hot or
+     pathological shard is visible instead of averaged away in the
+     merged totals. *)
+  let shard_extra =
+    match Mount.shard_views t.mount with
+    | [] | [ _ ] -> []
+    | views ->
+        let b = Buffer.create 1024 in
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (name, iter) ->
+            if i > 0 then Buffer.add_char b ',';
+            let c = Verlib.Chainscan.census_of_iter iter in
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":%s" name
+                 (Harness.Obs_report.json_of_census c)))
+          views;
+        Buffer.add_char b '}';
+        [ ("census_shards", Buffer.contents b) ]
+  in
+  let census_extra = census_extra @ shard_extra in
   let extra =
     [
       ("server", "\"verlib-serve\"");
@@ -153,6 +222,28 @@ let stats_json t =
     @ census_extra
   in
   Harness.Obs_report.to_json ~extra (Verlib.Obs.capture ())
+
+(* --- METRICS -------------------------------------------------------------- *)
+
+(* The live metrics plane: everything [Flock.Telemetry] holds plus the
+   server's own counters, as Prometheus text exposition.  Like [Ping]
+   and [Stats], never shed — an overloaded server stays measurable. *)
+let metrics_text t =
+  let uptime = if t.started then Unix.gettimeofday () -. t.started_at else 0. in
+  Harness.Obs_report.prometheus
+    ~extra:
+      [
+        ("server_uptime_s", int_of_float uptime);
+        ("server_connections_total", Atomic.get t.conns_total);
+        ("server_connections_active", Atomic.get t.conns_active);
+        ("server_commands_total", Atomic.get t.commands_total);
+        ("server_protocol_errors", Atomic.get t.errors_total);
+        ("server_shed", Atomic.get t.shed);
+        ("server_deadline_kills", Atomic.get t.deadline_kills);
+        ("server_queue_depth", Bqueue.length t.queue);
+        ("server_flight_dumps", flight_dump_count t);
+      ]
+    ()
 
 (* --- connection serving -------------------------------------------------- *)
 
@@ -215,13 +306,43 @@ let count_shed t =
   Atomic.incr t.shed;
   Atomic.incr shed_total_a
 
+(* The @-frame for a traced command, built from its finished span. *)
+let trace_info_of (sp : Span.t) id outcome : Protocol.trace_info =
+  {
+    Protocol.t_id = id;
+    t_total_us = Verlib.Hwclock.to_us (Span.total_ticks sp);
+    t_outcome = outcome;
+    t_fanout = sp.Span.sp_fanout;
+    t_phase_us =
+      List.filter_map
+        (fun p ->
+          let v = Span.phase_ticks sp p in
+          if v > 0 then Some (Span.phase_name p, Verlib.Hwclock.to_us v)
+          else None)
+        Span.phases;
+  }
+
+let command_verb : Protocol.command -> string = function
+  | Protocol.Ping -> "PING"
+  | Protocol.Get _ -> "GET"
+  | Protocol.Put _ -> "PUT"
+  | Protocol.Del _ -> "DEL"
+  | Protocol.Mget _ -> "MGET"
+  | Protocol.Range _ -> "RANGE"
+  | Protocol.Rangecount _ -> "RANGECOUNT"
+  | Protocol.Scan _ -> "SCAN"
+  | Protocol.Size -> "SIZE"
+  | Protocol.Stats -> "STATS"
+  | Protocol.Metrics -> "METRICS"
+  | Protocol.Quit -> "QUIT"
+
 (* Serve one connection to completion.  Reads are buffered; every
    complete line in a read chunk is parsed and executed, and all the
    replies are flushed in a single write — this is what makes pipelining
    pay.  A short receive timeout keeps the worker responsive to the stop
    flag even against an idle client; [idle_timeout] (if set) reclaims
    the worker from a client that connects and goes silent. *)
-let serve_conn t fd =
+let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
   Atomic.incr t.conns_active;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2 with _ -> ());
@@ -233,31 +354,80 @@ let serve_conn t fd =
   let scanned = ref 0 in
   (* first index of [pending] not yet scanned for '\n' *)
   let out = Buffer.create 4096 in
+  let scratch = Buffer.create 256 in
   let quit = ref false in
   let last_act = ref (Unix.gettimeofday ()) in
-  let reply r = Protocol.render_reply out r in
+  (* Tick stamp of the read chunk being processed: the first command of
+     a chunk backdates its span to the bytes' arrival, so (for the
+     non-pipelined case) the span covers what the client experiences
+     minus the wire.  Later commands in the same chunk start "now" —
+     they were being worked on continuously. *)
+  let chunk_mark = ref 0 in
+  let first_span = ref true in
   let run_command line =
     Atomic.incr t.commands_total;
-    match Protocol.parse_command line with
-    | Error msg ->
-        Atomic.incr t.errors_total;
-        reply (Protocol.Err msg)
-    | Ok Protocol.Quit ->
-        reply Protocol.Ok_;
-        quit := true
-    | Ok Protocol.Stats -> reply (Protocol.Bulk (stats_json t))
-    | Ok Protocol.Ping -> reply Protocol.Pong
-    | Ok c ->
-        let lvl = overload_level t in
-        if lvl >= 2 || (lvl >= 1 && Protocol.snapshot_heavy c) then begin
-          count_shed t;
-          reply (Protocol.Busy t.cfg.retry_after_ms)
-        end
-        else begin
-          let r = Mount.exec t.mount c in
-          (match r with Protocol.Err _ -> Atomic.incr t.errors_total | _ -> ());
-          reply r
-        end
+    let sp = Span.start ~begin_ticks:!chunk_mark ~cmd:"?" () in
+    chunk_mark := 0;
+    if !first_span then begin
+      (* The connection's first request also pays accept and
+         handoff-queue dwell, stamped by the accept loop. *)
+      first_span := false;
+      Span.add_to sp Span.Accept accept_ticks;
+      Span.add_to sp Span.Queue queue_ticks
+    end;
+    let parsed =
+      Span.in_phase Span.Parse (fun () -> Protocol.parse_command_traced line)
+    in
+    let trace_id, outcome, r =
+      match parsed with
+      | Error msg ->
+          Atomic.incr t.errors_total;
+          (None, "error", Protocol.Err msg)
+      | Ok (tid, c) -> (
+          Span.set_cmd sp (command_verb c);
+          (match tid with Some id -> Span.set_trace_id sp id | None -> ());
+          match c with
+          | Protocol.Quit ->
+              quit := true;
+              (tid, "ok", Protocol.Ok_)
+          | Protocol.Stats -> (tid, "ok", Protocol.Bulk (stats_json t))
+          | Protocol.Metrics -> (tid, "ok", Protocol.Bulk (metrics_text t))
+          | Protocol.Ping -> (tid, "ok", Protocol.Pong)
+          | c ->
+              let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+              (* Hard-shed engagement is a flight trigger on the rising
+                 edge only — the first refused command files the report,
+                 steady-state refusals stay cheap. *)
+              if lvl >= 2 then begin
+                if not (Atomic.exchange t.hard_shed_on true) then
+                  flight_record t ~trigger:Harness.Flight.Hard_shed ()
+              end
+              else if lvl = 0 then Atomic.set t.hard_shed_on false;
+              if lvl >= 2 || (lvl >= 1 && Protocol.snapshot_heavy c) then begin
+                count_shed t;
+                (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+              end
+              else begin
+                let r = Mount.exec t.mount c in
+                match r with
+                | Protocol.Err _ ->
+                    Atomic.incr t.errors_total;
+                    (tid, "error", r)
+                | _ -> (tid, "ok", r)
+              end)
+    in
+    (* Render under the [reply] phase, finish the span, then emit: a
+       traced command's @-frame goes ahead of its data bytes (the
+       incremental reader never peeks past a reply).  The batched
+       socket flush is shared across pipelined commands and is not
+       attributed to any span. *)
+    Buffer.clear scratch;
+    Span.in_phase Span.Reply (fun () -> Protocol.render_reply scratch r);
+    Span.finish ~outcome sp;
+    (match trace_id with
+     | Some id -> Protocol.render_trace out (trace_info_of sp id outcome)
+     | None -> ());
+    Buffer.add_buffer out scratch
   in
   (* Split the pending buffer into complete lines, execute each; keep
      the trailing partial line for the next read. *)
@@ -291,6 +461,7 @@ let serve_conn t fd =
          (* Peer stopped reading: reclaim the worker. *)
          Atomic.incr t.deadline_kills;
          Atomic.incr deadline_kills_a;
+         flight_record t ~trigger:Harness.Flight.Deadline_kill ();
          quit := true);
       Buffer.clear out
     end
@@ -314,6 +485,7 @@ let serve_conn t fd =
          | 0 -> quit := true
          | n ->
              last_act := Unix.gettimeofday ();
+             chunk_mark := Verlib.Hwclock.now ();
              Buffer.add_subbytes pending chunk 0 n;
              if Buffer.length pending > max_line then begin
                Protocol.render_reply out (Protocol.Err "line too long");
@@ -336,6 +508,7 @@ let serve_conn t fd =
                (* Idle deadline: the client connected and went silent. *)
                Atomic.incr t.deadline_kills;
                Atomic.incr deadline_kills_a;
+               flight_record t ~trigger:Harness.Flight.Deadline_kill ();
                quit := true
              end
          | exception Unix.Unix_error _ -> quit := true
@@ -355,6 +528,7 @@ let accept_loop t lsock () =
     | _ :: _, _, _ -> (
         match Unix.accept lsock with
         | fd, _ ->
+            let t_accept = Verlib.Hwclock.now () in
             Atomic.incr t.conns_total;
             if
               t.cfg.max_conns > 0
@@ -373,8 +547,15 @@ let accept_loop t lsock () =
                with _ -> ());
               try Unix.close fd with _ -> ()
             end
-            else if not (Bqueue.push t.queue fd) then
-              (try Unix.close fd with _ -> ())
+            else begin
+              (* Two stamps bracket the push: accept→push books as
+                 accept work, push→pop (including any block on a full
+                 queue) as queue dwell — on the connection's first
+                 request span. *)
+              let t_push = Verlib.Hwclock.now () in
+              if not (Bqueue.push t.queue (fd, t_accept, t_push)) then
+                try Unix.close fd with _ -> ()
+            end
         | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
   done
@@ -382,17 +563,24 @@ let accept_loop t lsock () =
 let rec worker_loop t () =
   match Bqueue.pop t.queue with
   | None -> ()
-  | Some fd ->
-      serve_conn t fd;
+  | Some (fd, t_accept, t_push) ->
+      let t_pop = Verlib.Hwclock.now () in
+      serve_conn t fd
+        ~accept_ticks:(max 0 (t_push - t_accept))
+        ~queue_ticks:(max 0 (t_pop - t_push));
       worker_loop t ()
 
 let take_census t =
   let c = Verlib.Chainscan.census_of_iter (Mount.iter_vptrs t.mount) in
   Atomic.set t.latest_census (Some c);
   Atomic.incr t.census_samples;
-  if c.Verlib.Chainscan.c_violation_count > 0 then
+  if c.Verlib.Chainscan.c_violation_count > 0 then begin
     ignore
       (Atomic.fetch_and_add t.census_violations c.Verlib.Chainscan.c_violation_count);
+    (* A chain-invariant violation is exactly the incident the flight
+       recorder exists for: dump with the offending census attached. *)
+    flight_record t ~trigger:Harness.Flight.Census_violation ~census:c ()
+  end;
   c
 
 let census_loop t () =
@@ -402,6 +590,39 @@ let census_loop t () =
       Unix.sleepf 0.01
     done;
     if not (Atomic.get t.stop_flag) then ignore (take_census t)
+  done
+
+(* SLO sweep: any request phase whose p99 (µs) exceeds the configured
+   budget files a flight report naming the offending phase.  The
+   recorder's cooldown keeps a persistently slow phase from spamming. *)
+let slo_check t =
+  if t.cfg.slo_p99_us > 0. then
+    List.iter
+      (fun p ->
+        let s = Flock.Telemetry.Hist.summary (Span.phase_hist p) in
+        if
+          s.Flock.Telemetry.Hist.s_count > 0
+          && Verlib.Hwclock.to_us s.Flock.Telemetry.Hist.s_p99
+             > t.cfg.slo_p99_us
+        then
+          flight_record t
+            ~trigger:(Harness.Flight.Slo_breach (Span.phase_name p))
+            ())
+      Span.phases
+
+(* The metrics plane's background cadence: a fresh census (so STATS and
+   shedding see current chain health even with the dedicated census
+   domain off) plus the SLO sweep, every [metrics_interval] seconds. *)
+let metrics_loop t () =
+  while not (Atomic.get t.stop_flag) do
+    let deadline = Unix.gettimeofday () +. t.cfg.metrics_interval in
+    while (not (Atomic.get t.stop_flag)) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    if not (Atomic.get t.stop_flag) then begin
+      ignore (take_census t);
+      slo_check t
+    end
   done
 
 let start t =
@@ -427,6 +648,8 @@ let start t =
            (Mount.iter_vptrs t.mount));
     t.census_d <- Some (Domain.spawn (census_loop t))
   end;
+  if t.cfg.metrics_interval > 0. then
+    t.metrics_d <- Some (Domain.spawn (metrics_loop t));
   t.worker_ds <-
     List.init (max 1 t.cfg.domains) (fun _ -> Domain.spawn (worker_loop t));
   t.accept_d <- Some (Domain.spawn (accept_loop t lsock))
@@ -449,9 +672,11 @@ let stop t =
     t.worker_ds <- [];
     Option.iter Domain.join t.census_d;
     t.census_d <- None;
+    Option.iter Domain.join t.metrics_d;
+    t.metrics_d <- None;
     (* Quiescent final census: workers are joined, so the audit is
        exact. *)
-    if t.cfg.census_interval > 0. then begin
+    if t.cfg.census_interval > 0. || t.cfg.metrics_interval > 0. then begin
       let c = take_census t in
       Atomic.set t.final_census (Some c)
     end;

@@ -47,12 +47,22 @@ type config = {
       (** same, against the p99 version-chain length of the latest
           census (needs [census_interval > 0]); 0 = off *)
   retry_after_ms : int;  (** the hint carried in [-BUSY] replies *)
+  metrics_interval : float;
+      (** seconds between metrics-plane sweeps (background census + SLO
+          check on the request-phase histograms); 0 = off *)
+  flight_dir : string;
+      (** directory for anomaly flight-recorder dumps
+          ([flight-<ms>-<trigger>.json]); "" disables the recorder *)
+  flight_min_interval : float;  (** recorder cooldown between dumps *)
+  slo_p99_us : float;
+      (** flight trigger: any request phase whose p99 exceeds this many
+          µs files a dump (checked every [metrics_interval]); 0 = off *)
 }
 
 val default_config : config
 (** port 7379, 4 domains, backlog 64, queue_depth 64, no census; no
     connection cap, no idle timeout, 5 s write timeout, shedding off,
-    retry hint 50 ms. *)
+    retry hint 50 ms; metrics plane and flight recorder off. *)
 
 type t
 
@@ -88,8 +98,21 @@ val deadline_kill_count : t -> int
 (** Connections this instance killed for blowing the idle or write
     deadline (process-wide: the [deadline_kills] gauge). *)
 
+val flight_dump_count : t -> int
+(** Flight-recorder dumps written so far (0 when the recorder is off). *)
+
+val flight_last_path : t -> string option
+(** Path of the most recent flight dump. *)
+
 val stats_json : t -> string
 (** The [STATS] payload: one jsonlite object — server counters
     (connections, commands, errors, uptime), the [Verlib.Obs] report
-    (counters / histograms / gauges) and, when the census domain is on,
-    the latest census headline ([Harness.Obs_report.json_of_census]). *)
+    (counters / histograms / gauges), when the census domain is on the
+    latest census headline ([Harness.Obs_report.json_of_census]), and
+    for [sharded-*] mounts a ["census_shards"] object with one census
+    per shard. *)
+
+val metrics_text : t -> string
+(** The [METRICS] payload: Prometheus text exposition of every
+    counter / histogram / gauge plus the server's own live figures
+    ([Harness.Obs_report.prometheus]). *)

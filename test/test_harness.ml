@@ -126,6 +126,9 @@ let sample_row ?(figure = "fig8a") ?(label = "update%20 IndOnNeed")
     r_space_bytes = space;
     r_retries = 0;
     r_shed = 0;
+    r_giveups = 0;
+    r_walk_saturation = 0;
+    r_phases = [];
   }
 
 let test_bench_json_roundtrip () =
@@ -253,6 +256,146 @@ let test_committed_baseline () =
                 (List.exists (fun r -> r.B.r_figure = fig) d.B.d_rows))
             [ "fig8a"; "fig9"; "fig12"; "extra_skiplist" ])
 
+(* --- Prometheus exposition ------------------------------------------------ *)
+
+module OR = Harness.Obs_report
+
+let test_prometheus_roundtrip () =
+  Verlib.reset ();
+  (* put something in a histogram and a counter so the exposition has
+     non-trivial bucket series to validate *)
+  let sp = Verlib.Obs.Span.start ~cmd:"X" () in
+  Verlib.Obs.Span.in_phase Verlib.Obs.Span.Op (fun () -> ());
+  Verlib.Obs.Span.finish sp;
+  let text = OR.prometheus ~extra:[ ("test_extra_gauge", 42) ] () in
+  match OR.parse_prometheus text with
+  | Error e -> Alcotest.fail ("own exposition rejected: " ^ e)
+  | Ok samples ->
+      Alcotest.(check bool) "samples present" true (List.length samples > 0);
+      Alcotest.(check (option (float 0.001)))
+        "extra gauge surfaces, prefixed" (Some 42.)
+        (OR.prom_find samples "verlib_test_extra_gauge");
+      (* the span total histogram converted to µs with its _us rename *)
+      Alcotest.(check bool) "span hist count" true
+        (match OR.prom_find samples "verlib_span_total_us_count" with
+         | Some c -> c >= 1.
+         | None -> false)
+
+let test_prometheus_rejects_malformed () =
+  List.iter
+    (fun bad ->
+      match OR.parse_prometheus bad with
+      | Ok _ -> Alcotest.failf "accepted malformed exposition %S" bad
+      | Error _ -> ())
+    [
+      "metric_without_value\n";
+      "bad name 1 2 3\n";
+      "{label=\"only\"} 1\n";
+      "m{unclosed=\"v\" 1\n";
+      "m NaNope\n";
+      (* histogram with decreasing cumulative buckets *)
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+       h_sum 1\nh_count 5\n";
+      (* count disagrees with the +Inf bucket *)
+      "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n";
+    ]
+
+(* --- flight recorder ------------------------------------------------------ *)
+
+module F = Harness.Flight
+
+let tmpdir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flight_test_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  d
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let test_flight_deadline_dump () =
+  Verlib.reset ();
+  (* retire one span so the dump carries it *)
+  let sp = Verlib.Obs.Span.start ~cmd:"GET" () in
+  Verlib.Obs.Span.in_phase Verlib.Obs.Span.Op (fun () ->
+      let t0 = Verlib.Hwclock.now () in
+      while Verlib.Hwclock.to_us (Verlib.Hwclock.now () - t0) < 100. do () done);
+  Verlib.Obs.Span.finish sp;
+  let t = F.create ~min_interval:0. ~dir:(tmpdir ()) () in
+  match
+    F.record t ~trigger:F.Deadline_kill
+      ~extra:[ ("queue_depth", "3") ] ()
+  with
+  | None -> Alcotest.fail "deadline-kill dump suppressed"
+  | Some path ->
+      Alcotest.(check int) "dump counted" 1 (F.dump_count t);
+      Alcotest.(check (option string)) "last path" (Some path) (F.last_path t);
+      Alcotest.(check bool) "named after trigger" true
+        (let b = Filename.basename path in
+         let prefix = "flight-" and suffix = "-deadline-kill.json" in
+         String.length b > String.length prefix + String.length suffix
+         && String.sub b 0 (String.length prefix) = prefix
+         && String.sub b
+              (String.length b - String.length suffix)
+              (String.length suffix)
+            = suffix);
+      let j =
+        match Harness.Jsonlite.parse_result (read_file path) with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("dump not valid JSON: " ^ e)
+      in
+      let str k =
+        Option.bind (Harness.Jsonlite.member k j) Harness.Jsonlite.to_string
+      in
+      Alcotest.(check (option string)) "trigger recorded"
+        (Some "deadline-kill") (str "trigger");
+      Alcotest.(check bool) "extra at top level" true
+        (Harness.Jsonlite.member "queue_depth" j <> None);
+      Alcotest.(check bool) "spans included" true
+        (match Harness.Jsonlite.member "spans" j with
+         | Some (Harness.Jsonlite.Arr (_ :: _)) -> true
+         | _ -> false);
+      (* the only retained span is all [op], so it dominates *)
+      Alcotest.(check (option string)) "dominant phase" (Some "op")
+        (str "dominant_phase")
+
+let test_flight_census_violation () =
+  Verlib.reset ();
+  let c = Verlib.Chainscan.census_of_iter (fun _emit -> ()) in
+  let t = F.create ~min_interval:0. ~dir:(tmpdir ()) () in
+  match F.record t ~trigger:F.Census_violation ~census:c () with
+  | None -> Alcotest.fail "census-violation dump suppressed"
+  | Some path ->
+      let j =
+        match Harness.Jsonlite.parse_result (read_file path) with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("dump not valid JSON: " ^ e)
+      in
+      Alcotest.(check (option string)) "trigger"
+        (Some "census-violation")
+        (Option.bind (Harness.Jsonlite.member "trigger" j)
+           Harness.Jsonlite.to_string);
+      Alcotest.(check bool) "census block present" true
+        (Harness.Jsonlite.member "census" j <> None)
+
+let test_flight_cooldown_and_cap () =
+  Verlib.reset ();
+  let t = F.create ~min_interval:3600. ~max_dumps:16 ~dir:(tmpdir ()) () in
+  Alcotest.(check bool) "first fires" true
+    (F.record t ~trigger:F.Hard_shed () <> None);
+  Alcotest.(check bool) "second suppressed by cooldown" true
+    (F.record t ~trigger:F.Hard_shed () = None);
+  Alcotest.(check int) "suppression counted" 1 (F.suppressed_count t);
+  let t2 = F.create ~min_interval:0. ~max_dumps:2 ~dir:(tmpdir ()) () in
+  ignore (F.record t2 ~trigger:F.Hard_shed ());
+  ignore (F.record t2 ~trigger:F.Hard_shed ());
+  Alcotest.(check bool) "cap suppresses" true
+    (F.record t2 ~trigger:F.Hard_shed () = None);
+  Alcotest.(check int) "capped at max_dumps" 2 (F.dump_count t2)
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -274,5 +417,16 @@ let () =
           case "round trip" test_bench_json_roundtrip;
           case "regression gate" test_bench_diff_gate;
           case "committed baseline" test_committed_baseline;
+        ] );
+      ( "prometheus",
+        [
+          case "render/parse round trip" test_prometheus_roundtrip;
+          case "rejects malformed" test_prometheus_rejects_malformed;
+        ] );
+      ( "flight",
+        [
+          case "deadline-kill dump" test_flight_deadline_dump;
+          case "census-violation dump" test_flight_census_violation;
+          case "cooldown and cap" test_flight_cooldown_and_cap;
         ] );
     ]

@@ -409,6 +409,118 @@ let test_jsonlite () =
       | Error _ -> ())
     [ "{"; "[1,]"; "{\"a\":}"; "nul"; "{} x"; "\"unterminated" ]
 
+(* --- request spans: exclusive phase accounting -------------------------- *)
+
+module Span = V.Obs.Span
+
+(* Spin for roughly [us] microseconds of attributable work. *)
+let spin_us us =
+  let t0 = V.Hwclock.now () in
+  while V.Hwclock.to_us (V.Hwclock.now () - t0) < us do
+    ()
+  done
+
+let test_span_exclusive () =
+  V.reset ();
+  let sp = Span.start ~cmd:"TEST" () in
+  Span.in_phase Span.Parse (fun () -> spin_us 200.);
+  (* nested: snapshot inside op must pause op — exclusive accounting *)
+  Span.in_phase Span.Op (fun () ->
+      spin_us 200.;
+      Span.in_phase Span.Snapshot (fun () -> spin_us 400.);
+      spin_us 200.);
+  Span.finish sp;
+  let t = Span.total_ticks sp in
+  let sum =
+    List.fold_left (fun acc p -> acc + Span.phase_ticks sp p) 0 Span.phases
+  in
+  Alcotest.(check bool) "phases sum within total" true (sum <= t);
+  let us p = V.Hwclock.to_us (Span.phase_ticks sp p) in
+  Alcotest.(check bool) "parse ~200us" true (us Span.Parse >= 150.);
+  Alcotest.(check bool) "op ~400us exclusive" true
+    (us Span.Op >= 300. && us Span.Op < 700.);
+  Alcotest.(check bool) "snapshot ~400us" true (us Span.Snapshot >= 300.);
+  Alcotest.(check bool) "outcome" true (sp.Span.sp_outcome = "ok");
+  (* the finished span landed in the recent ring *)
+  Alcotest.(check bool) "in recent ring" true
+    (List.exists (fun s -> s.Span.sp_cmd = "TEST") (Span.recent ()))
+
+let test_span_backdate_and_add () =
+  V.reset ();
+  let t0 = V.Hwclock.now () in
+  spin_us 100.;
+  let sp = Span.start ~begin_ticks:t0 ~cmd:"BD" () in
+  Span.add Span.Queue (V.Hwclock.now () - t0);
+  Span.finish sp;
+  Alcotest.(check bool) "backdated begin" true (sp.Span.sp_begin = t0);
+  Alcotest.(check bool) "queue credited" true
+    (V.Hwclock.to_us (Span.phase_ticks sp Span.Queue) >= 80.);
+  let sum =
+    List.fold_left (fun acc p -> acc + Span.phase_ticks sp p) 0 Span.phases
+  in
+  Alcotest.(check bool) "credited ticks within total" true
+    (sum <= Span.total_ticks sp)
+
+(* A deterministic fault plan (a Pause at a named point) must surface as
+   the span's dominant phase via the blocking observer the Obs module
+   installs — the chaos-attribution contract. *)
+let fp_test_stall = Fault.Point.make "test.obs.stall"
+
+let test_span_stall_attribution () =
+  V.reset ();
+  Fault.arm (Fault.plan [ { Fault.r_point = "test.obs.stall";
+                            r_trigger = Fault.Always;
+                            r_action = Fault.Pause 0.03 } ]);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let sp = Span.start ~cmd:"STALL" () in
+  Span.in_phase Span.Op (fun () ->
+      spin_us 100.;
+      Fault.hit fp_test_stall);
+  Span.finish sp;
+  let stall = Span.phase_ticks sp Span.Stall in
+  Alcotest.(check bool) "stall booked" true (V.Hwclock.to_us stall >= 10_000.);
+  let dominant =
+    List.fold_left
+      (fun best p ->
+        match best with
+        | Some b when Span.phase_ticks sp b >= Span.phase_ticks sp p -> best
+        | _ -> Some p)
+      None Span.phases
+  in
+  Alcotest.(check bool) "stall dominates" true (dominant = Some Span.Stall);
+  (* exclusive: the pause inside [op] was subtracted from it *)
+  Alcotest.(check bool) "op excludes the stall" true
+    (V.Hwclock.to_us (Span.phase_ticks sp Span.Op) < 10_000.)
+
+let test_span_export_trace () =
+  V.reset ();
+  let sp = Span.start ~trace_id:77 ~cmd:"GET" () in
+  Span.in_phase Span.Op (fun () -> spin_us 100.);
+  Span.finish sp;
+  let path = Filename.temp_file "span_trace" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  let tracks = V.Obs.export_trace path in
+  Alcotest.(check bool) "at least the span track" true (tracks >= 1);
+  let ic = open_in path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match J.parse_result raw with
+  | Error e -> Alcotest.fail ("trace not valid JSON: " ^ e)
+  | Ok j ->
+      let events =
+        match J.member "traceEvents" j with
+        | Some (J.Arr evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents"
+      in
+      let is_span_event ev =
+        match (J.member "ph" ev, J.member "name" ev) with
+        | Some (J.Str "X"), Some (J.Str "GET") -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "span exported as X event" true
+        (List.exists is_span_event events)
+
 let () =
   Alcotest.run "obs"
     [
@@ -430,6 +542,16 @@ let () =
         ] );
       ( "jsonlite",
         [ Alcotest.test_case "parse and reject" `Quick test_jsonlite ] );
+      ( "span",
+        [
+          Alcotest.test_case "exclusive accounting" `Quick test_span_exclusive;
+          Alcotest.test_case "backdate and credited ticks" `Quick
+            test_span_backdate_and_add;
+          Alcotest.test_case "stall fault attribution" `Quick
+            test_span_stall_attribution;
+          Alcotest.test_case "span in chrome export" `Quick
+            test_span_export_trace;
+        ] );
       ( "smoke",
         [
           Alcotest.test_case "driver obs report" `Quick test_driver_report;

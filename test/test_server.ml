@@ -50,6 +50,84 @@ let test_command_roundtrip =
       | Ok c1, Ok c2 -> command_eq c c1 && command_eq c c2
       | _ -> false)
 
+(* --- qcheck: TRACE prefix round-trip ------------------------------------ *)
+
+(* [TRACE <id> CMD...] must parse back to [(Some id, cmd)] and a bare
+   line to [(None, cmd)] — and the prefix must never change how the
+   command itself parses. *)
+let test_trace_prefix_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"TRACE prefix round-trip"
+    (QCheck.pair (QCheck.make QCheck.Gen.(int_range 0 1_000_000)) arb_command)
+    (fun (id, c) ->
+      let line = P.command_line ~trace_id:id c in
+      let body = String.sub line 0 (String.length line - 2) in
+      match P.parse_command_traced body with
+      | Ok (tid, c') ->
+          command_eq c c'
+          && tid = (if id > 0 then Some id else None)
+      | Error _ -> false)
+
+let test_trace_prefix_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match P.parse_command_traced line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [ "TRACE"; "TRACE GET 1"; "TRACE 0 GET 1"; "TRACE -3 GET 1"; "TRACE 7" ]
+
+(* --- qcheck: trace-info frame round-trip --------------------------------- *)
+
+let gen_trace_info =
+  let open QCheck.Gen in
+  let gen_us = map (fun n -> float_of_int n /. 1000.) (int_range 0 10_000_000) in
+  let phase_names =
+    List.map Verlib.Obs.Span.phase_name Verlib.Obs.Span.phases
+  in
+  let gen_phases =
+    (* a strictly positive µs value per chosen phase: the renderer emits
+       non-zero phases only, so zero entries would not round-trip *)
+    List.map
+      (fun name ->
+        map
+          (fun v -> (name, float_of_int (v + 1) /. 1000.))
+          (int_range 0 10_000_000))
+      phase_names
+    |> flatten_l
+  in
+  map2
+    (fun (id, total, fanout) phases ->
+      {
+        P.t_id = id + 1;
+        t_total_us = total;
+        t_outcome = "ok";
+        t_fanout = fanout;
+        t_phase_us = phases;
+      })
+    (triple (int_range 0 1_000_000) gen_us (int_range 0 64))
+    gen_phases
+
+let trace_info_approx_eq a b =
+  let feq x y = Float.abs (x -. y) < 0.001 in
+  a.P.t_id = b.P.t_id
+  && feq a.P.t_total_us b.P.t_total_us
+  && a.P.t_outcome = b.P.t_outcome
+  && a.P.t_fanout = b.P.t_fanout
+  && List.length a.P.t_phase_us = List.length b.P.t_phase_us
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> n1 = n2 && feq v1 v2)
+       a.P.t_phase_us b.P.t_phase_us
+
+let test_trace_frame_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"trace frame render/parse round-trip"
+    (QCheck.make ~print:P.trace_line gen_trace_info)
+    (fun t ->
+      let line = P.trace_line t in
+      (* "@" body "\r\n" *)
+      let body = String.sub line 1 (String.length line - 3) in
+      match P.parse_trace body with
+      | Ok t' -> trace_info_approx_eq t t'
+      | Error _ -> false)
+
 (* --- qcheck: reply round-trip ------------------------------------------ *)
 
 (* Err text must survive the sanitiser (control bytes become spaces), so
@@ -319,6 +397,151 @@ let test_wire_stats_json () =
           ignore srv)
   | r -> Alcotest.fail ("STATS: " ^ P.pp_reply r)
 
+(* Traced requests over a live socket: the @-frame arrives ahead of the
+   data reply, echoes the client's id, and its exclusive phase µs nest
+   inside the whole-span total. *)
+let test_wire_traced_request () =
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  ignore (req conn (P.Put (1, 10)));
+  (match C.request_traced conn ~trace_id:4242 (P.Get 1) with
+   | Ok (P.Int 10), Some t ->
+       Alcotest.(check int) "id echoed" 4242 t.P.t_id;
+       Alcotest.(check string) "outcome" "ok" t.P.t_outcome;
+       Alcotest.(check bool) "total positive" true (t.P.t_total_us > 0.);
+       let sum = List.fold_left (fun a (_, v) -> a +. v) 0. t.P.t_phase_us in
+       Alcotest.(check bool) "phases nest in total" true
+         (sum <= t.P.t_total_us +. 0.01);
+       Alcotest.(check bool) "op phase present" true
+         (List.mem_assoc "op" t.P.t_phase_us)
+   | Ok r, Some _ -> Alcotest.fail ("traced GET: " ^ P.pp_reply r)
+   | Ok _, None -> Alcotest.fail "no trace frame arrived"
+   | Error e, _ -> Alcotest.fail e);
+  (* untraced requests on the same connection carry no frame *)
+  (match C.request_traced conn ~trace_id:0 (P.Get 1) with
+   | Ok (P.Int 10), None -> ()
+   | Ok _, Some _ -> Alcotest.fail "frame on an untraced request"
+   | Ok r, None -> Alcotest.fail ("untraced GET: " ^ P.pp_reply r)
+   | Error e, _ -> Alcotest.fail e);
+  (* tracing is per-request and does not poison pipelining *)
+  match C.pipeline conn [ P.Get 1; P.Size ] with
+  | Ok [ P.Int 10; P.Int 1 ] -> ()
+  | Ok rs ->
+      Alcotest.fail
+        ("pipeline after trace: " ^ String.concat " " (List.map P.pp_reply rs))
+  | Error e -> Alcotest.fail e
+
+let test_wire_metrics () =
+  with_server (module Dstruct.Btree) @@ fun srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  for k = 1 to 20 do
+    ignore (req conn (P.Put (k, k)))
+  done;
+  match req conn P.Metrics with
+  | P.Bulk text -> (
+      match Harness.Obs_report.parse_prometheus text with
+      | Error e -> Alcotest.fail ("METRICS exposition rejected: " ^ e)
+      | Ok samples ->
+          let find = Harness.Obs_report.prom_find samples in
+          Alcotest.(check bool) "commands counted" true
+            (match find "verlib_server_commands_total" with
+             | Some c -> c >= 20.
+             | None -> false);
+          Alcotest.(check bool) "uptime gauge" true
+            (find "verlib_server_uptime_s" <> None);
+          (* request-phase histograms ride along, µs-converted *)
+          Alcotest.(check bool) "phase hist exported" true
+            (match find "verlib_phase_op_us_count" with
+             | Some c -> c >= 20.
+             | None -> false);
+          Alcotest.(check bool) "server text matches helper" true
+            (String.length (S.metrics_text srv) > 0))
+  | r -> Alcotest.fail ("METRICS: " ^ P.pp_reply r)
+
+(* STATS against a sharded mount must break the census down per shard. *)
+let test_wire_stats_shards () =
+  with_server (Harness.Registry.find "sharded-btree:4") @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  for k = 1 to 64 do
+    ignore (req conn (P.Put (k, k)))
+  done;
+  match req conn P.Stats with
+  | P.Bulk raw -> (
+      match Harness.Jsonlite.parse_result raw with
+      | Error e -> Alcotest.fail ("STATS json: " ^ e)
+      | Ok j -> (
+          match Harness.Jsonlite.member "census_shards" j with
+          | Some (Harness.Jsonlite.Obj members) ->
+              Alcotest.(check int) "one census per shard" 4
+                (List.length members);
+              List.iter
+                (fun (name, shard) ->
+                  Alcotest.(check bool)
+                    (name ^ " is shard-<i>")
+                    true
+                    (String.length name > 6
+                    && String.sub name 0 6 = "shard-");
+                  Alcotest.(check bool)
+                    (name ^ " carries versions")
+                    true
+                    (Harness.Jsonlite.member "versions" shard <> None))
+                members
+          | Some _ -> Alcotest.fail "census_shards is not an object"
+          | None -> Alcotest.fail "no census_shards for a sharded mount"))
+  | r -> Alcotest.fail ("STATS: " ^ P.pp_reply r)
+
+(* A connection idling past [idle_timeout] is killed — and with the
+   flight recorder armed, the kill files a dump naming the trigger. *)
+let test_flight_on_deadline_kill () =
+  Verlib.reset ();
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flight_wire_%d" (Unix.getpid ()))
+  in
+  let mount = S.Mount.mount ~n_hint:64 (module Dstruct.Btree) in
+  let config =
+    {
+      S.default_config with
+      S.port = 0;
+      domains = 2;
+      idle_timeout = 0.1;
+      flight_dir = dir;
+      flight_min_interval = 0.;
+    }
+  in
+  let srv = S.create ~config mount in
+  S.start srv;
+  Fun.protect ~finally:(fun () -> S.stop srv) @@ fun () ->
+  let conn = C.connect ~retries:20 ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  ignore (req conn P.Ping);
+  (* idle past the deadline; the worker kills the connection *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while S.flight_dump_count srv = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool) "kill recorded" true (S.deadline_kill_count srv >= 1);
+  Alcotest.(check bool) "dump filed" true (S.flight_dump_count srv >= 1);
+  match S.flight_last_path srv with
+  | None -> Alcotest.fail "no dump path"
+  | Some path -> (
+      let ic = open_in path in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Harness.Jsonlite.parse_result raw with
+      | Error e -> Alcotest.fail ("dump json: " ^ e)
+      | Ok j ->
+          Alcotest.(check (option string)) "trigger" (Some "deadline-kill")
+            (Option.bind
+               (Harness.Jsonlite.member "trigger" j)
+               Harness.Jsonlite.to_string))
+
 let test_wire_graceful_stop () =
   Verlib.reset ();
   let mount = S.Mount.mount ~n_hint:256 (module Dstruct.Btree) in
@@ -468,6 +691,8 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       test_command_roundtrip;
+      test_trace_prefix_roundtrip;
+      test_trace_frame_roundtrip;
       test_reply_roundtrip;
       test_parse_never_raises;
       test_reader_never_raises;
@@ -495,6 +720,18 @@ let () =
             test_wire_errors_keep_connection;
           Alcotest.test_case "stats json" `Quick test_wire_stats_json;
           Alcotest.test_case "graceful stop" `Quick test_wire_graceful_stop;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "TRACE prefix rejects garbage" `Quick
+            test_trace_prefix_rejects_garbage;
+          Alcotest.test_case "traced request over the wire" `Quick
+            test_wire_traced_request;
+          Alcotest.test_case "METRICS exposition" `Quick test_wire_metrics;
+          Alcotest.test_case "per-shard STATS census" `Quick
+            test_wire_stats_shards;
+          Alcotest.test_case "flight dump on deadline kill" `Quick
+            test_flight_on_deadline_kill;
         ] );
       ( "bank-invariant",
         [
