@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke ci doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke profile-smoke ci doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
 BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep
@@ -12,6 +12,9 @@ BENCH_JSON_FIGURES = $(subst $(space),$(comma),$(strip $(BENCH_JSON_SECTIONS)))
 # Generous on purpose: CI-scale runs on a time-shared core are noisy;
 # the gate catches collapses and census violations, not drift.
 BENCH_THRESHOLD = 60
+# The profiler-overhead gate is tight by design: default-rate sampling
+# (97 Hz) must stay within this percentage of the profiler-off figure.
+PROFILE_OVERHEAD_THRESHOLD = 5
 
 all: build
 
@@ -27,13 +30,13 @@ bench:
 bench-full:
 	dune exec bench/main.exe -- --full
 
-# Regenerate the committed machine-readable baseline (BENCH_PR2.json):
+# Regenerate the committed machine-readable baseline (BENCH_PR7.json):
 # one row per benchmark cell with throughput, latency percentiles, the
 # final chain census and bytes-per-entry.  Schema: Harness.Bench_json.
 bench-json:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --ci --label baseline \
-	  --json BENCH_PR2.json $(BENCH_JSON_SECTIONS)
+	  --json BENCH_PR7.json $(BENCH_JSON_SECTIONS)
 	$(MAKE) serve-baseline
 
 # Perf trajectory gate: rerun the same sections at the same scale and
@@ -42,7 +45,7 @@ bench-check:
 	dune build bench/main.exe bin/bench_diff.exe
 	dune exec bench/main.exe -- --ci --label check \
 	  --json /tmp/verlib_bench_current.json $(BENCH_JSON_SECTIONS)
-	dune exec bin/bench_diff.exe -- BENCH_PR2.json \
+	dune exec bin/bench_diff.exe -- BENCH_PR7.json \
 	  /tmp/verlib_bench_current.json --figures $(BENCH_JSON_FIGURES) \
 	  --threshold $(BENCH_THRESHOLD)
 
@@ -106,7 +109,7 @@ serve-smoke:
 	  --stats-out /tmp/verlib_serve_stats.json; \
 	grep -q '"violations":0' /tmp/verlib_serve_stats.json \
 	  || { echo "FAIL: census violations in served STATS"; exit 1; }; \
-	./_build/default/bin/bench_diff.exe BENCH_PR2.json \
+	./_build/default/bin/bench_diff.exe BENCH_PR7.json \
 	  /tmp/verlib_serve_rows.json --figures serve \
 	  --threshold $(BENCH_THRESHOLD); \
 	kill -INT $$srv; \
@@ -133,7 +136,7 @@ serve-smoke:
 	  --stats-out /tmp/verlib_serve_sh_stats.json; \
 	grep -q '"violations":0' /tmp/verlib_serve_sh_stats.json \
 	  || { echo "FAIL: census violations in sharded served STATS"; exit 1; }; \
-	./_build/default/bin/bench_diff.exe BENCH_PR2.json \
+	./_build/default/bin/bench_diff.exe BENCH_PR7.json \
 	  /tmp/verlib_serve_sh_rows.json --figures serve-sharded \
 	  --threshold $(BENCH_THRESHOLD); \
 	kill -INT $$srv; \
@@ -156,7 +159,7 @@ serve-baseline:
 	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
 	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
 	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 \
-	  --json BENCH_PR2.json --merge-into BENCH_PR2.json; \
+	  --json BENCH_PR7.json --merge-into BENCH_PR7.json; \
 	kill -INT $$srv; \
 	wait $$srv; \
 	trap - EXIT; \
@@ -170,7 +173,7 @@ serve-baseline:
 	test -n "$$port" || { echo "FAIL: sharded server did not report a port"; exit 1; }; \
 	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
 	  -t 4 -p 8 -q multifind:8 -u 20 -d 1 --figure serve-sharded \
-	  --json BENCH_PR2.json --merge-into BENCH_PR2.json; \
+	  --json BENCH_PR7.json --merge-into BENCH_PR7.json; \
 	kill -INT $$srv; \
 	wait $$srv; \
 	trap - EXIT
@@ -282,11 +285,124 @@ trace-smoke:
 	  || { echo "FAIL: injected stall dominates no dump's span aggregate"; exit 1; }; \
 	echo "trace-smoke: OK ($$(ls /tmp/verlib_flight | wc -l) flight dump(s), join in /tmp/verlib_trace_join.json)"
 
+# Profiling gate (docs/OBSERVABILITY.md, Profiling).  Two stanzas:
+#   1. Convoy attribution: a blocking-locks sharded server under the
+#      blocking-convoy preset (the first lock.acquire stalls holding the
+#      lock until disarm) with the sampling profiler at 97 Hz.  Update
+#      traffic on unfilled trees trips the stall at the btree root-slot
+#      lock; --rt-attempts 1 stops the client retry layer from replaying
+#      wedged requests onto fresh workers (each stuck connection parks
+#      one of the 8 server workers, leaving spares for the dashboard),
+#      and timeout -s KILL reaps the loadgen since its cooperative stop
+#      waits on the wedged workers.  Workload health is chaos-smoke's
+#      business; this gate only asserts the profiler SAW the convoy:
+#      verlib_top --once must render from the live server, name the
+#      convoyed site as the top contention entry and attribute >= 10% of
+#      samples to it (PROFILE fetched and strictly parsed over the
+#      wire), and the shutdown collapsed-stack export must be non-empty
+#      and mention the site.
+#   2. Overhead: the serve opgen figure with 97 Hz sampling must stay
+#      within $(PROFILE_OVERHEAD_THRESHOLD)% of the profiler-off figure
+#      (bench_diff gate).  Both sides are best-of-3: on a time-shared
+#      single-core runner the run-to-run scheduler noise (~12%) dwarfs
+#      true sampler overhead, and the max of three runs estimates each
+#      config's unperturbed capacity — real overhead still shows up in
+#      the max, so the tight threshold stays meaningful.  The sampled
+#      runs also exercise the loadgen's --profile-out fetch+validate
+#      path.
+# Artifacts (uploaded by CI): /tmp/verlib_profile_collapsed.txt,
+# /tmp/verlib_profile.json, /tmp/verlib_top_once.txt.
+profile-smoke:
+	dune build bin/verlib_serve.exe bin/verlib_loadgen.exe \
+	  bin/verlib_top.exe bin/bench_diff.exe
+	@set -e; \
+	rm -f /tmp/verlib_profile_collapsed.txt /tmp/verlib_profile.json \
+	  /tmp/verlib_top_once.txt; \
+	./_build/default/bin/verlib_serve.exe -s sharded-btree:4 -p 0 -t 8 \
+	  --locks blocking --faults blocking-convoy \
+	  --profile-hz 97 --profile-out /tmp/verlib_profile_collapsed.txt \
+	  --duration 120 --stats none \
+	  > /tmp/verlib_profile_port.txt 2>/tmp/verlib_profile_srv.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk '$$1=="PORT"{print $$2}' /tmp/verlib_profile_port.txt); \
+	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	echo "profile-smoke: convoy traffic against blocking locks (port $$port)"; \
+	timeout -s KILL 15 ./_build/default/bin/verlib_loadgen.exe \
+	  --port $$port --no-fill -t 3 -p 4 -u 100 -n 4000 -d 5 \
+	  --rt-attempts 1 >/dev/null 2>&1 || true; \
+	sleep 2; \
+	echo "profile-smoke: verlib_top --once + convoy assertions"; \
+	./_build/default/bin/verlib_top.exe -p $$port --once \
+	  --expect-lock-site btree.rlock --expect-percent 10 \
+	  | tee /tmp/verlib_top_once.txt; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	test -s /tmp/verlib_profile_collapsed.txt \
+	  || { echo "FAIL: collapsed-stack profile empty"; exit 1; }; \
+	grep -q 'lock:btree.rlock' /tmp/verlib_profile_collapsed.txt \
+	  || { echo "FAIL: convoyed site missing from collapsed stacks"; exit 1; }; \
+	echo "profile-smoke: overhead gate (97 Hz sampling vs profiler off, best of 3)"; \
+	./_build/default/bin/verlib_serve.exe -s sharded-btree:4 -p 0 -t 4 \
+	  --census-interval 0.1 --duration 180 --stats none \
+	  > /tmp/verlib_profbase_port.txt 2>/dev/null & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk '$$1=="PORT"{print $$2}' /tmp/verlib_profbase_port.txt); \
+	test -n "$$port" || { echo "FAIL: baseline server did not report a port"; exit 1; }; \
+	best=1; bestv=0; \
+	for i in 1 2 3; do \
+	  ./_build/default/bin/verlib_loadgen.exe --port $$port -t 4 -p 8 \
+	    -n 1000 -q multifind:8 -u 20 -d 3 \
+	    --json /tmp/verlib_profile_base_$$i.json \
+	    2>&1 | tee /tmp/verlib_profbase_$$i.log; \
+	  v=$$(sed -n 's|.* \([0-9.]*\) Mop/s.*|\1|p' /tmp/verlib_profbase_$$i.log | head -1); \
+	  if awk "BEGIN{exit !($$v > $$bestv)}"; then best=$$i; bestv=$$v; fi; \
+	done; \
+	cp /tmp/verlib_profile_base_$$best.json /tmp/verlib_profile_base.json; \
+	echo "profile-smoke: profiler-off best of 3 = $$bestv Mop/s (run $$best)"; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	./_build/default/bin/verlib_serve.exe -s sharded-btree:4 -p 0 -t 4 \
+	  --census-interval 0.1 --profile-hz 97 --duration 180 --stats none \
+	  > /tmp/verlib_profon_port.txt 2>/dev/null & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk '$$1=="PORT"{print $$2}' /tmp/verlib_profon_port.txt); \
+	test -n "$$port" || { echo "FAIL: sampled server did not report a port"; exit 1; }; \
+	best=1; bestv=0; \
+	for i in 1 2 3; do \
+	  ./_build/default/bin/verlib_loadgen.exe --port $$port -t 4 -p 8 \
+	    -n 1000 -q multifind:8 -u 20 -d 3 \
+	    --json /tmp/verlib_profile_cur_$$i.json \
+	    --profile-out /tmp/verlib_profile.json \
+	    2>&1 | tee /tmp/verlib_profon_$$i.log; \
+	  grep -q 'profile: snapshot validated' /tmp/verlib_profon_$$i.log \
+	    || { echo "FAIL: PROFILE did not validate over the wire"; exit 1; }; \
+	  v=$$(sed -n 's|.* \([0-9.]*\) Mop/s.*|\1|p' /tmp/verlib_profon_$$i.log | head -1); \
+	  if awk "BEGIN{exit !($$v > $$bestv)}"; then best=$$i; bestv=$$v; fi; \
+	done; \
+	cp /tmp/verlib_profile_cur_$$best.json /tmp/verlib_profile_cur.json; \
+	echo "profile-smoke: 97 Hz best of 3 = $$bestv Mop/s (run $$best)"; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	./_build/default/bin/bench_diff.exe /tmp/verlib_profile_base.json \
+	  /tmp/verlib_profile_cur.json --figures serve \
+	  --threshold $(PROFILE_OVERHEAD_THRESHOLD); \
+	echo "profile-smoke: OK"
+
 # Everything the CI workflow (.github/workflows/ci.yml) runs, callable
 # locally: full build, the test suites, the perf-trajectory gate at
-# --ci scale, and the observability gate.  The heavier smoke targets
-# (serve-smoke, chaos-smoke, obs-smoke) stay opt-in.
-ci: build test bench-check trace-smoke
+# --ci scale, the observability gate and the profiling gate.  The
+# heavier smoke targets (serve-smoke, chaos-smoke, obs-smoke) stay
+# opt-in.
+ci: build test bench-check trace-smoke profile-smoke
 
 doc:
 	dune build @doc

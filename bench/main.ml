@@ -8,7 +8,7 @@
 
    --json FILE additionally records one machine-readable row per
    benchmark cell (throughput, latency percentiles, chain census, space)
-   and writes a Harness.Bench_json document — the BENCH_PR2.json format
+   and writes a Harness.Bench_json document — the BENCH_PR7.json format
    that `make bench-check` diffs against the committed baseline.  --ci is
    a deliberately tiny scale for that gating run. *)
 
@@ -87,6 +87,9 @@ let row_of_result ~figure ~label (r : D.result) =
     r_giveups = 0;
     r_walk_saturation = 0;
     r_phases = [];
+    r_alloc_bytes_per_op = r.D.alloc_bytes_per_op;
+    r_gc_minor = r.D.gc_minor;
+    r_gc_major = r.D.gc_major;
   }
 
 let record ~figure ~label r =
@@ -378,6 +381,9 @@ let fig12 () =
             r_giveups = 0;
             r_walk_saturation = 0;
             r_phases = [];
+            r_alloc_bytes_per_op = 0.;
+            r_gc_minor = 0;
+            r_gc_major = 0;
           }
           :: !json_rows;
       Some bytes

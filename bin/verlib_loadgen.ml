@@ -124,6 +124,22 @@ let metrics_out =
              exposition with the strict line parser, and write it to \
              $(docv).  A malformed exposition fails the run.")
 
+let profile_out =
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+       ~doc:"Fetch PROFILE after the run (cumulative sampling-profiler \
+             snapshot: activity stacks, lock-site contention, GC rates), \
+             validate the JSON parses, and write it to $(docv).  A malformed \
+             snapshot fails the run.  The server must sample \
+             ($(b,verlib_serve --profile-hz)).")
+
+let rt_attempts =
+  Arg.(value & opt int 0 & info [ "rt-attempts" ] ~docv:"N"
+       ~doc:"Bound the retrying transport's reconnect-and-replay budget for \
+             opgen workers (0 = library default).  Use 1 against a \
+             deliberately wedged server (e.g. the blocking-convoy profile \
+             smoke) so each client connection parks at most one server \
+             worker instead of replaying onto ten.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
        ~doc:"Arm a fault plan (preset name or spec, see docs/RESILIENCE.md) \
@@ -229,11 +245,19 @@ let fill_over_wire conn gen rng =
       true);
   flush ()
 
-let opgen_worker ~host ~port ~depth ~gen_of ~trace_sample ~wid st () =
+let opgen_worker ~host ~port ~depth ~gen_of ~trace_sample ~rt_attempts ~wid st
+    () =
   (* The retrying transport: reconnects and re-issues after wire faults
-     (every opgen command is idempotent), honours [-BUSY] shedding. *)
+     (every opgen command is idempotent), honours [-BUSY] shedding.
+     [rt_attempts] bounds the reconnect-and-replay budget: against a
+     deliberately convoyed server (blocking-convoy smoke) the default
+     budget would wedge up to 10 fresh workers per client connection. *)
   let rt =
-    C.connect_rt ~host ~port ~seed:(0x10adc0de + (wid * 7919)) ()
+    match rt_attempts with
+    | Some n ->
+        C.connect_rt ~host ~port ~max_attempts:n
+          ~seed:(0x10adc0de + (wid * 7919)) ()
+    | None -> C.connect_rt ~host ~port ~seed:(0x10adc0de + (wid * 7919)) ()
   in
   let gen = gen_of wid in
   let rng = Workload.Splitmix.create (0x10adc0de + (wid * 7919)) in
@@ -556,6 +580,16 @@ let fetch_metrics ~host ~port =
        | Ok r -> Error ("METRICS reply: " ^ P.pp_reply r)
        | Error e -> Error e)
 
+let fetch_profile ~host ~port =
+  match C.connect ~host ~retries:5 ~port () with
+  | exception e -> Error (Printexc.to_string e)
+  | conn ->
+      Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+      (match C.request conn (P.Profile 0) with
+       | Ok (P.Bulk s) -> Ok s
+       | Ok r -> Error ("PROFILE reply: " ^ P.pp_reply r)
+       | Error e -> Error e)
+
 (* A named gauge out of the STATS JSON ("gauges" object); 0 when absent
    or unparsable — gauges are advisory. *)
 let gauge_of_stats raw name =
@@ -569,6 +603,17 @@ let gauge_of_stats raw name =
       with
       | Some f -> int_of_float f
       | None -> 0)
+
+(* A top-level numeric field of the STATS JSON; 0. when absent. *)
+let top_of_stats raw name =
+  match Harness.Jsonlite.parse_result raw with
+  | Error _ -> 0.
+  | Ok j -> (
+      match
+        Option.bind (Harness.Jsonlite.member name j) Harness.Jsonlite.to_number
+      with
+      | Some f -> f
+      | None -> 0.)
 
 let census_of_stats raw =
   match Harness.Jsonlite.parse_result raw with
@@ -607,7 +652,8 @@ let us_percentiles kind =
       Verlib.Hwclock.to_us s.Verlib.Obs.Hist.s_p99 )
 
 let row ~figure ~label ~mops ~p50 ~p99 ?(retries = 0) ?(shed = 0)
-    ?(giveups = 0) ?(walk_saturation = 0) ?(phases = []) census =
+    ?(giveups = 0) ?(walk_saturation = 0) ?(phases = [])
+    ?(alloc_bytes_per_op = 0.) ?(gc_minor = 0) ?(gc_major = 0) census =
   {
     Harness.Bench_json.r_figure = figure;
     r_label = label;
@@ -625,6 +671,9 @@ let row ~figure ~label ~mops ~p50 ~p99 ?(retries = 0) ?(shed = 0)
     r_giveups = giveups;
     r_walk_saturation = walk_saturation;
     r_phases = phases;
+    r_alloc_bytes_per_op = alloc_bytes_per_op;
+    r_gc_minor = gc_minor;
+    r_gc_major = gc_major;
   }
 
 let write_rows ~json_out ~merge_into ~ci rows =
@@ -772,12 +821,33 @@ let check_metrics ~host ~port ~exit_bad = function
           close_out oc;
           Printf.eprintf "verlib_loadgen: METRICS -> %s\n%!" path)
 
+(* Fetch + validate the PROFILE snapshot; an unparsable profile JSON
+   fails the run, an empty one is fine (server may not be sampling). *)
+let check_profile ~host ~port ~exit_bad = function
+  | None -> ()
+  | Some path -> (
+      match fetch_profile ~host ~port with
+      | Error e ->
+          Printf.eprintf "verlib_loadgen: PROFILE unavailable: %s\n" e;
+          exit_bad := true
+      | Ok text ->
+          (match Harness.Jsonlite.parse_result text with
+           | Ok _ -> Printf.printf "profile: snapshot validated\n"
+           | Error e ->
+               Printf.printf "profile: FAIL — malformed snapshot: %s\n" e;
+               exit_bad := true);
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.eprintf "verlib_loadgen: PROFILE -> %s\n%!" path)
+
 (* --- driver --------------------------------------------------------------- *)
 
 let run host port threads depth size updates query theta duration seed mix pairs
     no_fill ci json_out merge_into figure stats_out trace_sample trace_out
-    metrics_out faults =
+    metrics_out profile_out rt_attempts faults =
   install_signal_handlers ();
+  let rt_attempts = if rt_attempts > 0 then Some rt_attempts else None in
   let plan =
     match faults with
     | None -> None
@@ -886,6 +956,7 @@ let run host port threads depth size updates query theta duration seed mix pairs
            print_endline ("final audit: FAIL — " ^ e);
            exit_bad := true);
       check_metrics ~host ~port ~exit_bad metrics_out;
+      check_profile ~host ~port ~exit_bad profile_out;
       (* One row per bank run so the liveness figures ([giveups] above
          all — transfers the retry layer had to settle by replay) gate
          through bench_diff like the throughput rows do. *)
@@ -935,7 +1006,7 @@ let run host port threads depth size updates query theta duration seed mix pairs
                 List.init threads (fun w ->
                     Domain.spawn
                       (opgen_worker ~host ~port ~depth ~gen_of:mk_gen
-                         ~trace_sample ~wid:w stats.(w))))
+                         ~trace_sample ~rt_attempts ~wid:w stats.(w))))
           in
           let total_ops =
             Array.fold_left
@@ -1022,11 +1093,27 @@ let run host port threads depth size updates query theta duration seed mix pairs
           in
           let phases = report_trace_join ~trace_out ~exit_bad samples in
           check_metrics ~host ~port ~exit_bad metrics_out;
+          check_profile ~host ~port ~exit_bad profile_out;
           let qmops = float_of_int (kind_ops qkind) /. elapsed /. 1e6 in
+          (* Server-side allocation rate, from the cumulative
+             [gc_alloc_bytes] gauge over the server's command total —
+             includes the fill phase, so it is an upper bound on the
+             steady-state per-op allocation. *)
+          let alloc_bytes_per_op, gc_minor, gc_major =
+            match stats_raw with
+            | None -> (0., 0, 0)
+            | Some raw ->
+                let alloc = float_of_int (gauge_of_stats raw "gc_alloc_bytes") in
+                let cmds = top_of_stats raw "commands_total" in
+                ( (if cmds > 0. && alloc > 0. then alloc /. cmds else 0.),
+                  gauge_of_stats raw "gc_minor_collections",
+                  gauge_of_stats raw "gc_major_collections" )
+          in
           let rows =
             [
               row ~figure ~label:"total" ~mops ~p50:qp50 ~p99:qp99 ~retries
-                ~shed ~walk_saturation ~phases census;
+                ~shed ~walk_saturation ~phases ~alloc_bytes_per_op ~gc_minor
+                ~gc_major census;
               row ~figure ~label:(kind_name qkind) ~mops:qmops ~p50:qp50
                 ~p99:qp99 census;
             ]
@@ -1046,6 +1133,7 @@ let cmd =
     Term.(
       const run $ host $ port $ threads $ depth $ size $ updates $ query $ theta
       $ duration $ seed $ mix $ pairs $ no_fill $ ci $ json_out $ merge_into
-      $ figure $ stats_out $ trace_sample $ trace_out $ metrics_out $ faults)
+      $ figure $ stats_out $ trace_sample $ trace_out $ metrics_out
+      $ profile_out $ rt_attempts $ faults)
 
 let () = exit (Cmd.eval cmd)

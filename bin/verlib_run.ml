@@ -83,6 +83,19 @@ let trace_file =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let profile_out =
+  let doc =
+    "Run the continuous sampling profiler ([Verlib.Obs.Profile], default \
+     rate) for the duration of the run and write the accumulated \
+     collapsed-stack profile (flamegraph.pl / speedscope compatible) to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let profile_hz =
+  let doc = "Sampling rate for $(b,--profile-out); 0 uses the default (97)." in
+  Arg.(value & opt int 0 & info [ "profile-hz" ] ~docv:"HZ" ~doc)
+
 let census =
   let doc =
     "Register the structure with the chain-census registry, take a quiescent \
@@ -128,7 +141,7 @@ let install_signal_handlers () =
     [ Sys.sigint; Sys.sigterm ]
 
 let run structure mode scheme lock_mode threads size updates query theta duration repeats
-    stats_fmt trace_file census census_interval =
+    stats_fmt trace_file profile_out profile_hz census census_interval =
   install_signal_handlers ();
   match parse_query query with
   | Error (`Msg m) ->
@@ -161,7 +174,13 @@ let run structure mode scheme lock_mode threads size updates query theta duratio
         }
       in
       if trace_file <> None then Verlib.Obs.set_tracing true;
+      if profile_out <> None then
+        Verlib.Obs.Profile.start
+          ~hz:(if profile_hz > 0 then profile_hz
+               else Verlib.Obs.Profile.default_hz)
+          ();
       let r = Harness.Driver.run spec in
+      if profile_out <> None then Verlib.Obs.Profile.stop ();
       Verlib.Obs.set_tracing false;
       let locks_name =
         match lock_mode with Flock.Lock.Lock_free -> "lock-free" | Blocking -> "blocking"
@@ -236,6 +255,13 @@ let run structure mode scheme lock_mode threads size updates query theta duratio
                       t c.Verlib.Chainscan.c_versions c.c_reclaimable
                       c.c_indirect_links c.c_max_chain c.c_violation_count)
                   r.Harness.Driver.census_series));
+      (match profile_out with
+       | None -> ()
+       | Some path ->
+           Verlib.Obs.Profile.write_collapsed path;
+           Printf.eprintf "profile: %d sample(s) -> %s\n%!"
+             (Verlib.Obs.Profile.samples_total ())
+             path);
       match trace_file with
       | None -> ()
       | Some path ->
@@ -248,7 +274,7 @@ let cmd =
     (Cmd.info "verlib_run" ~doc)
     Term.(
       const run $ structure $ mode $ scheme $ lock_mode $ threads $ size $ updates
-      $ query $ theta $ duration $ repeats $ stats_fmt $ trace_file $ census
-      $ census_interval)
+      $ query $ theta $ duration $ repeats $ stats_fmt $ trace_file
+      $ profile_out $ profile_hz $ census $ census_interval)
 
 let () = exit (Cmd.eval cmd)

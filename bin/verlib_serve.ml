@@ -116,6 +116,29 @@ let slo_p99_us =
              microseconds files a dump (checked every --metrics-interval); \
              0 = off.")
 
+let locks =
+  let alist =
+    [ ("lockfree", Flock.Lock.Lock_free); ("blocking", Flock.Lock.Blocking) ]
+  in
+  Arg.(value & opt (enum alist) Flock.Lock.Lock_free & info [ "locks" ]
+       ~doc:"Lock implementation for the mounted structure: lockfree \
+             (helping, the default) or blocking (required by the \
+             blocking-convoy fault preset).")
+
+let profile_hz =
+  Arg.(value & opt int 0 & info [ "profile-hz" ] ~docv:"HZ"
+       ~doc:"Run the continuous sampling profiler at $(docv) samples per \
+             second for the server's lifetime ([Verlib.Obs.Profile]); \
+             activity stacks are served by the PROFILE wire command and \
+             land in flight-recorder dumps.  0 = off.")
+
+let profile_out =
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+       ~doc:"Write the accumulated profile as collapsed-stack text \
+             (flamegraph.pl / speedscope compatible) to $(docv) on \
+             shutdown.  Implies --profile-hz 97 (the default rate) when \
+             --profile-hz is unset.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
        ~doc:"Arm a fault plan (preset name or raw spec, docs/RESILIENCE.md) \
@@ -153,7 +176,8 @@ let install_signal_handlers () =
 let run structure mode port domains n_hint prefill queue_depth census_interval
     max_conns idle_timeout write_timeout shed_queue shed_epoch_lag
     shed_chain_p99 retry_after_ms metrics_interval flight_dir
-    flight_min_interval slo_p99_us faults duration stats_fmt trace_file =
+    flight_min_interval slo_p99_us locks profile_hz profile_out faults duration
+    stats_fmt trace_file =
   let plan =
     match faults with
     | None -> None
@@ -171,13 +195,18 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
       (Verlib.Vptr.mode_name mode);
     exit 2
   end;
-  Verlib.reset ();
+  Verlib.reset ~lock_mode:locks ();
   if trace_file <> None then Verlib.Obs.set_tracing true;
+  let profile_hz =
+    if profile_hz = 0 && profile_out <> None then
+      Verlib.Obs.Profile.default_hz
+    else profile_hz
+  in
   if slo_p99_us > 0. && metrics_interval <= 0. then
     prerr_endline
       "verlib-serve: note: --slo-p99-us has no effect without \
        --metrics-interval";
-  let mount = Server.Mount.mount ~mode ~n_hint map in
+  let mount = Server.Mount.mount ~mode ~lock_mode:locks ~n_hint map in
   for k = 1 to prefill do
     ignore (Server.Mount.exec mount (Server.Protocol.Put (k, k)))
   done;
@@ -199,6 +228,7 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
       flight_dir;
       flight_min_interval;
       slo_p99_us;
+      profile_hz;
     }
   in
   let srv = Server.create ~config mount in
@@ -246,6 +276,13 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
        Verlib.Obs.set_tracing false;
        let streams = Verlib.Obs.export_trace path in
        Printf.eprintf "trace: %d domain stream(s) written to %s\n%!" streams path);
+  (match profile_out with
+   | None -> ()
+   | Some path ->
+       Verlib.Obs.Profile.write_collapsed path;
+       Printf.eprintf "profile: %d sample(s) at %d Hz -> %s\n%!"
+         (Verlib.Obs.Profile.samples_total ())
+         profile_hz path);
   if flight_dir <> "" then
     Printf.eprintf "flight: %d dump(s)%s\n%!"
       (Server.flight_dump_count srv)
@@ -267,6 +304,7 @@ let cmd =
       $ queue_depth $ census_interval $ max_conns $ idle_timeout
       $ write_timeout $ shed_queue $ shed_epoch_lag $ shed_chain_p99
       $ retry_after_ms $ metrics_interval $ flight_dir $ flight_min_interval
-      $ slo_p99_us $ faults $ duration $ stats_fmt $ trace_file)
+      $ slo_p99_us $ locks $ profile_hz $ profile_out $ faults $ duration
+      $ stats_fmt $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -57,6 +57,13 @@ let srv_domains =
 let ci =
   Arg.(value & flag & info [ "ci" ] ~doc:"Smoke scale: duration capped at 1s.")
 
+let profile_out =
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+       ~doc:"Sample the in-process server with the continuous profiler \
+             (default rate) for the soak window and write the collapsed-stack \
+             profile to $(docv) — shows where the domains sat while the \
+             fault plan was firing.")
+
 (* --- bank workload over the retrying client ------------------------------- *)
 
 let bank_base = 1_000_000
@@ -202,7 +209,8 @@ let reader ~port ~pairs ~rid st () =
 
 (* --- the gate -------------------------------------------------------------- *)
 
-let run plan_spec structure duration pairs writers readers srv_domains ci =
+let run plan_spec structure duration pairs writers readers srv_domains ci
+    profile_out =
   let duration = if ci then min duration 1.0 else duration in
   let pairs = max 1 pairs in
   let writers = max 1 writers and readers = max 1 readers in
@@ -255,6 +263,7 @@ let run plan_spec structure duration pairs writers readers srv_domains ci =
   while Atomic.get ready < n && Unix.gettimeofday () < t_wait do
     Unix.sleepf 0.002
   done;
+  if profile_out <> None then Verlib.Obs.Profile.start ();
   (* Light the fire only once every client is connected and parked. *)
   Fault.arm plan;
   Atomic.set go true;
@@ -267,6 +276,13 @@ let run plan_spec structure duration pairs writers readers srv_domains ci =
   Fault.disarm ();
   Unix.sleepf 0.1;
   Server.stop srv;
+  (match profile_out with
+   | None -> ()
+   | Some path ->
+       Verlib.Obs.Profile.stop ();
+       Verlib.Obs.Profile.write_collapsed path;
+       Printf.eprintf "profile: %d sample(s) -> %s\n%!"
+         (Verlib.Obs.Profile.samples_total ()) path);
   (* ---- verdicts ---- *)
   let fired = Fault.fired_total () in
   let stalled = Fault.stalled_now () in
@@ -354,6 +370,6 @@ let cmd =
     (Cmd.info "verlib_soak" ~doc)
     Term.(
       const run $ plan_arg $ structure $ duration $ pairs $ writers $ readers
-      $ srv_domains $ ci)
+      $ srv_domains $ ci $ profile_out)
 
 let () = exit (Cmd.eval cmd)

@@ -2,6 +2,13 @@ external rdtsc : unit -> int = "caml_verlib_rdtsc" [@@noalloc]
 
 external cycles_per_us_stub : unit -> float = "caml_verlib_cycles_per_us"
 
+external clock_is_tsc : unit -> bool = "caml_verlib_clock_is_tsc" [@@noalloc]
+
+(* Which clock backs [now]: "rdtsc" only when CPUID advertises an
+   invariant TSC, otherwise the stub silently reads CLOCK_MONOTONIC —
+   reports carry this so µs conversions are auditable. *)
+let source () = if clock_is_tsc () then "rdtsc" else "monotonic"
+
 (* Bias by the startup reading so stamps stay comfortably small while
    remaining strictly positive (0 is the reserved "initial version"
    stamp). *)

@@ -4,6 +4,12 @@
 
 val now : unit -> int
 
+val source : unit -> string
+(** The clock backing {!now}: ["rdtsc"] when CPUID advertises an
+    invariant TSC, ["monotonic"] when the stub fell back to
+    [CLOCK_MONOTONIC] (non-x86, or a TSC that halts/scales and would
+    make the µs calibration garbage). *)
+
 val cycles_per_us : unit -> float
 (** Hardware ticks per microsecond, calibrated once (~5 ms against
     [CLOCK_MONOTONIC]) and cached.  Intended for report/export paths,

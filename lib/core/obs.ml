@@ -345,8 +345,338 @@ end
 (* Attribute injected blocking faults (pause / stall / yield storms) to
    the current request span's [stall] phase — this is what makes a chaos
    plan legible in a request trace ("the op was fine; the stall was
-   injected") instead of a mystery-slow op phase. *)
-let () = Fault.set_blocking_observer (fun f -> Span.in_phase Span.Stall f)
+   injected") instead of a mystery-slow op phase.  The same bracket
+   publishes a [stall] activity frame so the sampling profiler sees the
+   parked domain even where no span exists (e.g. harness workers). *)
+let stall_activity = Flock.Telemetry.Activity.intern "stall"
+
+let () =
+  Fault.set_blocking_observer (fun f ->
+      Span.in_phase Span.Stall (fun () ->
+          if Flock.Telemetry.Activity.on () then begin
+            Flock.Telemetry.Activity.set Flock.Telemetry.Activity.dim_stall
+              stall_activity;
+            Fun.protect
+              ~finally:(fun () ->
+                Flock.Telemetry.Activity.set
+                  Flock.Telemetry.Activity.dim_stall 0)
+              f
+          end
+          else f ()))
+
+(* ------------------------------------------------------------------ *)
+(* GC / allocation telemetry                                           *)
+
+(* Per-domain [Gc.quick_stat] absolutes published into
+   [Flock.Telemetry.Gcstat] slots by worker loops (amortized); these
+   gauges fold the sums into every STATS / METRICS / report capture.
+   Version-chain growth is fundamentally a memory story — reclamation
+   tuning needs allocation visible next to the chain census. *)
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_minor_words" Flock.Telemetry.Gcstat.minor_words
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_promoted_words"
+    Flock.Telemetry.Gcstat.promoted_words
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_major_words" Flock.Telemetry.Gcstat.major_words
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_minor_collections"
+    Flock.Telemetry.Gcstat.minor_collections
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_major_collections"
+    Flock.Telemetry.Gcstat.major_collections
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_heap_words" Flock.Telemetry.Gcstat.heap_words
+
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "gc_alloc_bytes" Flock.Telemetry.Gcstat.alloc_bytes
+
+(* 1 when timestamps come from the invariant TSC; reports carry the
+   string form as [clock_source]. *)
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "clock_is_tsc" (fun () ->
+      if Hwclock.source () = "rdtsc" then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Continuous sampling profiler                                        *)
+
+(* The read side of [Flock.Telemetry.Activity]: a sampler domain ticks
+   at a configurable rate and, for every registry slot with any
+   published activity, folds one weighted stack
+
+     domain-<slot>;<op>;<span phase>;<lock frame>[;stall]
+
+   into an accumulation table.  Workers pay plain stores (gated on one
+   atomic load) to publish; all sampling cost lives on the sampler.
+   Exports: collapsed-stack text (flamegraph.pl / speedscope), a JSON
+   snapshot (the PROFILE wire command), and per-slot "current activity"
+   lines for dashboards. *)
+
+module Profile = struct
+  module A = Flock.Telemetry.Activity
+
+  let default_hz = 97
+
+  let mutex = Mutex.create ()
+
+  let table : (string, int ref) Hashtbl.t = Hashtbl.create 512
+
+  let samples = Atomic.make 0
+
+  let running_a = Atomic.make false
+
+  let hz_a = Atomic.make 0
+
+  let sampler : unit Domain.t option ref = ref None
+
+  (* Last sampled stack per slot; plain writes by the sampler, racy
+     reads by dashboards. *)
+  let last_stack = Array.make Flock.Registry.max_slots ""
+
+  let running () = Atomic.get running_a
+
+  let hz () = Atomic.get hz_a
+
+  let samples_total () = Atomic.get samples
+
+  (* Compose one collapsed stack for a slot, "" when idle.  Reads of
+     another domain's span record are racy by design (same contract as
+     every cross-slot read in the stack). *)
+  let stack_of_slot slot =
+    let span = Span.current_by_slot.(slot) in
+    let op =
+      match A.name_of (A.get slot A.dim_op) with
+      | "" -> (
+          match span with
+          | Some sp when sp.Span.sp_cmd <> "" -> sp.Span.sp_cmd
+          | _ -> "")
+      | s -> s
+    in
+    let phase =
+      match span with
+      | Some sp -> (
+          match sp.Span.sp_stack with
+          | p :: _ when p >= 0 && p < Span.nphases -> Span.phase_names.(p)
+          | _ -> "")
+      | None -> ""
+    in
+    let hold = A.name_of (A.get slot A.dim_lock_hold) in
+    let wait = A.name_of (A.get slot A.dim_lock_wait) in
+    let stall = A.name_of (A.get slot A.dim_stall) in
+    if op = "" && phase = "" && hold = "" && wait = "" && stall = "" then ""
+    else begin
+      let b = Buffer.create 64 in
+      Buffer.add_string b "domain-";
+      Buffer.add_string b (string_of_int slot);
+      let frame s =
+        if s <> "" then begin
+          Buffer.add_char b ';';
+          Buffer.add_string b s
+        end
+      in
+      frame op;
+      frame phase;
+      frame hold;
+      (if wait <> "" then frame ("wait:" ^ wait));
+      frame stall;
+      Buffer.contents b
+    end
+
+  let sample_once () =
+    for slot = 0 to Flock.Registry.max_slots - 1 do
+      let s = stack_of_slot slot in
+      last_stack.(slot) <- s;
+      if s <> "" then begin
+        Mutex.lock mutex;
+        (match Hashtbl.find_opt table s with
+         | Some r -> incr r
+         | None -> Hashtbl.add table s (ref 1));
+        Mutex.unlock mutex;
+        Atomic.incr samples
+      end
+    done
+
+  let start ?(hz = default_hz) () =
+    Mutex.lock mutex;
+    let spawn = not (Atomic.get running_a) in
+    if spawn then begin
+      Atomic.set running_a true;
+      Atomic.set hz_a (max 1 hz);
+      A.set_enabled true
+    end;
+    Mutex.unlock mutex;
+    if spawn then begin
+      let period = 1. /. float_of_int (max 1 hz) in
+      let d =
+        Domain.spawn (fun () ->
+            while Atomic.get running_a do
+              sample_once ();
+              Thread.delay period
+            done)
+      in
+      sampler := Some d
+    end
+
+  let stop () =
+    if Atomic.get running_a then begin
+      Atomic.set running_a false;
+      (match !sampler with
+       | Some d ->
+           sampler := None;
+           Domain.join d
+       | None -> ());
+      A.set_enabled false
+    end
+
+  let reset () =
+    Mutex.lock mutex;
+    Hashtbl.reset table;
+    Mutex.unlock mutex;
+    Atomic.set samples 0;
+    Array.fill last_stack 0 (Array.length last_stack) ""
+
+  (* Accumulated stacks, heaviest first. *)
+  let stacks () =
+    Mutex.lock mutex;
+    let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table [] in
+    Mutex.unlock mutex;
+    List.sort (fun (_, a) (_, b) -> compare b a) l
+
+  (* Per-slot activity as last sampled, for dashboards. *)
+  let activity () =
+    let acc = ref [] in
+    for slot = Flock.Registry.max_slots - 1 downto 0 do
+      if last_stack.(slot) <> "" then acc := (slot, last_stack.(slot)) :: !acc
+    done;
+    !acc
+
+  (* flamegraph.pl / speedscope collapsed-stack text: "frames count". *)
+  let collapsed () =
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (s, n) ->
+        Buffer.add_string b s;
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int n);
+        Buffer.add_char b '\n')
+      (stacks ());
+    Buffer.contents b
+
+  let write_collapsed path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (collapsed ()))
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* JSON profile snapshot: the PROFILE wire payload.  [window_ms > 0]
+     sleeps the calling thread for the window and reports the stack
+     deltas accumulated inside it (clamped to 5 s — this runs on a
+     server worker). *)
+  let json ?(window_ms = 0) () =
+    let base =
+      if window_ms > 0 then begin
+        let snap = stacks () and s0 = samples_total () in
+        Thread.delay (min 5.0 (float_of_int window_ms /. 1000.));
+        Some (snap, s0)
+      end
+      else None
+    in
+    let cur = stacks () in
+    let stacks_out, nsamples, window_ms =
+      match base with
+      | None -> (cur, samples_total (), 0)
+      | Some (snap, s0) ->
+          let d =
+            List.filter_map
+              (fun (k, n) ->
+                let n0 =
+                  match List.assoc_opt k snap with Some n0 -> n0 | None -> 0
+                in
+                if n - n0 > 0 then Some (k, n - n0) else None)
+              cur
+          in
+          ( List.sort (fun (_, a) (_, b) -> compare b a) d,
+            samples_total () - s0,
+            window_ms )
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"clock_source\":\"%s\",\"running\":%b,\"hz\":%d,\"samples\":%d,\
+          \"window_ms\":%d"
+         (Hwclock.source ()) (running ()) (hz ()) nsamples window_ms);
+    Buffer.add_string b ",\"stacks\":[";
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    List.iteri
+      (fun i (s, n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"stack\":\"%s\",\"count\":%d}" (json_escape s) n))
+      (take 200 stacks_out);
+    Buffer.add_string b "],\"activity\":[";
+    List.iteri
+      (fun i (slot, s) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"slot\":%d,\"stack\":\"%s\"}" slot (json_escape s)))
+      (activity ());
+    Buffer.add_string b "],\"lock_sites\":[";
+    List.iteri
+      (fun i sm ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"site\":\"%s\",\"acquires\":%d,\"contended\":%d,\
+              \"wait_us\":%.1f,\"helps\":%d,\"edges\":["
+             (json_escape sm.Flock.Lock.sm_site)
+             sm.Flock.Lock.sm_acquires sm.Flock.Lock.sm_contended
+             (Hwclock.to_us sm.Flock.Lock.sm_wait_cycles)
+             sm.Flock.Lock.sm_helps);
+        List.iteri
+          (fun j (holder, waits) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "{\"holder\":%d,\"waits\":%d}" holder waits))
+          sm.Flock.Lock.sm_edges;
+        Buffer.add_string b "]}")
+      (Flock.Lock.site_summaries ());
+    Buffer.add_string b
+      (Printf.sprintf
+         "],\"gc\":{\"minor_words\":%d,\"promoted_words\":%d,\
+          \"major_words\":%d,\"minor_collections\":%d,\
+          \"major_collections\":%d,\"heap_words\":%d,\"alloc_bytes\":%d}}"
+         (Flock.Telemetry.Gcstat.minor_words ())
+         (Flock.Telemetry.Gcstat.promoted_words ())
+         (Flock.Telemetry.Gcstat.major_words ())
+         (Flock.Telemetry.Gcstat.minor_collections ())
+         (Flock.Telemetry.Gcstat.major_collections ())
+         (Flock.Telemetry.Gcstat.heap_words ())
+         (Flock.Telemetry.Gcstat.alloc_bytes ()));
+    Buffer.contents b
+end
 
 (* ------------------------------------------------------------------ *)
 (* Structured report                                                   *)

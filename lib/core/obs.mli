@@ -185,6 +185,60 @@ module Span : sig
   val reset : unit -> unit
 end
 
+(** {1 Continuous sampling profiler}
+
+    The read side of [Flock.Telemetry.Activity]: a sampler domain ticks
+    at [hz], folding one weighted stack
+    [domain-<slot>;<op>;<phase>;<lock frame>] per active slot into an
+    accumulation table.  Publishing domains pay plain stores behind one
+    atomic gate; all sampling cost lives on the sampler.  Lock frames
+    come from [Flock.Lock] site labels, phases from the current request
+    span, op names from whatever the serving layer published. *)
+
+module Profile : sig
+  val default_hz : int
+  (** 97 — deliberately off any round scheduler frequency. *)
+
+  val start : ?hz:int -> unit -> unit
+  (** Spawn the sampler domain and open the activity-publication gate;
+      idempotent while running. *)
+
+  val stop : unit -> unit
+  (** Join the sampler and close the gate; accumulated stacks are
+      retained for export.  Idempotent. *)
+
+  val running : unit -> bool
+
+  val hz : unit -> int
+
+  val samples_total : unit -> int
+  (** Slot-samples folded in so far (one per active slot per tick). *)
+
+  val stacks : unit -> (string * int) list
+  (** Accumulated collapsed stacks with sample counts, heaviest
+      first. *)
+
+  val activity : unit -> (int * string) list
+  (** Last sampled stack per registry slot (active slots only) — the
+      dashboard's per-domain activity column. *)
+
+  val collapsed : unit -> string
+  (** flamegraph.pl / speedscope-compatible collapsed-stack text, one
+      ["frame;frame;frame count"] line per stack. *)
+
+  val write_collapsed : string -> unit
+
+  val json : ?window_ms:int -> unit -> string
+  (** The [PROFILE] wire payload: one JSON object with [clock_source],
+      sampler state, stacks, per-slot activity, per-site lock contention
+      (including sampled waits-on edges) and GC telemetry.
+      [window_ms > 0] sleeps the calling thread (clamped to 5 s) and
+      reports only the stacks accumulated inside the window. *)
+
+  val reset : unit -> unit
+  (** Drop accumulated stacks and sample counts (not the sampler). *)
+end
+
 (** {1 Structured report} *)
 
 type report = {

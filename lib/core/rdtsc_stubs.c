@@ -1,25 +1,65 @@
 /* Hardware timestamp for the HwTS scheme.
  *
- * On x86-64 this is the rdtsc cycle counter the paper uses; elsewhere we
- * fall back to CLOCK_MONOTONIC nanoseconds, which preserves the property
- * the algorithm needs: a cheap, globally monotone clock read.  The value
- * is masked to 62 bits so it always fits a non-negative OCaml int. */
+ * On x86-64 this is the rdtsc cycle counter the paper uses — but only
+ * when CPUID advertises an invariant TSC (leaf 0x80000007, EDX bit 8):
+ * a TSC that halts in deep sleep states or varies with frequency
+ * scaling is not the globally monotone clock the algorithm needs, and
+ * converting its ticks to µs with a one-shot calibration emits garbage.
+ * Without the invariant bit (and on every non-x86 target) we fall back
+ * to CLOCK_MONOTONIC nanoseconds, which preserves the property the
+ * algorithm needs: a cheap, globally monotone clock read.  The value
+ * is masked to 62 bits so it always fits a non-negative OCaml int.
+ *
+ * The selected source is exposed to OCaml (caml_verlib_clock_source)
+ * so reports can carry a clock_source field. */
 
 #include <caml/alloc.h>
 #include <caml/mlvalues.h>
 #include <stdint.h>
 #include <time.h>
 
-#if defined(__x86_64__) || defined(__i386__)
-#include <x86intrin.h>
-static uint64_t hw_ticks(void) { return (uint64_t)__rdtsc(); }
-#else
-static uint64_t hw_ticks(void)
+static uint64_t mono_ticks(void)
 {
     struct timespec ts;
     clock_gettime(CLOCK_MONOTONIC, &ts);
     return (uint64_t)ts.tv_sec * 1000000000ull + (uint64_t)ts.tv_nsec;
 }
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <x86intrin.h>
+
+/* 1 = invariant TSC present, use rdtsc; 0 = fall back to the monotonic
+ * clock.  Decided once; reads race benignly (same value every time). */
+static int tsc_usable = -1;
+
+static int tsc_invariant(void)
+{
+    unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid_max(0x80000000u, 0) < 0x80000007u)
+        return 0;
+    if (!__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx))
+        return 0;
+    return (edx & (1u << 8)) != 0;
+}
+
+static uint64_t hw_ticks(void)
+{
+    if (tsc_usable < 0)
+        tsc_usable = tsc_invariant();
+    return tsc_usable ? (uint64_t)__rdtsc() : mono_ticks();
+}
+
+static int clock_is_tsc(void)
+{
+    if (tsc_usable < 0)
+        tsc_usable = tsc_invariant();
+    return tsc_usable;
+}
+#else
+static uint64_t hw_ticks(void) { return mono_ticks(); }
+
+static int clock_is_tsc(void) { return 0; }
 #endif
 
 CAMLprim value caml_verlib_rdtsc(value unit)
@@ -28,10 +68,20 @@ CAMLprim value caml_verlib_rdtsc(value unit)
     return Val_long((long)(hw_ticks() & 0x3fffffffffffffffull));
 }
 
+/* 1 when timestamps come from the invariant TSC, 0 when from
+ * CLOCK_MONOTONIC. */
+CAMLprim value caml_verlib_clock_is_tsc(value unit)
+{
+    (void)unit;
+    return Val_bool(clock_is_tsc());
+}
+
 /* Hardware-tick to wall-clock calibration for trace export: ticks per
  * microsecond, measured once against CLOCK_MONOTONIC over a ~5 ms sleep
  * and cached.  Only called on the (cold) export path, never while an
- * experiment is being timed. */
+ * experiment is being timed.  Under the monotonic fallback this is 1e-3
+ * by construction (ticks are nanoseconds) but we keep the measurement —
+ * it degrades to the same answer and exercises one code path. */
 CAMLprim value caml_verlib_cycles_per_us(value unit)
 {
     static double cached = 0.0;

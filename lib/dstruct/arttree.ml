@@ -49,7 +49,7 @@ let mk_inner t depth kind =
       depth;
       kind;
       imeta = Verlib.Vtypes.fresh_meta ();
-      ilock = Lock.create ~mode:t.lock_mode ();
+      ilock = Lock.create ~mode:t.lock_mode ~site:"arttree.ilock" ();
       iremoved = Fatomic.make false;
     }
 
@@ -63,7 +63,7 @@ let create ?(mode = Vptr.Ind_on_need) ?lock_mode ~n_hint:_ () =
   let t =
     {
       root = Vptr.make desc None;
-      rlock = Lock.create ~mode:lock_mode ();
+      rlock = Lock.create ~mode:lock_mode ~site:"arttree.rlock" ();
       desc;
       lock_mode;
     }

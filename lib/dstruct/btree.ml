@@ -54,7 +54,7 @@ let mk_inner t ikeys kids =
       ikeys;
       children = Array.map (fun c -> Vptr.make t.desc (Some c)) kids;
       imeta = Verlib.Vtypes.fresh_meta ();
-      ilock = Lock.create ~mode:t.lock_mode ();
+      ilock = Lock.create ~mode:t.lock_mode ~site:"btree.ilock" ();
       iremoved = Fatomic.make false;
     }
 
@@ -65,7 +65,7 @@ let create ?(mode = Vptr.Ind_on_need) ?lock_mode ~n_hint:_ () =
   let desc = Vptr.make_desc ~meta_of ~mode in
   {
     root = Vptr.make desc (Some (mk_leaf [||] [||]));
-    rlock = Lock.create ~mode:lock_mode ();
+    rlock = Lock.create ~mode:lock_mode ~site:"btree.rlock" ();
     desc;
     lock_mode;
     rec_once = mode = Vptr.Rec_once;

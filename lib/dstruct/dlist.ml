@@ -32,7 +32,7 @@ let make_node desc lock_mode key value ~next ~prev =
     next = Vptr.make desc next;
     prev = Fatomic.make prev;
     removed = Fatomic.make false;
-    lock = Lock.create ~mode:lock_mode ();
+    lock = Lock.create ~mode:lock_mode ~site:"dlist.lock" ();
     meta = Verlib.Vtypes.fresh_meta ();
   }
 

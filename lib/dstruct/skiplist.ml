@@ -56,7 +56,7 @@ let make_node desc lock_mode key value ~levels ~next =
     removed = Fatomic.make false;
     unlinked = Array.init levels (fun _ -> Fatomic.make false);
     tearing = Fatomic.make false;
-    lock = Lock.create ~mode:lock_mode ();
+    lock = Lock.create ~mode:lock_mode ~site:"skiplist.lock" ();
     meta = Verlib.Vtypes.fresh_meta ();
   }
 

@@ -24,9 +24,39 @@ val default_mode : unit -> mode
 
 type t
 
-val create : ?mode:mode -> unit -> t
+val create : ?mode:mode -> ?site:string -> unit -> t
+(** [site] labels the call site for the lock-contention profiler: every
+    lock created with the same [site] shares one accounting record
+    (acquires, contended attempts, wait cycles, helps, sampled waits-on
+    edges — see {!site_summaries}).  Unlabelled locks skip per-site
+    accounting entirely. *)
 
 val mode_of : t -> mode
+
+(** {1 Lock-contention profiler}
+
+    Per-site counters are slot-sharded plain stores (exact at
+    quiescence); the waits-on edge map is sampled (1-in-8) and racy by
+    design — its shape, one {e holder} slot accumulating waits from
+    many waiters at one site, is the convoy signature the chaos
+    [blocking-convoy] preset exercises. *)
+
+type site_summary = {
+  sm_site : string;
+  sm_acquires : int;  (** successful [try_lock] acquisitions *)
+  sm_contended : int;  (** failed [try_lock] attempts *)
+  sm_wait_cycles : int;
+      (** clock ticks spent inside [with_lock] retry loops *)
+  sm_helps : int;  (** helping-path executions against this site *)
+  sm_edges : (int * int) list;
+      (** (holder registry slot, sampled waits), busiest first *)
+}
+
+val site_summaries : unit -> site_summary list
+(** Every registered site, registration order. *)
+
+val reset_sites : unit -> unit
+(** Zero all per-site counters and edge maps (quiescence contract). *)
 
 val try_lock : t -> (unit -> 'a) -> 'a option
 (** [try_lock t f] attempts to acquire [t]; on success runs [f] as the

@@ -184,6 +184,138 @@ module Gauge = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Activity publication (the sampling profiler's write side)           *)
+
+(* Each domain publishes what it is doing right now — the operation it
+   serves and the lock site it holds / waits on — as interned integer
+   ids in slot-private cells.  A sampler (Verlib.Obs.Profile) reads the
+   cells at its own cadence; the published path is one atomic load (the
+   gate) plus plain stores, so the cost on workers is near zero and
+   exactly zero allocation.  Names are interned once (registration
+   time, or first use) under a mutex; the hot path never touches it. *)
+
+module Activity = struct
+  let dim_op = 0
+
+  let dim_lock_hold = 1
+
+  let dim_lock_wait = 2
+
+  let dim_stall = 3
+
+  (* Padded so no two slots share a cache line. *)
+  let stride = 8
+
+  let cells = Array.make (Registry.max_slots * stride) 0
+
+  let enabled = Atomic.make false
+
+  let set_enabled b =
+    Atomic.set enabled b;
+    if not b then Array.fill cells 0 (Array.length cells) 0
+
+  let on () = Atomic.get enabled
+
+  (* Intern table: id 0 is reserved for "" (no activity).  Appends only;
+     ids stay valid for the process lifetime so samplers can resolve
+     them without holding the mutex. *)
+  let names = ref [| "" |]
+
+  let names_mutex = Mutex.create ()
+
+  let intern s =
+    Mutex.lock names_mutex;
+    let arr = !names in
+    let n = Array.length arr in
+    let rec find i = if i >= n then -1 else if arr.(i) = s then i else find (i + 1) in
+    let id =
+      match find 0 with
+      | -1 ->
+          let arr' = Array.make (n + 1) s in
+          Array.blit arr 0 arr' 0 n;
+          names := arr';
+          n
+      | i -> i
+    in
+    Mutex.unlock names_mutex;
+    id
+
+  let name_of id =
+    let arr = !names in
+    if id >= 0 && id < Array.length arr then arr.(id) else ""
+
+  let set dim id =
+    if Atomic.get enabled then
+      cells.((Registry.my_id () * stride) + dim) <- id
+
+  let get slot dim = cells.((slot * stride) + dim)
+
+  let clear_my_slot () =
+    let base = Registry.my_id () * stride in
+    for d = 0 to stride - 1 do
+      cells.(base + d) <- 0
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* GC telemetry                                                        *)
+
+(* Per-slot published [Gc.quick_stat] absolutes (OCaml 5 GC counters
+   are per-domain).  Workers call {!Gcstat.publish} amortized on their
+   loops; readers sum the slots — exact at quiescence, advisory while
+   running, like every other slot-sharded instrument here. *)
+
+module Gcstat = struct
+  let off_minor = 0  (** minor words allocated (absolute) *)
+
+  let off_promoted = 1
+
+  let off_major = 2  (** major words allocated directly *)
+
+  let off_minor_col = 3
+
+  let off_major_col = 4
+
+  let stride = 8
+
+  let cells = Array.make (Registry.max_slots * stride) 0
+
+  let publish () =
+    let s = Gc.quick_stat () in
+    let base = Registry.my_id () * stride in
+    cells.(base + off_minor) <- int_of_float s.Gc.minor_words;
+    cells.(base + off_promoted) <- int_of_float s.Gc.promoted_words;
+    cells.(base + off_major) <- int_of_float s.Gc.major_words;
+    cells.(base + off_minor_col) <- s.Gc.minor_collections;
+    cells.(base + off_major_col) <- s.Gc.major_collections
+
+  let total off =
+    let acc = ref 0 in
+    for slot = 0 to Registry.max_slots - 1 do
+      acc := !acc + cells.((slot * stride) + off)
+    done;
+    !acc
+
+  let minor_words () = total off_minor
+
+  let promoted_words () = total off_promoted
+
+  let major_words () = total off_major
+
+  let minor_collections () = total off_minor_col
+
+  let major_collections () = total off_major_col
+
+  (* Words a mutator allocated = minor + direct-major (promotions move
+     words already counted as minor); 8 bytes per word on 64-bit. *)
+  let alloc_bytes () = 8 * (minor_words () + major_words ())
+
+  let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+  let reset () = Array.fill cells 0 (Array.length cells) 0
+end
+
+(* ------------------------------------------------------------------ *)
 (* Event tracing                                                       *)
 
 (* Event codes are small ints; the catalogue (names, Chrome phases)
@@ -222,6 +354,8 @@ let tracing_on () = Atomic.get tracing
 let clock : (unit -> int) ref = ref (fun () -> 0)
 
 let set_clock f = clock := f
+
+let now () = !clock ()
 
 let my_ring () =
   let i = Registry.my_id () in
@@ -270,8 +404,9 @@ let dropped_of_slot i =
 let reset_traces () =
   Array.iter (function Some r -> r.r_n <- 0 | None -> ()) rings
 
-(* Reset histograms and trace rings.  Same quiescence contract as
-   [Stats.reset_all]. *)
+(* Reset histograms, trace rings and GC shards.  Same quiescence
+   contract as [Stats.reset_all]. *)
 let reset_all () =
   List.iter Hist.reset (Hist.all ());
+  Gcstat.reset ();
   reset_traces ()

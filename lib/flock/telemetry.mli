@@ -80,6 +80,79 @@ module Gauge : sig
   (** All registered gauges, read now, oldest first. *)
 end
 
+(** {1 Activity publication}
+
+    The write side of the sampling profiler ([Verlib.Obs.Profile]
+    drives the read side).  Each domain publishes its current activity
+    — served op, held lock site, waited-on lock site — as interned
+    integer ids in slot-private cells; disabled (the default) every
+    {!Activity.set} is one atomic load and a not-taken branch. *)
+
+module Activity : sig
+  val dim_op : int
+  (** Cell dimension: the operation this domain currently serves. *)
+
+  val dim_lock_hold : int
+  (** Cell dimension: the lock site this domain currently holds. *)
+
+  val dim_lock_wait : int
+  (** Cell dimension: the lock site this domain currently waits on. *)
+
+  val dim_stall : int
+  (** Cell dimension: non-zero while an injected blocking fault parks
+      this domain ([Fault] stall attribution). *)
+
+  val set_enabled : bool -> unit
+  (** Open/close the publication gate; closing clears every cell. *)
+
+  val on : unit -> bool
+
+  val intern : string -> int
+  (** Intern a frame name (mutexed; call at registration time, never on
+      hot paths).  Id 0 is reserved for [""] = no activity. *)
+
+  val name_of : int -> string
+  (** Resolve an interned id; [""] for unknown ids. *)
+
+  val set : int -> int -> unit
+  (** [set dim id] publishes [id] into the calling domain's cell for
+      [dim]; no-op when the gate is closed. *)
+
+  val get : int -> int -> int
+  (** [get slot dim]: the sampler's read side (racy by design). *)
+
+  val clear_my_slot : unit -> unit
+end
+
+(** {1 GC telemetry}
+
+    Per-slot published [Gc.quick_stat] absolutes; workers call
+    {!Gcstat.publish} amortized, readers sum the slots (exact at
+    quiescence). *)
+
+module Gcstat : sig
+  val publish : unit -> unit
+  (** Publish the calling domain's current GC counters into its slot. *)
+
+  val minor_words : unit -> int
+
+  val promoted_words : unit -> int
+
+  val major_words : unit -> int
+
+  val minor_collections : unit -> int
+
+  val major_collections : unit -> int
+
+  val alloc_bytes : unit -> int
+  (** [8 * (minor + major direct) words] summed over published slots. *)
+
+  val heap_words : unit -> int
+  (** Live read of the shared major heap size (not slot-summed). *)
+
+  val reset : unit -> unit
+end
+
 (** {1 Event tracing}
 
     Fixed-size per-domain rings of [(timestamp, code, arg)] triples.
@@ -101,6 +174,11 @@ val tracing_on : unit -> bool
 
 val set_clock : (unit -> int) -> unit
 (** Install the timestamp source ([Verlib.Obs] installs [Hwclock.now]). *)
+
+val now : unit -> int
+(** Read the installed timestamp source (0 before installation).  Lets
+    Flock hot paths time contended sections without depending on the
+    clock above them. *)
 
 val emit : int -> int -> unit
 (** [emit code arg] appends an event to the calling domain's ring when

@@ -1,4 +1,4 @@
-(* Machine-readable benchmark results (BENCH_PR2.json): a flat list of
+(* Machine-readable benchmark results (BENCH_PR7.json): a flat list of
    per-figure rows carrying throughput, latency percentiles, the chain
    census and space accounting, plus a comparator for regression gating.
 
@@ -29,6 +29,11 @@ type row = {
   r_phases : (string * float) list;
       (* mean per-request phase decomposition in µs (serve rows with
          tracing on); empty = not measured *)
+  r_alloc_bytes_per_op : float;
+      (* GC-allocated bytes per completed operation (minor + direct
+         major words, per-worker deltas); 0. = not measured *)
+  r_gc_minor : int;  (* minor collections during the measured run *)
+  r_gc_major : int;  (* major collections during the measured run *)
 }
 
 type doc = {
@@ -102,13 +107,22 @@ let json_of_row r =
                 Printf.sprintf "\"%s\":%.3f" (Jsonlite.escape name) us)
               r.r_phases))
   in
+  let gc =
+    (if r.r_alloc_bytes_per_op = 0. then ""
+     else Printf.sprintf ",\"alloc_bytes_per_op\":%.1f" r.r_alloc_bytes_per_op)
+    ^ (if r.r_gc_minor = 0 then ""
+       else Printf.sprintf ",\"gc_minor\":%d" r.r_gc_minor)
+    ^
+    if r.r_gc_major = 0 then ""
+    else Printf.sprintf ",\"gc_major\":%d" r.r_gc_major
+  in
   Printf.sprintf
     "{\"figure\":\"%s\",\"label\":\"%s\",\"mops\":%.6f,\"p50_us\":%.3f,\
      \"p99_us\":%.3f,\"chain_max\":%d,\"chain_p99\":%d,\"indirect_links\":%d,\
-     \"reclaimable\":%d,\"violations\":%d,\"space_bytes\":%.1f%s%s%s}"
+     \"reclaimable\":%d,\"violations\":%d,\"space_bytes\":%.1f%s%s%s%s}"
     (Jsonlite.escape r.r_figure) (Jsonlite.escape r.r_label) r.r_mops r.r_p50_us
     r.r_p99_us r.r_chain_max r.r_chain_p99 r.r_indirect_links r.r_reclaimable
-    r.r_violations r.r_space_bytes resilience diag phases
+    r.r_violations r.r_space_bytes resilience diag phases gc
 
 let to_json d =
   let b = Buffer.create 4096 in
@@ -158,6 +172,11 @@ let row_of_json j =
   let shed = opt_int "shed" in
   let giveups = opt_int "giveups" in
   let walk_saturation = opt_int "walk_saturation" in
+  let alloc_bytes_per_op =
+    match num "alloc_bytes_per_op" j with Some v -> v | None -> 0.
+  in
+  let gc_minor = opt_int "gc_minor" in
+  let gc_major = opt_int "gc_major" in
   let phases =
     match Jsonlite.member "phases" j with
     | Some (Jsonlite.Obj members) ->
@@ -187,6 +206,9 @@ let row_of_json j =
       r_giveups = giveups;
       r_walk_saturation = walk_saturation;
       r_phases = phases;
+      r_alloc_bytes_per_op = alloc_bytes_per_op;
+      r_gc_minor = gc_minor;
+      r_gc_major = gc_major;
     }
 
 let of_json j =
@@ -300,6 +322,15 @@ let diff ?(threshold = 50.) ?lat_threshold (base : doc) (cur : doc) =
             let cap = b.r_space_bytes *. (1. +. frac) in
             if c.r_space_bytes > cap then
               regression "space_bytes" b.r_space_bytes c.r_space_bytes cap
+          end;
+          (* allocation rate: higher is worse; gated only when both
+             runs measured it and it clears the noise floor (a few
+             words per op) *)
+          if b.r_alloc_bytes_per_op > 16. && c.r_alloc_bytes_per_op > 0. then begin
+            let cap = b.r_alloc_bytes_per_op *. (1. +. frac) in
+            if c.r_alloc_bytes_per_op > cap then
+              regression "alloc_bytes_per_op" b.r_alloc_bytes_per_op
+                c.r_alloc_bytes_per_op cap
           end;
           if c.r_violations > 0 then
             push

@@ -37,6 +37,15 @@ type row = {
       (** mean per-request phase decomposition in µs, from server-side
           request spans (serve rows with tracing); empty = not measured,
           omitted from the serialisation *)
+  r_alloc_bytes_per_op : float;
+      (** GC-allocated bytes per completed operation (minor + direct
+          major words summed over per-worker [Gc.quick_stat] deltas);
+          0. = not measured, omitted from the serialisation; gated by
+          {!diff} when both runs carry it *)
+  r_gc_minor : int;
+      (** minor collections during the measured run (0 = not measured /
+          none; omitted when 0) *)
+  r_gc_major : int;  (** major collections, same conventions *)
 }
 
 type doc = {
@@ -83,7 +92,8 @@ val describe_issue : issue -> string
 
 val diff : ?threshold:float -> ?lat_threshold:float -> doc -> doc -> issue list
 (** [diff ~threshold base cur] — one-sided, tolerant policy: throughput
-    may drop and space may grow by at most [threshold] percent (default
+    may drop and space (and, when both runs measured it,
+    allocation-per-op) may grow by at most [threshold] percent (default
     50); rows present in [base] must exist in [cur]; census violations
     in [cur] are an issue at any threshold.  Latency percentiles are
     informational unless [lat_threshold] is given (on an oversubscribed

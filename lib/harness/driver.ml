@@ -61,6 +61,9 @@ type result = {
   space_bytes_per_entry : float;
   census : Verlib.Chainscan.census option;
   census_series : (float * Verlib.Chainscan.census) list;
+  alloc_bytes_per_op : float;
+  gc_minor : int;
+  gc_major : int;
 }
 
 let run_once spec =
@@ -87,6 +90,9 @@ let run_once spec =
   let counts =
     List.map (fun g -> Array.init g.g_count (fun _ -> Atomic.make 0)) spec.groups
   in
+  let allocs =
+    List.map (fun g -> Array.init g.g_count (fun _ -> Atomic.make 0.)) spec.groups
+  in
   let exec op =
     match op with
     | Workload.Opgen.Insert (k, v) -> ignore (M.insert t k v)
@@ -103,11 +109,16 @@ let run_once spec =
     | Workload.Opgen.Range _ -> Verlib.Obs.lat_range
     | Workload.Opgen.Multifind _ -> Verlib.Obs.lat_multifind
   in
-  let worker gen cnt tid () =
+  let worker gen cnt alloc tid () =
     let rng = Workload.Splitmix.create ((tid * 7919) + spec.seed + 100) in
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
+    (* Per-worker allocation accounting: [Gc.allocated_bytes] is
+       domain-local, so the delta over the measured loop is exactly this
+       worker's allocation — summed and divided by ops for the
+       alloc-bytes-per-op figure. *)
+    let a0 = Gc.allocated_bytes () in
     let ops = ref 0 in
     if spec.lat_sample > 0 then begin
       (* Sampled per-op latencies: an independent splitmix stream decides
@@ -125,7 +136,8 @@ let run_once spec =
         end
         else exec op;
         incr ops;
-        if !ops land 15 = 0 then Atomic.set cnt !ops
+        if !ops land 15 = 0 then Atomic.set cnt !ops;
+        if !ops land 1023 = 0 then Flock.Telemetry.Gcstat.publish ()
       done
     end
     else
@@ -133,9 +145,14 @@ let run_once spec =
         exec (Workload.Opgen.next gen rng);
         incr ops;
         (* amortise the flag check *)
-        if !ops land 15 = 0 then Atomic.set cnt !ops
+        if !ops land 15 = 0 then Atomic.set cnt !ops;
+        (* amortised GC telemetry into this worker's slot (gauges,
+           PROFILE snapshots) *)
+        if !ops land 1023 = 0 then Flock.Telemetry.Gcstat.publish ()
       done;
-    Atomic.set cnt !ops
+    Atomic.set cnt !ops;
+    Atomic.set alloc (Gc.allocated_bytes () -. a0);
+    Flock.Telemetry.Gcstat.publish ()
   in
   let iter_targets emit = M.iter_vptrs t emit in
   (* Register the structure as a census root for the run, so in-process
@@ -174,12 +191,14 @@ let run_once spec =
   let domains =
     List.concat
       (List.map2
-         (fun (g, gen) cnts ->
+         (fun ((g, gen), cnts) als ->
            List.init g.g_count (fun i ->
-               Domain.spawn (worker gen cnts.(i) ((g.g_update_percent * 1000) + i))))
-         (List.combine spec.groups gens)
-         counts)
+               Domain.spawn
+                 (worker gen cnts.(i) als.(i) ((g.g_update_percent * 1000) + i))))
+         (List.combine (List.combine spec.groups gens) counts)
+         allocs)
   in
+  let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   Atomic.set go true;
   let deadline = t0 +. spec.duration in
@@ -200,7 +219,13 @@ let run_once spec =
   let t1 = Unix.gettimeofday () in
   List.iter Domain.join domains;
   Option.iter Domain.join sampler_domain;
+  let gc1 = Gc.quick_stat () in
   let elapsed = t1 -. t0 in
+  let alloc_total =
+    List.fold_left
+      (fun a als -> Array.fold_left (fun a c -> a +. Atomic.get c) a als)
+      0. allocs
+  in
   let group_ops =
     List.map (fun cnts -> Array.fold_left (fun a c -> a + Atomic.get c) 0 cnts) counts
   in
@@ -231,6 +256,13 @@ let run_once spec =
     space_bytes_per_entry = space;
     census = final_census;
     census_series = List.rev !series;
+    alloc_bytes_per_op =
+      (if total_ops > 0 then alloc_total /. Float.of_int total_ops else 0.);
+    (* Collection deltas over the run, read from the spawning domain:
+       major collections are a global counter in OCaml 5; the minor
+       figure under-counts (domain-local) and is informational. *)
+    gc_minor = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+    gc_major = gc1.Gc.major_collections - gc0.Gc.major_collections;
   }
 
 let run spec =
@@ -258,4 +290,7 @@ let run spec =
     space_bytes_per_entry = last.space_bytes_per_entry;
     census = last.census;
     census_series = last.census_series;
+    alloc_bytes_per_op = avg (fun r -> r.alloc_bytes_per_op);
+    gc_minor = last.gc_minor;
+    gc_major = last.gc_major;
   }

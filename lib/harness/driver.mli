@@ -65,6 +65,16 @@ type result = {
       (** (elapsed-seconds, census) samples from the background sampler,
           oldest first; empty unless [spec.census] and
           [spec.census_interval > 0]. *)
+  alloc_bytes_per_op : float;
+      (** GC-allocated bytes per completed operation: sum of per-worker
+          [Gc.allocated_bytes] deltas over the measured loop, divided by
+          total ops.  Averaged over repeats. *)
+  gc_minor : int;
+      (** minor collections during the last run, seen from the spawning
+          domain (domain-local in OCaml 5, so an under-count —
+          informational) *)
+  gc_major : int;
+      (** major collections during the last run (global counter) *)
 }
 
 val run : spec -> result

@@ -8,7 +8,10 @@
    failure self-diagnosing.
 
    The recorder is deliberately boring: a mutex, a cooldown, a dump cap,
-   and one JSON file per incident ([flight-<epoch-ms>-<trigger>.json]).
+   and one JSON file per incident
+   ([flight-<epoch-ms>-<seq>-<trigger>.json] — the monotonic sequence
+   number disambiguates dumps landing in the same millisecond and makes
+   lexicographic order match dump order within a run).
    Everything interesting is in what it snapshots: the full gauge and
    counter capture, the optional chain census, and every finished span
    from [Verlib.Obs.Span.recent] with per-phase µs and a computed
@@ -163,7 +166,12 @@ let render ~trigger ?census ?(extra = []) () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b (json_of_span sp))
     spans;
-  Buffer.add_string b "]}";
+  (* The profiler's cumulative snapshot (stacks, lock contention, GC):
+     when the sampler is running this is what the victims' domains were
+     actually doing — the dump's "where was the time going" section. *)
+  Buffer.add_string b "],\"profile\":";
+  Buffer.add_string b (Obs.Profile.json ());
+  Buffer.add_char b '}';
   Buffer.contents b
 
 let record t ~trigger ?census ?extra () =
@@ -177,6 +185,7 @@ let record t ~trigger ?census ?extra () =
     t.last_at <- now
   end
   else t.suppressed <- t.suppressed + 1;
+  let seq = t.dumps in
   Mutex.unlock t.lock;
   if not allowed then None
   else begin
@@ -186,7 +195,7 @@ let record t ~trigger ?census ?extra () =
     mkdir_p t.dir;
     let path =
       Filename.concat t.dir
-        (Printf.sprintf "flight-%.0f-%s.json" (now *. 1000.)
+        (Printf.sprintf "flight-%.0f-%d-%s.json" (now *. 1000.) seq
            (trigger_name trigger))
     in
     let oc = open_out path in

@@ -3,9 +3,10 @@
     Dumps the observability state that explains an incident — full gauge
     and counter capture, optional chain census, and every retained
     finished request span ([Verlib.Obs.Span.recent]) with per-phase µs
-    and dominant-phase attribution — to one JSON file per trigger
-    firing, rate-limited by a cooldown and a dump cap so a persistent
-    pathology cannot fill the disk.
+    and dominant-phase attribution, plus the sampling profiler's
+    cumulative snapshot ([Verlib.Obs.Profile.json]) — to one JSON file
+    per trigger firing, rate-limited by a cooldown and a dump cap so a
+    persistent pathology cannot fill the disk.
 
     The server wires four triggers: a connection killed at its
     write/idle deadline, hard shedding engaging, a chain-census
@@ -37,8 +38,9 @@ val record :
   unit ->
   string option
 (** Fire a trigger.  Returns the path of the written dump
-    ([flight-<epoch-ms>-<trigger>.json] under [dir]), or [None] when the
-    cooldown or cap suppressed it.  [extra] key/value pairs (values are
+    ([flight-<epoch-ms>-<seq>-<trigger>.json] under [dir], where [seq]
+    is this recorder's monotonic dump number starting at 1), or [None]
+    when the cooldown or cap suppressed it.  [extra] key/value pairs (values are
     pre-rendered JSON) land at the top level of the dump — the server
     passes its live config and queue depth.  Span aggregation is
     approximate under concurrent writers (the ring contract). *)

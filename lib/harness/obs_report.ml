@@ -120,6 +120,12 @@ let json_of_hist (s : Hist.summary) =
 let to_json ?(extra = []) (r : Obs.report) =
   let b = Buffer.create 4096 in
   Buffer.add_char b '{';
+  (* Which clock stamps every tick figure in this report: "rdtsc" or
+     the "monotonic" fallback (non-x86 or non-invariant TSC) — without
+     this a report's µs conversions cannot be trusted across hosts. *)
+  Buffer.add_string b
+    (Printf.sprintf "\"clock_source\":\"%s\","
+       (Jsonlite.escape (Verlib.Hwclock.source ())));
   List.iter
     (fun (k, v) ->
       Buffer.add_string b (Printf.sprintf "\"%s\":%s," (Jsonlite.escape k) v))
@@ -274,7 +280,16 @@ let parse_prom_line lineno line =
               let v = Buffer.create 8 in
               while !i < n && line.[!i] <> '"' do
                 if line.[!i] = '\\' && !i + 1 < n then begin
-                  Buffer.add_char v line.[!i + 1];
+                  (* Exposition-format label escapes: backslash,
+                     double-quote and newline; anything else keeps the
+                     backslash literally. *)
+                  (match line.[!i + 1] with
+                   | '\\' -> Buffer.add_char v '\\'
+                   | '"' -> Buffer.add_char v '"'
+                   | 'n' -> Buffer.add_char v '\n'
+                   | c ->
+                       Buffer.add_char v '\\';
+                       Buffer.add_char v c);
                   i := !i + 2
                 end
                 else begin
@@ -310,16 +325,36 @@ let parse_prom_line lineno line =
 
 let parse_prometheus text =
   let lines = String.split_on_char '\n' text in
+  (* Track [# TYPE <name> counter] declarations so counter samples can
+     be range-checked: a negative counter is always a producer bug. *)
+  let counter_types = Hashtbl.create 16 in
+  let note_type line =
+    match String.split_on_char ' ' line with
+    | [ "#"; "TYPE"; name; "counter" ] -> Hashtbl.replace counter_types name ()
+    | _ -> ()
+  in
   let rec go lineno acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->
         let line = String.trim line in
-        if line = "" || (String.length line > 0 && line.[0] = '#') then
+        if String.length line > 0 && line.[0] = '#' then begin
+          note_type line;
           go (lineno + 1) acc rest
+        end
+        else if line = "" then go (lineno + 1) acc rest
         else begin
           match parse_prom_line lineno line with
           | Error _ as e -> e
-          | Ok s -> go (lineno + 1) (s :: acc) rest
+          | Ok s ->
+              if Float.is_nan s.m_value then
+                Error
+                  (Printf.sprintf "line %d: NaN sample value (%s)" lineno
+                     s.m_name)
+              else if s.m_value < 0. && Hashtbl.mem counter_types s.m_name then
+                Error
+                  (Printf.sprintf "line %d: negative counter %s (%g)" lineno
+                     s.m_name s.m_value)
+              else go (lineno + 1) (s :: acc) rest
         end
   in
   match go 1 [] lines with

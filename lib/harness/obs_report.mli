@@ -8,9 +8,11 @@ val pretty_print : ?out:out_channel -> Verlib.Obs.report -> unit
 
 val to_json : ?extra:(string * string) list -> Verlib.Obs.report -> string
 (** One JSON object:
-    [{... extra ..., "counters":{..}, "histograms":{..}, "gauges":{..}}].
-    [extra] values must already be rendered JSON (numbers, quoted
-    strings); keys are escaped. *)
+    [{"clock_source":"rdtsc"|"monotonic", ... extra ...,
+    "counters":{..}, "histograms":{..}, "gauges":{..}}] — the leading
+    [clock_source] ([Verlib.Hwclock.source]) says which clock stamped
+    every tick figure.  [extra] values must already be rendered JSON
+    (numbers, quoted strings); keys are escaped. *)
 
 val pretty_census : ?out:out_channel -> Verlib.Chainscan.census -> unit
 (** Chain-census table plus one line per retained violation detail. *)
@@ -51,9 +53,13 @@ type prom_sample = {
 val parse_prometheus : string -> (prom_sample list, string) result
 (** Strict line-format parse of a text exposition: comments and blank
     lines skipped, every sample line must be
-    [name\{label="v",...\} value]; histogram series must have
-    non-decreasing cumulative buckets that agree with their [_count].
-    Returns the samples in file order, or the first offending line. *)
+    [name\{label="v",...\} value] (label values understand the
+    backslash escapes for backslash, double-quote and newline);
+    histogram series must have non-decreasing
+    cumulative buckets that agree with their [_count]; NaN sample
+    values are rejected, as is any negative sample whose name a
+    [# TYPE ... counter] comment declared to be a counter.  Returns the
+    samples in file order, or the first offending line. *)
 
 val prom_find : prom_sample list -> string -> float option
 (** Value of the first label-free sample with this exact name. *)

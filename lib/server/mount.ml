@@ -71,6 +71,6 @@ let exec (Mount { m = (module M); h }) (c : Protocol.command) : Protocol.reply =
         in
         pairs_reply (List.rev pairs)
     | Protocol.Size -> Protocol.Int (M.size h)
-    | Protocol.Stats | Protocol.Metrics | Protocol.Quit ->
+    | Protocol.Stats | Protocol.Metrics | Protocol.Profile _ | Protocol.Quit ->
         Protocol.Err "connection-level command reached the executor"
   with e -> Protocol.Err ("internal: " ^ Printexc.to_string e)

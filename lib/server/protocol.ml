@@ -10,6 +10,8 @@ type command =
   | Size
   | Stats
   | Metrics
+  | Profile of int
+      (** profiler snapshot; the arg is a window in ms (0 = cumulative) *)
   | Quit
 
 type reply =
@@ -32,7 +34,7 @@ type reply =
    re-sending it after a reconnect would close the fresh connection. *)
 let idempotent = function
   | Ping | Get _ | Put _ | Del _ | Mget _ | Range _ | Rangecount _ | Scan _
-  | Size | Stats | Metrics ->
+  | Size | Stats | Metrics | Profile _ ->
       true
   | Quit -> false
 
@@ -40,7 +42,8 @@ let idempotent = function
    pointers — the expensive class, shed first under overload. *)
 let snapshot_heavy = function
   | Mget _ | Range _ | Rangecount _ | Scan _ -> true
-  | Ping | Get _ | Put _ | Del _ | Size | Stats | Metrics | Quit -> false
+  | Ping | Get _ | Put _ | Del _ | Size | Stats | Metrics | Profile _ | Quit ->
+      false
 
 (* --- command parsing ---------------------------------------------------- *)
 
@@ -88,9 +91,12 @@ let parse_command_tokens toks =
         | "SIZE", [] -> Ok Size
         | "STATS", [] -> Ok Stats
         | "METRICS", [] -> Ok Metrics
+        | "PROFILE", [] -> Ok (Profile 0)
+        | "PROFILE", [ ms ] ->
+            int_arg "window" ms (fun ms -> Ok (Profile (max 0 ms)))
         | "QUIT", [] -> Ok Quit
         | ( (("PING" | "GET" | "PUT" | "DEL" | "RANGE" | "RANGECOUNT" | "SCAN"
-             | "SIZE" | "STATS" | "METRICS" | "QUIT") as v),
+             | "SIZE" | "STATS" | "METRICS" | "PROFILE" | "QUIT") as v),
             _ ) ->
             Error (Printf.sprintf "wrong number of arguments for %s" v)
         | v, _ ->
@@ -138,6 +144,8 @@ let render_command ?trace_id buf c =
    | Size -> p "SIZE"
    | Stats -> p "STATS"
    | Metrics -> p "METRICS"
+   | Profile 0 -> p "PROFILE"
+   | Profile ms -> p "PROFILE %d" ms
    | Quit -> p "QUIT");
   Buffer.add_string buf "\r\n"
 

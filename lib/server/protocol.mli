@@ -30,6 +30,14 @@ type command =
           gauge as a bulk reply — the live metrics plane.  Never shed,
           like [Ping] and [Stats], so it stays observable under
           overload. *)
+  | Profile of int
+      (** [PROFILE \[ms\]]: a JSON profiler snapshot as a bulk reply
+          ([Verlib.Obs.Profile.json]) — sampled activity stacks,
+          per-site lock contention, GC telemetry.  The argument is a
+          window in milliseconds: 0 (bare [PROFILE]) reports cumulative
+          stacks, positive values report only the stacks accumulated
+          inside the window (the serving worker sleeps for it, clamped
+          server-side to 5 s).  Never shed, like [Stats]. *)
   | Quit
 
 type reply =

@@ -20,6 +20,7 @@ type config = {
   flight_dir : string;
   flight_min_interval : float;
   slo_p99_us : float;
+  profile_hz : int;
 }
 
 let default_config =
@@ -40,6 +41,7 @@ let default_config =
     flight_dir = "";
     flight_min_interval = 5.;
     slo_p99_us = 0.;
+    profile_hz = 0;
   }
 
 module Span = Verlib.Obs.Span
@@ -334,7 +336,43 @@ let command_verb : Protocol.command -> string = function
   | Protocol.Size -> "SIZE"
   | Protocol.Stats -> "STATS"
   | Protocol.Metrics -> "METRICS"
+  | Protocol.Profile _ -> "PROFILE"
   | Protocol.Quit -> "QUIT"
+
+(* Per-verb activity frames for the sampling profiler.  Interning is
+   mutexed and must stay off hot paths, so every verb is interned once
+   at module-load time (single-domain); [run_command] then publishes a
+   pre-computed id — two gated plain stores per command. *)
+module Activity = Flock.Telemetry.Activity
+
+let verb_activity : Protocol.command -> int =
+  let ping = Activity.intern "PING"
+  and get = Activity.intern "GET"
+  and put = Activity.intern "PUT"
+  and del = Activity.intern "DEL"
+  and mget = Activity.intern "MGET"
+  and range = Activity.intern "RANGE"
+  and rangecount = Activity.intern "RANGECOUNT"
+  and scan = Activity.intern "SCAN"
+  and size = Activity.intern "SIZE"
+  and stats = Activity.intern "STATS"
+  and metrics = Activity.intern "METRICS"
+  and profile = Activity.intern "PROFILE"
+  and quit = Activity.intern "QUIT" in
+  function
+  | Protocol.Ping -> ping
+  | Protocol.Get _ -> get
+  | Protocol.Put _ -> put
+  | Protocol.Del _ -> del
+  | Protocol.Mget _ -> mget
+  | Protocol.Range _ -> range
+  | Protocol.Rangecount _ -> rangecount
+  | Protocol.Scan _ -> scan
+  | Protocol.Size -> size
+  | Protocol.Stats -> stats
+  | Protocol.Metrics -> metrics
+  | Protocol.Profile _ -> profile
+  | Protocol.Quit -> quit
 
 (* Serve one connection to completion.  Reads are buffered; every
    complete line in a read chunk is parsed and executed, and all the
@@ -386,12 +424,21 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
       | Ok (tid, c) -> (
           Span.set_cmd sp (command_verb c);
           (match tid with Some id -> Span.set_trace_id sp id | None -> ());
+          if Activity.on () then Activity.set Activity.dim_op (verb_activity c);
           match c with
           | Protocol.Quit ->
               quit := true;
               (tid, "ok", Protocol.Ok_)
           | Protocol.Stats -> (tid, "ok", Protocol.Bulk (stats_json t))
           | Protocol.Metrics -> (tid, "ok", Protocol.Bulk (metrics_text t))
+          | Protocol.Profile ms ->
+              (* Like [Stats]/[Metrics]: answered at the connection
+                 level, never shed — an overloaded server must stay
+                 profileable (the whole point of the plane).  A
+                 positive window parks this worker for its duration
+                 (clamped inside [Profile.json]); pipelined commands
+                 behind it simply wait. *)
+              (tid, "ok", Protocol.Bulk (Verlib.Obs.Profile.json ~window_ms:ms ()))
           | Protocol.Ping -> (tid, "ok", Protocol.Pong)
           | c ->
               let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
@@ -416,6 +463,7 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
                 | _ -> (tid, "ok", r)
               end)
     in
+    if Activity.on () then Activity.set Activity.dim_op 0;
     (* Render under the [reply] phase, finish the span, then emit: a
        traced command's @-frame goes ahead of its data bytes (the
        incremental reader never peeks past a reply).  The batched
@@ -493,6 +541,10 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
                quit := true
              end
              else process_pending ();
+             (* Amortized GC telemetry: one [quick_stat] per read chunk
+                (dozens-to-thousands of commands), published into this
+                worker's slot for the gauges and PROFILE to sum. *)
+             Flock.Telemetry.Gcstat.publish ();
              flush_out ();
              (* Graceful drain: everything read so far is answered; stop
                 taking more. *)
@@ -650,6 +702,8 @@ let start t =
   end;
   if t.cfg.metrics_interval > 0. then
     t.metrics_d <- Some (Domain.spawn (metrics_loop t));
+  if t.cfg.profile_hz > 0 then
+    Verlib.Obs.Profile.start ~hz:t.cfg.profile_hz ();
   t.worker_ds <-
     List.init (max 1 t.cfg.domains) (fun _ -> Domain.spawn (worker_loop t));
   t.accept_d <- Some (Domain.spawn (accept_loop t lsock))
@@ -674,6 +728,9 @@ let stop t =
     t.census_d <- None;
     Option.iter Domain.join t.metrics_d;
     t.metrics_d <- None;
+    (* Stop the sampler after the workers are joined so the final ticks
+       still see their activity; stacks stay accumulated for export. *)
+    if t.cfg.profile_hz > 0 then Verlib.Obs.Profile.stop ();
     (* Quiescent final census: workers are joined, so the audit is
        exact. *)
     if t.cfg.census_interval > 0. || t.cfg.metrics_interval > 0. then begin

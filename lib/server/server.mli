@@ -57,12 +57,18 @@ type config = {
   slo_p99_us : float;
       (** flight trigger: any request phase whose p99 exceeds this many
           µs files a dump (checked every [metrics_interval]); 0 = off *)
+  profile_hz : int;
+      (** sampling rate of the continuous profiler
+          ([Verlib.Obs.Profile]): {!start} spawns the sampler domain and
+          opens the activity-publication gate, {!stop} joins it after
+          the workers; 0 = profiler off (PROFILE still answers, with
+          whatever was accumulated by an externally started sampler) *)
 }
 
 val default_config : config
 (** port 7379, 4 domains, backlog 64, queue_depth 64, no census; no
     connection cap, no idle timeout, 5 s write timeout, shedding off,
-    retry hint 50 ms; metrics plane and flight recorder off. *)
+    retry hint 50 ms; metrics plane, flight recorder and profiler off. *)
 
 type t
 

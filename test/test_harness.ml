@@ -111,7 +111,8 @@ let test_space_accounting () =
 module B = Harness.Bench_json
 
 let sample_row ?(figure = "fig8a") ?(label = "update%20 IndOnNeed")
-    ?(mops = 1.25) ?(p99 = 40.) ?(space = 120.5) ?(violations = 0) () =
+    ?(mops = 1.25) ?(p99 = 40.) ?(space = 120.5) ?(violations = 0)
+    ?(alloc = 0.) ?(gc_minor = 0) ?(gc_major = 0) () =
   {
     B.r_figure = figure;
     r_label = label;
@@ -129,6 +130,9 @@ let sample_row ?(figure = "fig8a") ?(label = "update%20 IndOnNeed")
     r_giveups = 0;
     r_walk_saturation = 0;
     r_phases = [];
+    r_alloc_bytes_per_op = alloc;
+    r_gc_minor = gc_minor;
+    r_gc_major = gc_major;
   }
 
 let test_bench_json_roundtrip () =
@@ -175,6 +179,49 @@ let test_bench_json_roundtrip () =
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted wrong schema version"
+
+(* The PR7 columns (allocation per op, GC collection counts) survive a
+   serialize/parse cycle and the alloc column gates like mops does. *)
+let test_bench_json_gc_columns () =
+  let rows = [ sample_row ~alloc:184.5 ~gc_minor:12 ~gc_major:3 () ] in
+  let doc = B.make_doc ~label:"gc" ~scale:"ci" rows in
+  (match B.of_string (B.to_json doc) with
+   | Error e -> Alcotest.failf "gc columns do not round-trip: %s" e
+   | Ok d ->
+       let r = List.hd d.B.d_rows in
+       Alcotest.(check (float 0.05)) "alloc round-trips" 184.5
+         r.B.r_alloc_bytes_per_op;
+       Alcotest.(check int) "gc_minor round-trips" 12 r.B.r_gc_minor;
+       Alcotest.(check int) "gc_major round-trips" 3 r.B.r_gc_major);
+  (* zero alloc stays off the wire (byte-stable committed baselines) *)
+  let plain = B.to_json (B.make_doc ~scale:"ci" [ sample_row () ]) in
+  Alcotest.(check bool) "zero alloc omitted" false
+    (let needle = "alloc_bytes_per_op" in
+     let n = String.length needle in
+     let rec has i =
+       i + n <= String.length plain
+       && (String.sub plain i n = needle || has (i + 1))
+     in
+     has 0);
+  (* allocation growth past the threshold is a gated regression *)
+  let base = B.make_doc ~scale:"ci" [ sample_row ~alloc:100. () ] in
+  let fat = B.make_doc ~scale:"ci" [ sample_row ~alloc:130. () ] in
+  Alcotest.(check bool) "alloc regression caught" true
+    (List.exists
+       (function
+         | B.Regression { metric = "alloc_bytes_per_op"; _ } -> true
+         | _ -> false)
+       (B.diff ~threshold:10. base fat));
+  Alcotest.(check int) "small alloc drift tolerated" 0
+    (List.length
+       (B.diff ~threshold:10. base
+          (B.make_doc ~scale:"ci" [ sample_row ~alloc:105. () ])));
+  (* rows without an alloc figure (older baselines) are never gated *)
+  Alcotest.(check int) "no baseline alloc, no gate" 0
+    (List.length
+       (B.diff ~threshold:10.
+          (B.make_doc ~scale:"ci" [ sample_row () ])
+          fat))
 
 let test_bench_diff_gate () =
   let base =
@@ -238,10 +285,10 @@ let test_bench_diff_gate () =
     (B.diff ~threshold:50. base slower)
 
 (* The committed baseline, when reachable from the test's cwd, must
-   parse and carry the gate's sections — this keeps BENCH_PR2.json
+   parse and carry the gate's sections — this keeps BENCH_PR7.json
    honest as the schema evolves. *)
 let test_committed_baseline () =
-  let candidates = [ "BENCH_PR2.json"; "../../../BENCH_PR2.json" ] in
+  let candidates = [ "BENCH_PR7.json"; "../../../BENCH_PR7.json" ] in
   match List.find_opt Sys.file_exists candidates with
   | None -> ()
   | Some path -> (
@@ -293,11 +340,49 @@ let test_prometheus_rejects_malformed () =
       "{label=\"only\"} 1\n";
       "m{unclosed=\"v\" 1\n";
       "m NaNope\n";
+      (* NaN is a syntactically valid float, semantically meaningless *)
+      "m NaN\n";
+      "m nan\n";
+      (* a counter may never go negative; the TYPE header arms the check *)
+      "# TYPE m counter\nm -3\n";
       (* histogram with decreasing cumulative buckets *)
       "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
        h_sum 1\nh_count 5\n";
       (* count disagrees with the +Inf bucket *)
       "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n";
+    ]
+
+(* Label values carry the three exposition escapes (backslash,
+   double-quote, newline); a decoder that mishandles any of them either
+   errors on the closing quote or corrupts the value. *)
+let test_prometheus_label_escapes () =
+  let text = "m{path=\"a\\\\b\",msg=\"say \\\"hi\\\"\",nl=\"x\\ny\"} 7\n" in
+  match OR.parse_prometheus text with
+  | Error e -> Alcotest.fail ("escaped labels rejected: " ^ e)
+  | Ok [ s ] ->
+      Alcotest.(check string) "name" "m" s.OR.m_name;
+      Alcotest.(check (float 0.001)) "value" 7. s.OR.m_value;
+      Alcotest.(check (option string)) "backslash" (Some "a\\b")
+        (List.assoc_opt "path" s.OR.m_labels);
+      Alcotest.(check (option string)) "quote" (Some "say \"hi\"")
+        (List.assoc_opt "msg" s.OR.m_labels);
+      Alcotest.(check (option string)) "newline" (Some "x\ny")
+        (List.assoc_opt "nl" s.OR.m_labels)
+  | Ok l -> Alcotest.failf "expected 1 sample, got %d" (List.length l)
+
+(* Edge cases that MUST parse: a histogram that never observed
+   anything (all-zero buckets), and a negative value on a metric not
+   declared as a counter (gauges go negative legitimately). *)
+let test_prometheus_accepts_edge_cases () =
+  List.iter
+    (fun good ->
+      match OR.parse_prometheus good with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rejected valid exposition %S: %s" good e)
+    [
+      "h_bucket{le=\"1\"} 0\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n";
+      "# TYPE g gauge\ng -42\n";
+      "delta -1.5\n";
     ]
 
 (* --- flight recorder ------------------------------------------------------ *)
@@ -358,6 +443,10 @@ let test_flight_deadline_dump () =
         (match Harness.Jsonlite.member "spans" j with
          | Some (Harness.Jsonlite.Arr (_ :: _)) -> true
          | _ -> false);
+      Alcotest.(check bool) "profile section included" true
+        (match Harness.Jsonlite.member "profile" j with
+         | Some (Harness.Jsonlite.Obj _) -> true
+         | _ -> false);
       (* the only retained span is all [op], so it dominates *)
       Alcotest.(check (option string)) "dominant phase" (Some "op")
         (str "dominant_phase")
@@ -390,11 +479,27 @@ let test_flight_cooldown_and_cap () =
     (F.record t ~trigger:F.Hard_shed () = None);
   Alcotest.(check int) "suppression counted" 1 (F.suppressed_count t);
   let t2 = F.create ~min_interval:0. ~max_dumps:2 ~dir:(tmpdir ()) () in
-  ignore (F.record t2 ~trigger:F.Hard_shed ());
-  ignore (F.record t2 ~trigger:F.Hard_shed ());
+  let p1 = F.record t2 ~trigger:F.Hard_shed () in
+  let p2 = F.record t2 ~trigger:F.Hard_shed () in
   Alcotest.(check bool) "cap suppresses" true
     (F.record t2 ~trigger:F.Hard_shed () = None);
-  Alcotest.(check int) "capped at max_dumps" 2 (F.dump_count t2)
+  Alcotest.(check int) "capped at max_dumps" 2 (F.dump_count t2);
+  (* filenames carry the monotonic dump sequence, so two dumps in the
+     same millisecond cannot overwrite each other *)
+  let seq_suffix n p =
+    match p with
+    | None -> false
+    | Some p ->
+        let b = Filename.basename p in
+        let suffix = Printf.sprintf "-%d-hard-shed.json" n in
+        String.length b >= String.length suffix
+        && String.sub b
+             (String.length b - String.length suffix)
+             (String.length suffix)
+           = suffix
+  in
+  Alcotest.(check bool) "first dump is seq 1" true (seq_suffix 1 p1);
+  Alcotest.(check bool) "second dump is seq 2" true (seq_suffix 2 p2)
 
 let case name f = Alcotest.test_case name `Quick f
 
@@ -415,6 +520,7 @@ let () =
       ( "bench-json",
         [
           case "round trip" test_bench_json_roundtrip;
+          case "gc columns" test_bench_json_gc_columns;
           case "regression gate" test_bench_diff_gate;
           case "committed baseline" test_committed_baseline;
         ] );
@@ -422,6 +528,8 @@ let () =
         [
           case "render/parse round trip" test_prometheus_roundtrip;
           case "rejects malformed" test_prometheus_rejects_malformed;
+          case "label escapes" test_prometheus_label_escapes;
+          case "accepts edge cases" test_prometheus_accepts_edge_cases;
         ] );
       ( "flight",
         [

@@ -521,6 +521,137 @@ let test_span_export_trace () =
       Alcotest.(check bool) "span exported as X event" true
         (List.exists is_span_event events)
 
+(* --- sampling profiler ---------------------------------------------------- *)
+
+module Pr = Verlib.Obs.Profile
+module Act = Flock.Telemetry.Activity
+
+(* Publish a synthetic activity frame, sample it at a high rate, and
+   check every export surface: accumulated stacks, per-slot activity,
+   collapsed-stack file, JSON snapshot. *)
+let test_profile_end_to_end () =
+  Verlib.reset ();
+  Pr.reset ();
+  Pr.start ~hz:500 ();
+  Alcotest.(check bool) "running" true (Pr.running ());
+  Alcotest.(check int) "hz" 500 (Pr.hz ());
+  let op = Act.intern "TESTOP" and site = Act.intern "test.site" in
+  Act.set Act.dim_op op;
+  Act.set Act.dim_lock_hold site;
+  (* wait until the sampler has attributed at least one sample to us,
+     bounded so a wedged sampler fails rather than hangs *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Pr.samples_total () = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  Act.clear_my_slot ();
+  Pr.stop ();
+  Alcotest.(check bool) "stopped" false (Pr.running ());
+  Alcotest.(check bool) "samples accumulated" true (Pr.samples_total () > 0);
+  let has_frame s frame =
+    let n = String.length frame in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = frame || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "stack carries the op and the held site" true
+    (List.exists
+       (fun (s, c) -> c > 0 && has_frame s "TESTOP" && has_frame s "test.site")
+       (Pr.stacks ()));
+  (* collapsed-stack export: one "stack count" line per entry *)
+  let path = Filename.temp_file "profile" ".collapsed" in
+  Pr.write_collapsed path;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check bool) "collapsed non-empty" true (List.length !lines > 0);
+  List.iter
+    (fun l ->
+      match String.rindex_opt l ' ' with
+      | None -> Alcotest.failf "collapsed line without count: %s" l
+      | Some i -> (
+          match
+            int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+          with
+          | Some n when n > 0 -> ()
+          | _ -> Alcotest.failf "bad collapsed count: %s" l))
+    !lines;
+  Sys.remove path;
+  (* the JSON snapshot parses and carries every section *)
+  let j =
+    match Harness.Jsonlite.parse_result (Pr.json ()) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("PROFILE json rejected: " ^ e)
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true
+        (Harness.Jsonlite.member k j <> None))
+    [ "clock_source"; "running"; "hz"; "samples"; "stacks"; "activity";
+      "lock_sites"; "gc" ];
+  Pr.reset ();
+  Alcotest.(check int) "reset clears" 0 (Pr.samples_total ())
+
+(* A contended instrumented lock surfaces at its site in the
+   contention table, with wait time and the waits-on edge map.  A
+   blocking-mode lock: lock-free mode can resolve contention by helping
+   (no failed try_lock), which keeps the contended column legitimately
+   at zero.  Contention is staged deterministically — a holder parks
+   inside its critical section (sleeping, so this works on one CPU)
+   while waiters bang on the lock — because a pure throughput race can
+   legitimately serialise on a single-core box. *)
+let test_lock_site_contention () =
+  Verlib.reset ();
+  Flock.Lock.reset_sites ();
+  let lk = Flock.Lock.create ~mode:Flock.Lock.Blocking ~site:"unit.lock" () in
+  let held = Atomic.make false in
+  let release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Flock.Lock.with_lock lk (fun () ->
+            Atomic.set held true;
+            while not (Atomic.get release) do
+              Unix.sleepf 0.001
+            done))
+  in
+  while not (Atomic.get held) do
+    Unix.sleepf 0.001
+  done;
+  let waiter () =
+    for _ = 1 to 100 do
+      Flock.Lock.with_lock lk ignore
+    done
+  in
+  let ws = List.init 2 (fun _ -> Domain.spawn waiter) in
+  Unix.sleepf 0.03;
+  Atomic.set release true;
+  List.iter Domain.join ws;
+  Domain.join holder;
+  let sm =
+    List.find_opt
+      (fun s -> s.Flock.Lock.sm_site = "unit.lock")
+      (Flock.Lock.site_summaries ())
+  in
+  match sm with
+  | None -> Alcotest.fail "site unit.lock missing from summaries"
+  | Some sm ->
+      Alcotest.(check int) "every acquire counted" 201
+        sm.Flock.Lock.sm_acquires;
+      Alcotest.(check bool) "contention observed" true
+        (sm.Flock.Lock.sm_contended > 0);
+      Alcotest.(check bool) "wait cycles accumulated" true
+        (sm.Flock.Lock.sm_wait_cycles > 0);
+      Flock.Lock.reset_sites ();
+      Alcotest.(check bool) "reset clears the table" true
+        (List.for_all
+           (fun s -> s.Flock.Lock.sm_acquires = 0)
+           (Flock.Lock.site_summaries ()))
+
 let () =
   Alcotest.run "obs"
     [
@@ -556,5 +687,12 @@ let () =
         [
           Alcotest.test_case "driver obs report" `Quick test_driver_report;
           Alcotest.test_case "exported artefacts" `Quick test_smoke_artefacts;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "sampler end to end" `Quick
+            test_profile_end_to_end;
+          Alcotest.test_case "lock-site contention" `Quick
+            test_lock_site_contention;
         ] );
     ]
