@@ -1,7 +1,7 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke profile-smoke ci doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke profile-smoke txn-smoke ci doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
-BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep
+BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep txn
 # The same list as a comma-separated figure filter for bench_diff: the
 # committed baseline additionally carries "serve" rows (gated by
 # serve-smoke), which bench-check must not report as missing.
@@ -397,12 +397,48 @@ profile-smoke:
 	  --threshold $(PROFILE_OVERHEAD_THRESHOLD); \
 	echo "profile-smoke: OK"
 
+# Transactional end-to-end gate: a fault-armed server (abort-storm
+# fires on the txn commit path) driven by the transactional bank mix
+# over a flaky wire.  The loadgen itself exits non-zero on any
+# violation, give-up or conservation failure (docs/TRANSACTIONS.md);
+# on top of that we require that transactions actually committed and
+# that the storm actually fired.  A second pass covers a sharded
+# mount, where one transaction spans several shards.
+txn-smoke:
+	dune build bin/verlib_serve.exe bin/verlib_loadgen.exe
+	@set -e; \
+	for spec in btree sharded-btree:4; do \
+	  echo "txn-smoke: $$spec under abort-storm + flaky-wire"; \
+	  ./_build/default/bin/verlib_serve.exe -s $$spec -p 0 -t 6 \
+	    --census-interval 0.1 --duration 120 --stats json \
+	    --faults abort-storm \
+	    > /tmp/verlib_txn_report.json 2>/tmp/verlib_txn.log & \
+	  srv=$$!; \
+	  trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	  sleep 1; \
+	  port=$$(awk 'NR==1 && $$1=="PORT" {print $$2}' /tmp/verlib_txn_report.json); \
+	  test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	  ./_build/default/bin/verlib_loadgen.exe --port $$port --mix bank \
+	    -t 4 -d 1.5 --pairs 16 --faults flaky-wire \
+	    | tee /tmp/verlib_txn_bank.out; \
+	  grep -q 'txn: commits=' /tmp/verlib_txn_bank.out \
+	    || { echo "FAIL: no txn gauges in the bank report"; exit 1; }; \
+	  grep -Eq 'txn: commits=[1-9]' /tmp/verlib_txn_bank.out \
+	    || { echo "FAIL: no transactions committed"; exit 1; }; \
+	  kill -INT $$srv; \
+	  wait $$srv; \
+	  trap - EXIT; \
+	  grep -q '"faults_fired":[1-9]' /tmp/verlib_txn_report.json \
+	    || { echo "FAIL: abort-storm never fired on the server"; exit 1; }; \
+	done; \
+	echo "txn-smoke: OK"
+
 # Everything the CI workflow (.github/workflows/ci.yml) runs, callable
 # locally: full build, the test suites, the perf-trajectory gate at
-# --ci scale, the observability gate and the profiling gate.  The
-# heavier smoke targets (serve-smoke, chaos-smoke, obs-smoke) stay
-# opt-in.
-ci: build test bench-check trace-smoke profile-smoke
+# --ci scale, the observability gate, the profiling gate and the
+# transactional end-to-end gate.  The heavier smoke targets
+# (serve-smoke, chaos-smoke, obs-smoke) stay opt-in.
+ci: build test bench-check trace-smoke profile-smoke txn-smoke
 
 doc:
 	dune build @doc

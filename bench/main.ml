@@ -4,7 +4,8 @@
 
    Usage:  main.exe [--full|--ci] [--json FILE] [--label TEXT] [section ...]
    Sections: fig8a fig8b fig8c fig8d fig8dlist fig9 fig10 fig11 fig12
-             direct_stores extra_skiplist shard_sweep micro   (default: all)
+             direct_stores extra_skiplist shard_sweep txn micro
+             (default: all)
 
    --json FILE additionally records one machine-readable row per
    benchmark cell (throughput, latency percentiles, chain census, space)
@@ -490,6 +491,109 @@ let shard_sweep () =
 
 type uobj = { v : int; meta : uobj V.Vtypes.meta }
 
+(* --- Transactions: OCC commit throughput --------------------------------- *)
+
+(* Multi-domain transaction throughput over a btree-backed Txn.Store:
+   each domain runs back-to-back read-modify-write transactions of
+   [tsize] ops (DEL+PUT rewrite pairs over distinct random keys, the
+   bank transfer shape).  Contention is set by the key universe — "low"
+   spreads the transactions over the full scale-n key space, "high"
+   packs them onto 64 keys so write sets collide constantly.  Per cell:
+   r_mops = committed transactions (in Mops units, to match the shared
+   row schema), r_retries = validation conflicts the retry loop
+   absorbed, r_giveups = aborts past the retry budget.  The figure
+   gates through bench_diff like the structural ones: an OCC regression
+   shows up either as a commit-rate collapse or as a retry explosion. *)
+let txn_fig () =
+  let module M = Dstruct.Btree in
+  let threads = !scale.threads and duration = !scale.duration in
+  let cell ~label ~universe ~tsize =
+    V.reset ();
+    let h = M.create ~n_hint:universe () in
+    let store = Txn.Store.create (module M) h in
+    for k = 1 to universe do
+      ignore (M.insert h k k)
+    done;
+    let r0 = Txn.validation_retries () and a0 = Txn.aborts () in
+    let stop = Atomic.make false in
+    let committed = Atomic.make 0 and aborted = Atomic.make 0 in
+    let worker wid () =
+      let rng = Workload.Splitmix.create (0x7a11 + (wid * 7919)) in
+      let rec distinct acc n =
+        if n = 0 then acc
+        else
+          let k = 1 + Workload.Splitmix.below rng universe in
+          if List.mem k acc then distinct acc n
+          else distinct (k :: acc) (n - 1)
+      in
+      while not (Atomic.get stop) do
+        let ops =
+          distinct [] (tsize / 2)
+          |> List.concat_map (fun k ->
+                 [ Txn.Del k; Txn.Put (k, Workload.Splitmix.below rng 1_000) ])
+        in
+        match Txn.exec store ops with
+        | Txn.Committed _ -> Atomic.incr committed
+        | Txn.Aborted _ -> Atomic.incr aborted
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let ds = List.init threads (fun w -> Domain.spawn (worker w)) in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    List.iter Domain.join ds;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let commits = Atomic.get committed in
+    let retries = Txn.validation_retries () - r0 in
+    let aborts = Txn.aborts () - a0 in
+    if recording () then
+      json_rows :=
+        {
+          Harness.Bench_json.r_figure = "txn";
+          r_label = label;
+          r_mops = float_of_int commits /. elapsed /. 1e6;
+          r_p50_us = 0.;
+          r_p99_us = 0.;
+          r_chain_max = 0;
+          r_chain_p99 = 0;
+          r_indirect_links = 0;
+          r_reclaimable = 0;
+          r_violations = 0;
+          r_space_bytes = 0.;
+          r_retries = retries;
+          r_shed = 0;
+          r_giveups = aborts;
+          r_walk_saturation = 0;
+          r_phases = [];
+          r_alloc_bytes_per_op = 0.;
+          r_gc_minor = 0;
+          r_gc_major = 0;
+        }
+        :: !json_rows;
+    [
+      label;
+      Printf.sprintf "%.1f" (float_of_int commits /. elapsed /. 1e3);
+      string_of_int retries;
+      string_of_int (Atomic.get aborted);
+    ]
+  in
+  let rows =
+    [
+      cell ~label:"t2-low" ~universe:!scale.n ~tsize:2;
+      cell ~label:"t2-high" ~universe:64 ~tsize:2;
+      cell ~label:"t8-low" ~universe:!scale.n ~tsize:8;
+      cell ~label:"t8-high" ~universe:64 ~tsize:8;
+    ]
+  in
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Transactions: OCC commit rate, %d domain(s) (t<N> = ops/txn; \
+          low/high = contention)"
+         threads)
+    ~header:[ "cell"; "kcommit/s"; "val retries"; "aborts" ]
+    rows
+
 let micro () =
   let open Bechamel in
   let mk v = { v; meta = V.Vtypes.fresh_meta () } in
@@ -569,6 +673,7 @@ let sections =
     ("direct_stores", direct_stores);
     ("extra_skiplist", extra_skiplist);
     ("shard_sweep", shard_sweep);
+    ("txn", txn_fig);
     ("micro", micro);
   ]
 

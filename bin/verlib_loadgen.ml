@@ -12,17 +12,17 @@
      the run emits [Harness.Bench_json] schema-v1 rows (figure "serve"
      by default) that gate through bench_diff like any other benchmark.
 
-   - [--mix bank]: the snapshot-consistency workload.  Writer domains
-     own disjoint account pairs (a = 2i+1, b = 2i+2, both seeded with
-     BASE) and move one unit per transfer with a single pipelined
-     [DEL a; PUT a (va-1); DEL b; PUT b (vb+1)] sequence.  Reader
-     domains issue MGET a b (and RANGE a b when the structure is
-     ordered); because both run on one snapshot, any observed pair with
-     both accounts present must sum to 2*BASE (transfer complete) or
-     2*BASE - 1 (between the two PUTs) — an account absent is a visible
-     in-flight DEL and is skipped.  A non-atomic multi-read fails this
-     quickly: va only ever decreases and vb only ever increases, so
-     mixing versions drifts outside the two-value window.  On shutdown a
+   - [--mix bank]: the serializability workload.  Writer domains own
+     disjoint account pairs (a = 2i+1, b = 2i+2, both seeded with BASE)
+     and move one unit per transfer with one server-side transaction
+     [MULTI; DEL a; PUT a (va-1); DEL b; PUT b (vb+1); EXEC token].
+     The server commits the four effects atomically at a single
+     versionstamp, exactly once per token, so there is no settle/replay
+     pass and no partially-applied transfer to repair.  Reader domains
+     audit the pair sum through read-only transactions, MGET and (on
+     ordered structures) RANGE; every observed pair must sum to
+     {e exactly} 2*BASE — the old 2*BASE-1 "between the two PUTs"
+     window and the visible in-flight DEL are gone.  On shutdown a
      quiescent MGET of every account must sum to exactly 2*BASE*pairs.
 
    Exit codes: 0 = clean; 1 = invariant violation, reply errors, or
@@ -343,12 +343,14 @@ let bank_base = 1_000_000
 type bank_stats = {
   mutable transfers : int;
   mutable checks : int;
-  mutable skipped : int;  (** a pair member was in-flight (absent) *)
+  mutable skipped : int;  (** a read shed past the retry budget ([-BUSY]) *)
   mutable violations : int;
   mutable berrors : int;
   mutable giveups : int;
-      (** transport retry budget exhausted (reset storm + shedding);
-          the op was settled by replay (writer) or skipped (reader) *)
+      (** transactional transport exhausted its retry budget — asserted
+          {e zero} by the driver: EXEC tokens make wholesale retries
+          exactly-once, so under the shipped fault plans no transfer or
+          audit read should ever run out of attempts *)
   mutable detail : string option;
   mutable bretries : int;
   mutable bshed : int;
@@ -367,13 +369,16 @@ let bank_note_error st msg =
   if st.detail = None then st.detail <- Some msg
 
 (* Writer [w] owns pairs {i | i mod nwriters = w}; local shadows of the
-   two balances make every transfer a blind pipelined write sequence. *)
+   two balances make every transfer a blind transactional write. *)
 let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
-  (* Retrying transport.  Re-sending a whole transfer after an ambiguous
-     failure is safe {e because} the writer owns its pairs: replaying
-     [DEL a; PUT a na; DEL b; PUT b nb] against any prefix of its own
-     earlier effects converges to the same balances (the effect-
-     idempotence argument of docs/RESILIENCE.md). *)
+  (* Each transfer is one server-side transaction
+     [MULTI; DEL a; PUT a na; DEL b; PUT b nb; EXEC token]: the server
+     installs all four effects atomically at a single versionstamp or
+     none of them, and the fresh token makes the commit exactly-once, so
+     an ambiguous wire failure is retried wholesale by [rt_txn] without
+     risk of double-apply.  The old settle loop — replaying a possibly
+     half-applied pipelined sequence until it converged — is gone;
+     there is no half-applied state to settle (docs/TRANSACTIONS.md). *)
   let rt = C.connect_rt ~host ~port ~seed:(0xba9c + (wid * 104729)) () in
   let owned =
     List.init pairs Fun.id
@@ -393,51 +398,30 @@ let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
        let i = owned.(Workload.Splitmix.below rng (Array.length owned)) in
        let a = (2 * i) + 1 and b = (2 * i) + 2 in
        let na = Hashtbl.find va i - 1 and nb = Hashtbl.find vb i + 1 in
-       let cmds = [ P.Del a; P.Put (a, na); P.Del b; P.Put (b, nb) ] in
-       let has_busy = List.exists (function P.Busy _ -> true | _ -> false) in
-       (* A transfer that came back with [-BUSY] entries past the retry
-          budget executed only a prefix of its effects (sheds refuse
-          {e before} execution).  Replaying the {e whole} sequence is
-          safe — the writer owns the pair, and [DEL;PUT] converges to
-          the target balance from any intermediate state — so settle it
-          before moving on; the conservation audit needs every transfer
-          whole. *)
-       let rec exec tries =
-         if tries > 10_000 then begin
-           bank_note_error st "transfer shed past settle budget";
+       (match
+          C.rt_txn rt [ P.Del a; P.Put (a, na); P.Del b; P.Put (b, nb) ]
+        with
+       | Ok (_vs, [ P.Int 1; P.Ok_; P.Int 1; P.Ok_ ]) ->
+           (* Both accounts were present and both re-inserts landed —
+              the only step shape a committed transfer can have. *)
+           Hashtbl.replace va i na;
+           Hashtbl.replace vb i nb;
+           st.transfers <- st.transfers + 1
+       | Ok (_, rs) ->
+           bank_note_error st
+             ("transfer steps: " ^ String.concat " " (List.map P.pp_reply rs));
            Atomic.set stop true
-         end
-         else
-           match C.rt_pipeline rt cmds with
-           | Ok [ _; P.Ok_; _; P.Ok_ ] ->
-               Hashtbl.replace va i na;
-               Hashtbl.replace vb i nb;
-               st.transfers <- st.transfers + 1
-           | Ok rs when has_busy rs ->
-               Unix.sleepf 0.005;
-               exec (tries + 1)
-           | Ok rs ->
-               bank_note_error st
-                 ("transfer replies: "
-                 ^ String.concat " " (List.map P.pp_reply rs));
-               Atomic.set stop true
-           | Error _ ->
-               (* The retrying transport gave up mid-transfer (a reset
-                  storm on top of [-BUSY] shedding can exhaust its
-                  budget): any prefix of the sequence may have
-                  executed.  Replaying the whole transfer is safe for
-                  the same reason ambiguous reconnects are (the writer
-                  owns the pair and [DEL;PUT] converges), and settling
-                  it — like a shed batch — is {e required}: a
-                  half-applied transfer left behind would rightly fail
-                  the conservation audit.  Under an injected fault plan
-                  this is an expected liveness event, not a
-                  correctness error; it is reported as [giveups]. *)
-               st.giveups <- st.giveups + 1;
-               Unix.sleepf 0.005;
-               exec (tries + 1)
-       in
-       exec 0
+       | Error e ->
+           (* The transactional transport ran out of attempts.  Unlike
+              the old pipelined bank there is nothing to settle — the
+              commit either claimed the token or it didn't — but the
+              writer's shadow balances are now one transfer ambiguous,
+              so the run stops and the driver fails on [giveups > 0].
+              Under the shipped plans (abort-storm, flaky-wire) the
+              retry budget makes this probabilistically unreachable. *)
+           st.giveups <- st.giveups + 1;
+           bank_note_error st ("transfer gave up: " ^ e);
+           Atomic.set stop true)
      done
    with e -> bank_note_error st (Printexc.to_string e));
   let r, b = C.rt_stats rt in
@@ -445,15 +429,24 @@ let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
   st.bshed <- b;
   C.rt_close rt
 
+(* Transfers commit atomically, so every observed pair must sum to
+   {e exactly} 2*BASE: the pipelined bank's 2*BASE-1 "between the two
+   PUTs" window and its visible in-flight DEL no longer exist, and an
+   absent account or an off-by-one sum is a serializability
+   violation, not a skip. *)
 let check_pair_sum st ~via a b = function
-  | None -> st.skipped <- st.skipped + 1
+  | None ->
+      bank_note_violation st
+        (Printf.sprintf
+           "%s pair (%d,%d): account absent — transfer observed mid-flight"
+           via a b)
   | Some sum ->
       st.checks <- st.checks + 1;
-      if sum <> 2 * bank_base && sum <> (2 * bank_base) - 1 then
+      if sum <> 2 * bank_base then
         bank_note_violation st
           (Printf.sprintf
-             "%s pair (%d,%d): sum %d not in {%d,%d} — non-atomic multi-read"
-             via a b sum (2 * bank_base) ((2 * bank_base) - 1))
+             "%s pair (%d,%d): sum %d <> %d — non-atomic multi-read" via a b
+             sum (2 * bank_base))
 
 (* Extract both balances from an MGET reply ([Int|Nil; Int|Nil]). *)
 let sum_of_mget = function
@@ -475,7 +468,7 @@ let sum_of_range a b = function
           | Some x, Some y -> Ok (Some (x + y))
           | _ -> Ok None)
        with Exit -> Error "RANGE reply: odd k/v framing")
-  | P.Err _ -> Ok None (* capability probed at start; treat as skip *)
+  | P.Err e -> Error ("RANGE: " ^ e) (* capability was probed at start *)
   | r -> Error ("RANGE reply: " ^ P.pp_reply r)
 
 let bank_reader ~host ~port ~pairs ~rid st () =
@@ -493,29 +486,46 @@ let bank_reader ~host ~port ~pairs ~rid st () =
      while not (Atomic.get stop) do
        let i = Workload.Splitmix.below rng pairs in
        let a = (2 * i) + 1 and b = (2 * i) + 2 in
-       let use_range = ranges_ok && Workload.Splitmix.below rng 2 = 0 in
-       let cmd = if use_range then P.Range (a, b) else P.Mget [| a; b |] in
-       match C.rt_request rt cmd with
-       | Ok (P.Busy _) -> () (* shed past the retry budget: skip the check *)
-       | Ok r -> (
-           let sum =
-             if use_range then sum_of_range a b r else sum_of_mget r
-           in
-           match sum with
-           | Ok s ->
-               check_pair_sum st ~via:(if use_range then "RANGE" else "MGET")
-                 a b s
-           | Error e ->
-               (* a malformed reply is a real protocol violation *)
-               bank_note_error st e;
-               Atomic.set stop true)
-       | Error _ ->
-           (* Transport give-up past the retry budget: no reply arrived,
-              so there is nothing to audit — a liveness skip (reads are
-              idempotent and carry no effects), not a correctness
-              error.  Expected under injected reset storms combined
-              with [-BUSY] shedding. *)
-           st.giveups <- st.giveups + 1
+       (* Three audit paths, all held to the exact-sum invariant: a
+          read-only transaction (validated against the commit clock),
+          an atomic MGET, and — on ordered structures — a RANGE over
+          the pair's snapshot. *)
+       let die = Workload.Splitmix.below rng (if ranges_ok then 3 else 2) in
+       if die = 0 then (
+         match C.rt_txn rt [ P.Get a; P.Get b ] with
+         | Ok (_vs, [ P.Int x; P.Int y ]) ->
+             check_pair_sum st ~via:"TXN" a b (Some (x + y))
+         | Ok (_, _) -> check_pair_sum st ~via:"TXN" a b None
+         | Error e ->
+             (* Reads carry no effects, but a read that runs out of
+                attempts still counts against the zero-giveups
+                assertion — the retry budget is sized so it never
+                should. *)
+             st.giveups <- st.giveups + 1;
+             bank_note_error st ("TXN read gave up: " ^ e))
+       else
+         let use_range = die = 2 in
+         let cmd = if use_range then P.Range (a, b) else P.Mget [| a; b |] in
+         match C.rt_request rt cmd with
+         | Ok (P.Busy _) ->
+             (* shed past the retry budget: nothing executed, skip *)
+             st.skipped <- st.skipped + 1
+         | Ok r -> (
+             let sum =
+               if use_range then sum_of_range a b r else sum_of_mget r
+             in
+             match sum with
+             | Ok s ->
+                 check_pair_sum st
+                   ~via:(if use_range then "RANGE" else "MGET")
+                   a b s
+             | Error e ->
+                 (* a malformed reply is a real protocol violation *)
+                 bank_note_error st e;
+                 Atomic.set stop true)
+         | Error e ->
+             st.giveups <- st.giveups + 1;
+             bank_note_error st ("read gave up: " ^ e)
      done
    with e -> bank_note_error st (Printexc.to_string e));
   let r, b = C.rt_stats rt in
@@ -893,16 +903,20 @@ let run host port threads depth size updates query theta duration seed mix pairs
       (try
          let conn = C.connect ~host ~retries:50 ~port () in
          Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+         (* DEL-then-PUT so reseeding an already-populated server (a
+            second bank run, or accounts left by an opgen fill) resets
+            every balance to BASE instead of tripping on EXISTS. *)
          let cmds =
-           List.init pairs (fun i ->
-               [ P.Put ((2 * i) + 1, bank_base); P.Put ((2 * i) + 2, bank_base) ])
+           List.init (2 * pairs) (fun j -> [ P.Del (j + 1); P.Put (j + 1, bank_base) ])
            |> List.concat
          in
          match C.pipeline conn cmds with
          | Ok rs ->
-             List.iter
-               (function
+             List.iteri
+               (fun i r ->
+                 match r with
                  | P.Ok_ -> ()
+                 | _ when i mod 2 = 0 -> () (* the DEL half: 0 or 1 *)
                  | r -> failwith ("bank seed reply: " ^ P.pp_reply r))
                rs
          | Error e -> failwith ("bank seed: " ^ e)
@@ -944,12 +958,28 @@ let run host port threads depth size updates query theta duration seed mix pairs
       let audit = bank_final_audit ~host ~port ~pairs in
       Printf.printf
         "bank: %d writer(s) %d reader(s) %d pair(s), %.2fs\n\
-         transfers=%d checks=%d inflight_skips=%d violations=%d errors=%d\n"
+         transfers=%d checks=%d shed_skips=%d violations=%d errors=%d\n"
         nwriters nreaders pairs elapsed transfers checks skipped violations
         errors;
       Printf.printf "wire: retries=%d shed=%d giveups=%d reconnects=%d\n"
         retries shed giveups
         (C.reconnect_total ());
+      let stats_raw =
+        match fetch_stats ~host ~port with Ok raw -> Some raw | Error _ -> None
+      in
+      (* The server-side transaction counters (exported as gauges):
+         aborts and validation retries are the OCC contention signal,
+         replays count EXEC tokens answered from the idempotency
+         cache — each one a double-commit that tokens prevented. *)
+      (match stats_raw with
+       | Some raw ->
+           Printf.printf
+             "txn: commits=%d aborts=%d validation_retries=%d replays=%d\n"
+             (gauge_of_stats raw "txn_commits")
+             (gauge_of_stats raw "txn_aborts")
+             (gauge_of_stats raw "txn_validation_retries")
+             (gauge_of_stats raw "txn_replays")
+       | None -> ());
       (match audit with
        | Ok total -> Printf.printf "final audit: OK (total %d)\n" total
        | Error e ->
@@ -957,14 +987,14 @@ let run host port threads depth size updates query theta duration seed mix pairs
            exit_bad := true);
       check_metrics ~host ~port ~exit_bad metrics_out;
       check_profile ~host ~port ~exit_bad profile_out;
-      (* One row per bank run so the liveness figures ([giveups] above
-         all — transfers the retry layer had to settle by replay) gate
-         through bench_diff like the throughput rows do. *)
+      (* One row per bank run so the liveness figures ([giveups] —
+         asserted zero below — and wire retries) gate through
+         bench_diff like the throughput rows do. *)
       if json_out <> None then begin
         let census, walk_saturation =
-          match fetch_stats ~host ~port with
-          | Error _ -> (None, 0)
-          | Ok raw ->
+          match stats_raw with
+          | None -> (None, 0)
+          | Some raw ->
               ( (match census_of_stats raw with Ok c -> c | Error _ -> None),
                 gauge_of_stats raw "diag_walk_saturated" )
         in
@@ -977,6 +1007,13 @@ let run host port threads depth size updates query theta duration seed mix pairs
       end;
       if checks = 0 then begin
         print_endline "bank: FAIL — no atomic checks completed";
+        exit_bad := true
+      end;
+      if giveups > 0 then begin
+        Printf.printf
+          "bank: FAIL — %d give-up(s); transactional retries are \
+           exactly-once and budgeted to never exhaust\n"
+          giveups;
         exit_bad := true
       end;
       if violations > 0 || errors > 0 then exit_bad := true;

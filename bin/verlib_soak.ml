@@ -30,7 +30,8 @@ let plan_arg =
   Arg.(value & opt string "crash-stop-locker" & info [ "plan" ] ~docv:"PLAN"
        ~doc:"Fault plan: a preset name (crash-stop-locker, \
              stalled-reclaimer, flaky-wire, tbd-window, yield-storm, \
-             blocking-convoy) or a raw spec (docs/RESILIENCE.md).")
+             blocking-convoy, abort-storm) or a raw spec \
+             (docs/RESILIENCE.md).")
 
 let structure =
   let doc =

@@ -192,6 +192,20 @@ let render ~host ~port ~prev snap =
     (fmt_count (jnum "shed" st))
     (fmt_count (jnum "deadline_kills" st))
     (fmt_count (jnum "protocol_errors" st));
+  (* Transactions, from the txn_* gauges: commit rate, the abort share
+     of finished transactions, mean validation retries per commit (the
+     OCC contention signal) and exactly-once replays served from the
+     token cache.  Hidden entirely until the first MULTI/EXEC. *)
+  let gauges j = Option.value ~default:J.Null (J.member "gauges" j) in
+  let g name = jnum name (gauges st) in
+  let tc = g "txn_commits" and ta = g "txn_aborts" in
+  if tc +. ta > 0. then
+    line "txn: commits %s (%s)  abort%% %.2f  val-retries/commit %.2f  replays %s"
+      (fmt_count tc)
+      (rate tc (fun p -> jnum "txn_commits" (gauges p.s_stats)))
+      (100. *. ta /. (tc +. ta))
+      (if tc > 0. then g "txn_validation_retries" /. tc else 0.)
+      (fmt_count (g "txn_replays"));
   line "gc: alloc %sB (%s)  minor %s (%s)  major %s (%s)  heap %s words"
     (fmt_count (jnum "alloc_bytes" gc))
     (rate (jnum "alloc_bytes" gc) (fun p ->

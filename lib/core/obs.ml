@@ -149,8 +149,10 @@ module Span = struct
     | Op  (** structure execution, net of nested phases *)
     | Reply  (** reply rendering *)
     | Stall  (** injected fault stalls ([Fault] blocking actions) *)
+    | Validate  (** transaction read-set validation ([Txn]) *)
+    | Install  (** transaction write install + stripe release ([Txn]) *)
 
-  let nphases = 9
+  let nphases = 11
 
   let phase_index = function
     | Accept -> 0
@@ -162,15 +164,18 @@ module Span = struct
     | Op -> 6
     | Reply -> 7
     | Stall -> 8
+    | Validate -> 9
+    | Install -> 10
 
   let phase_names =
     [| "accept"; "queue"; "parse"; "shed"; "route"; "snapshot"; "op"; "reply";
-       "stall" |]
+       "stall"; "validate"; "install" |]
 
   let phase_name p = phase_names.(phase_index p)
 
   let phases =
-    [ Accept; Queue; Parse; Shed; Route; Snapshot; Op; Reply; Stall ]
+    [ Accept; Queue; Parse; Shed; Route; Snapshot; Op; Reply; Stall;
+      Validate; Install ]
 
   let phase_of_name n =
     List.find_opt (fun p -> phase_name p = n) phases

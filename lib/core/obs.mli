@@ -102,6 +102,8 @@ module Span : sig
     | Op
     | Reply
     | Stall
+    | Validate
+    | Install
 
   val nphases : int
 

@@ -459,6 +459,15 @@ let presets =
     ( "flaky-wire",
       "seed=23;client.write:econnreset@p=0.01;client.read:econnreset@p=0.01;\
        server.write:shortwrite=7@p=0.05;server.read:eagain=2@p=0.03" );
+    (* Transaction chaos: a quarter of commit validations fail outright
+       (forced OCC aborts — the retry storm), and a sprinkle of commits
+       pause mid-install with the stripe latches held, stretching the
+       window racing validators must either wait out or abort on.  The
+       [Txn] contract under this plan: every commit completes or aborts
+       cleanly (no latch leaked, no partial install) — [make txn-smoke]
+       and test_txn assert it. *)
+    ( "abort-storm",
+      "seed=77;txn.validate:fail@p=0.25;txn.commit:pause=1@p=0.05" );
   ]
 
 let find_plan name =

@@ -88,7 +88,7 @@ val plan_to_string : plan -> string
 val presets : (string * string) list
 (** Named plans shipped with the repo: [crash-stop-locker],
     [blocking-convoy], [stalled-reclaimer], [tbd-window], [yield-storm],
-    [flaky-wire]. *)
+    [flaky-wire], [abort-storm]. *)
 
 val find_plan : string -> (plan, string) result
 (** A preset name, or a raw spec via {!plan_of_string}. *)

@@ -312,3 +312,55 @@ let rt_pipeline rt cs =
         fail_retry (Unix.error_message err)
   in
   attempt_loop 0
+
+(* --- transactions --------------------------------------------------------- *)
+
+(* One server-side transaction: [MULTI; <ops>; EXEC <token>] pipelined,
+   with abort-aware retry.  The token (fresh per logical transaction,
+   reused across every retry of it) makes the commit exactly-once: any
+   ambiguous wire failure — reply lost after the server committed —
+   resolves on retry to the cached result instead of a second commit,
+   so the caller needs no settling/read-back pass.  Validation aborts
+   ([-ABORT]) and shed commits ([-BUSY] on EXEC, which keeps the queued
+   transaction server-side) retry with jittered backoff.  An [EXEC
+   without MULTI] error means a reconnect dropped the queue between
+   queueing and committing; the whole sequence is simply re-sent. *)
+let rt_txn rt ?token cs =
+  let token =
+    match token with
+    | Some tk when tk > 0 -> tk
+    | Some _ | None -> 1 + Workload.Splitmix.below rt.rt_rng (max_int - 1)
+  in
+  let seq = (Protocol.Multi :: cs) @ [ Protocol.Exec token ] in
+  let max_attempts = max rt.rt_max_attempts 16 in
+  let rec go attempt =
+    let retry e =
+      if attempt + 1 < max_attempts then begin
+        count_retry rt;
+        backoff rt attempt;
+        go (attempt + 1)
+      end
+      else Error e
+    in
+    match rt_pipeline rt seq with
+    | Error e -> Error e
+    | Ok rs -> (
+        match List.rev rs with
+        | [] -> Error "transaction: empty pipeline reply"
+        | last :: _ -> (
+            match last with
+            | Protocol.Arr (Protocol.Int vs :: steps) -> Ok (vs, steps)
+            | Protocol.Aborted n ->
+                retry
+                  (Printf.sprintf
+                     "transaction aborted after %d validation attempts" n)
+            | Protocol.Busy _ -> retry "transaction: EXEC shed"
+            | Protocol.Err msg
+              when String.length msg >= 4 && String.sub msg 0 4 = "EXEC" ->
+                (* "EXEC without MULTI": a reconnect inside the pipeline
+                   lost the queued transaction — re-send it whole. *)
+                retry msg
+            | Protocol.Err msg -> Error msg
+            | r -> Error ("transaction: unexpected EXEC reply " ^ Protocol.pp_reply r)))
+  in
+  go 0

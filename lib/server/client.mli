@@ -98,6 +98,23 @@ val rt_pipeline :
     every command is idempotent; [-BUSY] entries of a successful batch
     are re-issued individually. *)
 
+val rt_txn :
+  rt ->
+  ?token:int ->
+  Protocol.command list ->
+  (int * Protocol.reply list, string) result
+(** One server-side transaction: pipelines
+    [MULTI; <commands>; EXEC <token>] and returns
+    [(versionstamp, per-command replies)] on commit.  [token] (fresh
+    and positive; generated from the client RNG when omitted) makes the
+    commit exactly-once, so ambiguous wire failures are retried
+    wholesale without risk of double-commit — no settling pass needed.
+    Validation aborts, shed EXECs and reconnect-dropped queues retry
+    with jittered backoff up to [max rt_max_attempts 16] times;
+    [Error _] past that is a genuine failure and the transaction is
+    guaranteed uncommitted only in the abort case (see
+    docs/TRANSACTIONS.md). *)
+
 val rt_stats : rt -> int * int
 (** [(retries, busy)] this client performed/observed so far. *)
 

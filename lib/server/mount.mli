@@ -30,13 +30,27 @@ val shard_views : t -> (string * ((Verlib.Chainscan.target -> unit) -> unit)) li
     singleton for monolithic structures, one per shard for [sharded-*]
     mounts — the server's per-shard [STATS] breakdown reads these. *)
 
+val store : t -> Txn.Store.t
+(** The mount's transactional facade (one per mount; every write goes
+    through it). *)
+
 val exec : t -> Protocol.command -> Protocol.reply
 (** Execute one data command, booked to the current request span's [op]
     phase.  [Ping] answers [Pong]; [Stats], [Metrics] and [Quit] are
     connection-level and answered with [-ERR] here (the server
-    intercepts them first).  Structure exceptions are caught and
-    surfaced as [-ERR internal: ...] so a bug cannot take the worker
-    down. *)
+    intercepts them first).  [Put]/[Del] route through the mount's
+    {!Txn.Store} so they serialize with transactional commits.
+    Structure exceptions are caught and surfaced as [-ERR internal:
+    ...] so a bug cannot take the worker down. *)
+
+val exec_txn : t -> token:int -> Protocol.command list -> Protocol.reply
+(** Commit one MULTI/EXEC transaction: the queued commands execute as a
+    single {!Txn.exec} (snapshot-consistent reads, buffered writes,
+    validate-and-install commit).  Success is
+    [Arr (Int versionstamp :: per-command replies)]; validation
+    exhaustion is [Aborted n].  [token > 0] engages the exactly-once
+    replay cache.  Booked to the request span's [op] phase, with
+    [validate]/[install] nested inside. *)
 
 val scan_limit_cap : int
 (** Upper bound the server imposes on [SCAN] results (bindings), to

@@ -12,6 +12,11 @@ type command =
   | Metrics
   | Profile of int
       (** profiler snapshot; the arg is a window in ms (0 = cumulative) *)
+  | Multi
+  | Exec of int
+      (** commit the queued transaction; the arg is an idempotency token
+          (0 = none) *)
+  | Discard
   | Quit
 
 type reply =
@@ -24,6 +29,10 @@ type reply =
   | Nil
   | Bulk of string
   | Arr of reply list
+  | Queued
+  | Aborted of int
+      (** transaction validation kept failing; the arg is the attempt
+          count spent server-side *)
 
 (* --- command classification ---------------------------------------------- *)
 
@@ -34,15 +43,23 @@ type reply =
    re-sending it after a reconnect would close the fresh connection. *)
 let idempotent = function
   | Ping | Get _ | Put _ | Del _ | Mget _ | Range _ | Rangecount _ | Scan _
-  | Size | Stats | Metrics | Profile _ ->
+  | Size | Stats | Metrics | Profile _ | Multi | Discard ->
       true
+  | Exec t ->
+      (* With a token the commit is exactly-once server-side, so blind
+         re-send is safe; without one a replayed EXEC could commit
+         twice. *)
+      t > 0
   | Quit -> false
 
 (* Commands whose execution takes a snapshot and walks many versioned
-   pointers — the expensive class, shed first under overload. *)
+   pointers — the expensive class, shed first under overload.  EXEC
+   belongs here: a transaction commit validates a whole read set and
+   may retry. *)
 let snapshot_heavy = function
-  | Mget _ | Range _ | Rangecount _ | Scan _ -> true
-  | Ping | Get _ | Put _ | Del _ | Size | Stats | Metrics | Profile _ | Quit ->
+  | Mget _ | Range _ | Rangecount _ | Scan _ | Exec _ -> true
+  | Ping | Get _ | Put _ | Del _ | Size | Stats | Metrics | Profile _ | Multi
+  | Discard | Quit ->
       false
 
 (* --- command parsing ---------------------------------------------------- *)
@@ -94,9 +111,16 @@ let parse_command_tokens toks =
         | "PROFILE", [] -> Ok (Profile 0)
         | "PROFILE", [ ms ] ->
             int_arg "window" ms (fun ms -> Ok (Profile (max 0 ms)))
+        | "MULTI", [] -> Ok Multi
+        | "EXEC", [] -> Ok (Exec 0)
+        | "EXEC", [ t ] ->
+            int_arg "token" t (fun t ->
+                if t > 0 then Ok (Exec t) else Error "EXEC: token must be > 0")
+        | "DISCARD", [] -> Ok Discard
         | "QUIT", [] -> Ok Quit
         | ( (("PING" | "GET" | "PUT" | "DEL" | "RANGE" | "RANGECOUNT" | "SCAN"
-             | "SIZE" | "STATS" | "METRICS" | "PROFILE" | "QUIT") as v),
+             | "SIZE" | "STATS" | "METRICS" | "PROFILE" | "MULTI" | "EXEC"
+             | "DISCARD" | "QUIT") as v),
             _ ) ->
             Error (Printf.sprintf "wrong number of arguments for %s" v)
         | v, _ ->
@@ -146,6 +170,10 @@ let render_command ?trace_id buf c =
    | Metrics -> p "METRICS"
    | Profile 0 -> p "PROFILE"
    | Profile ms -> p "PROFILE %d" ms
+   | Multi -> p "MULTI"
+   | Exec 0 -> p "EXEC"
+   | Exec t -> p "EXEC %d" t
+   | Discard -> p "DISCARD"
    | Quit -> p "QUIT");
   Buffer.add_string buf "\r\n"
 
@@ -178,12 +206,14 @@ let rec render_reply buf r =
   | Arr rs ->
       p "*%d\r\n" (List.length rs);
       List.iter (render_reply buf) rs
+  | Queued -> p "+QUEUED\r\n"
+  | Aborted n -> p "-ABORT %d\r\n" (max 0 n)
 
 let rec reply_equal a b =
   match (a, b) with
-  | Ok_, Ok_ | Pong, Pong | Exists, Exists | Nil, Nil -> true
+  | Ok_, Ok_ | Pong, Pong | Exists, Exists | Nil, Nil | Queued, Queued -> true
   | Err x, Err y | Bulk x, Bulk y -> String.equal x y
-  | Int x, Int y | Busy x, Busy y -> x = y
+  | Int x, Int y | Busy x, Busy y | Aborted x, Aborted y -> x = y
   | Arr x, Arr y ->
       List.length x = List.length y && List.for_all2 reply_equal x y
   | _ -> false
@@ -200,6 +230,8 @@ let rec pp_reply = function
       if String.length s > 40 then Printf.sprintf "bulk[%d]" (String.length s)
       else Printf.sprintf "bulk(%s)" s
   | Arr rs -> "[" ^ String.concat "; " (List.map pp_reply rs) ^ "]"
+  | Queued -> "QUEUED"
+  | Aborted n -> Printf.sprintf "ABORT %d" n
 
 (* --- trace-info frames ---------------------------------------------------- *)
 
@@ -398,12 +430,17 @@ module Reader = struct
           | "OK" -> Ok Ok_
           | "PONG" -> Ok Pong
           | "EXISTS" -> Ok Exists
+          | "QUEUED" -> Ok Queued
           | other -> Error (Printf.sprintf "unknown simple reply %S" other))
       | '-' ->
           if String.length body >= 5 && String.sub body 0 5 = "BUSY " then
             match int_of_string_opt (String.sub body 5 (String.length body - 5)) with
             | Some ms when ms >= 0 -> Ok (Busy ms)
             | Some _ | None -> Error (Printf.sprintf "bad BUSY reply %S" body)
+          else if String.length body >= 6 && String.sub body 0 6 = "ABORT " then
+            match int_of_string_opt (String.sub body 6 (String.length body - 6)) with
+            | Some n when n >= 0 -> Ok (Aborted n)
+            | Some _ | None -> Error (Printf.sprintf "bad ABORT reply %S" body)
           else
             let msg =
               if String.length body >= 4 && String.sub body 0 4 = "ERR " then

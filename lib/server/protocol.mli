@@ -38,6 +38,20 @@ type command =
           stacks, positive values report only the stacks accumulated
           inside the window (the serving worker sleeps for it, clamped
           server-side to 5 s).  Never shed, like [Stats]. *)
+  | Multi
+      (** Open a transaction: subsequent data commands are queued (each
+          answered [+QUEUED]) until [EXEC] commits or [DISCARD] drops
+          them.  See docs/TRANSACTIONS.md. *)
+  | Exec of int
+      (** [EXEC \[token\]]: atomically execute the queued commands as
+          one optimistic transaction.  Success is an array reply whose
+          head is the {e versionstamp} (the commit's globally-ordered
+          stamp) followed by one element per queued command; validation
+          exhaustion is [-ABORT n].  A positive [token] makes the
+          commit exactly-once: re-sending [EXEC token] after an
+          ambiguous failure replays the cached result instead of
+          committing twice (0 = no token). *)
+  | Discard  (** Drop the queued transaction; answers [+OK]. *)
   | Quit
 
 type reply =
@@ -52,15 +66,22 @@ type reply =
   | Nil  (** [$-1] — absent key *)
   | Bulk of string  (** [$len] payload *)
   | Arr of reply list  (** [*n] then n elements *)
+  | Queued  (** [+QUEUED] — command buffered inside MULTI *)
+  | Aborted of int
+      (** [-ABORT n] — EXEC gave up after [n] validation attempts; the
+          transaction had {e no} effect and may be retried wholesale *)
 
 val idempotent : command -> bool
 (** Safe to re-issue after an ambiguous wire failure (the retry layer's
-    criterion).  True for everything except [Quit]; [Put]/[Del] qualify
-    by effect idempotence — see docs/RESILIENCE.md for the caveat. *)
+    criterion).  True for everything except [Quit] and token-less
+    [Exec]; [Put]/[Del] qualify by effect idempotence, [Exec t] with
+    [t > 0] by the server-side exactly-once token cache
+    (docs/TRANSACTIONS.md). *)
 
 val snapshot_heavy : command -> bool
 (** Takes a snapshot and walks many versioned pointers ([Mget], [Range],
-    [Rangecount], [Scan]) — the class an overloaded server sheds first. *)
+    [Rangecount], [Scan]) or validates a whole read set ([Exec]) — the
+    class an overloaded server sheds first. *)
 
 val parse_command : string -> (command, string) result
 (** Parse one line (without the trailing newline; a trailing ['\r'] is

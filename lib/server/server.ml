@@ -283,6 +283,10 @@ let write_all ?(deadline = infinity) fd s =
 
 let max_line = 1 lsl 20
 
+(* Commands one MULTI may queue before EXEC refuses more (bounds the
+   per-connection buffered transaction). *)
+let multi_queue_cap = 1024
+
 (* Admission control.  0 = admit everything; 1 = shed snapshot-heavy
    commands; 2 = shed every data command (PING/STATS/QUIT are always
    answered — an overloaded server stays observable).  Any configured
@@ -337,6 +341,9 @@ let command_verb : Protocol.command -> string = function
   | Protocol.Stats -> "STATS"
   | Protocol.Metrics -> "METRICS"
   | Protocol.Profile _ -> "PROFILE"
+  | Protocol.Multi -> "MULTI"
+  | Protocol.Exec _ -> "EXEC"
+  | Protocol.Discard -> "DISCARD"
   | Protocol.Quit -> "QUIT"
 
 (* Per-verb activity frames for the sampling profiler.  Interning is
@@ -358,6 +365,9 @@ let verb_activity : Protocol.command -> int =
   and stats = Activity.intern "STATS"
   and metrics = Activity.intern "METRICS"
   and profile = Activity.intern "PROFILE"
+  and multi = Activity.intern "MULTI"
+  and exec = Activity.intern "EXEC"
+  and discard = Activity.intern "DISCARD"
   and quit = Activity.intern "QUIT" in
   function
   | Protocol.Ping -> ping
@@ -372,6 +382,9 @@ let verb_activity : Protocol.command -> int =
   | Protocol.Stats -> stats
   | Protocol.Metrics -> metrics
   | Protocol.Profile _ -> profile
+  | Protocol.Multi -> multi
+  | Protocol.Exec _ -> exec
+  | Protocol.Discard -> discard
   | Protocol.Quit -> quit
 
 (* Serve one connection to completion.  Reads are buffered; every
@@ -394,6 +407,17 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
   let out = Buffer.create 4096 in
   let scratch = Buffer.create 256 in
   let quit = ref false in
+  (* MULTI state: a transaction being queued on this connection.
+     [dirty] poisons it (parse error, bad command, overflow) so EXEC
+     refuses instead of committing a half-understood sequence. *)
+  let in_multi = ref false in
+  let queued : Protocol.command list ref = ref [] (* reversed *) in
+  let dirty = ref false in
+  let multi_reset () =
+    in_multi := false;
+    queued := [];
+    dirty := false
+  in
   let last_act = ref (Unix.gettimeofday ()) in
   (* Tick stamp of the read chunk being processed: the first command of
      a chunk backdates its span to the bytes' arrival, so (for the
@@ -420,6 +444,9 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
       match parsed with
       | Error msg ->
           Atomic.incr t.errors_total;
+          (* A garbage line inside MULTI poisons the transaction: the
+             client and server may disagree on what was queued. *)
+          if !in_multi then dirty := true;
           (None, "error", Protocol.Err msg)
       | Ok (tid, c) -> (
           Span.set_cmd sp (command_verb c);
@@ -429,6 +456,106 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
           | Protocol.Quit ->
               quit := true;
               (tid, "ok", Protocol.Ok_)
+          | Protocol.Multi ->
+              if !in_multi then begin
+                Atomic.incr t.errors_total;
+                dirty := true;
+                (tid, "error", Protocol.Err "MULTI: nested MULTI")
+              end
+              else begin
+                multi_reset ();
+                in_multi := true;
+                (tid, "ok", Protocol.Ok_)
+              end
+          | Protocol.Discard ->
+              if !in_multi then begin
+                multi_reset ();
+                (tid, "ok", Protocol.Ok_)
+              end
+              else begin
+                Atomic.incr t.errors_total;
+                (tid, "error", Protocol.Err "DISCARD without MULTI")
+              end
+          | Protocol.Exec token ->
+              if not !in_multi then begin
+                Atomic.incr t.errors_total;
+                (tid, "error", Protocol.Err "EXEC without MULTI")
+              end
+              else if !dirty then begin
+                multi_reset ();
+                Atomic.incr t.errors_total;
+                ( tid,
+                  "error",
+                  Protocol.Err
+                    "EXECABORT: transaction discarded because of previous \
+                     errors" )
+              end
+              else begin
+                let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+                if lvl >= 2 then begin
+                  if not (Atomic.exchange t.hard_shed_on true) then
+                    flight_record t ~trigger:Harness.Flight.Hard_shed ()
+                end
+                else if lvl = 0 then Atomic.set t.hard_shed_on false;
+                if lvl >= 1 then begin
+                  (* EXEC is snapshot-heavy, so it sheds at soft level —
+                     but WITHOUT dropping the queued transaction: a
+                     backed-off retry of just EXEC still commits it. *)
+                  count_shed t;
+                  (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+                end
+                else begin
+                  let cs = List.rev !queued in
+                  multi_reset ();
+                  match Mount.exec_txn t.mount ~token cs with
+                  | Protocol.Err _ as r ->
+                      Atomic.incr t.errors_total;
+                      (tid, "error", r)
+                  | Protocol.Aborted _ as r -> (tid, "abort", r)
+                  | r -> (tid, "ok", r)
+                end
+              end
+          | ( Protocol.Get _ | Protocol.Put _ | Protocol.Del _
+            | Protocol.Mget _ | Protocol.Range _ | Protocol.Rangecount _ )
+            when !in_multi -> (
+              let unsupported_range =
+                match (c, Mount.range_capability t.mount) with
+                | ( (Protocol.Range _ | Protocol.Rangecount _),
+                    Dstruct.Map_intf.Unordered ) ->
+                    true
+                | _ -> false
+              in
+              match () with
+              | _ when unsupported_range ->
+                  (* Reject at queue time: queuing a command that can
+                     never execute would guarantee an EXECABORT later. *)
+                  Atomic.incr t.errors_total;
+                  dirty := true;
+                  ( tid,
+                    "error",
+                    Protocol.Err
+                      (Printf.sprintf
+                         "unsupported: RANGE on unordered structure %S; use \
+                          MGET"
+                         (Mount.name t.mount)) )
+              | _ when List.length !queued >= multi_queue_cap ->
+                  Atomic.incr t.errors_total;
+                  dirty := true;
+                  (tid, "error", Protocol.Err "MULTI: transaction too large")
+              | _ ->
+                  queued := c :: !queued;
+                  (tid, "ok", Protocol.Queued))
+          | c when !in_multi ->
+              (* PING/STATS/SCAN/... make no sense inside a transaction;
+                 poison it so EXEC cannot silently commit a sequence the
+                 client mis-stated. *)
+              Atomic.incr t.errors_total;
+              dirty := true;
+              ( tid,
+                "error",
+                Protocol.Err
+                  (Printf.sprintf "%s not allowed in MULTI" (command_verb c))
+              )
           | Protocol.Stats -> (tid, "ok", Protocol.Bulk (stats_json t))
           | Protocol.Metrics -> (tid, "ok", Protocol.Bulk (metrics_text t))
           | Protocol.Profile ms ->

@@ -28,6 +28,11 @@ let gen_command =
       map (fun n -> P.Scan n) (int_range 0 1000);
       return P.Size;
       return P.Stats;
+      return P.Multi;
+      (* EXEC renders bare for token 0 and "EXEC <t>" otherwise; both
+         forms must round-trip. *)
+      map (fun t -> P.Exec t) (int_range 0 1_000_000);
+      return P.Discard;
       return P.Quit;
     ]
 
@@ -152,6 +157,10 @@ let gen_reply =
             map (fun n -> P.Int n) small_signed_int;
             map (fun s -> P.Err s) gen_printable;
             map (fun s -> P.Bulk s) gen_bytes;
+            return P.Queued;
+            (* -ABORT clamps to non-negative on the wire, so only
+               non-negative counts round-trip. *)
+            map (fun n -> P.Aborted n) (int_range 0 1000);
           ]
       in
       if n = 0 then leaf
@@ -567,6 +576,115 @@ let test_wire_graceful_stop () =
   (* idempotent *)
   S.stop srv
 
+(* --- live: MULTI/EXEC transactions over the wire ------------------------ *)
+
+let test_wire_txn_basics () =
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  ignore (req conn (P.Put (1, 10)));
+  ignore (req conn (P.Put (2, 20)));
+  (* queue a read-modify sequence and commit it *)
+  Alcotest.(check bool) "multi" true (req conn P.Multi = P.Ok_);
+  Alcotest.(check bool) "queued get" true (req conn (P.Get 1) = P.Queued);
+  Alcotest.(check bool) "queued del" true (req conn (P.Del 1) = P.Queued);
+  Alcotest.(check bool) "queued put" true (req conn (P.Put (1, 11)) = P.Queued);
+  (match req conn (P.Exec 1) with
+   | P.Arr (P.Int vs :: steps) ->
+       Alcotest.(check bool) "versionstamp positive" true (vs > 0);
+       Alcotest.(check bool) "steps" true
+         (steps = [ P.Int 10; P.Int 1; P.Ok_ ])
+   | r -> Alcotest.fail ("exec: " ^ P.pp_reply r));
+  Alcotest.(check bool) "committed" true (req conn (P.Get 1) = P.Int 11);
+  (* DISCARD drops the queue without executing *)
+  ignore (req conn P.Multi);
+  Alcotest.(check bool) "queued" true (req conn (P.Del 2) = P.Queued);
+  Alcotest.(check bool) "discard" true (req conn P.Discard = P.Ok_);
+  Alcotest.(check bool) "discarded" true (req conn (P.Get 2) = P.Int 20);
+  (* state errors *)
+  (match req conn (P.Exec 0) with
+   | P.Err e ->
+       Alcotest.(check bool) "exec without multi" true
+         (String.length e >= 4 && String.sub e 0 4 = "EXEC")
+   | r -> Alcotest.fail ("exec outside multi: " ^ P.pp_reply r));
+  (match req conn P.Discard with
+   | P.Err _ -> ()
+   | r -> Alcotest.fail ("discard outside multi: " ^ P.pp_reply r));
+  (* nested MULTI and non-queueable commands poison the transaction *)
+  ignore (req conn P.Multi);
+  (match req conn P.Multi with
+   | P.Err _ -> ()
+   | r -> Alcotest.fail ("nested multi: " ^ P.pp_reply r));
+  (match req conn (P.Exec 0) with
+   | P.Err e ->
+       Alcotest.(check bool) "execabort" true
+         (String.length e >= 9 && String.sub e 0 9 = "EXECABORT")
+   | r -> Alcotest.fail ("exec on dirty: " ^ P.pp_reply r));
+  ignore (req conn P.Multi);
+  (match req conn P.Stats with
+   | P.Err _ -> ()
+   | r -> Alcotest.fail ("STATS in multi: " ^ P.pp_reply r));
+  (match req conn (P.Exec 0) with
+   | P.Err _ -> ()
+   | r -> Alcotest.fail ("exec after poison: " ^ P.pp_reply r));
+  (* the connection recovers fully after an EXECABORT *)
+  ignore (req conn P.Multi);
+  Alcotest.(check bool) "recovered" true (req conn (P.Get 2) = P.Queued);
+  (match req conn (P.Exec 0) with
+   | P.Arr [ P.Int _; P.Int 20 ] -> ()
+   | r -> Alcotest.fail ("exec after recovery: " ^ P.pp_reply r))
+
+let test_wire_txn_range_unordered () =
+  with_server (module Dstruct.Hashtable) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  ignore (req conn P.Multi);
+  (* RANGE can never execute on an unordered mount: rejected at queue
+     time, poisoning the transaction. *)
+  (match req conn (P.Range (1, 9)) with
+   | P.Err _ -> ()
+   | r -> Alcotest.fail ("range in multi: " ^ P.pp_reply r));
+  (match req conn (P.Exec 0) with
+   | P.Err e ->
+       Alcotest.(check bool) "execabort after range" true
+         (String.length e >= 9 && String.sub e 0 9 = "EXECABORT")
+   | r -> Alcotest.fail ("exec: " ^ P.pp_reply r))
+
+let test_wire_txn_token_replay () =
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  let run_txn () =
+    ignore (req conn P.Multi);
+    ignore (req conn (P.Put (5, 50)));
+    req conn (P.Exec 777)
+  in
+  let first = run_txn () in
+  (match first with
+   | P.Arr [ P.Int _; P.Ok_ ] -> ()
+   | r -> Alcotest.fail ("first exec: " ^ P.pp_reply r));
+  (* Re-sending the same token must replay the cached reply verbatim —
+     a live re-execution would answer EXISTS for the PUT. *)
+  let second = run_txn () in
+  Alcotest.(check bool) "token replay identical" true (first = second);
+  Alcotest.(check bool) "effect once" true (req conn (P.Get 5) = P.Int 50)
+
+let test_wire_txn_rt_helper () =
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let rt = C.connect_rt ~seed:11 ~port () in
+  Fun.protect ~finally:(fun () -> C.rt_close rt) @@ fun () ->
+  (match C.rt_txn rt [ P.Put (8, 80); P.Put (9, 90) ] with
+   | Ok (vs, [ P.Ok_; P.Ok_ ]) ->
+       Alcotest.(check bool) "rt_txn vs" true (vs > 0)
+   | Ok (_, rs) ->
+       Alcotest.fail
+         ("rt_txn steps: " ^ String.concat " " (List.map P.pp_reply rs))
+   | Error e -> Alcotest.fail ("rt_txn: " ^ e));
+  match C.rt_request rt (P.Get 8) with
+  | Ok (P.Int 80) -> ()
+  | Ok r -> Alcotest.fail ("rt_txn committed: " ^ P.pp_reply r)
+  | Error e -> Alcotest.fail ("get after rt_txn: " ^ e)
+
 (* --- live: bank-transfer snapshot invariant ----------------------------- *)
 
 (* Writer domains own disjoint account pairs (a = 2i+1, b = 2i+2, both
@@ -720,6 +838,16 @@ let () =
             test_wire_errors_keep_connection;
           Alcotest.test_case "stats json" `Quick test_wire_stats_json;
           Alcotest.test_case "graceful stop" `Quick test_wire_graceful_stop;
+        ] );
+      ( "txn-wire",
+        [
+          Alcotest.test_case "MULTI/EXEC/DISCARD state machine" `Quick
+            test_wire_txn_basics;
+          Alcotest.test_case "RANGE rejected at queue time (unordered)" `Quick
+            test_wire_txn_range_unordered;
+          Alcotest.test_case "EXEC token replay" `Quick
+            test_wire_txn_token_replay;
+          Alcotest.test_case "rt_txn helper" `Quick test_wire_txn_rt_helper;
         ] );
       ( "tracing",
         [
