@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke profile-smoke txn-smoke ci doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke profile-smoke txn-smoke repl-smoke repl-baseline ci doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
 BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep txn
@@ -433,12 +433,42 @@ txn-smoke:
 	done; \
 	echo "txn-smoke: OK"
 
+# Replication end-to-end gate: an in-process primary/replica pair runs
+# the bank mix while the split-brain-window plan partitions the change
+# feed.  The soak binary itself demands the full divergence arc — lag
+# gauges RISE under the partition, drain to zero after the heal, the
+# replica's ledger balances exactly at the healed watermark, and both
+# sides finish with zero census violations (docs/REPLICATION.md).  On
+# top, the emitted feed-throughput and catch-up figure rows (figure
+# "repl") are gated against the committed baseline.
+repl-smoke:
+	dune build bin/verlib_soak.exe bin/bench_diff.exe
+	@set -e; \
+	./_build/default/bin/verlib_soak.exe --repl --ci \
+	  --json /tmp/verlib_repl_rows.json \
+	  2>&1 | tee /tmp/verlib_repl_smoke.log; \
+	grep -q 'soak(repl): OK' /tmp/verlib_repl_smoke.log \
+	  || { echo "FAIL: replication soak did not pass"; exit 1; }; \
+	grep -Eq 'divergence: max_lag=[1-9]' /tmp/verlib_repl_smoke.log \
+	  || { echo "FAIL: no divergence observed under the partition"; exit 1; }; \
+	./_build/default/bin/bench_diff.exe BENCH_PR7.json \
+	  /tmp/verlib_repl_rows.json --figures repl \
+	  --threshold $(BENCH_THRESHOLD); \
+	echo "repl-smoke: OK"
+
+# Refresh the replication rows (figure "repl") in the committed
+# baseline, at the same scale repl-smoke replays them.
+repl-baseline:
+	dune build bin/verlib_soak.exe
+	./_build/default/bin/verlib_soak.exe --repl --ci --json BENCH_PR7.json
+
 # Everything the CI workflow (.github/workflows/ci.yml) runs, callable
 # locally: full build, the test suites, the perf-trajectory gate at
-# --ci scale, the observability gate, the profiling gate and the
-# transactional end-to-end gate.  The heavier smoke targets
-# (serve-smoke, chaos-smoke, obs-smoke) stay opt-in.
-ci: build test bench-check trace-smoke profile-smoke txn-smoke
+# --ci scale, the observability gate, the profiling gate, the
+# transactional end-to-end gate and the replication chaos gate.  The
+# heavier smoke targets (serve-smoke, chaos-smoke, obs-smoke) stay
+# opt-in.
+ci: build test bench-check trace-smoke profile-smoke txn-smoke repl-smoke
 
 doc:
 	dune build @doc

@@ -40,6 +40,36 @@ let host =
 let port =
   Arg.(value & opt int 7379 & info [ "port" ] ~doc:"Server TCP port.")
 
+let host_port =
+  let parse s =
+    let bad () = Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s)) in
+    let mk h p = if p >= 1 && p <= 65535 then Ok (h, p) else bad () in
+    match String.rindex_opt s ':' with
+    | None -> ( match int_of_string_opt s with
+        | Some p -> mk "127.0.0.1" p
+        | None -> bad ())
+    | Some i -> (
+        let h = String.sub s 0 i
+        and rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt rest with
+        | Some p when h <> "" -> mk h p
+        | _ -> bad ())
+  in
+  let print fmt (h, p) = Format.fprintf fmt "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let failover_to =
+  Arg.(value & opt_all host_port [] & info [ "failover-to" ] ~docv:"HOST:PORT"
+       ~doc:"Failover candidate endpoint behind --host/--port (repeatable). \
+             Client transports rotate through the ring on transport failure \
+             and on -ERR READONLY refusals, so a PROMOTE'd replica picks up \
+             the load without restarting the generator.")
+
+(* Failover candidates behind --host/--port, set once in [run] and read at
+   every [connect_rt] site — a module-level ref beats threading one more
+   parameter through every worker signature. *)
+let failover_eps : (string * int) list ref = ref []
+
 let threads =
   Arg.(value & opt int 4 & info [ "t"; "threads" ]
        ~doc:"Client domains (one connection each).")
@@ -255,9 +285,11 @@ let opgen_worker ~host ~port ~depth ~gen_of ~trace_sample ~rt_attempts ~wid st
   let rt =
     match rt_attempts with
     | Some n ->
-        C.connect_rt ~host ~port ~max_attempts:n
+        C.connect_rt ~host ~port ~endpoints:!failover_eps ~max_attempts:n
           ~seed:(0x10adc0de + (wid * 7919)) ()
-    | None -> C.connect_rt ~host ~port ~seed:(0x10adc0de + (wid * 7919)) ()
+    | None ->
+        C.connect_rt ~host ~port ~endpoints:!failover_eps
+          ~seed:(0x10adc0de + (wid * 7919)) ()
   in
   let gen = gen_of wid in
   let rng = Workload.Splitmix.create (0x10adc0de + (wid * 7919)) in
@@ -379,7 +411,10 @@ let bank_writer ~host ~port ~pairs ~nwriters ~wid st () =
      risk of double-apply.  The old settle loop — replaying a possibly
      half-applied pipelined sequence until it converged — is gone;
      there is no half-applied state to settle (docs/TRANSACTIONS.md). *)
-  let rt = C.connect_rt ~host ~port ~seed:(0xba9c + (wid * 104729)) () in
+  let rt =
+    C.connect_rt ~host ~port ~endpoints:!failover_eps
+      ~seed:(0xba9c + (wid * 104729)) ()
+  in
   let owned =
     List.init pairs Fun.id
     |> List.filter (fun i -> i mod nwriters = wid)
@@ -472,7 +507,10 @@ let sum_of_range a b = function
   | r -> Error ("RANGE reply: " ^ P.pp_reply r)
 
 let bank_reader ~host ~port ~pairs ~rid st () =
-  let rt = C.connect_rt ~host ~port ~seed:(0x5ead + (rid * 65537)) () in
+  let rt =
+    C.connect_rt ~host ~port ~endpoints:!failover_eps
+      ~seed:(0x5ead + (rid * 65537)) ()
+  in
   (* Probe once whether RANGE is supported (ordered structure). *)
   let ranges_ok =
     match C.rt_request rt (P.Range (1, 2)) with
@@ -853,10 +891,11 @@ let check_profile ~host ~port ~exit_bad = function
 
 (* --- driver --------------------------------------------------------------- *)
 
-let run host port threads depth size updates query theta duration seed mix pairs
-    no_fill ci json_out merge_into figure stats_out trace_sample trace_out
-    metrics_out profile_out rt_attempts faults =
+let run host port failover threads depth size updates query theta duration seed
+    mix pairs no_fill ci json_out merge_into figure stats_out trace_sample
+    trace_out metrics_out profile_out rt_attempts faults =
   install_signal_handlers ();
+  failover_eps := failover;
   let rt_attempts = if rt_attempts > 0 then Some rt_attempts else None in
   let plan =
     match faults with
@@ -1168,7 +1207,8 @@ let cmd =
   Cmd.v
     (Cmd.info "verlib_loadgen" ~doc)
     Term.(
-      const run $ host $ port $ threads $ depth $ size $ updates $ query $ theta
+      const run $ host $ port $ failover_to $ threads $ depth $ size $ updates
+      $ query $ theta
       $ duration $ seed $ mix $ pairs $ no_fill $ ci $ json_out $ merge_into
       $ figure $ stats_out $ trace_sample $ trace_out $ metrics_out
       $ profile_out $ rt_attempts $ faults)

@@ -139,6 +139,37 @@ let profile_out =
              shutdown.  Implies --profile-hz 97 (the default rate) when \
              --profile-hz is unset.")
 
+let replica_of =
+  let host_port =
+    let parse s =
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 ->
+              Ok ((if host = "" then "127.0.0.1" else host), p)
+          | _ -> Error (`Msg ("bad port in " ^ s)))
+      | None -> (
+          match int_of_string_opt s with
+          | Some p when p > 0 && p < 65536 -> Ok ("127.0.0.1", p)
+          | _ -> Error (`Msg ("expected HOST:PORT, got " ^ s)))
+    in
+    let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt (some host_port) None & info [ "replica-of" ] ~docv:"HOST:PORT"
+       ~doc:"Run as an asynchronous read replica of that primary: bootstrap \
+             via SYNC, stream its change feed (SUBSCRIBE), apply records in \
+             order, serve snapshot reads at the replication watermark, and \
+             refuse writes with -ERR READONLY until PROMOTE \
+             (docs/REPLICATION.md).  A bare port means 127.0.0.1.")
+
+let feed_capacity =
+  Arg.(value & opt int 65536 & info [ "feed-capacity" ] ~docv:"RECORDS"
+       ~doc:"Replication log ring size in records; a subscriber that falls \
+             further behind than this is told to resync from a snapshot.")
+
 let faults =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
        ~doc:"Arm a fault plan (preset name or raw spec, docs/RESILIENCE.md) \
@@ -176,8 +207,8 @@ let install_signal_handlers () =
 let run structure mode port domains n_hint prefill queue_depth census_interval
     max_conns idle_timeout write_timeout shed_queue shed_epoch_lag
     shed_chain_p99 retry_after_ms metrics_interval flight_dir
-    flight_min_interval slo_p99_us locks profile_hz profile_out faults duration
-    stats_fmt trace_file =
+    flight_min_interval slo_p99_us locks profile_hz profile_out replica_of
+    feed_capacity faults duration stats_fmt trace_file =
   let plan =
     match faults with
     | None -> None
@@ -229,6 +260,8 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
       flight_min_interval;
       slo_p99_us;
       profile_hz;
+      replica_of;
+      feed_capacity;
     }
   in
   let srv = Server.create ~config mount in
@@ -250,6 +283,11 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
     (if census_interval > 0. then
        Printf.sprintf ", census every %.2fs" census_interval
      else "");
+  (match replica_of with
+   | Some (h, p) ->
+       Printf.eprintf "verlib-serve: replica of %s:%d (reads at watermark, \
+                       writes refused until PROMOTE)\n%!" h p
+   | None -> ());
   let deadline =
     if duration > 0. then Some (Unix.gettimeofday () +. duration) else None
   in
@@ -304,7 +342,7 @@ let cmd =
       $ queue_depth $ census_interval $ max_conns $ idle_timeout
       $ write_timeout $ shed_queue $ shed_epoch_lag $ shed_chain_p99
       $ retry_after_ms $ metrics_interval $ flight_dir $ flight_min_interval
-      $ slo_p99_us $ locks $ profile_hz $ profile_out $ faults $ duration
-      $ stats_fmt $ trace_file)
+      $ slo_p99_us $ locks $ profile_hz $ profile_out $ replica_of
+      $ feed_capacity $ faults $ duration $ stats_fmt $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -58,6 +58,22 @@ let srv_domains =
 let ci =
   Arg.(value & flag & info [ "ci" ] ~doc:"Smoke scale: duration capped at 1s.")
 
+let repl =
+  Arg.(value & flag & info [ "repl" ]
+       ~doc:"Replication chaos gate: host a primary AND an async replica, \
+             run the bank mix against the primary while the fault plan \
+             partitions the change feed (default plan becomes \
+             split-brain-window), then heal and audit divergence-then-\
+             convergence — lag must RISE under the partition, drain to \
+             zero after it, and the replica's ledger must balance exactly \
+             at the healed watermark (docs/REPLICATION.md).")
+
+let json_out =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"With $(b,--repl): write Bench_json schema-v1 rows (figure \
+             $(b,repl): feed throughput and catch-up rate) to $(docv), \
+             merging into an existing file.")
+
 let profile_out =
   Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
        ~doc:"Sample the in-process server with the continuous profiler \
@@ -208,24 +224,27 @@ let reader ~port ~pairs ~rid st () =
   st.busy <- b;
   C.rt_close rt
 
-(* --- the gate -------------------------------------------------------------- *)
+(* Quiescent conservation audit, directly against a mount: every domain
+   is joined when this runs, so the read is exact. *)
+let conservation_audit mount ~pairs =
+  let missing = ref 0 and total = ref 0 in
+  (match
+     Server.Mount.exec mount (P.Mget (Array.init (2 * pairs) (fun j -> j + 1)))
+   with
+   | P.Arr items ->
+       List.iter
+         (function P.Int v -> total := !total + v | _ -> incr missing)
+         items
+   | r -> failwith ("audit reply: " ^ P.pp_reply r));
+  if !missing > 0 then Error (Printf.sprintf "%d account(s) missing" !missing)
+  else if !total <> 2 * bank_base * pairs then
+    Error
+      (Printf.sprintf "total %d, expected %d (money %s)" !total
+         (2 * bank_base * pairs)
+         (if !total < 2 * bank_base * pairs then "destroyed" else "created"))
+  else Ok !total
 
-let run plan_spec structure duration pairs writers readers srv_domains ci
-    profile_out =
-  let duration = if ci then min duration 1.0 else duration in
-  let pairs = max 1 pairs in
-  let writers = max 1 writers and readers = max 1 readers in
-  let plan =
-    match Fault.find_plan plan_spec with
-    | Ok p -> p
-    | Error e ->
-        prerr_endline ("verlib-soak: bad plan: " ^ e);
-        exit 2
-  in
-  let map = Harness.Registry.find structure in
-  Verlib.reset ();
-  let mount = Server.Mount.mount ~n_hint:(4 * pairs) map in
-  (* Seed the ledger before anything can fail. *)
+let seed_ledger mount ~pairs =
   for i = 0 to pairs - 1 do
     (match Server.Mount.exec mount (P.Put ((2 * i) + 1, bank_base)) with
      | P.Ok_ -> ()
@@ -233,7 +252,249 @@ let run plan_spec structure duration pairs writers readers srv_domains ci
     match Server.Mount.exec mount (P.Put ((2 * i) + 2, bank_base)) with
     | P.Ok_ -> ()
     | r -> failwith ("seed: " ^ P.pp_reply r)
+  done
+
+(* --- the replication gate -------------------------------------------------- *)
+
+(* Divergence-then-convergence: a primary/replica pair with the bank mix
+   on the primary while the plan partitions the change feed (repl.send).
+   The orphaned stream cursor keeps the lag gauges honest through the
+   window, so the audit can demand the full arc: lag RISES while the
+   wire is down, the healed replica drains it to zero, and its ledger
+   then balances to the stamp. *)
+let run_repl ~plan ~structure ~duration ~pairs ~writers ~readers ~srv_domains
+    ~ci ~json_out =
+  let map = Harness.Registry.find structure in
+  Verlib.reset ();
+  let pmount = Server.Mount.mount ~n_hint:(4 * pairs) map in
+  seed_ledger pmount ~pairs;
+  (* The replica's stream pins one primary worker for its whole life
+     (connection-per-worker pool, docs/REPLICATION.md), and every bank
+     client holds a persistent connection — without headroom for all of
+     them the replica starves behind the clients and the feed never
+     streams. *)
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      domains = max srv_domains (writers + readers + 2);
+      queue_depth = 16;
+      census_interval = 0.05;
+      write_timeout = 2.;
+      idle_timeout = 10.;
+      retry_after_ms = 5;
+    }
+  in
+  let primary = Server.create ~config pmount in
+  Server.start primary;
+  let pport = Server.port primary in
+  let rmount = Server.Mount.mount ~n_hint:(4 * pairs) map in
+  let replica =
+    Server.create
+      ~config:{ config with Server.replica_of = Some ("127.0.0.1", pport) }
+      rmount
+  in
+  Server.start replica;
+  Printf.printf
+    "soak(repl): plan=%s structure=%s primary=%d replica=%d %.1fs %d pair(s)\n%!"
+    (Fault.plan_to_string plan) structure pport (Server.port replica) duration
+    pairs;
+  let wstats = Array.init writers (fun _ -> new_cstats ()) in
+  let rstats = Array.init readers (fun _ -> new_cstats ()) in
+  let ds =
+    List.init writers (fun w ->
+        Domain.spawn
+          (writer ~port:pport ~pairs ~nwriters:writers ~wid:w wstats.(w)))
+    @ List.init readers (fun r ->
+          Domain.spawn (reader ~port:pport ~pairs ~rid:r rstats.(r)))
+  in
+  let n = List.length ds in
+  let t_wait = Unix.gettimeofday () +. 10. in
+  while Atomic.get ready < n && Unix.gettimeofday () < t_wait do
+    Unix.sleepf 0.002
   done;
+  Fault.arm plan;
+  Atomic.set go true;
+  (* Sample the lag gauges through the window: the partition severs the
+     stream, the orphaned cursor pins the acked mark, and the writers
+     keep moving the tail — divergence must be visible here. *)
+  let max_lag_s = ref 0 and max_lag_b = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let records0 = Repl.records_total () in
+  while Unix.gettimeofday () -. t0 < duration do
+    max_lag_s := max !max_lag_s (Repl.lag_stamps ());
+    max_lag_b := max !max_lag_b (Repl.lag_bytes ());
+    Unix.sleepf 0.01
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let records_fed = Repl.records_total () - records0 in
+  (* Heal: disarm releases any still-latched window; the replica loop
+     redials, resubscribes (resyncing if it fell below the trim) and
+     drains the backlog, acking as it goes. *)
+  Fault.disarm ();
+  let t_heal = Unix.gettimeofday () in
+  let caught = ref false in
+  while
+    (not !caught)
+    && Unix.gettimeofday () < t_heal +. 30.
+  do
+    if Repl.lag_stamps () = 0 && Repl.lag_bytes () = 0 then caught := true
+    else Unix.sleepf 0.01
+  done;
+  let catchup_s = Unix.gettimeofday () -. t_heal in
+  Server.stop replica;
+  Server.stop primary;
+  (* ---- verdicts ---- *)
+  let fired = Fault.fired_total () in
+  let stalled = Fault.stalled_now () in
+  let sum f arr = Array.fold_left (fun acc s -> acc + f s) 0 arr in
+  let transfers = sum (fun s -> s.transfers) wstats in
+  let checks = sum (fun s -> s.checks) rstats in
+  let violations =
+    sum (fun s -> s.violations) wstats + sum (fun s -> s.violations) rstats
+  in
+  let errors = sum (fun s -> s.errors) wstats + sum (fun s -> s.errors) rstats in
+  let retries =
+    sum (fun s -> s.retries) wstats + sum (fun s -> s.retries) rstats
+  in
+  Array.iter
+    (fun s -> Option.iter (Printf.eprintf "  detail: %s\n") s.detail)
+    (Array.append wstats rstats);
+  let census_viol =
+    Server.census_violations_total primary
+    + Server.census_violations_total replica
+  in
+  let final_ok srv =
+    match Server.final_census srv with
+    | Some c -> c.Verlib.Chainscan.c_violation_count = 0
+    | None -> false
+  in
+  Printf.printf
+    "under fire: transfers=%d checks=%d violations=%d errors=%d records=%d\n"
+    transfers checks violations errors records_fed;
+  Printf.printf
+    "divergence: max_lag=%d stamps / %dB  resyncs=%d dups_dropped=%d\n"
+    !max_lag_s !max_lag_b (Repl.resyncs_total ())
+    (Repl.dup_dropped_total ());
+  Printf.printf
+    "convergence: caught_up=%b in %.2fs  applied=%d  watermark=%d\n"
+    !caught catchup_s (Repl.applied_total ()) (Repl.watermark_now ());
+  let fail = ref false in
+  let check ok msg =
+    if not ok then begin
+      Printf.printf "FAIL: %s\n" msg;
+      fail := true
+    end
+  in
+  check (fired > 0) "plan never fired (no fault injected — dead soak)";
+  check (stalled = 0) "domains still parked after disarm";
+  check (transfers > 0) "no transfers completed under fire (no progress)";
+  check (checks > 0) "no atomic snapshot checks completed under fire";
+  check (violations = 0) "snapshot invariant violated";
+  check (errors = 0) "client errors survived the retry layer";
+  check (records_fed > 0) "the change feed carried no records";
+  check (!max_lag_s > 0)
+    "replication lag never rose — the partition did not bite the feed";
+  check !caught "replication lag did not drain to zero after the heal";
+  check (census_viol = 0)
+    (Printf.sprintf "%d census invariant violation(s)" census_viol);
+  check (final_ok primary) "primary final census missing or violated";
+  check (final_ok replica) "replica final census missing or violated";
+  (match conservation_audit pmount ~pairs with
+   | Ok total -> Printf.printf "primary conservation audit: OK (total %d)\n" total
+   | Error e -> check false ("primary conservation audit: " ^ e));
+  (match conservation_audit rmount ~pairs with
+   | Ok total ->
+       Printf.printf
+         "replica conservation audit: OK (total %d at the healed watermark)\n"
+         total
+   | Error e -> check false ("replica conservation audit: " ^ e));
+  (* Figure rows: "feed" is feed throughput; "catchup" folds the
+     catch-up time into the denominator, so a slower post-heal drain
+     reads as a (one-sided-gated) throughput regression. *)
+  (match json_out with
+   | None -> ()
+   | Some path ->
+       let row r_label r_mops =
+         {
+           Harness.Bench_json.r_figure = "repl";
+           r_label;
+           r_mops;
+           r_p50_us = 0.;
+           r_p99_us = 0.;
+           r_chain_max = 0;
+           r_chain_p99 = 0;
+           r_indirect_links = 0;
+           r_reclaimable = 0;
+           r_violations = violations + census_viol;
+           r_space_bytes = 0.;
+           r_retries = retries;
+           r_shed = Server.shed_count primary;
+           r_giveups = 0;
+           r_walk_saturation = 0;
+           r_phases = [];
+           r_alloc_bytes_per_op = 0.;
+           r_gc_minor = 0;
+           r_gc_major = 0;
+         }
+       in
+       let rows =
+         [
+           row "feed" (float_of_int records_fed /. elapsed /. 1e6);
+           row "catchup"
+             (float_of_int records_fed /. (elapsed +. catchup_s) /. 1e6);
+         ]
+       in
+       let doc =
+         match
+           if Sys.file_exists path then Harness.Bench_json.read_file path
+           else Error "absent"
+         with
+         | Ok d -> Harness.Bench_json.merge_rows d rows
+         | Error _ ->
+             Harness.Bench_json.make_doc ~label:"repl"
+               ~scale:(if ci then "ci" else "quick")
+               rows
+       in
+       Harness.Bench_json.write_file path doc;
+       Printf.printf "bench_json: repl rows -> %s\n" path);
+  if !fail then begin
+    print_endline "soak(repl): FAIL";
+    exit 1
+  end
+  else print_endline "soak(repl): OK"
+
+(* --- the gate -------------------------------------------------------------- *)
+
+let run plan_spec structure duration pairs writers readers srv_domains ci repl
+    json_out profile_out =
+  let duration = if ci then min duration 1.0 else duration in
+  let pairs = max 1 pairs in
+  let writers = max 1 writers and readers = max 1 readers in
+  (* The replication gate defaults to the partition preset; an explicit
+     --plan still wins. *)
+  let plan_spec =
+    if repl && plan_spec = "crash-stop-locker" then "split-brain-window"
+    else plan_spec
+  in
+  let plan =
+    match Fault.find_plan plan_spec with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline ("verlib-soak: bad plan: " ^ e);
+        exit 2
+  in
+  if repl then
+    run_repl ~plan ~structure ~duration ~pairs ~writers ~readers ~srv_domains
+      ~ci ~json_out
+  else begin
+    let map = Harness.Registry.find structure in
+    Verlib.reset ();
+    let mount = Server.Mount.mount ~n_hint:(4 * pairs) map in
+    (* Seed the ledger before anything can fail. *)
+    seed_ledger mount ~pairs;
   let config =
     {
       Server.default_config with
@@ -302,27 +563,7 @@ let run plan_spec structure duration pairs writers readers srv_domains ci
   Array.iter
     (fun s -> Option.iter (Printf.eprintf "  detail: %s\n") s.detail)
     (Array.append wstats rstats);
-  (* Quiescent conservation audit, directly against the mount: every
-     domain is joined, so this read is exact. *)
-  let audit =
-    let missing = ref 0 and total = ref 0 in
-    (match
-       Server.Mount.exec mount (P.Mget (Array.init (2 * pairs) (fun j -> j + 1)))
-     with
-     | P.Arr items ->
-         List.iter
-           (function P.Int v -> total := !total + v | _ -> incr missing)
-           items
-     | r -> failwith ("audit reply: " ^ P.pp_reply r));
-    if !missing > 0 then
-      Error (Printf.sprintf "%d account(s) missing" !missing)
-    else if !total <> 2 * bank_base * pairs then
-      Error
-        (Printf.sprintf "total %d, expected %d (money %s)" !total
-           (2 * bank_base * pairs)
-           (if !total < 2 * bank_base * pairs then "destroyed" else "created"))
-    else Ok !total
-  in
+  let audit = conservation_audit mount ~pairs in
   let census_viol = Server.census_violations_total srv in
   let final_ok =
     match Server.final_census srv with
@@ -363,6 +604,7 @@ let run plan_spec structure duration pairs writers readers srv_domains ci
     exit 1
   end
   else print_endline "soak: OK"
+  end
 
 let cmd =
   let doc = "run the bank workload against an in-process server under a fault \
@@ -371,6 +613,6 @@ let cmd =
     (Cmd.info "verlib_soak" ~doc)
     Term.(
       const run $ plan_arg $ structure $ duration $ pairs $ writers $ readers
-      $ srv_domains $ ci $ profile_out)
+      $ srv_domains $ ci $ repl $ json_out $ profile_out)
 
 let () = exit (Cmd.eval cmd)

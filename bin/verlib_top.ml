@@ -206,6 +206,24 @@ let render ~host ~port ~prev snap =
       (100. *. ta /. (tc +. ta))
       (if tc > 0. then g "txn_validation_retries" /. tc else 0.)
       (fmt_count (g "txn_replays"));
+  (* Replication, from the repl_* gauges: feed rate, subscriber lag in
+     stamps and bytes (both ~0 on a healthy pair, rising through a
+     partition), applied records and the replica watermark, dropped
+     duplicates and snapshot resyncs.  Hidden until the feed carries a
+     record or a replica applies one. *)
+  let rr = g "repl_records_total" and ra = g "repl_applied_total" in
+  if rr +. ra > 0. then
+    line
+      "repl: records %s (%s)  lag %s stamps / %sB  applied %s  wm %s  dups %s  \
+       resyncs %s"
+      (fmt_count rr)
+      (rate rr (fun p -> jnum "repl_records_total" (gauges p.s_stats)))
+      (fmt_count (g "repl_lag_stamps"))
+      (fmt_count (g "repl_lag_bytes"))
+      (fmt_count ra)
+      (fmt_count (g "repl_watermark"))
+      (fmt_count (g "repl_dup_dropped"))
+      (fmt_count (g "repl_resyncs"));
   line "gc: alloc %sB (%s)  minor %s (%s)  major %s (%s)  heap %s words"
     (fmt_count (jnum "alloc_bytes" gc))
     (rate (jnum "alloc_bytes" gc) (fun p ->

@@ -27,6 +27,9 @@ type action =
   | Short_write of int
   | Econnreset
   | Eagain_burst of int
+  | Partition of float
+  | Dup
+  | Reorder
 
 type trigger = Always | Once | Nth of int | Every of int | Prob of float
 
@@ -143,6 +146,12 @@ module Point = struct
        generation; only touched when the gate is open *)
     mutable pt_cache_gen : int;
     mutable pt_cache : int list;
+    (* [Partition] latch: while [gettimeofday () < pt_down_until] (and
+       the generation matches — disarm heals instantly) every hit at
+       this point raises, so reconnect attempts fail for the whole
+       window, not just the call that drew the action. *)
+    pt_down_until : float Atomic.t;
+    pt_down_gen : int Atomic.t;
   }
 
   let registry : t list ref = ref []
@@ -157,7 +166,8 @@ module Point = struct
       | None ->
           let p =
             { pt_name; pt_fired = Atomic.make 0; pt_cache_gen = -1;
-              pt_cache = [] }
+              pt_cache = []; pt_down_until = Atomic.make 0.;
+              pt_down_gen = Atomic.make (-1) }
           in
           registry := p :: !registry;
           p
@@ -276,7 +286,26 @@ let stall_here () =
         Unix.sleepf 0.002
       done)
 
-let perform = function
+(* Partition windows: latched on the point when the action fires, so
+   subsequent hits (including reconnect attempts from other domains)
+   keep failing until the wall clock passes the window or the plan is
+   disarmed. *)
+let down_now (p : Point.t) =
+  match Atomic.get state with
+  | None -> false
+  | Some a ->
+      Atomic.get p.Point.pt_down_gen = a.a_gen
+      && Unix.gettimeofday () < Atomic.get p.Point.pt_down_until
+
+let latch_partition (p : Point.t) d =
+  (match Atomic.get state with
+   | Some a ->
+       Atomic.set p.Point.pt_down_until (Unix.gettimeofday () +. d);
+       Atomic.set p.Point.pt_down_gen a.a_gen
+   | None -> ());
+  raise (Injected "partition")
+
+let perform_at (p : Point.t) = function
   | Pause d -> if d > 0. then observe_blocking (fun () -> Unix.sleepf d)
   | Stall_forever -> observe_blocking stall_here
   | Yield_storm n ->
@@ -285,23 +314,46 @@ let perform = function
             Thread.yield ()
           done)
   | Fail e -> raise e
-  | Short_write _ | Econnreset | Eagain_burst _ ->
-      (* I/O actions need a file descriptor to interpret against; at a
-         non-I/O site they are inert. *)
+  | Partition d -> latch_partition p d
+  | Short_write _ | Econnreset | Eagain_burst _ | Dup | Reorder ->
+      (* Caller-interpreted actions (I/O trio against a file descriptor,
+         Dup/Reorder against a record stream); at an uninterpreted site
+         they are inert. *)
       ()
 
+let raise_down (p : Point.t) =
+  Atomic.incr fired;
+  Atomic.incr p.Point.pt_fired;
+  raise (Injected "partition")
+
 let hit p =
-  if Atomic.get gate then
-    match evaluate p with None -> () | Some a -> perform a
+  if Atomic.get gate then begin
+    if down_now p then raise_down p;
+    match evaluate p with None -> () | Some a -> perform_at p a
+  end
 
 let io_check p =
-  if Atomic.get gate then
+  if Atomic.get gate then begin
+    if down_now p then raise_down p;
     match evaluate p with
     | None -> None
     | Some ((Short_write _ | Econnreset | Eagain_burst _) as io) -> Some io
     | Some a ->
-        perform a;
+        perform_at p a;
         None
+  end
+  else None
+
+let feed_check p =
+  if Atomic.get gate then begin
+    if down_now p then raise_down p;
+    match evaluate p with
+    | None -> None
+    | Some ((Dup | Reorder) as a) -> Some a
+    | Some a ->
+        perform_at p a;
+        None
+  end
   else None
 
 (* ------------------------------------------------------------------ *)
@@ -323,6 +375,9 @@ let action_to_string = function
   | Short_write n -> Printf.sprintf "shortwrite=%d" n
   | Econnreset -> "econnreset"
   | Eagain_burst n -> Printf.sprintf "eagain=%d" n
+  | Partition s -> Printf.sprintf "partition=%g" (s *. 1000.)
+  | Dup -> "dup"
+  | Reorder -> "reorder"
 
 let rule_to_string r =
   Printf.sprintf "%s:%s@%s" r.r_point
@@ -360,25 +415,48 @@ let parse_trigger s =
       if f <= 1. then Ok (Prob f) else Error "p: must be in [0,1]"
   | _ -> Error (Printf.sprintf "bad trigger %S" s)
 
-let parse_action s =
-  match String.split_on_char '=' s with
-  | [ "stall" ] -> Ok Stall_forever
-  | [ "econnreset" ] -> Ok Econnreset
-  | [ "fail" ] -> Ok (Fail (Injected "fault"))
-  | [ "fail"; msg ] -> Ok (Fail (Injected msg))
-  | [ "pause"; ms ] ->
-      let* ms = float_of "pause" ms in
-      Ok (Pause (ms /. 1000.))
-  | [ "yield"; n ] ->
-      let* n = int_of "yield" n in
-      Ok (Yield_storm n)
-  | [ "shortwrite"; n ] ->
-      let* n = int_of "shortwrite" n in
-      if n >= 1 then Ok (Short_write n) else Error "shortwrite: must be >= 1"
-  | [ "eagain"; n ] ->
-      let* n = int_of "eagain" n in
-      if n >= 1 then Ok (Eagain_burst n) else Error "eagain: must be >= 1"
-  | _ -> Error (Printf.sprintf "bad action %S" s)
+let parse_action ~point s =
+  (* One rule carries exactly one action.  A comma'd action spec is the
+     common way to try for more, so diagnose it by name: the error must
+     tell the user which point the overloaded rule was aimed at, and
+     that the supported spelling is one rule per action (the same point
+     may appear in any number of rules; see docs/RESILIENCE.md). *)
+  if String.contains s ',' then
+    Error
+      (Printf.sprintf
+         "point %s: multiple actions on one point in a single rule (%S); a \
+          rule carries exactly one action — repeat the point instead, e.g. \
+          %S"
+         point s
+         (String.concat ";"
+            (List.map
+               (fun a -> point ^ ":" ^ String.trim a)
+               (String.split_on_char ',' s))))
+  else
+    match String.split_on_char '=' s with
+    | [ "stall" ] -> Ok Stall_forever
+    | [ "econnreset" ] -> Ok Econnreset
+    | [ "dup" ] -> Ok Dup
+    | [ "reorder" ] -> Ok Reorder
+    | [ "fail" ] -> Ok (Fail (Injected "fault"))
+    | [ "fail"; msg ] -> Ok (Fail (Injected msg))
+    | [ "pause"; ms ] ->
+        let* ms = float_of "pause" ms in
+        Ok (Pause (ms /. 1000.))
+    | [ "partition"; ms ] ->
+        let* ms = float_of "partition" ms in
+        if ms > 0. then Ok (Partition (ms /. 1000.))
+        else Error "partition: must be > 0"
+    | [ "yield"; n ] ->
+        let* n = int_of "yield" n in
+        Ok (Yield_storm n)
+    | [ "shortwrite"; n ] ->
+        let* n = int_of "shortwrite" n in
+        if n >= 1 then Ok (Short_write n) else Error "shortwrite: must be >= 1"
+    | [ "eagain"; n ] ->
+        let* n = int_of "eagain" n in
+        if n >= 1 then Ok (Eagain_burst n) else Error "eagain: must be >= 1"
+    | _ -> Error (Printf.sprintf "point %s: bad action %S" point s)
 
 let parse_rule s =
   match String.index_opt s ':' with
@@ -391,10 +469,10 @@ let parse_rule s =
         let* action, trigger =
           match String.index_opt rest '@' with
           | None ->
-              let* a = parse_action rest in
+              let* a = parse_action ~point rest in
               Ok (a, Always)
           | Some j ->
-              let* a = parse_action (String.sub rest 0 j) in
+              let* a = parse_action ~point (String.sub rest 0 j) in
               let* t =
                 parse_trigger
                   (String.sub rest (j + 1) (String.length rest - j - 1))
@@ -468,6 +546,15 @@ let presets =
        and test_txn assert it. *)
     ( "abort-storm",
       "seed=77;txn.validate:fail@p=0.25;txn.commit:pause=1@p=0.05" );
+    (* Split brain: the replication feed partitions for a window
+       mid-workload (sends fail, reconnects keep failing until the
+       window closes), and reconnect catch-up redelivers a sprinkle of
+       records.  The contract the soak's divergence-then-converge audit
+       enforces: lag gauges rise during the window, the replica dedups
+       redelivery by seq, and after heal the replica's watermark state
+       conserves the bank exactly (docs/REPLICATION.md). *)
+    ( "split-brain-window",
+      "seed=42;repl.send:partition=600@once;repl.send:dup@p=0.05" );
   ]
 
 let find_plan name =

@@ -47,6 +47,18 @@ type action =
   | Eagain_burst of int
       (** I/O: answer the next call with [EAGAIN] (caller-interpreted;
           the argument is a burst hint carried to the site) *)
+  | Partition of float
+      (** network partition: raise [Injected "partition"] at the site
+          {e and} latch the point down for this many seconds — every
+          subsequent {!hit}/{!io_check}/{!feed_check} at the point
+          raises until the window elapses (or {!disarm} heals it), so
+          reconnect attempts fail for the whole window *)
+  | Dup
+      (** feed: deliver the next record twice (caller-interpreted via
+          {!feed_check}; receivers must dedup) *)
+  | Reorder
+      (** feed: swap the next record with its successor
+          (caller-interpreted via {!feed_check}) *)
 
 (** {1 Triggers} *)
 
@@ -77,10 +89,15 @@ val plan_of_string : string -> (plan, string) result
     [\[seed=N;\] RULE (";" RULE)*] where
     [RULE := POINT ":" ACTION \["@" TRIGGER\]],
     [ACTION := pause=MS | stall | yield=N | fail\[=MSG\] | shortwrite=N
-    | econnreset | eagain=N] and
+    | econnreset | eagain=N | partition=MS | dup | reorder] and
     [TRIGGER := always | once | nth=N | every=N | p=F] (default
     [always]).  Example:
-    ["seed=7;lock.acquire:stall@once;client.write:econnreset@p=0.02"]. *)
+    ["seed=7;lock.acquire:stall@once;client.write:econnreset@p=0.02"].
+
+    A rule carries exactly {e one} action; to layer several actions on
+    one point, repeat the point in separate rules
+    (["repl.send:partition=600@once;repl.send:dup@p=0.05"]).  A comma'd
+    action spec is rejected with an error naming the offending point. *)
 
 val plan_to_string : plan -> string
 (** Canonical spec; [plan_of_string] round-trips it. *)
@@ -88,7 +105,7 @@ val plan_to_string : plan -> string
 val presets : (string * string) list
 (** Named plans shipped with the repo: [crash-stop-locker],
     [blocking-convoy], [stalled-reclaimer], [tbd-window], [yield-storm],
-    [flaky-wire], [abort-storm]. *)
+    [flaky-wire], [abort-storm], [split-brain-window]. *)
 
 val find_plan : string -> (plan, string) result
 (** A preset name, or a raw spec via {!plan_of_string}. *)
@@ -132,6 +149,13 @@ val io_check : Point.t -> action option
     to the caller for interpretation against the actual file
     descriptor.  Scheduling actions are still performed in place (and
     return [None]); [Fail e] still raises. *)
+
+val feed_check : Point.t -> action option
+(** Like {!io_check} for record-stream sites ([repl.send] and friends):
+    returns [Dup]/[Reorder] for the caller to interpret against the
+    record it is about to ship; everything else behaves as in {!hit}.
+    [Partition] (from any of the three entry points) raises and latches
+    the point's down window. *)
 
 (** {1 Attribution} *)
 

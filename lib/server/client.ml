@@ -14,6 +14,8 @@ let retry_total_a = Atomic.make 0
 
 let reconnect_total_a = Atomic.make 0
 
+let failover_total_a = Atomic.make 0
+
 let (_ : Flock.Telemetry.Gauge.t) =
   Flock.Telemetry.Gauge.make "retry_total" (fun () -> Atomic.get retry_total_a)
 
@@ -21,9 +23,15 @@ let (_ : Flock.Telemetry.Gauge.t) =
   Flock.Telemetry.Gauge.make "reconnect_total" (fun () ->
       Atomic.get reconnect_total_a)
 
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "failover_total" (fun () ->
+      Atomic.get failover_total_a)
+
 let retry_total () = Atomic.get retry_total_a
 
 let reconnect_total () = Atomic.get reconnect_total_a
+
+let failover_total () = Atomic.get failover_total_a
 
 type t = {
   fd : Unix.file_descr;
@@ -141,8 +149,8 @@ let pipeline t cs =
 (* --- retrying transport --------------------------------------------------- *)
 
 type rt = {
-  rt_host : string;
-  rt_port : int;
+  rt_eps : (string * int) array;  (* endpoint ring; index 0 is preferred *)
+  mutable rt_ep : int;
   rt_read_timeout : float;
   rt_max_attempts : int;
   rt_retry_busy : bool;
@@ -154,10 +162,10 @@ type rt = {
 }
 
 let connect_rt ?(host = "127.0.0.1") ?(read_timeout = 2.) ?(max_attempts = 10)
-    ?(retry_busy = true) ?(seed = 1) ~port () =
+    ?(retry_busy = true) ?(seed = 1) ?(endpoints = []) ~port () =
   {
-    rt_host = host;
-    rt_port = port;
+    rt_eps = Array.of_list ((host, port) :: endpoints);
+    rt_ep = 0;
     rt_read_timeout = read_timeout;
     rt_max_attempts = max max_attempts 1;
     rt_retry_busy = retry_busy;
@@ -179,18 +187,33 @@ let rt_drop rt =
 
 let rt_close = rt_drop
 
+(* Rotate to the next endpoint in the ring (no-op with a single one).
+   Called on transport failure and on [-ERR READONLY]: a demoted or
+   stale endpoint stops receiving this client's traffic until the ring
+   wraps back to it. *)
+let rt_rotate rt =
+  if Array.length rt.rt_eps > 1 then begin
+    rt_drop rt;
+    rt.rt_ep <- (rt.rt_ep + 1) mod Array.length rt.rt_eps;
+    Atomic.incr failover_total_a
+  end
+
 let ensure rt =
   match rt.rt_conn with
   | Some c -> c
   | None ->
-      let c =
-        connect ~host:rt.rt_host ~retries:50
-          ~read_timeout:rt.rt_read_timeout ~port:rt.rt_port ()
-      in
+      let host, port = rt.rt_eps.(rt.rt_ep) in
+      (* With failover candidates, give up on a dead endpoint quickly
+         and let the retry ladder rotate; alone, keep knocking. *)
+      let retries = if Array.length rt.rt_eps > 1 then 3 else 50 in
+      let c = connect ~host ~retries ~read_timeout:rt.rt_read_timeout ~port () in
       if rt.rt_dialed then Atomic.incr reconnect_total_a;
       rt.rt_dialed <- true;
       rt.rt_conn <- Some c;
       c
+
+let is_readonly msg =
+  String.length msg >= 8 && String.sub msg 0 8 = "READONLY"
 
 (* Full jitter on a doubling base, capped at ~128 ms — the
    [Flock.Backoff] shape, in wall-clock seconds. *)
@@ -218,6 +241,7 @@ let rt_request rt c =
     let fail_retry e =
       rt_drop rt;
       if retryable && attempt + 1 < rt.rt_max_attempts then begin
+        rt_rotate rt;
         count_retry rt;
         backoff rt attempt;
         go (attempt + 1)
@@ -233,6 +257,16 @@ let rt_request rt c =
           go (attempt + 1)
         end
         else Ok (Protocol.Busy ms)
+    | Ok (Protocol.Err msg)
+      when is_readonly msg
+           && Array.length rt.rt_eps > 1
+           && attempt + 1 < rt.rt_max_attempts ->
+        (* A replica refused the write before executing anything:
+           always safe to re-issue against the next endpoint. *)
+        rt_rotate rt;
+        count_retry rt;
+        backoff rt attempt;
+        go (attempt + 1)
     | Ok r -> Ok r
     | Error e -> fail_retry e
     | exception Unix.Unix_error (err, _, _) ->
@@ -250,6 +284,7 @@ let rt_request_traced rt ~trace_id c =
     let fail_retry e =
       rt_drop rt;
       if retryable && attempt + 1 < rt.rt_max_attempts then begin
+        rt_rotate rt;
         count_retry rt;
         backoff rt attempt;
         go (attempt + 1)
@@ -265,6 +300,14 @@ let rt_request_traced rt ~trace_id c =
           go (attempt + 1)
         end
         else (Ok (Protocol.Busy ms), tr)
+    | Ok (Protocol.Err msg), _
+      when is_readonly msg
+           && Array.length rt.rt_eps > 1
+           && attempt + 1 < rt.rt_max_attempts ->
+        rt_rotate rt;
+        count_retry rt;
+        backoff rt attempt;
+        go (attempt + 1)
     | (Ok _, _) as r -> r
     | (Error e, _) -> fail_retry e
     | exception Unix.Unix_error (err, _, _) ->
@@ -299,6 +342,7 @@ let rt_pipeline rt cs =
     let fail_retry e =
       rt_drop rt;
       if retryable && attempt + 1 < rt.rt_max_attempts then begin
+        rt_rotate rt;
         count_retry rt;
         backoff rt attempt;
         attempt_loop (attempt + 1)
@@ -359,6 +403,12 @@ let rt_txn rt ?token cs =
               when String.length msg >= 4 && String.sub msg 0 4 = "EXEC" ->
                 (* "EXEC without MULTI": a reconnect inside the pipeline
                    lost the queued transaction — re-send it whole. *)
+                retry msg
+            | Protocol.Err msg
+              when is_readonly msg && Array.length rt.rt_eps > 1 ->
+                (* A replica refused the commit (nothing executed):
+                   re-send the whole transaction to the next endpoint. *)
+                rt_rotate rt;
                 retry msg
             | Protocol.Err msg -> Error msg
             | r -> Error ("transaction: unexpected EXEC reply " ^ Protocol.pp_reply r)))

@@ -64,6 +64,7 @@ val connect_rt :
   ?max_attempts:int ->
   ?retry_busy:bool ->
   ?seed:int ->
+  ?endpoints:(string * int) list ->
   port:int ->
   unit ->
   rt
@@ -72,7 +73,16 @@ val connect_rt :
     [max_attempts] (per command, default 10) bounds
     reconnect+retry loops; [retry_busy] (default true) re-issues
     commands the server answered [-BUSY], after the hinted delay,
-    jittered; [seed] derives the private backoff-jitter RNG. *)
+    jittered; [seed] derives the private backoff-jitter RNG.
+
+    [endpoints] lists failover candidates behind the primary
+    [host]:[port] — typically the replicas of docs/REPLICATION.md.  The
+    transport rotates through the ring on transport failure and on
+    [-ERR READONLY] (a write refused by a not-yet-promoted replica is
+    never executed, so re-issuing it elsewhere is always safe), counting
+    each hop in the [failover_total] gauge.  With candidates present,
+    dial retries against a dead endpoint are cut short so rotation is
+    prompt. *)
 
 val rt_close : rt -> unit
 
@@ -124,3 +134,8 @@ val rt_stats : rt -> int * int
 val retry_total : unit -> int
 
 val reconnect_total : unit -> int
+
+val failover_total : unit -> int
+(** Endpoint rotations performed by retrying transports (dial failures,
+    severed streams, READONLY refusals) — the client-side witness of a
+    failover drill. *)

@@ -29,6 +29,13 @@ let store (Mount { store; _ }) = store
 
 let scan_limit_cap = 1 lsl 20
 
+(* Uncapped snapshot fold — the SYNC bootstrap payload.  Read the feed's
+   tail {e before} calling this: any record at or below that tail was
+   fully installed before the fold's snapshot, so snapshot + suffix
+   replay converges (docs/REPLICATION.md). *)
+let dump (Mount { m = (module M); h; _ }) =
+  List.rev (M.scan h ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
 let unsupported_range name =
   Protocol.Err
     (Printf.sprintf
@@ -87,7 +94,9 @@ let exec (Mount { m = (module M); h; store }) (c : Protocol.command) :
         pairs_reply (List.rev pairs)
     | Protocol.Size -> Protocol.Int (M.size h)
     | Protocol.Stats | Protocol.Metrics | Protocol.Profile _ | Protocol.Multi
-    | Protocol.Exec _ | Protocol.Discard | Protocol.Quit ->
+    | Protocol.Exec _ | Protocol.Discard | Protocol.Quit
+    | Protocol.Subscribe _ | Protocol.Watch _ | Protocol.Sync
+    | Protocol.Replstats | Protocol.Promote | Protocol.Ack _ ->
         Protocol.Err "connection-level command reached the executor"
   with e -> Protocol.Err ("internal: " ^ Printexc.to_string e)
 
@@ -102,7 +111,8 @@ let op_of_command : Protocol.command -> Txn.op option = function
   | Protocol.Rangecount (lo, hi) -> Some (Txn.Rangecount (lo, hi))
   | Protocol.Ping | Protocol.Scan _ | Protocol.Size | Protocol.Stats
   | Protocol.Metrics | Protocol.Profile _ | Protocol.Multi | Protocol.Exec _
-  | Protocol.Discard | Protocol.Quit ->
+  | Protocol.Discard | Protocol.Quit | Protocol.Subscribe _ | Protocol.Watch _
+  | Protocol.Sync | Protocol.Replstats | Protocol.Promote | Protocol.Ack _ ->
       None
 
 let reply_of_step : Txn.step -> Protocol.reply = function

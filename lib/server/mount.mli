@@ -52,6 +52,11 @@ val exec_txn : t -> token:int -> Protocol.command list -> Protocol.reply
     replay cache.  Booked to the request span's [op] phase, with
     [validate]/[install] nested inside. *)
 
+val dump : t -> (int * int) list
+(** Uncapped snapshot of every binding — the [SYNC] bootstrap payload.
+    Read the replication log's tail {e before} dumping so the snapshot
+    is positioned at (or past) that tail. *)
+
 val scan_limit_cap : int
 (** Upper bound the server imposes on [SCAN] results (bindings), to
     bound reply size; [SCAN 0] means "all", capped here. *)

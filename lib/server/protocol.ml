@@ -17,6 +17,20 @@ type command =
       (** commit the queued transaction; the arg is an idempotency token
           (0 = none) *)
   | Discard
+  | Subscribe of int * int * int
+      (** stream committed change records touching [lo, hi], starting
+          after log seq [from] (0 = from now) — the connection becomes a
+          push stream (docs/REPLICATION.md) *)
+  | Watch of int * int * int
+      (** one-shot: block until a committed change touches [lo, hi] (or
+          the timeout in ms elapses; 0 = server default) *)
+  | Sync
+      (** snapshot handshake: one frame carrying (seq, stamp) and every
+          binding — the replica bootstrap *)
+  | Replstats
+  | Promote  (** replica -> primary: stop applying, accept writes *)
+  | Ack of int * int
+      (** subscriber cursor advance: (seq, stamp) applied downstream *)
   | Quit
 
 type reply =
@@ -43,7 +57,11 @@ type reply =
    re-sending it after a reconnect would close the fresh connection. *)
 let idempotent = function
   | Ping | Get _ | Put _ | Del _ | Mget _ | Range _ | Rangecount _ | Scan _
-  | Size | Stats | Metrics | Profile _ | Multi | Discard ->
+  | Size | Stats | Metrics | Profile _ | Multi | Discard
+  (* Replication verbs: SUBSCRIBE/SYNC re-issue from the client's
+     cursor, ACK is a monotone cursor advance, PROMOTE of a primary is
+     a no-op — all safe to blind-resend. *)
+  | Subscribe _ | Watch _ | Sync | Replstats | Promote | Ack _ ->
       true
   | Exec t ->
       (* With a token the commit is exactly-once server-side, so blind
@@ -57,9 +75,9 @@ let idempotent = function
    belongs here: a transaction commit validates a whole read set and
    may retry. *)
 let snapshot_heavy = function
-  | Mget _ | Range _ | Rangecount _ | Scan _ | Exec _ -> true
+  | Mget _ | Range _ | Rangecount _ | Scan _ | Exec _ | Sync | Watch _ -> true
   | Ping | Get _ | Put _ | Del _ | Size | Stats | Metrics | Profile _ | Multi
-  | Discard | Quit ->
+  | Discard | Subscribe _ | Replstats | Promote | Ack _ | Quit ->
       false
 
 (* --- command parsing ---------------------------------------------------- *)
@@ -117,10 +135,35 @@ let parse_command_tokens toks =
             int_arg "token" t (fun t ->
                 if t > 0 then Ok (Exec t) else Error "EXEC: token must be > 0")
         | "DISCARD", [] -> Ok Discard
+        | "SUBSCRIBE", [ lo; hi ] ->
+            int_arg "lo" lo (fun lo ->
+                int_arg "hi" hi (fun hi -> Ok (Subscribe (lo, hi, 0))))
+        | "SUBSCRIBE", [ lo; hi; seq ] ->
+            int_arg "lo" lo (fun lo ->
+                int_arg "hi" hi (fun hi ->
+                    int_arg "seq" seq (fun seq ->
+                        if seq >= 0 then Ok (Subscribe (lo, hi, seq))
+                        else Error "SUBSCRIBE: seq must be >= 0")))
+        | "WATCH", [ lo; hi ] ->
+            int_arg "lo" lo (fun lo ->
+                int_arg "hi" hi (fun hi -> Ok (Watch (lo, hi, 0))))
+        | "WATCH", [ lo; hi; ms ] ->
+            int_arg "lo" lo (fun lo ->
+                int_arg "hi" hi (fun hi ->
+                    int_arg "timeout" ms (fun ms -> Ok (Watch (lo, hi, max 0 ms)))))
+        | "SYNC", [] -> Ok Sync
+        | "REPLSTATS", [] -> Ok Replstats
+        | "PROMOTE", [] -> Ok Promote
+        | "ACK", [ seq; stamp ] ->
+            int_arg "seq" seq (fun seq ->
+                int_arg "stamp" stamp (fun stamp ->
+                    if seq >= 0 && stamp >= 0 then Ok (Ack (seq, stamp))
+                    else Error "ACK: seq and stamp must be >= 0"))
         | "QUIT", [] -> Ok Quit
         | ( (("PING" | "GET" | "PUT" | "DEL" | "RANGE" | "RANGECOUNT" | "SCAN"
              | "SIZE" | "STATS" | "METRICS" | "PROFILE" | "MULTI" | "EXEC"
-             | "DISCARD" | "QUIT") as v),
+             | "DISCARD" | "SUBSCRIBE" | "WATCH" | "SYNC" | "REPLSTATS"
+             | "PROMOTE" | "ACK" | "QUIT") as v),
             _ ) ->
             Error (Printf.sprintf "wrong number of arguments for %s" v)
         | v, _ ->
@@ -174,6 +217,14 @@ let render_command ?trace_id buf c =
    | Exec 0 -> p "EXEC"
    | Exec t -> p "EXEC %d" t
    | Discard -> p "DISCARD"
+   | Subscribe (lo, hi, 0) -> p "SUBSCRIBE %d %d" lo hi
+   | Subscribe (lo, hi, seq) -> p "SUBSCRIBE %d %d %d" lo hi seq
+   | Watch (lo, hi, 0) -> p "WATCH %d %d" lo hi
+   | Watch (lo, hi, ms) -> p "WATCH %d %d %d" lo hi ms
+   | Sync -> p "SYNC"
+   | Replstats -> p "REPLSTATS"
+   | Promote -> p "PROMOTE"
+   | Ack (seq, stamp) -> p "ACK %d %d" seq stamp
    | Quit -> p "QUIT");
   Buffer.add_string buf "\r\n"
 
@@ -232,6 +283,34 @@ let rec pp_reply = function
   | Arr rs -> "[" ^ String.concat "; " (List.map pp_reply rs) ^ "]"
   | Queued -> "QUEUED"
   | Aborted n -> Printf.sprintf "ABORT %d" n
+
+(* --- change-record frames -------------------------------------------------- *)
+
+(* A streamed change record rides the existing reply framing — an array
+   [seq; stamp; k1; v1-or-nil; ...] — so the incremental {!Reader}
+   handles split delivery of streamed records for free.  A deleted key's
+   value slot is the nil bulk. *)
+
+let reply_of_record (r : Repl.record) =
+  Arr
+    (Int r.r_seq :: Int r.r_stamp
+    :: List.concat_map
+         (fun (k, v) ->
+           [ Int k; (match v with Some v -> Int v | None -> Nil) ])
+         r.r_writes)
+
+let record_of_reply = function
+  | Arr (Int seq :: Int stamp :: rest) when seq > 0 ->
+      let rec pairs acc = function
+        | [] -> Ok (List.rev acc)
+        | Int k :: Int v :: tl -> pairs ((k, Some v) :: acc) tl
+        | Int k :: Nil :: tl -> pairs ((k, None) :: acc) tl
+        | _ -> Error "bad change record: malformed write pair"
+      in
+      Result.map
+        (fun writes -> { Repl.r_seq = seq; r_stamp = stamp; r_writes = writes })
+        (pairs [] rest)
+  | _ -> Error "bad change record frame"
 
 (* --- trace-info frames ---------------------------------------------------- *)
 

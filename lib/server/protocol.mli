@@ -52,6 +52,34 @@ type command =
           ambiguous failure replays the cached result instead of
           committing twice (0 = no token). *)
   | Discard  (** Drop the queued transaction; answers [+OK]. *)
+  | Subscribe of int * int * int
+      (** [SUBSCRIBE lo hi \[seq\]]: turn this connection into a push
+          stream of committed change records touching [\[lo, hi\]],
+          resuming after log sequence [seq] (0 = from now).  The server
+          answers [+OK] and then streams one record frame per change
+          (see {!reply_of_record}); the client sends [ACK] lines on the
+          same connection.  [-ERR resync required] means the log
+          trimmed past [seq] — bootstrap again via [SYNC].
+          docs/REPLICATION.md is normative. *)
+  | Watch of int * int * int
+      (** [WATCH lo hi \[timeout-ms\]]: one-shot — block until the next
+          committed change touching [\[lo, hi\]] and answer its record
+          frame, or [$-1] on timeout (0 = server default, 5 s). *)
+  | Sync
+      (** Replica bootstrap: answers one array [seq; stamp; k1; v1;
+          ...] — a snapshot of every binding positioned at log seq
+          [seq] / watermark [stamp].  Follow with a full-range
+          [SUBSCRIBE] carrying that [seq] to stream the suffix. *)
+  | Replstats
+      (** Replication plane introspection: one JSON bulk — role,
+          tail seq/stamp, watermark, subscriber lag. *)
+  | Promote
+      (** Replica only: stop applying the feed, accept writes; answers
+          [+OK] (idempotent — promoting a primary is a no-op).  The
+          failover path (docs/REPLICATION.md). *)
+  | Ack of int * int
+      (** [ACK seq stamp]: subscriber cursor advance, sent on a
+          streaming connection; feeds the primary's lag gauges. *)
   | Quit
 
 type reply =
@@ -109,6 +137,18 @@ val reply_equal : reply -> reply -> bool
 
 val pp_reply : reply -> string
 (** Debug rendering (not the wire form). *)
+
+(** {1 Change-record frames}
+
+    A streamed change record is an ordinary array reply
+    [*2+2m] of [:seq :stamp (:k (:v | $-1))*] — riding the existing
+    framing means the incremental {!Reader} already handles split
+    delivery of streamed records. *)
+
+val reply_of_record : Repl.record -> reply
+
+val record_of_reply : reply -> (Repl.record, string) result
+(** Total; rejects frames that are not well-formed records. *)
 
 (** {1 Trace-info frames}
 

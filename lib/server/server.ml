@@ -21,6 +21,10 @@ type config = {
   flight_min_interval : float;
   slo_p99_us : float;
   profile_hz : int;
+  replica_of : (string * int) option;
+      (** follow this primary: apply its change feed, refuse writes
+          until PROMOTE (docs/REPLICATION.md) *)
+  feed_capacity : int;  (** replication log ring size, in records *)
 }
 
 let default_config =
@@ -42,6 +46,8 @@ let default_config =
     flight_min_interval = 5.;
     slo_p99_us = 0.;
     profile_hz = 0;
+    replica_of = None;
+    feed_capacity = 65536;
   }
 
 module Span = Verlib.Obs.Span
@@ -67,10 +73,18 @@ let fp_read = Fault.Point.make "server.read"
 
 let fp_write = Fault.Point.make "server.write"
 
+type role = Primary | Replica
+
 type t = {
   mount : Mount.t;
   cfg : config;
   stop_flag : bool Atomic.t;
+  role : role Atomic.t;
+  feed : Repl.Log.t;
+      (** change-feed tap over the mount's store — what SUBSCRIBE /
+          WATCH / SYNC serve from *)
+  apply : Repl.Apply.t option;  (** replica servers only *)
+  mutable replica_d : unit Domain.t option;
   (* Handoff carries the accept-time and push-time tick stamps so the
      worker can book accept work and queue dwell into the connection's
      first request span. *)
@@ -101,10 +115,20 @@ type t = {
 }
 
 let create ?(config = default_config) mount =
+  let feed = Repl.Log.create ~capacity:config.feed_capacity () in
+  Repl.Log.tap feed (Mount.store mount);
   {
     mount;
     cfg = config;
     stop_flag = Atomic.make false;
+    role =
+      Atomic.make (match config.replica_of with Some _ -> Replica | None -> Primary);
+    feed;
+    apply =
+      (match config.replica_of with
+       | Some _ -> Some (Repl.Apply.create (Mount.store mount))
+       | None -> None);
+    replica_d = None;
     queue = Bqueue.create config.queue_depth;
     flight =
       (if config.flight_dir = "" then None
@@ -247,6 +271,71 @@ let metrics_text t =
       ]
     ()
 
+(* --- replication plane ---------------------------------------------------- *)
+
+let is_replica t = Atomic.get t.role = Replica
+
+let replica_readonly_msg =
+  "READONLY: replica refuses writes; PROMOTE it or write to the primary"
+
+let replstats_json t =
+  let role = if is_replica t then "replica" else "primary" in
+  let lag_s, lag_b = Repl.Log.lag t.feed in
+  let apply_fields =
+    match t.apply with
+    | None -> ""
+    | Some a ->
+        Printf.sprintf
+          ",\"apply_last_seq\":%d,\"apply_watermark\":%d,\"apply_pending\":%d"
+          (Repl.Apply.last_seq a) (Repl.Apply.watermark a)
+          (Repl.Apply.pending_count a)
+  in
+  Printf.sprintf
+    "{\"role\":%S,\"tail_seq\":%d,\"tail_stamp\":%d,\"subscribers\":%d,\"lag_stamps\":%d,\"lag_bytes\":%d,\"records_total\":%d,\"resyncs\":%d,\"applied_total\":%d,\"dup_dropped\":%d,\"watermark\":%d%s}"
+    role (Repl.Log.tail_seq t.feed)
+    (Repl.Log.tail_stamp t.feed)
+    (Repl.Log.subscriber_count t.feed)
+    lag_s lag_b (Repl.records_total ()) (Repl.resyncs_total ())
+    (Repl.applied_total ()) (Repl.dup_dropped_total ())
+    (Repl.watermark_now ()) apply_fields
+
+(* SYNC: the replica-bootstrap snapshot, positioned at the feed's tail.
+   Order is load-bearing: the tail is read BEFORE the fold, so any
+   record at or below it was fully installed before the fold began
+   (install happens-before append happens-before this read) — snapshot
+   plus suffix replay from that seq converges.  Records racing past the
+   tail during the fold are delivered again by the stream; re-applying
+   them is idempotent (records carry installed state, not deltas).
+   Hits [repl.send] so a latched partition severs bootstraps too. *)
+let sync_reply t =
+  Fault.hit Repl.fp_send;
+  let seq = Repl.Log.tail_seq t.feed in
+  let stamp = Repl.Log.tail_stamp t.feed in
+  let pairs = Mount.dump t.mount in
+  Protocol.Arr
+    (Protocol.Int seq :: Protocol.Int stamp
+    :: List.concat_map (fun (k, v) -> Protocol.[ Int k; Int v ]) pairs)
+
+(* WATCH: park this worker (in 200ms slices, so stop stays responsive)
+   until a record touching [lo, hi] lands. *)
+let run_watch t lo hi ms =
+  let ms = if ms <= 0 then 5000 else min ms 30000 in
+  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let start = Repl.Log.tail_seq t.feed in
+  let rec go () =
+    if Atomic.get t.stop_flag then Protocol.Nil
+    else
+      let slice = min deadline (Unix.gettimeofday () +. 0.2) in
+      match
+        Repl.Log.wait_matching t.feed ~seq:start ~lo ~hi ~deadline:slice
+      with
+      | `Record r -> Protocol.reply_of_record r
+      | `Resync -> Protocol.Err "resync required: WATCH outpaced by the log"
+      | `Timeout ->
+          if Unix.gettimeofday () >= deadline then Protocol.Nil else go ()
+  in
+  go ()
+
 (* --- connection serving -------------------------------------------------- *)
 
 exception Write_deadline
@@ -286,6 +375,141 @@ let max_line = 1 lsl 20
 (* Commands one MULTI may queue before EXEC refuses more (bounds the
    per-connection buffered transaction). *)
 let multi_queue_cap = 1024
+
+(* --- the push stream (SUBSCRIBE) ------------------------------------------ *)
+
+(* After SUBSCRIBE's +OK the connection inverts: the server pushes one
+   record frame per committed change touching [lo, hi] past the cursor,
+   plus an +OK heartbeat on idle rounds (keeps the peer's read timeout
+   quiet, and gives a latched partition something to sever even when the
+   feed is idle); the peer sends ACK lines back on the same socket.
+
+   The [repl.send] fault point interprets here: [partition] latches the
+   point down and kills the stream (and [sync_reply]/re-subscription for
+   the window), [dup] ships a record twice, [reorder] holds a record
+   back one round — the at-least-once, possibly-reordered delivery the
+   replica's apply engine must absorb.
+
+   On abnormal death the cursor is orphaned, not dropped: the lag gauges
+   must keep rising through a partition, and the reconnecting replica
+   adopts the orphan (see [Repl.Log.subscribe]). *)
+let stream_serve t fd ~lo ~hi ~start_seq =
+  let log = t.feed in
+  Fault.hit Repl.fp_send;
+  let id = Repl.Log.subscribe log in
+  let clean = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if !clean then Repl.Log.unsubscribe log id else Repl.Log.orphan log id)
+  @@ fun () ->
+  let out = Buffer.create 4096 in
+  let inbuf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let cursor = ref start_seq in
+  let held = ref None in
+  let quit = ref false in
+  let push r = Protocol.render_reply out (Protocol.reply_of_record r) in
+  let release_held () =
+    match !held with
+    | Some r ->
+        held := None;
+        push r
+    | None -> ()
+  in
+  let emit r =
+    match Fault.feed_check Repl.fp_send with
+    | Some Fault.Dup ->
+        push r;
+        push r;
+        release_held ()
+    | Some Fault.Reorder when !held = None -> held := Some r
+    | Some _ | None ->
+        push r;
+        release_held ()
+  in
+  let drain_acks () =
+    match Unix.select [ fd ] [] [] 0. with
+    | [ _ ], _, _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            clean := true;
+            quit := true
+        | n ->
+            Buffer.add_subbytes inbuf chunk 0 n;
+            let s = Buffer.contents inbuf in
+            Buffer.clear inbuf;
+            let len = String.length s in
+            let start = ref 0 in
+            for i = 0 to len - 1 do
+              if s.[i] = '\n' then begin
+                let stop = if i > !start && s.[i - 1] = '\r' then i - 1 else i in
+                (match
+                   Protocol.parse_command (String.sub s !start (stop - !start))
+                 with
+                 | Ok (Protocol.Ack (seq, stamp)) -> (
+                     (* A dropped ack is invisible to the peer; the lag
+                        gauges simply stay high until the next one. *)
+                     try
+                       Fault.hit Repl.fp_ack;
+                       Repl.Log.ack log ~id ~seq ~stamp
+                     with Fault.Injected _ -> ())
+                 | Ok Protocol.Quit ->
+                     clean := true;
+                     quit := true
+                 | Ok _ | Error _ -> () (* stream peers speak ACK/QUIT only *));
+                start := i + 1
+              end
+            done;
+            if !start < len then
+              Buffer.add_substring inbuf s !start (len - !start)
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          -> ())
+    | _ -> ()
+  in
+  let flush () =
+    if Buffer.length out > 0 then begin
+      let deadline =
+        if t.cfg.write_timeout > 0. then
+          Unix.gettimeofday () +. t.cfg.write_timeout
+        else infinity
+      in
+      write_all ~deadline fd (Buffer.contents out);
+      Buffer.clear out
+    end
+  in
+  try
+    while not (!quit || Atomic.get t.stop_flag) do
+      drain_acks ();
+      (match
+         Repl.Log.wait_after log ~seq:!cursor
+           ~deadline:(Unix.gettimeofday () +. 0.2)
+       with
+       | `Timeout ->
+           Fault.hit Repl.fp_send;
+           (* Nothing follows a held record soon: stop reordering it. *)
+           release_held ();
+           Protocol.render_reply out Protocol.Ok_
+       | `Resync ->
+           (* Laggard shed: the ring trimmed past this cursor.  A clean
+              refusal — the peer re-bootstraps via SYNC. *)
+           Protocol.render_reply out (Protocol.Err "resync required");
+           clean := true;
+           quit := true
+       | `Records rs ->
+           List.iter
+             (fun r ->
+               cursor := r.Repl.r_seq;
+               if Repl.touches lo hi r then emit r)
+             rs);
+      flush ()
+    done;
+    if Atomic.get t.stop_flag then clean := true
+  with
+  | Write_deadline ->
+      Atomic.incr t.deadline_kills;
+      Atomic.incr deadline_kills_a
+  | Fault.Injected _ | Unix.Unix_error _ -> ()
 
 (* Admission control.  0 = admit everything; 1 = shed snapshot-heavy
    commands; 2 = shed every data command (PING/STATS/QUIT are always
@@ -344,6 +568,12 @@ let command_verb : Protocol.command -> string = function
   | Protocol.Multi -> "MULTI"
   | Protocol.Exec _ -> "EXEC"
   | Protocol.Discard -> "DISCARD"
+  | Protocol.Subscribe _ -> "SUBSCRIBE"
+  | Protocol.Watch _ -> "WATCH"
+  | Protocol.Sync -> "SYNC"
+  | Protocol.Replstats -> "REPLSTATS"
+  | Protocol.Promote -> "PROMOTE"
+  | Protocol.Ack _ -> "ACK"
   | Protocol.Quit -> "QUIT"
 
 (* Per-verb activity frames for the sampling profiler.  Interning is
@@ -368,6 +598,12 @@ let verb_activity : Protocol.command -> int =
   and multi = Activity.intern "MULTI"
   and exec = Activity.intern "EXEC"
   and discard = Activity.intern "DISCARD"
+  and subscribe = Activity.intern "SUBSCRIBE"
+  and watch = Activity.intern "WATCH"
+  and sync = Activity.intern "SYNC"
+  and replstats = Activity.intern "REPLSTATS"
+  and promote = Activity.intern "PROMOTE"
+  and ack = Activity.intern "ACK"
   and quit = Activity.intern "QUIT" in
   function
   | Protocol.Ping -> ping
@@ -385,6 +621,12 @@ let verb_activity : Protocol.command -> int =
   | Protocol.Multi -> multi
   | Protocol.Exec _ -> exec
   | Protocol.Discard -> discard
+  | Protocol.Subscribe _ -> subscribe
+  | Protocol.Watch _ -> watch
+  | Protocol.Sync -> sync
+  | Protocol.Replstats -> replstats
+  | Protocol.Promote -> promote
+  | Protocol.Ack _ -> ack
   | Protocol.Quit -> quit
 
 (* Serve one connection to completion.  Reads are buffered; every
@@ -407,6 +649,10 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
   let out = Buffer.create 4096 in
   let scratch = Buffer.create 256 in
   let quit = ref false in
+  (* SUBSCRIBE mode-switch: set by run_command; the line loop exits and
+     the connection becomes a push stream.  Pipelined bytes after the
+     SUBSCRIBE line are ignored — a stream peer has nothing to pipeline. *)
+  let stream_req = ref None in
   (* MULTI state: a transaction being queued on this connection.
      [dirty] poisons it (parse error, bad command, overflow) so EXEC
      refuses instead of committing a half-understood sequence. *)
@@ -490,6 +736,14 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
                     "EXECABORT: transaction discarded because of previous \
                      errors" )
               end
+              else if is_replica t then begin
+                (* The queued writes must come through the feed, not the
+                   wire — a replica that committed its own transactions
+                   would diverge from the primary. *)
+                multi_reset ();
+                Atomic.incr t.errors_total;
+                (tid, "error", Protocol.Err replica_readonly_msg)
+              end
               else begin
                 let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
                 if lvl >= 2 then begin
@@ -567,6 +821,46 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
                  behind it simply wait. *)
               (tid, "ok", Protocol.Bulk (Verlib.Obs.Profile.json ~window_ms:ms ()))
           | Protocol.Ping -> (tid, "ok", Protocol.Pong)
+          | Protocol.Replstats ->
+              (* Like STATS: never shed — the replication plane stays
+                 observable under overload and partitions. *)
+              (tid, "ok", Protocol.Bulk (replstats_json t))
+          | Protocol.Promote ->
+              (* Idempotent failover: accept writes from now on; the
+                 apply loop (if any) notices the role flip and exits. *)
+              Atomic.set t.role Primary;
+              (tid, "ok", Protocol.Ok_)
+          | Protocol.Sync -> (
+              (* Snapshot-heavy (an uncapped fold) — shed before
+                 dumping, and a latched partition severs it. *)
+              let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+              if lvl >= 1 then begin
+                count_shed t;
+                (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+              end
+              else
+                match sync_reply t with
+                | r -> (tid, "ok", r)
+                | exception Fault.Injected _ ->
+                    quit := true;
+                    (tid, "error", Protocol.Err "partitioned"))
+          | Protocol.Ack _ ->
+              Atomic.incr t.errors_total;
+              (tid, "error", Protocol.Err "ACK outside a SUBSCRIBE stream")
+          | Protocol.Watch (lo, hi, ms) ->
+              let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+              if lvl >= 1 then begin
+                count_shed t;
+                (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+              end
+              else (tid, "ok", run_watch t lo hi ms)
+          | Protocol.Subscribe (lo, hi, seq) ->
+              stream_req := Some (lo, hi, seq);
+              quit := true;
+              (tid, "ok", Protocol.Ok_)
+          | (Protocol.Put _ | Protocol.Del _) when is_replica t ->
+              Atomic.incr t.errors_total;
+              (tid, "error", Protocol.Err replica_readonly_msg)
           | c ->
               let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
               (* Hard-shed engagement is a flight trigger on the rising
@@ -693,8 +987,98 @@ let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
          | exception Unix.Unix_error _ -> quit := true
      done
    with _ -> ());
+  (match !stream_req with
+   | Some (lo, hi, seq) when not (Atomic.get t.stop_flag) -> (
+       try stream_serve t fd ~lo ~hi ~start_seq:seq with _ -> ())
+   | _ -> ());
   (try Unix.close fd with _ -> ());
   Atomic.decr t.conns_active
+
+(* --- the replica (follower) loop ------------------------------------------ *)
+
+(* Make the local store equal to the SYNC snapshot.  Writes go through
+   [Txn] like everything else, so local readers serialize against the
+   reconciliation; bindings already correct cost one read. *)
+let replica_reconcile t pairs =
+  let store = Mount.store t.mount in
+  let snap = Hashtbl.create (max 16 (List.length pairs)) in
+  List.iter (fun (k, v) -> Hashtbl.replace snap k v) pairs;
+  List.iter
+    (fun (k, _) -> if not (Hashtbl.mem snap k) then ignore (Txn.del store k))
+    (Mount.dump t.mount);
+  List.iter
+    (fun (k, v) ->
+      match Txn.get store k with
+      | Some v0 when v0 = v -> ()
+      | Some _ ->
+          ignore (Txn.del store k);
+          ignore (Txn.put store k v)
+      | None -> ignore (Txn.put store k v))
+    pairs
+
+let parse_sync_pairs rest =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Protocol.Int k :: Protocol.Int v :: tl -> go ((k, v) :: acc) tl
+    | _ -> failwith "bad SYNC frame"
+  in
+  go [] rest
+
+(* Follow the primary: bootstrap from SYNC, stream the suffix, apply in
+   seq order, ack the cursor.  Any failure — partition, resync demand,
+   reorder-buffer overflow, dead primary — tears the connection down and
+   starts over from SYNC; records already applied dedup as [`Dup].  The
+   loop exits when the server stops or the replica is PROMOTEd. *)
+let replica_loop t host port () =
+  let apply = match t.apply with Some a -> a | None -> assert false in
+  let running () = (not (Atomic.get t.stop_flag)) && is_replica t in
+  while running () do
+    (try
+       let c = Client.connect ~host ~read_timeout:2.0 ~port () in
+       Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+       (match Client.request c Protocol.Sync with
+        | Ok (Protocol.Arr (Protocol.Int seq :: Protocol.Int stamp :: rest)) ->
+            replica_reconcile t (parse_sync_pairs rest);
+            Repl.Apply.reset apply ~seq ~stamp
+        | Ok (Protocol.Err e) -> failwith e
+        | Ok _ -> failwith "bad SYNC reply"
+        | Error e -> failwith e);
+       (match
+          Client.request c
+            (Protocol.Subscribe (min_int, max_int, Repl.Apply.last_seq apply))
+        with
+        | Ok Protocol.Ok_ -> ()
+        | Ok (Protocol.Err e) -> failwith e
+        | Ok _ | Error _ -> failwith "SUBSCRIBE refused");
+       let ack () =
+         (* Best-effort: a lost ack only delays the primary's lag
+            gauges until the next one. *)
+         try
+           Client.send_raw c
+             (Printf.sprintf "ACK %d %d\r\n" (Repl.Apply.last_seq apply)
+                (Repl.Apply.last_stamp apply))
+         with _ -> ()
+       in
+       let rec pump () =
+         if running () then
+           match Client.read_reply c with
+           | Ok Protocol.Ok_ -> pump () (* heartbeat *)
+           | Ok (Protocol.Err _) -> failwith "stream demands resync"
+           | Ok r -> (
+               match Protocol.record_of_reply r with
+               | Error _ -> pump () (* not a record frame; ignore *)
+               | Ok rc -> (
+                   match Repl.Apply.offer apply rc with
+                   | `Applied _ ->
+                       ack ();
+                       pump ()
+                   | `Dup | `Buffered -> pump ()
+                   | `Overflow -> failwith "reorder buffer overflow"))
+           | Error e -> failwith e
+       in
+       pump ()
+     with _ -> if running () then Unix.sleepf 0.05)
+  done
 
 (* --- domains ------------------------------------------------------------- *)
 
@@ -833,6 +1217,10 @@ let start t =
     Verlib.Obs.Profile.start ~hz:t.cfg.profile_hz ();
   t.worker_ds <-
     List.init (max 1 t.cfg.domains) (fun _ -> Domain.spawn (worker_loop t));
+  (match t.cfg.replica_of with
+   | Some (host, port) ->
+       t.replica_d <- Some (Domain.spawn (replica_loop t host port))
+   | None -> ());
   t.accept_d <- Some (Domain.spawn (accept_loop t lsock))
 
 let stop t =
@@ -851,6 +1239,8 @@ let stop t =
     Bqueue.close t.queue;
     List.iter Domain.join t.worker_ds;
     t.worker_ds <- [];
+    Option.iter Domain.join t.replica_d;
+    t.replica_d <- None;
     Option.iter Domain.join t.census_d;
     t.census_d <- None;
     Option.iter Domain.join t.metrics_d;

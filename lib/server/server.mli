@@ -63,12 +63,24 @@ type config = {
           opens the activity-publication gate, {!stop} joins it after
           the workers; 0 = profiler off (PROFILE still answers, with
           whatever was accumulated by an externally started sampler) *)
+  replica_of : (string * int) option;
+      (** follow that primary: {!start} spawns an apply domain that
+          bootstraps via [SYNC], streams the change feed via a
+          full-range [SUBSCRIBE], and installs records in seq order;
+          the server answers reads at the replica's watermark and
+          refuses writes ([-ERR READONLY ...]) until [PROMOTE].
+          [None] = this server is a primary (docs/REPLICATION.md). *)
+  feed_capacity : int;
+      (** records the replication log ring retains; a subscriber that
+          falls further behind is told to resync (the bounded-feed /
+          laggard-shedding contract) *)
 }
 
 val default_config : config
 (** port 7379, 4 domains, backlog 64, queue_depth 64, no census; no
     connection cap, no idle timeout, 5 s write timeout, shedding off,
-    retry hint 50 ms; metrics plane, flight recorder and profiler off. *)
+    retry hint 50 ms; metrics plane, flight recorder and profiler off;
+    primary role, 65536-record feed. *)
 
 type t
 

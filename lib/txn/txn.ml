@@ -64,6 +64,8 @@ let retries_ctr = Atomic.make 0
 
 let replays_ctr = Atomic.make 0
 
+let idem_evictions_ctr = Atomic.make 0
+
 let commits () = Atomic.get commits_ctr
 
 let aborts () = Atomic.get aborts_ctr
@@ -71,6 +73,8 @@ let aborts () = Atomic.get aborts_ctr
 let validation_retries () = Atomic.get retries_ctr
 
 let replays () = Atomic.get replays_ctr
+
+let idem_evictions () = Atomic.get idem_evictions_ctr
 
 let () =
   List.iter
@@ -80,6 +84,7 @@ let () =
       ("txn_aborts", aborts);
       ("txn_validation_retries", validation_retries);
       ("txn_replays", replays);
+      ("txn_idem_evictions", idem_evictions);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +132,11 @@ module Store = struct
         cv : Condition.t;
         cache : (int, cached) Hashtbl.t;  (** token -> result *)
         fifo : int Queue.t;  (** Done tokens, eviction order *)
+        feed : (int -> (int * int option) list -> unit) option Atomic.t;
+            (** commit observer (the replication tap): called with
+                [(vs, writes)] while the written stripes are still
+                latched, so for any one key observer calls arrive in
+                versionstamp order *)
       }
         -> t
 
@@ -147,12 +157,31 @@ module Store = struct
         cv = Condition.create ();
         cache = Hashtbl.create 64;
         fifo = Queue.create ();
+        feed = Atomic.make None;
       }
 
   let quiescent (Store st) =
     Array.for_all (fun a -> Atomic.get a land 1 = 0) st.stripes
     && Atomic.get st.starts = Atomic.get st.dones
 end
+
+let set_commit_observer (Store.Store st) f = Atomic.set st.feed (Some f)
+
+let clear_commit_observer (Store.Store st) = Atomic.set st.feed None
+
+(* Emit one committed write set to the observer.  Called with the
+   written stripes still latched (commit path) or the key's stripe still
+   held (single-key path): per-key observer order therefore equals
+   versionstamp order, which is what lets the replication log apply
+   records in receipt order and still converge (disjoint records
+   commute).  The observer must never break a commit whose writes are
+   already installed, so failures are swallowed — the feed is
+   best-effort at this layer; loss shows up as replica lag, not as a
+   primary abort. *)
+let emit_feed (Store.Store st) vs writes =
+  match Atomic.get st.feed with
+  | None -> ()
+  | Some f -> ( try f vs writes with _ -> ())
 
 module Span = Verlib.Obs.Span
 
@@ -183,7 +212,13 @@ let complete (Store.Store st) token vs steps =
   Hashtbl.replace st.cache token (Store.Done (vs, steps));
   Queue.push token st.fifo;
   while Queue.length st.fifo > idem_capacity do
-    Hashtbl.remove st.cache (Queue.pop st.fifo)
+    (* FIFO eviction past the idempotency window.  A replay of an
+       evicted token re-executes (a double commit from the client's
+       point of view), so evictions must be visible: the
+       [txn_idem_evictions] gauge is how soaks detect that the window
+       was outrun. *)
+    Hashtbl.remove st.cache (Queue.pop st.fifo);
+    Atomic.incr idem_evictions_ctr
   done;
   Condition.broadcast st.cv;
   Mutex.unlock st.mu
@@ -443,6 +478,21 @@ let run_once store ops =
                        ignore (M.insert st.h k v)
                    | W_put (v, false) -> ignore (M.insert st.h k v))
                  buf;
+               (* Feed tap: emit the whole batch at its versionstamp
+                  BEFORE releasing the stripes — a conflicting later
+                  commit cannot install (or emit) until these latches
+                  drop, so per-key feed order equals stamp order. *)
+               (match Atomic.get st.feed with
+                | None -> ()
+                | Some _ ->
+                    emit_feed store vs
+                      (Hashtbl.fold
+                         (fun k e acc ->
+                           (match e with
+                            | W_put (v, _) -> (k, Some v)
+                            | W_del -> (k, None))
+                           :: acc)
+                         buf []));
                Hashtbl.iter
                  (fun s _ -> Atomic.set st.stripes.(s) (vs lsl 1))
                  held)
@@ -551,7 +601,7 @@ let grace_clock () =
    delete on absent) releases the stripe to its ORIGINAL version to
    avoid aborting readers over a state that did not change.            *)
 
-let single_write store k apply =
+let single_write store k w apply =
   match store with
   | Store.Store st ->
       let s = mix k land st.mask in
@@ -576,9 +626,13 @@ let single_write store k apply =
                Atomic.set st.stripes.(s) v0;
                raise e
            in
-           if changed then
-             Atomic.set st.stripes.(s)
-               ((1 + Atomic.fetch_and_add st.clock 1) lsl 1)
+           if changed then begin
+             let vs = 1 + Atomic.fetch_and_add st.clock 1 in
+             (* Same discipline as the commit path: tap before the
+                stripe release so per-key feed order is stamp order. *)
+             emit_feed store vs [ (k, w) ];
+             Atomic.set st.stripes.(s) (vs lsl 1)
+           end
            else Atomic.set st.stripes.(s) v0;
            changed
        | None ->
@@ -597,7 +651,12 @@ let single_write store k apply =
                  if not (Atomic.compare_and_set st.stripes.(s) v nv) then
                    bump ()
              in
-             bump ()
+             bump ();
+             (* Degraded (crash-stop) window: best-effort tap at the
+                clock's current value; per-key ordering is already
+                conceded here, exactly-once is not (one emit per
+                applied write). *)
+             emit_feed store (Atomic.get st.clock) [ (k, w) ]
            end;
            changed)
 
@@ -605,13 +664,13 @@ let put store k v =
   match store with
   | Store.Store st ->
       let module M = (val st.m) in
-      single_write store k (fun () -> M.insert st.h k v)
+      single_write store k (Some v) (fun () -> M.insert st.h k v)
 
 let del store k =
   match store with
   | Store.Store st ->
       let module M = (val st.m) in
-      single_write store k (fun () -> M.delete st.h k)
+      single_write store k None (fun () -> M.delete st.h k)
 
 (* ------------------------------------------------------------------ *)
 (* Serialized plain reads.  A structure-level snapshot (find /

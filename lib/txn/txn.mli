@@ -101,6 +101,30 @@ val grace_seconds : float
     (Theorem 6.1).  Transactions never degrade: a busy stripe is a
     validation conflict. *)
 
+(** {1 Commit feed (the replication tap)}
+
+    At most one observer per store.  The observer is called once per
+    installed commit — whole [MULTI/EXEC] batches as one call, plain
+    single-key writes as a one-element call — with the versionstamp and
+    the written key set ([(k, Some v)] = key now bound to [v],
+    [(k, None)] = key now absent).  Calls happen {e while the written
+    stripes are still latched}, so for any single key observer calls
+    arrive in versionstamp order; calls for disjoint key sets may
+    arrive out of stamp order (they commute).  Exactly-once replays
+    served from the token cache do not re-emit.  Observer exceptions
+    are swallowed: the tap must never turn an installed commit into an
+    abort.  [lib/repl] is the intended observer. *)
+
+val set_commit_observer : Store.t -> (int -> (int * int option) list -> unit) -> unit
+
+val clear_commit_observer : Store.t -> unit
+
+val idem_evictions : unit -> int
+(** Committed tokens evicted FIFO past {!idem_capacity} — the
+    [txn_idem_evictions] gauge.  A replay of an evicted token
+    re-executes, so a nonzero rate means the exactly-once window is
+    being outrun. *)
+
 val exec : ?token:int -> ?max_attempts:int -> Store.t -> op list -> outcome
 (** Run one transaction: execute [ops] against current state (buffering
     writes), then validate-and-install.  On validation conflict the

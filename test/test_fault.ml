@@ -38,13 +38,14 @@ let test_plan_roundtrip () =
   (* a spec exercising every action and trigger *)
   let spec =
     "seed=9;a:pause=5@once;b:stall@nth=3;c:yield=7@every=2;d:fail=boom@p=0.25;\
-     e:shortwrite=4;f:econnreset@always;g:eagain=2"
+     e:shortwrite=4;f:econnreset@always;g:eagain=2;h:partition=250;\
+     i:dup@p=0.5;j:reorder"
   in
   match F.plan_of_string spec with
   | Error e -> Alcotest.fail e
   | Ok p ->
       Alcotest.(check int) "seed parsed" 9 p.F.p_seed;
-      Alcotest.(check int) "seven rules" 7 (List.length p.F.p_rules);
+      Alcotest.(check int) "ten rules" 10 (List.length p.F.p_rules);
       let s = F.plan_to_string p in
       (match F.plan_of_string s with
        | Ok p' ->
@@ -63,6 +64,23 @@ let test_plan_errors () =
   bad "x:pause=notanumber";
   bad "x:stall@p=2.5";
   bad "x:stall@nth=0";
+  bad "x:partition=0";
+  bad "x:partition=nope";
+  (* One action per rule: a comma'd action list is rejected, and the
+     error names the offending point and the repeated-point rewrite
+     (the grammar's documented limitation, docs/RESILIENCE.md). *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match F.plan_of_string "seed=1;repl.send:dup,reorder" with
+   | Ok _ -> Alcotest.fail "accepted a comma'd action list"
+   | Error e ->
+       Alcotest.(check bool)
+         ("error names the point: " ^ e)
+         true
+         (contains e "repl.send" && contains e "exactly one action"));
   (match F.find_plan "no-such-preset" with
    | Error _ -> ()
    | Ok _ -> Alcotest.fail "find_plan accepted an unknown name");
@@ -100,6 +118,50 @@ let test_pattern_match () =
     (count_fires (mkplan [ rule "*" F.Always (F.Pause 0.) ]) 10);
   Alcotest.(check int) "other point does not" 0
     (count_fires (mkplan [ rule "lock.acquire" F.Always (F.Pause 0.) ]) 10)
+
+let test_partition_latch () =
+  F.arm (mkplan [ rule "test.point" F.Once (F.Partition 0.25) ]);
+  (match F.hit tp with
+   | () -> Alcotest.fail "partition did not raise"
+   | exception F.Injected _ -> ());
+  (* the point stays down for the window: every hit and feed_check
+     raises, not just the triggering one (reconnects must fail too) *)
+  (match F.hit tp with
+   | () -> Alcotest.fail "down window did not hold"
+   | exception F.Injected _ -> ());
+  (match F.feed_check tp with
+   | exception F.Injected _ -> ()
+   | _ -> Alcotest.fail "feed_check ignored the down window");
+  Unix.sleepf 0.3;
+  (* window elapsed; the Once trigger is consumed, so the point heals *)
+  F.hit tp;
+  F.disarm ();
+  (* disarm heals a still-open window (generation scoped) *)
+  F.arm (mkplan [ rule "test.point" F.Once (F.Partition 60.) ]);
+  (match F.hit tp with
+   | () -> Alcotest.fail "partition did not raise"
+   | exception F.Injected _ -> ());
+  F.disarm ();
+  F.arm (mkplan [ rule "test.point" (F.Nth 99) (F.Pause 0.) ]);
+  F.hit tp;
+  F.disarm ()
+
+let test_feed_check_surfaces_stream_actions () =
+  F.arm (mkplan [ rule "test.point" F.Always F.Dup ]);
+  (match F.feed_check tp with
+   | Some F.Dup -> ()
+   | _ -> Alcotest.fail "expected Some Dup");
+  (* [hit] treats the stream-layer actions as no-ops *)
+  F.hit tp;
+  F.disarm ();
+  F.arm (mkplan [ rule "test.point" F.Always F.Reorder ]);
+  (match F.feed_check tp with
+   | Some F.Reorder -> ()
+   | _ -> Alcotest.fail "expected Some Reorder");
+  F.disarm ();
+  (match F.feed_check tp with
+   | None -> ()
+   | Some _ -> Alcotest.fail "disarmed feed_check must be None")
 
 let test_fail_action () =
   F.arm (mkplan [ rule "test.point" F.Always (F.Fail (F.Injected "boom")) ]);
@@ -374,6 +436,10 @@ let () =
           Alcotest.test_case "nth / every" `Quick test_trigger_nth_every;
           Alcotest.test_case "point patterns" `Quick test_pattern_match;
           Alcotest.test_case "fail raises" `Quick test_fail_action;
+          Alcotest.test_case "partition latches a down window" `Quick
+            test_partition_latch;
+          Alcotest.test_case "feed_check surfaces stream actions" `Quick
+            test_feed_check_surfaces_stream_actions;
           Alcotest.test_case "io_check surfaces I/O actions" `Quick
             test_io_check;
           Alcotest.test_case "disarmed is a no-op" `Quick test_disarmed_noop;

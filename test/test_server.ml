@@ -33,6 +33,17 @@ let gen_command =
          forms must round-trip. *)
       map (fun t -> P.Exec t) (int_range 0 1_000_000);
       return P.Discard;
+      (* SUBSCRIBE/WATCH render bare for seq/timeout 0 and with the
+         third token otherwise; both forms must round-trip. *)
+      map3 (fun a b s -> P.Subscribe (a, b, s)) gen_key gen_key
+        (int_range 0 1_000_000);
+      map3 (fun a b ms -> P.Watch (a, b, ms)) gen_key gen_key
+        (int_range 0 60_000);
+      return P.Sync;
+      return P.Replstats;
+      return P.Promote;
+      map2 (fun s st -> P.Ack (s, st)) (int_range 0 1_000_000)
+        (int_range 0 1_000_000);
       return P.Quit;
     ]
 
@@ -220,6 +231,64 @@ let test_reader_split_delivery () =
   in
   match P.Reader.reply reader with
   | Ok r' -> Alcotest.(check bool) "equal" true (P.reply_equal r r')
+  | Error e -> Alcotest.fail e
+
+(* --- qcheck: change-record frame round-trip ------------------------------ *)
+
+(* The replication stream rides the reply framing (reply_of_record /
+   record_of_reply): every record must survive render → incremental
+   Reader → parse, including Nil values (deletes). *)
+let gen_record =
+  let open QCheck.Gen in
+  map3
+    (fun seq stamp writes ->
+      { Repl.r_seq = seq + 1; r_stamp = stamp + 1; r_writes = writes })
+    (int_range 0 1_000_000) (int_range 0 1_000_000)
+    (list_size (int_range 1 8)
+       (pair gen_key (oneof [ return None; map Option.some gen_key ])))
+
+let test_record_frame_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"change-record frame round-trip"
+    (QCheck.make
+       ~print:(fun r -> P.pp_reply (P.reply_of_record r))
+       gen_record)
+    (fun r ->
+      let reader = P.Reader.of_string (render_reply_string (P.reply_of_record r)) in
+      match P.Reader.reply reader with
+      | Ok frame -> (
+          match P.record_of_reply frame with
+          | Ok r' -> r = r'
+          | Error _ -> false)
+      | Error _ -> false)
+
+let test_record_of_reply_total =
+  QCheck.Test.make ~count:500 ~name:"record_of_reply rejects non-records"
+    arb_reply (fun r ->
+      match P.record_of_reply r with Ok _ | Error _ -> true)
+
+(* A streamed record must survive one-byte delivery: replicas read the
+   push stream through the incremental Reader, and the TCP segmentation
+   under a chaos plan is arbitrary. *)
+let test_record_split_delivery () =
+  let r =
+    { Repl.r_seq = 41; r_stamp = 977; r_writes = [ (3, Some 30); (9, None) ] }
+  in
+  let s = render_reply_string (P.reply_of_record r) in
+  let pos = ref 0 in
+  let reader =
+    P.Reader.create (fun b p _l ->
+        if !pos >= String.length s then 0
+        else begin
+          Bytes.set b p s.[!pos];
+          incr pos;
+          1
+        end)
+  in
+  match P.Reader.reply reader with
+  | Ok frame -> (
+      match P.record_of_reply frame with
+      | Ok r' -> Alcotest.(check bool) "record equal" true (r = r')
+      | Error e -> Alcotest.fail e)
   | Error e -> Alcotest.fail e
 
 (* --- bounded queue ------------------------------------------------------ *)
@@ -814,6 +883,8 @@ let qsuite =
       test_reply_roundtrip;
       test_parse_never_raises;
       test_reader_never_raises;
+      test_record_frame_roundtrip;
+      test_record_of_reply_total;
     ]
 
 let () =
@@ -821,8 +892,11 @@ let () =
     [
       ("protocol", qsuite);
       ( "protocol-framing",
-        [ Alcotest.test_case "split delivery" `Quick test_reader_split_delivery ]
-      );
+        [
+          Alcotest.test_case "split delivery" `Quick test_reader_split_delivery;
+          Alcotest.test_case "record split delivery" `Quick
+            test_record_split_delivery;
+        ] );
       ( "bqueue",
         [
           Alcotest.test_case "order and close" `Quick test_bqueue_order_and_close;
