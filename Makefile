@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline chaos-smoke trace-smoke profile-smoke txn-smoke repl-smoke repl-baseline ci doc clean
+.PHONY: all build test bench bench-full bench-json bench-check examples obs-smoke serve-smoke serve-baseline c10k-smoke chaos-smoke trace-smoke profile-smoke txn-smoke repl-smoke repl-baseline ci doc clean
 
 # Sections that produce BENCH json rows (see bench/main.ml --json).
 BENCH_JSON_SECTIONS = fig8a fig9 fig12 extra_skiplist shard_sweep txn
@@ -177,6 +177,54 @@ serve-baseline:
 	kill -INT $$srv; \
 	wait $$srv; \
 	trap - EXIT
+
+# c10k gate (docs/ASYNC.md): the event loop holds thousands of
+# mostly-idle connections while a pipelined hot set drives load — the
+# posture the old serving core could never reach (select(2) dies past
+# FD_SETSIZE=1024 fds; thread-per-connection capped concurrency at the
+# worker-domain count).  Asserts:
+#   - every idle connection survives the run (the loadgen PINGs each at
+#     open and again after the workload, exiting non-zero on any death);
+#   - zero census violations under the c10k posture;
+#   - the queue-dwell p99 stays bounded (latency, not capacity, is the
+#     -BUSY currency under the event loop);
+#   - SIGINT drains gracefully and the final report shows zero
+#     registered connections — no leaked fds.
+# Needs ~2.2k fds: raise the soft ulimit if the hard limit allows.
+C10K_IDLE = 2048
+c10k-smoke:
+	dune build bin/verlib_serve.exe bin/verlib_loadgen.exe
+	@set -e; \
+	ulimit -n 16384 2>/dev/null || true; \
+	./_build/default/bin/verlib_serve.exe -s btree -p 0 -t 4 \
+	  --census-interval 0.2 --duration 180 --stats json \
+	  > /tmp/verlib_c10k_report.json 2>/tmp/verlib_c10k.log & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	port=$$(awk 'NR==1 && $$1=="PORT" {print $$2}' /tmp/verlib_c10k_report.json); \
+	test -n "$$port" || { echo "FAIL: server did not report a port"; exit 1; }; \
+	echo "c10k-smoke: $(C10K_IDLE) idle conns + pipelined hot set on port $$port"; \
+	./_build/default/bin/verlib_loadgen.exe --port $$port --ci \
+	  --idle-conns $(C10K_IDLE) -t 4 -p 8 -q multifind:8 -u 20 -d 2 \
+	  --stats-out /tmp/verlib_c10k_stats.json; \
+	grep -q '"violations":0' /tmp/verlib_c10k_stats.json \
+	  || { echo "FAIL: census violations under the c10k posture"; exit 1; }; \
+	dwell=$$(sed -n 's/.*"phase_queue_cycles":{[^}]*"p99_us":\([0-9.]*\).*/\1/p' \
+	  /tmp/verlib_c10k_stats.json); \
+	test -n "$$dwell" || { echo "FAIL: no queue-phase histogram in STATS"; exit 1; }; \
+	awk -v d="$$dwell" 'BEGIN { exit !(d+0 < 500000) }' \
+	  || { echo "FAIL: queue dwell p99 $${dwell}us is unbounded"; exit 1; }; \
+	echo "c10k-smoke: queue dwell p99 $${dwell}us"; \
+	sleep 1; \
+	kill -INT $$srv; \
+	wait $$srv; \
+	trap - EXIT; \
+	grep -q 'draining' /tmp/verlib_c10k.log \
+	  || { echo "FAIL: server did not drain on SIGINT"; exit 1; }; \
+	grep -q '"connections_active":0' /tmp/verlib_c10k_report.json \
+	  || { echo "FAIL: connections still registered after the drain"; exit 1; }; \
+	echo "c10k-smoke: OK"
 
 # Chaos gate (docs/RESILIENCE.md).  Three stanzas:
 #   1. bin/verlib_soak: the bank mix against a live in-process server
@@ -468,7 +516,7 @@ repl-baseline:
 # transactional end-to-end gate and the replication chaos gate.  The
 # heavier smoke targets (serve-smoke, chaos-smoke, obs-smoke) stay
 # opt-in.
-ci: build test bench-check trace-smoke profile-smoke txn-smoke repl-smoke
+ci: build test bench-check trace-smoke profile-smoke txn-smoke repl-smoke c10k-smoke
 
 doc:
 	dune build @doc

@@ -178,6 +178,15 @@ let faults =
              as seen from the client.  The retry layer must mask it; \
              disarmed again before the audit/STATS phase.")
 
+let idle_conns =
+  Arg.(value & opt int 0 & info [ "idle-conns" ] ~docv:"N"
+       ~doc:"Open N extra raw connections before the workload, PING each \
+             once, then hold them idle for the whole run while the hot set \
+             hammers the server — the c10k posture.  After the workload \
+             every held connection is PINGed again; any that died fails \
+             the run.  Requires an event-loop server: N is bounded by \
+             $(b,ulimit -n), not by the server's domain count.")
+
 (* --- shared machinery ----------------------------------------------------- *)
 
 let stop = Atomic.make false
@@ -889,11 +898,84 @@ let check_profile ~host ~port ~exit_bad = function
           close_out oc;
           Printf.eprintf "verlib_loadgen: PROFILE -> %s\n%!" path)
 
+(* --- idle-connection pool (the c10k ballast) ------------------------------ *)
+
+(* Raw fds on purpose: no retry transport, no reconnects — if the server
+   drops one of these the final PING must see it.  A PING round-trip on a
+   quiet connection is one write + one short read. *)
+let idle_ping fd =
+  try
+    let msg = "PING\r\n" in
+    let len = String.length msg in
+    let rec wr off =
+      if off < len then wr (off + Unix.write_substring fd msg off (len - off))
+    in
+    wr 0;
+    let buf = Bytes.create 64 in
+    let rec rd acc =
+      if String.contains acc '\n' then acc
+      else
+        let n = Unix.read fd buf 0 (Bytes.length buf) in
+        if n = 0 then acc else rd (acc ^ Bytes.sub_string buf 0 n)
+    in
+    let r = rd "" in
+    String.length r >= 5 && String.sub r 0 5 = "+PONG"
+  with _ -> false
+
+let open_idle_pool ~host ~port n =
+  if n <= 0 then [||]
+  else begin
+    let inet =
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let addr = Unix.ADDR_INET (inet, port) in
+    let fds =
+      Array.init n (fun i ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd addr
+           with e ->
+             Unix.close fd;
+             Printf.eprintf
+               "verlib_loadgen: idle conn %d/%d failed to connect: %s\n" (i + 1)
+               n (Printexc.to_string e);
+             exit 1);
+          fd)
+    in
+    (* Verify each connection was actually admitted (a -BUSY door answers
+       the PING with an error and closes). *)
+    Array.iteri
+      (fun i fd ->
+        if not (idle_ping fd) then begin
+          Printf.eprintf
+            "verlib_loadgen: idle conn %d/%d rejected at admission\n" (i + 1) n;
+          exit 1
+        end)
+      fds;
+    Printf.printf "idle pool: %d connection(s) held\n%!" n;
+    fds
+  end
+
+let check_idle_pool ~exit_bad fds =
+  if Array.length fds > 0 then begin
+    let dead = ref 0 in
+    Array.iter (fun fd -> if not (idle_ping fd) then incr dead) fds;
+    Array.iter (fun fd -> try Unix.close fd with _ -> ()) fds;
+    if !dead > 0 then begin
+      Printf.printf "idle pool: FAIL — %d of %d held connection(s) died\n"
+        !dead (Array.length fds);
+      exit_bad := true
+    end
+    else
+      Printf.printf "idle pool: %d connection(s) survived the run\n"
+        (Array.length fds)
+  end
+
 (* --- driver --------------------------------------------------------------- *)
 
 let run host port failover threads depth size updates query theta duration seed
     mix pairs no_fill ci json_out merge_into figure stats_out trace_sample
-    trace_out metrics_out profile_out rt_attempts faults =
+    trace_out metrics_out profile_out rt_attempts faults idle_conns =
   install_signal_handlers ();
   failover_eps := failover;
   let rt_attempts = if rt_attempts > 0 then Some rt_attempts else None in
@@ -912,6 +994,7 @@ let run host port failover threads depth size updates query theta duration seed
   let threads = max 1 threads and depth = max 1 depth in
   let pairs = max 1 pairs in
   let exit_bad = ref false in
+  let idle_pool = open_idle_pool ~host ~port idle_conns in
   let timed_run spawn_all =
     let ds = spawn_all () in
     let nds = List.length ds in
@@ -1056,6 +1139,7 @@ let run host port failover threads depth size updates query theta duration seed
         exit_bad := true
       end;
       if violations > 0 || errors > 0 then exit_bad := true;
+      check_idle_pool ~exit_bad idle_pool;
       if !exit_bad then exit 1
   | `Opgen -> (
       match parse_query query with
@@ -1200,6 +1284,7 @@ let run host port failover threads depth size updates query theta duration seed
             print_endline "served: FAIL — no operations completed";
             exit_bad := true
           end;
+          check_idle_pool ~exit_bad idle_pool;
           if !exit_bad then exit 1)
 
 let cmd =
@@ -1211,6 +1296,6 @@ let cmd =
       $ query $ theta
       $ duration $ seed $ mix $ pairs $ no_fill $ ci $ json_out $ merge_into
       $ figure $ stats_out $ trace_sample $ trace_out $ metrics_out
-      $ profile_out $ rt_attempts $ faults)
+      $ profile_out $ rt_attempts $ faults $ idle_conns)
 
 let () = exit (Cmd.eval cmd)

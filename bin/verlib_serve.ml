@@ -89,6 +89,13 @@ let shed_chain_p99 =
        ~doc:"Shed against the latest census's p99 version-chain length \
              (needs --census-interval); 0 = off.")
 
+let shed_dwell_us =
+  Arg.(value & opt int 0 & info [ "shed-dwell-us" ]
+       ~doc:"Shed against the measured queue dwell of the last executed \
+             batch, in microseconds: how long it waited between the event \
+             loop's push and a worker's pop (the latency form of queue \
+             pressure); 0 = off.")
+
 let retry_after_ms =
   Arg.(value & opt int 50 & info [ "retry-after-ms" ]
        ~doc:"The retry hint carried in -BUSY replies.")
@@ -206,7 +213,7 @@ let install_signal_handlers () =
 
 let run structure mode port domains n_hint prefill queue_depth census_interval
     max_conns idle_timeout write_timeout shed_queue shed_epoch_lag
-    shed_chain_p99 retry_after_ms metrics_interval flight_dir
+    shed_chain_p99 shed_dwell_us retry_after_ms metrics_interval flight_dir
     flight_min_interval slo_p99_us locks profile_hz profile_out replica_of
     feed_capacity faults duration stats_fmt trace_file =
   let plan =
@@ -254,6 +261,7 @@ let run structure mode port domains n_hint prefill queue_depth census_interval
       shed_queue;
       shed_epoch_lag;
       shed_chain_p99;
+      shed_dwell_us;
       retry_after_ms;
       metrics_interval;
       flight_dir;
@@ -341,7 +349,7 @@ let cmd =
       const run $ structure $ mode $ port $ domains $ n_hint $ prefill
       $ queue_depth $ census_interval $ max_conns $ idle_timeout
       $ write_timeout $ shed_queue $ shed_epoch_lag $ shed_chain_p99
-      $ retry_after_ms $ metrics_interval $ flight_dir $ flight_min_interval
+      $ shed_dwell_us $ retry_after_ms $ metrics_interval $ flight_dir $ flight_min_interval
       $ slo_p99_us $ locks $ profile_hz $ profile_out $ replica_of
       $ feed_capacity $ faults $ duration $ stats_fmt $ trace_file)
 

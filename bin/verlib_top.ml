@@ -356,15 +356,18 @@ let setup_tty () =
         at_exit (fun () ->
             try Unix.tcsetattr Unix.stdin Unix.TCSANOW t with _ -> ())
 
-(* Sleep up to [interval], returning the key pressed, if any. *)
+(* Sleep up to [interval], returning the key pressed, if any.  Poll-
+   based readiness (Server.Evpoll): stdin's fd number is 0 here, but no
+   select call survives in the tree — FD_SETSIZE bites any process
+   holding a thousand fds, and the dashboard may run inside one. *)
 let wait_key interval =
-  match Unix.select [ Unix.stdin ] [] [] interval with
-  | [ _ ], _, _ ->
+  match Server.Evpoll.readable ~timeout:interval Unix.stdin with
+  | true ->
       let buf = Bytes.create 1 in
       if (try Unix.read Unix.stdin buf 0 1 with _ -> 0) = 1 then
         Some (Bytes.get buf 0)
       else None
-  | _ -> None
+  | false -> None
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
 
 (* --- driver ---------------------------------------------------------------- *)

@@ -37,6 +37,20 @@ let push t x =
       in
       wait ())
 
+(* Non-blocking push for the event loop: the loop thread must never
+   park on a worker queue, so a full queue reports [`Full] and the
+   caller keeps the item parked on the connection until a completion
+   frees a slot. *)
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.q >= t.depth then `Full
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.not_empty;
+        `Ok
+      end)
+
 let pop t =
   with_lock t (fun () ->
       let rec wait () =

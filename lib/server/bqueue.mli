@@ -17,6 +17,12 @@ val push : 'a t -> 'a -> bool
 (** Blocks while full.  [false] iff the queue was closed (the item is
     not enqueued). *)
 
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Nonblocking {!push} for the event loop, which must never park on a
+    worker queue: [`Full] hands backpressure to the caller (the loop
+    parks the batch on its connection and retries as completions free
+    slots). *)
+
 val pop : 'a t -> 'a option
 (** Blocks while empty and open.  [None] iff closed and drained. *)
 

@@ -1,0 +1,127 @@
+/* poll(2) binding for the event-loop server core.
+ *
+ * Unix.select caps out at FD_SETSIZE (1024 on glibc): any fd number at
+ * or past that limit silently corrupts the fd_set or raises, which is
+ * exactly the regime a many-connection server lives in.  poll carries
+ * the fd list explicitly, so the only ceiling left is ulimit -n.
+ *
+ * The OCaml side passes parallel int arrays (fds / interest masks /
+ * revents out-slots) plus a live-prefix length, with portable event
+ * bits translated here:
+ *
+ *   bit 0 = readable   (POLLIN)
+ *   bit 1 = writable   (POLLOUT)
+ *   bit 2 = error      (POLLERR)
+ *   bit 3 = hangup     (POLLHUP)
+ *   bit 4 = invalid fd (POLLNVAL)
+ *   bit 5 = peer FIN   (POLLRDHUP, Linux; never reported elsewhere)
+ *
+ * POLLRDHUP matters because the loop masks POLLIN off while a batch is
+ * in flight: without it a peer that disconnects mid-batch is invisible
+ * until the batch completes, and the worker would go on executing the
+ * abandoned (possibly already client-replayed) commands.
+ *
+ * The runtime lock is released around the poll syscall so worker
+ * domains keep running while the loop sleeps; because the GC may move
+ * young arrays while the lock is released, the fd/interest arrays are
+ * copied into a malloc'd struct pollfd vector first and revents are
+ * written back only after the lock is reacquired.  EINTR is reported
+ * as 0 ready fds (the loop just re-polls). */
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE /* POLLRDHUP */
+#endif
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+#define EV_IN 1
+#define EV_OUT 2
+#define EV_ERR 4
+#define EV_HUP 8
+#define EV_NVAL 16
+#define EV_RDHUP 32
+
+static short events_of_mask(long m)
+{
+    short ev = 0;
+    if (m & EV_IN)
+        ev |= POLLIN;
+    if (m & EV_OUT)
+        ev |= POLLOUT;
+#ifdef POLLRDHUP
+    if (m & EV_RDHUP)
+        ev |= POLLRDHUP;
+#endif
+    return ev;
+}
+
+static long mask_of_revents(short ev)
+{
+    long m = 0;
+    if (ev & (POLLIN | POLLPRI))
+        m |= EV_IN;
+    if (ev & POLLOUT)
+        m |= EV_OUT;
+    if (ev & POLLERR)
+        m |= EV_ERR;
+    if (ev & POLLHUP)
+        m |= EV_HUP;
+    if (ev & POLLNVAL)
+        m |= EV_NVAL;
+#ifdef POLLRDHUP
+    if (ev & POLLRDHUP)
+        m |= EV_RDHUP;
+#endif
+    return m;
+}
+
+/* poll(fds[0..n-1], interest[0..n-1]) -> number ready; revents[i] gets
+ * the readiness mask for fds[i].  timeout_ms < 0 blocks forever. */
+CAMLprim value caml_verlib_poll(value vfds, value vinterest, value vrevents,
+                                value vn, value vtimeout_ms)
+{
+    CAMLparam5(vfds, vinterest, vrevents, vn, vtimeout_ms);
+    long n = Long_val(vn);
+    int timeout = (int)Long_val(vtimeout_ms);
+    struct pollfd *pfds;
+    int rc;
+    long i;
+
+    if (n < 0 || n > Wosize_val(vfds) || n > Wosize_val(vinterest) ||
+        n > Wosize_val(vrevents))
+        caml_invalid_argument("Evpoll.poll: n out of bounds");
+
+    pfds = (struct pollfd *)malloc((n > 0 ? n : 1) * sizeof(struct pollfd));
+    if (pfds == NULL)
+        caml_raise_out_of_memory();
+    for (i = 0; i < n; i++) {
+        pfds[i].fd = (int)Long_val(Field(vfds, i));
+        pfds[i].events = events_of_mask(Long_val(Field(vinterest, i)));
+        pfds[i].revents = 0;
+    }
+
+    caml_release_runtime_system();
+    rc = poll(pfds, (nfds_t)n, timeout);
+    caml_acquire_runtime_system();
+
+    if (rc < 0) {
+        int err = errno;
+        free(pfds);
+        if (err == EINTR)
+            CAMLreturn(Val_long(0));
+        unix_error(err, "poll", Nothing);
+    }
+
+    for (i = 0; i < n; i++)
+        Field(vrevents, i) = Val_long(mask_of_revents(pfds[i].revents));
+    free(pfds);
+    CAMLreturn(Val_long(rc));
+}

@@ -399,6 +399,70 @@ let parse_trace body =
                     }
               | _ -> fail ())))
 
+(* --- incremental line reassembly ----------------------------------------- *)
+
+(* Stateful '\n'-framed line reassembly shared by every path that reads
+   the wire in arbitrary-sized chunks: the event loop's per-connection
+   inbox and the replica ACK drain.  The invariant that matters — and
+   that an earlier ad-hoc splitter got subtly right only by luck — is
+   that a trailing partial line after the last '\n' stays buffered
+   until its terminator arrives, no matter how the kernel splits the
+   delivery.  A terminating '\r' before the '\n' is stripped. *)
+module Linebuf = struct
+  type t = {
+    buf : Buffer.t;  (** received, not yet consumed *)
+    mutable pos : int;  (** consumed prefix of [buf] *)
+  }
+
+  let create () = { buf = Buffer.create 256; pos = 0 }
+
+  let feed t b off len = Buffer.add_subbytes t.buf b off len
+  let feed_string t s = Buffer.add_string t.buf s
+
+  (* Bytes buffered past the last complete line — the partial tail. *)
+  let pending t = Buffer.length t.buf - t.pos
+
+  let compact t =
+    if t.pos > 0 && t.pos >= Buffer.length t.buf then begin
+      Buffer.clear t.buf;
+      t.pos <- 0
+    end
+    else if t.pos > 65536 then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  (* Pops the next complete line ('\n' consumed, optional '\r' before it
+     stripped), or [None] when only a partial tail remains. *)
+  let next t =
+    let len = Buffer.length t.buf in
+    let rec find i = if i >= len then -1 else if Buffer.nth t.buf i = '\n' then i else find (i + 1) in
+    let nl = find t.pos in
+    if nl < 0 then begin
+      compact t;
+      None
+    end
+    else begin
+      let stop = if nl > t.pos && Buffer.nth t.buf (nl - 1) = '\r' then nl - 1 else nl in
+      let line = Buffer.sub t.buf t.pos (stop - t.pos) in
+      t.pos <- nl + 1;
+      compact t;
+      Some line
+    end
+
+  let drain t f =
+    let rec go () =
+      match next t with
+      | Some l ->
+          f l;
+          go ()
+      | None -> ()
+    in
+    go ()
+end
+
 (* --- incremental reply reader -------------------------------------------- *)
 
 module Reader = struct

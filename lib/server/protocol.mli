@@ -174,6 +174,35 @@ val parse_trace : string -> (trace_info, string) result
 (** Parse a frame line {e without} the leading ['@'].  Total.
     Round-trips {!render_trace} output. *)
 
+(** Stateful '\n'-framed line reassembly, shared by every path that
+    reads the wire in kernel-sized pieces (the event loop's
+    per-connection inbox, the replica ACK drain): bytes are fed in
+    arbitrary chunks, complete lines pop out, and a trailing partial
+    line is re-buffered until its terminator arrives — a split delivery
+    never drops or mangles a frame. *)
+module Linebuf : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> int -> unit
+  (** [feed t b off len] appends a received chunk. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> string option
+  (** Pop the next complete line — terminator consumed, an optional
+      ['\r'] before the ['\n'] stripped — or [None] when only a partial
+      tail (possibly empty) remains buffered. *)
+
+  val drain : t -> (string -> unit) -> unit
+  (** [next] until exhausted. *)
+
+  val pending : t -> int
+  (** Bytes buffered past the last complete line: the partial tail the
+      caller's line-length cap should be checked against. *)
+end
+
 (** Incremental reply reader over any byte source — the client half of
     the protocol, also used to fuzz reply framing round-trips. *)
 module Reader : sig

@@ -2,6 +2,8 @@ module Protocol = Protocol
 module Bqueue = Bqueue
 module Mount = Mount
 module Client = Client
+module Evpoll = Evpoll
+module Evloop = Evloop
 
 type config = {
   port : int;
@@ -15,6 +17,10 @@ type config = {
   shed_queue : int;
   shed_epoch_lag : int;
   shed_chain_p99 : int;
+  shed_dwell_us : int;
+      (** shed when the last handoff batch waited this long (µs) for a
+          worker — the latency signal that replaces "queue full" as the
+          overload definition under the event loop; 0 disables *)
   retry_after_ms : int;
   metrics_interval : float;
   flight_dir : string;
@@ -40,6 +46,7 @@ let default_config =
     shed_queue = 0;
     shed_epoch_lag = 0;
     shed_chain_p99 = 0;
+    shed_dwell_us = 0;
     retry_after_ms = 50;
     metrics_interval = 0.;
     flight_dir = "";
@@ -60,6 +67,11 @@ let shed_total_a = Atomic.make 0
 
 let deadline_kills_a = Atomic.make 0
 
+(* Most recent handoff-queue dwell (µs): how long the last executed
+   batch sat between the event loop's push and a worker's pop — the
+   live overload signal behind [shed_dwell_us]. *)
+let queue_dwell_us_a = Atomic.make 0
+
 let (_ : Flock.Telemetry.Gauge.t) =
   Flock.Telemetry.Gauge.make "shed_total" (fun () -> Atomic.get shed_total_a)
 
@@ -67,13 +79,54 @@ let (_ : Flock.Telemetry.Gauge.t) =
   Flock.Telemetry.Gauge.make "deadline_kills" (fun () ->
       Atomic.get deadline_kills_a)
 
+let (_ : Flock.Telemetry.Gauge.t) =
+  Flock.Telemetry.Gauge.make "queue_dwell_us" (fun () ->
+      Atomic.get queue_dwell_us_a)
+
 (* Wire-layer fault points (docs/RESILIENCE.md): interpreted against the
-   live file descriptor by [write_all] / the read loop below. *)
+   live file descriptor by the event loop's read/flush paths and the
+   stream writer below. *)
 let fp_read = Fault.Point.make "server.read"
 
 let fp_write = Fault.Point.make "server.write"
 
 type role = Primary | Replica
+
+(* Per-connection protocol state, owned by whichever worker holds the
+   connection's in-flight batch (the loop admits one batch at a time,
+   so no two workers ever touch the same session). *)
+type session = {
+  s_admitted : bool;
+      (** false for door-shed connections that only exist to carry the
+          [-BUSY] refusal out; they never counted as active *)
+  mutable s_multi : bool;  (** inside MULTI...EXEC *)
+  mutable s_queued : Protocol.command list;  (** reversed *)
+  mutable s_dirty : bool;  (** transaction poisoned *)
+  mutable s_stream : (int * int * int) option;
+      (** SUBSCRIBE mode-switch: (lo, hi, start_seq) *)
+  mutable s_first : bool;  (** next span is the connection's first *)
+}
+
+let new_session ~admitted () =
+  {
+    s_admitted = admitted;
+    s_multi = false;
+    s_queued = [];
+    s_dirty = false;
+    s_stream = None;
+    s_first = true;
+  }
+
+(* One read chunk's complete lines, pushed from the event loop to a
+   worker domain.  [b_mark] is the chunk's arrival tick stamp (the
+   first command's span is backdated to it); [b_push] brackets queue
+   dwell with the worker's pop. *)
+type batch = {
+  b_conn : session Evloop.conn;
+  b_lines : string list;
+  b_mark : int;
+  b_push : int;
+}
 
 type t = {
   mount : Mount.t;
@@ -85,15 +138,13 @@ type t = {
           WATCH / SYNC serve from *)
   apply : Repl.Apply.t option;  (** replica servers only *)
   mutable replica_d : unit Domain.t option;
-  (* Handoff carries the accept-time and push-time tick stamps so the
-     worker can book accept work and queue dwell into the connection's
-     first request span. *)
-  queue : (Unix.file_descr * int * int) Bqueue.t;
+  queue : batch Bqueue.t;
+  mutable loop : session Evloop.t option;
   flight : Harness.Flight.t option;
   hard_shed_on : bool Atomic.t;  (* edge detector for the flight trigger *)
   mutable lsock : Unix.file_descr option;
   mutable bound_port : int;
-  mutable accept_d : unit Domain.t option;
+  mutable net_d : unit Domain.t option;  (** the event-loop domain *)
   mutable worker_ds : unit Domain.t list;
   mutable census_d : unit Domain.t option;
   mutable metrics_d : unit Domain.t option;
@@ -110,6 +161,7 @@ type t = {
   census_violations : int Atomic.t;
   shed : int Atomic.t;
   deadline_kills : int Atomic.t;
+  queue_dwell_us : int Atomic.t;
   latest_census : Verlib.Chainscan.census option Atomic.t;
   final_census : Verlib.Chainscan.census option Atomic.t;
 }
@@ -130,6 +182,7 @@ let create ?(config = default_config) mount =
        | None -> None);
     replica_d = None;
     queue = Bqueue.create config.queue_depth;
+    loop = None;
     flight =
       (if config.flight_dir = "" then None
        else
@@ -139,7 +192,7 @@ let create ?(config = default_config) mount =
     hard_shed_on = Atomic.make false;
     lsock = None;
     bound_port = config.port;
-    accept_d = None;
+    net_d = None;
     worker_ds = [];
     census_d = None;
     metrics_d = None;
@@ -155,6 +208,7 @@ let create ?(config = default_config) mount =
     census_violations = Atomic.make 0;
     shed = Atomic.make 0;
     deadline_kills = Atomic.make 0;
+    queue_dwell_us = Atomic.make 0;
     latest_census = Atomic.make None;
     final_census = Atomic.make None;
   }
@@ -168,6 +222,7 @@ let running t = t.started && not t.stopped
 let flight_extra t =
   [
     ("queue_depth", string_of_int (Bqueue.length t.queue));
+    ("queue_dwell_us", string_of_int (Atomic.get t.queue_dwell_us));
     ("connections_active", string_of_int (Atomic.get t.conns_active));
     ("shed", string_of_int (Atomic.get t.shed));
     ("deadline_kills", string_of_int (Atomic.get t.deadline_kills));
@@ -243,6 +298,7 @@ let stats_json t =
       ("protocol_errors", string_of_int (Atomic.get t.errors_total));
       ("shed", string_of_int (Atomic.get t.shed));
       ("deadline_kills", string_of_int (Atomic.get t.deadline_kills));
+      ("queue_dwell_us", string_of_int (Atomic.get t.queue_dwell_us));
       ("size", string_of_int (Mount.size t.mount));
     ]
     @ census_extra
@@ -267,6 +323,7 @@ let metrics_text t =
         ("server_shed", Atomic.get t.shed);
         ("server_deadline_kills", Atomic.get t.deadline_kills);
         ("server_queue_depth", Bqueue.length t.queue);
+        ("server_queue_dwell_us", Atomic.get t.queue_dwell_us);
         ("server_flight_dumps", flight_dump_count t);
       ]
     ()
@@ -336,17 +393,20 @@ let run_watch t lo hi ms =
   in
   go ()
 
-(* --- connection serving -------------------------------------------------- *)
+(* --- stream writes -------------------------------------------------------- *)
 
 exception Write_deadline
 
 (* Push every byte of [s] to [fd], surviving EINTR and partial writes
-   (short TCP buffers, SO_SNDTIMEO expiry, injected [Short_write]).  A
-   peer that stops reading cannot wedge the worker: once [deadline]
-   (absolute, [infinity] = none) passes with bytes still queued the
-   write is abandoned with [Write_deadline] and the connection is
-   killed.  EPIPE/ECONNRESET propagate to the caller (dead peer); with
-   SIGPIPE ignored (see [start]) EPIPE is an exception, not a signal. *)
+   (short TCP buffers, injected [Short_write]).  Stream fds are
+   nonblocking (they were registered in the event loop before the
+   SUBSCRIBE detach), so EAGAIN parks on poll-writable instead of hot
+   spinning.  A peer that stops reading cannot wedge the worker: once
+   [deadline] (absolute, [infinity] = none) passes with bytes still
+   queued the write is abandoned with [Write_deadline] and the
+   connection is killed.  EPIPE/ECONNRESET propagate to the caller
+   (dead peer); with SIGPIPE ignored (see [start]) EPIPE is an
+   exception, not a signal. *)
 let write_all ?(deadline = infinity) fd s =
   let len = String.length s in
   let b = Bytes.unsafe_of_string s in
@@ -365,7 +425,10 @@ let write_all ?(deadline = infinity) fd s =
       | exception
           Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           if Unix.gettimeofday () > deadline then raise Write_deadline
-          else go off
+          else begin
+            ignore (Evpoll.writable ~timeout:0.05 fd);
+            go off
+          end
     end
   in
   go 0
@@ -403,7 +466,7 @@ let stream_serve t fd ~lo ~hi ~start_seq =
       if !clean then Repl.Log.unsubscribe log id else Repl.Log.orphan log id)
   @@ fun () ->
   let out = Buffer.create 4096 in
-  let inbuf = Buffer.create 256 in
+  let inbuf = Protocol.Linebuf.create () in
   let chunk = Bytes.create 4096 in
   let cursor = ref start_seq in
   let held = ref None in
@@ -427,45 +490,36 @@ let stream_serve t fd ~lo ~hi ~start_seq =
         push r;
         release_held ()
   in
+  (* ACK lines arrive in arbitrary kernel-sized pieces; [Linebuf]
+     re-buffers a trailing partial until its '\n' lands, so a split
+     delivery never drops or mangles a frame.  The poll-readable probe
+     replaces the old [Unix.select], which broke outright on fds past
+     FD_SETSIZE — precisely the many-connection regime this server now
+     runs in. *)
   let drain_acks () =
-    match Unix.select [ fd ] [] [] 0. with
-    | [ _ ], _, _ -> (
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 ->
-            clean := true;
-            quit := true
-        | n ->
-            Buffer.add_subbytes inbuf chunk 0 n;
-            let s = Buffer.contents inbuf in
-            Buffer.clear inbuf;
-            let len = String.length s in
-            let start = ref 0 in
-            for i = 0 to len - 1 do
-              if s.[i] = '\n' then begin
-                let stop = if i > !start && s.[i - 1] = '\r' then i - 1 else i in
-                (match
-                   Protocol.parse_command (String.sub s !start (stop - !start))
-                 with
-                 | Ok (Protocol.Ack (seq, stamp)) -> (
-                     (* A dropped ack is invisible to the peer; the lag
-                        gauges simply stay high until the next one. *)
-                     try
-                       Fault.hit Repl.fp_ack;
-                       Repl.Log.ack log ~id ~seq ~stamp
-                     with Fault.Injected _ -> ())
-                 | Ok Protocol.Quit ->
-                     clean := true;
-                     quit := true
-                 | Ok _ | Error _ -> () (* stream peers speak ACK/QUIT only *));
-                start := i + 1
-              end
-            done;
-            if !start < len then
-              Buffer.add_substring inbuf s !start (len - !start)
-        | exception
-            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-          -> ())
-    | _ -> ()
+    if Evpoll.readable ~timeout:0. fd then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+          clean := true;
+          quit := true
+      | n ->
+          Protocol.Linebuf.feed inbuf chunk 0 n;
+          Protocol.Linebuf.drain inbuf (fun line ->
+              match Protocol.parse_command line with
+              | Ok (Protocol.Ack (seq, stamp)) -> (
+                  (* A dropped ack is invisible to the peer; the lag
+                     gauges simply stay high until the next one. *)
+                  try
+                    Fault.hit Repl.fp_ack;
+                    Repl.Log.ack log ~id ~seq ~stamp
+                  with Fault.Injected _ -> ())
+              | Ok Protocol.Quit ->
+                  clean := true;
+                  quit := true
+              | Ok _ | Error _ -> () (* stream peers speak ACK/QUIT only *))
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
   in
   let flush () =
     if Buffer.length out > 0 then begin
@@ -515,17 +569,21 @@ let stream_serve t fd ~lo ~hi ~start_seq =
    commands; 2 = shed every data command (PING/STATS/QUIT are always
    answered — an overloaded server stays observable).  Any configured
    pressure signal at its threshold sheds the expensive class; the same
-   signal at twice its threshold sheds point ops too.  The signals are
-   the handoff-queue depth (work the workers have not reached) and the
-   reclamation-health gauges the census line of work watches: epoch lag
-   and the p99 version-chain length — exactly the quantities that grow
-   when snapshot-heavy load outruns truncation. *)
+   signal at twice its threshold sheds point ops too.  The signals:
+   handoff-queue depth (batches the workers have not reached), the
+   measured queue dwell of the last executed batch (the latency form of
+   the same pressure — under the event loop, -BUSY is a latency policy,
+   not a capacity one), and the reclamation-health gauges the census
+   line of work watches: epoch lag and the p99 version-chain length —
+   exactly the quantities that grow when snapshot-heavy load outruns
+   truncation. *)
 let overload_level t =
   let level = ref 0 in
   let look v thr =
     if thr > 0 && v >= thr then level := max !level (if v >= 2 * thr then 2 else 1)
   in
   look (Bqueue.length t.queue) t.cfg.shed_queue;
+  look (Atomic.get t.queue_dwell_us) t.cfg.shed_dwell_us;
   look (Flock.Epoch.epoch_lag ()) t.cfg.shed_epoch_lag;
   (match Atomic.get t.latest_census with
    | Some c -> look (Verlib.Chainscan.chain_p99 c) t.cfg.shed_chain_p99
@@ -578,7 +636,7 @@ let command_verb : Protocol.command -> string = function
 
 (* Per-verb activity frames for the sampling profiler.  Interning is
    mutexed and must stay off hot paths, so every verb is interned once
-   at module-load time (single-domain); [run_command] then publishes a
+   at module-load time (single-domain); [exec_line] then publishes a
    pre-computed id — two gated plain stores per command. *)
 module Activity = Flock.Telemetry.Activity
 
@@ -629,370 +687,307 @@ let verb_activity : Protocol.command -> int =
   | Protocol.Ack _ -> ack
   | Protocol.Quit -> quit
 
-(* Serve one connection to completion.  Reads are buffered; every
-   complete line in a read chunk is parsed and executed, and all the
-   replies are flushed in a single write — this is what makes pipelining
-   pay.  A short receive timeout keeps the worker responsive to the stop
-   flag even against an idle client; [idle_timeout] (if set) reclaims
-   the worker from a client that connects and goes silent. *)
-let serve_conn ?(accept_ticks = 0) ?(queue_ticks = 0) t fd =
-  Atomic.incr t.conns_active;
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2 with _ -> ());
-  if t.cfg.write_timeout > 0. then
-    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO (min 0.2 t.cfg.write_timeout)
-     with _ -> ());
-  let chunk = Bytes.create 65536 in
-  let pending = Buffer.create 4096 in
-  let scanned = ref 0 in
-  (* first index of [pending] not yet scanned for '\n' *)
-  let out = Buffer.create 4096 in
-  let scratch = Buffer.create 256 in
-  let quit = ref false in
-  (* SUBSCRIBE mode-switch: set by run_command; the line loop exits and
-     the connection becomes a push stream.  Pipelined bytes after the
-     SUBSCRIBE line are ignored — a stream peer has nothing to pipeline. *)
-  let stream_req = ref None in
-  (* MULTI state: a transaction being queued on this connection.
-     [dirty] poisons it (parse error, bad command, overflow) so EXEC
-     refuses instead of committing a half-understood sequence. *)
-  let in_multi = ref false in
-  let queued : Protocol.command list ref = ref [] (* reversed *) in
-  let dirty = ref false in
+(* --- command execution (worker side) -------------------------------------- *)
+
+(* Execute one wire line against [sess], appending the rendered reply
+   (and any @-trace frame) to [out].  Runs on a worker domain; the
+   event loop guarantees at most one batch per connection in flight, so
+   session mutation is single-threaded per connection.  [mark] (0 =
+   none) backdates the span to the read chunk's arrival; [accept_ticks]
+   and [queue_ticks] book the connection-accept and handoff-dwell
+   phases on the batch's first span. *)
+let exec_line t sess ~out ~scratch ~mark ~accept_ticks ~queue_ticks ~quit line =
+  Atomic.incr t.commands_total;
+  let sp = Span.start ~begin_ticks:mark ~cmd:"?" () in
+  if accept_ticks > 0 then Span.add_to sp Span.Accept accept_ticks;
+  if queue_ticks > 0 then Span.add_to sp Span.Queue queue_ticks;
   let multi_reset () =
-    in_multi := false;
-    queued := [];
-    dirty := false
+    sess.s_multi <- false;
+    sess.s_queued <- [];
+    sess.s_dirty <- false
   in
-  let last_act = ref (Unix.gettimeofday ()) in
-  (* Tick stamp of the read chunk being processed: the first command of
-     a chunk backdates its span to the bytes' arrival, so (for the
-     non-pipelined case) the span covers what the client experiences
-     minus the wire.  Later commands in the same chunk start "now" —
-     they were being worked on continuously. *)
-  let chunk_mark = ref 0 in
-  let first_span = ref true in
-  let run_command line =
-    Atomic.incr t.commands_total;
-    let sp = Span.start ~begin_ticks:!chunk_mark ~cmd:"?" () in
-    chunk_mark := 0;
-    if !first_span then begin
-      (* The connection's first request also pays accept and
-         handoff-queue dwell, stamped by the accept loop. *)
-      first_span := false;
-      Span.add_to sp Span.Accept accept_ticks;
-      Span.add_to sp Span.Queue queue_ticks
-    end;
-    let parsed =
-      Span.in_phase Span.Parse (fun () -> Protocol.parse_command_traced line)
-    in
-    let trace_id, outcome, r =
-      match parsed with
-      | Error msg ->
-          Atomic.incr t.errors_total;
-          (* A garbage line inside MULTI poisons the transaction: the
-             client and server may disagree on what was queued. *)
-          if !in_multi then dirty := true;
-          (None, "error", Protocol.Err msg)
-      | Ok (tid, c) -> (
-          Span.set_cmd sp (command_verb c);
-          (match tid with Some id -> Span.set_trace_id sp id | None -> ());
-          if Activity.on () then Activity.set Activity.dim_op (verb_activity c);
-          match c with
-          | Protocol.Quit ->
-              quit := true;
-              (tid, "ok", Protocol.Ok_)
-          | Protocol.Multi ->
-              if !in_multi then begin
-                Atomic.incr t.errors_total;
-                dirty := true;
-                (tid, "error", Protocol.Err "MULTI: nested MULTI")
-              end
-              else begin
-                multi_reset ();
-                in_multi := true;
-                (tid, "ok", Protocol.Ok_)
-              end
-          | Protocol.Discard ->
-              if !in_multi then begin
-                multi_reset ();
-                (tid, "ok", Protocol.Ok_)
-              end
-              else begin
-                Atomic.incr t.errors_total;
-                (tid, "error", Protocol.Err "DISCARD without MULTI")
-              end
-          | Protocol.Exec token ->
-              if not !in_multi then begin
-                Atomic.incr t.errors_total;
-                (tid, "error", Protocol.Err "EXEC without MULTI")
-              end
-              else if !dirty then begin
-                multi_reset ();
-                Atomic.incr t.errors_total;
-                ( tid,
-                  "error",
-                  Protocol.Err
-                    "EXECABORT: transaction discarded because of previous \
-                     errors" )
-              end
-              else if is_replica t then begin
-                (* The queued writes must come through the feed, not the
-                   wire — a replica that committed its own transactions
-                   would diverge from the primary. *)
-                multi_reset ();
-                Atomic.incr t.errors_total;
-                (tid, "error", Protocol.Err replica_readonly_msg)
-              end
-              else begin
-                let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
-                if lvl >= 2 then begin
-                  if not (Atomic.exchange t.hard_shed_on true) then
-                    flight_record t ~trigger:Harness.Flight.Hard_shed ()
-                end
-                else if lvl = 0 then Atomic.set t.hard_shed_on false;
-                if lvl >= 1 then begin
-                  (* EXEC is snapshot-heavy, so it sheds at soft level —
-                     but WITHOUT dropping the queued transaction: a
-                     backed-off retry of just EXEC still commits it. *)
-                  count_shed t;
-                  (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
-                end
-                else begin
-                  let cs = List.rev !queued in
-                  multi_reset ();
-                  match Mount.exec_txn t.mount ~token cs with
-                  | Protocol.Err _ as r ->
-                      Atomic.incr t.errors_total;
-                      (tid, "error", r)
-                  | Protocol.Aborted _ as r -> (tid, "abort", r)
-                  | r -> (tid, "ok", r)
-                end
-              end
-          | ( Protocol.Get _ | Protocol.Put _ | Protocol.Del _
-            | Protocol.Mget _ | Protocol.Range _ | Protocol.Rangecount _ )
-            when !in_multi -> (
-              let unsupported_range =
-                match (c, Mount.range_capability t.mount) with
-                | ( (Protocol.Range _ | Protocol.Rangecount _),
-                    Dstruct.Map_intf.Unordered ) ->
-                    true
-                | _ -> false
-              in
-              match () with
-              | _ when unsupported_range ->
-                  (* Reject at queue time: queuing a command that can
-                     never execute would guarantee an EXECABORT later. *)
-                  Atomic.incr t.errors_total;
-                  dirty := true;
-                  ( tid,
-                    "error",
-                    Protocol.Err
-                      (Printf.sprintf
-                         "unsupported: RANGE on unordered structure %S; use \
-                          MGET"
-                         (Mount.name t.mount)) )
-              | _ when List.length !queued >= multi_queue_cap ->
-                  Atomic.incr t.errors_total;
-                  dirty := true;
-                  (tid, "error", Protocol.Err "MULTI: transaction too large")
-              | _ ->
-                  queued := c :: !queued;
-                  (tid, "ok", Protocol.Queued))
-          | c when !in_multi ->
-              (* PING/STATS/SCAN/... make no sense inside a transaction;
-                 poison it so EXEC cannot silently commit a sequence the
-                 client mis-stated. *)
+  let parsed =
+    Span.in_phase Span.Parse (fun () -> Protocol.parse_command_traced line)
+  in
+  let trace_id, outcome, r =
+    match parsed with
+    | Error msg ->
+        Atomic.incr t.errors_total;
+        (* A garbage line inside MULTI poisons the transaction: the
+           client and server may disagree on what was queued. *)
+        if sess.s_multi then sess.s_dirty <- true;
+        (None, "error", Protocol.Err msg)
+    | Ok (tid, c) -> (
+        Span.set_cmd sp (command_verb c);
+        (match tid with Some id -> Span.set_trace_id sp id | None -> ());
+        if Activity.on () then Activity.set Activity.dim_op (verb_activity c);
+        match c with
+        | Protocol.Quit ->
+            quit := true;
+            (tid, "ok", Protocol.Ok_)
+        | Protocol.Multi ->
+            if sess.s_multi then begin
               Atomic.incr t.errors_total;
-              dirty := true;
+              sess.s_dirty <- true;
+              (tid, "error", Protocol.Err "MULTI: nested MULTI")
+            end
+            else begin
+              multi_reset ();
+              sess.s_multi <- true;
+              (tid, "ok", Protocol.Ok_)
+            end
+        | Protocol.Discard ->
+            if sess.s_multi then begin
+              multi_reset ();
+              (tid, "ok", Protocol.Ok_)
+            end
+            else begin
+              Atomic.incr t.errors_total;
+              (tid, "error", Protocol.Err "DISCARD without MULTI")
+            end
+        | Protocol.Exec token ->
+            if not sess.s_multi then begin
+              Atomic.incr t.errors_total;
+              (tid, "error", Protocol.Err "EXEC without MULTI")
+            end
+            else if sess.s_dirty then begin
+              multi_reset ();
+              Atomic.incr t.errors_total;
               ( tid,
                 "error",
                 Protocol.Err
-                  (Printf.sprintf "%s not allowed in MULTI" (command_verb c))
-              )
-          | Protocol.Stats -> (tid, "ok", Protocol.Bulk (stats_json t))
-          | Protocol.Metrics -> (tid, "ok", Protocol.Bulk (metrics_text t))
-          | Protocol.Profile ms ->
-              (* Like [Stats]/[Metrics]: answered at the connection
-                 level, never shed — an overloaded server must stay
-                 profileable (the whole point of the plane).  A
-                 positive window parks this worker for its duration
-                 (clamped inside [Profile.json]); pipelined commands
-                 behind it simply wait. *)
-              (tid, "ok", Protocol.Bulk (Verlib.Obs.Profile.json ~window_ms:ms ()))
-          | Protocol.Ping -> (tid, "ok", Protocol.Pong)
-          | Protocol.Replstats ->
-              (* Like STATS: never shed — the replication plane stays
-                 observable under overload and partitions. *)
-              (tid, "ok", Protocol.Bulk (replstats_json t))
-          | Protocol.Promote ->
-              (* Idempotent failover: accept writes from now on; the
-                 apply loop (if any) notices the role flip and exits. *)
-              Atomic.set t.role Primary;
-              (tid, "ok", Protocol.Ok_)
-          | Protocol.Sync -> (
-              (* Snapshot-heavy (an uncapped fold) — shed before
-                 dumping, and a latched partition severs it. *)
-              let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
-              if lvl >= 1 then begin
-                count_shed t;
-                (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
-              end
-              else
-                match sync_reply t with
-                | r -> (tid, "ok", r)
-                | exception Fault.Injected _ ->
-                    quit := true;
-                    (tid, "error", Protocol.Err "partitioned"))
-          | Protocol.Ack _ ->
-              Atomic.incr t.errors_total;
-              (tid, "error", Protocol.Err "ACK outside a SUBSCRIBE stream")
-          | Protocol.Watch (lo, hi, ms) ->
-              let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
-              if lvl >= 1 then begin
-                count_shed t;
-                (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
-              end
-              else (tid, "ok", run_watch t lo hi ms)
-          | Protocol.Subscribe (lo, hi, seq) ->
-              stream_req := Some (lo, hi, seq);
-              quit := true;
-              (tid, "ok", Protocol.Ok_)
-          | (Protocol.Put _ | Protocol.Del _) when is_replica t ->
+                  "EXECABORT: transaction discarded because of previous \
+                   errors" )
+            end
+            else if is_replica t then begin
+              (* The queued writes must come through the feed, not the
+                 wire — a replica that committed its own transactions
+                 would diverge from the primary. *)
+              multi_reset ();
               Atomic.incr t.errors_total;
               (tid, "error", Protocol.Err replica_readonly_msg)
-          | c ->
+            end
+            else begin
               let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
-              (* Hard-shed engagement is a flight trigger on the rising
-                 edge only — the first refused command files the report,
-                 steady-state refusals stay cheap. *)
               if lvl >= 2 then begin
                 if not (Atomic.exchange t.hard_shed_on true) then
                   flight_record t ~trigger:Harness.Flight.Hard_shed ()
               end
               else if lvl = 0 then Atomic.set t.hard_shed_on false;
-              if lvl >= 2 || (lvl >= 1 && Protocol.snapshot_heavy c) then begin
+              if lvl >= 1 then begin
+                (* EXEC is snapshot-heavy, so it sheds at soft level —
+                   but WITHOUT dropping the queued transaction: a
+                   backed-off retry of just EXEC still commits it. *)
                 count_shed t;
                 (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
               end
               else begin
-                let r = Mount.exec t.mount c in
-                match r with
-                | Protocol.Err _ ->
+                let cs = List.rev sess.s_queued in
+                multi_reset ();
+                match Mount.exec_txn t.mount ~token cs with
+                | Protocol.Err _ as r ->
                     Atomic.incr t.errors_total;
                     (tid, "error", r)
-                | _ -> (tid, "ok", r)
-              end)
-    in
-    if Activity.on () then Activity.set Activity.dim_op 0;
-    (* Render under the [reply] phase, finish the span, then emit: a
-       traced command's @-frame goes ahead of its data bytes (the
-       incremental reader never peeks past a reply).  The batched
-       socket flush is shared across pipelined commands and is not
-       attributed to any span. *)
-    Buffer.clear scratch;
-    Span.in_phase Span.Reply (fun () -> Protocol.render_reply scratch r);
-    Span.finish ~outcome sp;
-    (match trace_id with
-     | Some id -> Protocol.render_trace out (trace_info_of sp id outcome)
-     | None -> ());
-    Buffer.add_buffer out scratch
+                | Protocol.Aborted _ as r -> (tid, "abort", r)
+                | r -> (tid, "ok", r)
+              end
+            end
+        | ( Protocol.Get _ | Protocol.Put _ | Protocol.Del _
+          | Protocol.Mget _ | Protocol.Range _ | Protocol.Rangecount _ )
+          when sess.s_multi -> (
+            let unsupported_range =
+              match (c, Mount.range_capability t.mount) with
+              | ( (Protocol.Range _ | Protocol.Rangecount _),
+                  Dstruct.Map_intf.Unordered ) ->
+                  true
+              | _ -> false
+            in
+            match () with
+            | _ when unsupported_range ->
+                (* Reject at queue time: queuing a command that can
+                   never execute would guarantee an EXECABORT later. *)
+                Atomic.incr t.errors_total;
+                sess.s_dirty <- true;
+                ( tid,
+                  "error",
+                  Protocol.Err
+                    (Printf.sprintf
+                       "unsupported: RANGE on unordered structure %S; use \
+                        MGET"
+                       (Mount.name t.mount)) )
+            | _ when List.length sess.s_queued >= multi_queue_cap ->
+                Atomic.incr t.errors_total;
+                sess.s_dirty <- true;
+                (tid, "error", Protocol.Err "MULTI: transaction too large")
+            | _ ->
+                sess.s_queued <- c :: sess.s_queued;
+                (tid, "ok", Protocol.Queued))
+        | c when sess.s_multi ->
+            (* PING/STATS/SCAN/... make no sense inside a transaction;
+               poison it so EXEC cannot silently commit a sequence the
+               client mis-stated. *)
+            Atomic.incr t.errors_total;
+            sess.s_dirty <- true;
+            ( tid,
+              "error",
+              Protocol.Err
+                (Printf.sprintf "%s not allowed in MULTI" (command_verb c))
+            )
+        | Protocol.Stats -> (tid, "ok", Protocol.Bulk (stats_json t))
+        | Protocol.Metrics -> (tid, "ok", Protocol.Bulk (metrics_text t))
+        | Protocol.Profile ms ->
+            (* Like [Stats]/[Metrics]: answered unconditionally, never
+               shed — an overloaded server must stay profileable (the
+               whole point of the plane).  A positive window parks this
+               worker for its duration (clamped inside [Profile.json]);
+               pipelined commands behind it simply wait. *)
+            (tid, "ok", Protocol.Bulk (Verlib.Obs.Profile.json ~window_ms:ms ()))
+        | Protocol.Ping -> (tid, "ok", Protocol.Pong)
+        | Protocol.Replstats ->
+            (* Like STATS: never shed — the replication plane stays
+               observable under overload and partitions. *)
+            (tid, "ok", Protocol.Bulk (replstats_json t))
+        | Protocol.Promote ->
+            (* Idempotent failover: accept writes from now on; the
+               apply loop (if any) notices the role flip and exits. *)
+            Atomic.set t.role Primary;
+            (tid, "ok", Protocol.Ok_)
+        | Protocol.Sync -> (
+            (* Snapshot-heavy (an uncapped fold) — shed before
+               dumping, and a latched partition severs it. *)
+            let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+            if lvl >= 1 then begin
+              count_shed t;
+              (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+            end
+            else
+              match sync_reply t with
+              | r -> (tid, "ok", r)
+              | exception Fault.Injected _ ->
+                  quit := true;
+                  (tid, "error", Protocol.Err "partitioned"))
+        | Protocol.Ack _ ->
+            Atomic.incr t.errors_total;
+            (tid, "error", Protocol.Err "ACK outside a SUBSCRIBE stream")
+        | Protocol.Watch (lo, hi, ms) ->
+            let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+            if lvl >= 1 then begin
+              count_shed t;
+              (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+            end
+            else (tid, "ok", run_watch t lo hi ms)
+        | Protocol.Subscribe (lo, hi, seq) ->
+            sess.s_stream <- Some (lo, hi, seq);
+            quit := true;
+            (tid, "ok", Protocol.Ok_)
+        | (Protocol.Put _ | Protocol.Del _) when is_replica t ->
+            Atomic.incr t.errors_total;
+            (tid, "error", Protocol.Err replica_readonly_msg)
+        | c ->
+            let lvl = Span.in_phase Span.Shed (fun () -> overload_level t) in
+            (* Hard-shed engagement is a flight trigger on the rising
+               edge only — the first refused command files the report,
+               steady-state refusals stay cheap. *)
+            if lvl >= 2 then begin
+              if not (Atomic.exchange t.hard_shed_on true) then
+                flight_record t ~trigger:Harness.Flight.Hard_shed ()
+            end
+            else if lvl = 0 then Atomic.set t.hard_shed_on false;
+            if lvl >= 2 || (lvl >= 1 && Protocol.snapshot_heavy c) then begin
+              count_shed t;
+              (tid, "shed", Protocol.Busy t.cfg.retry_after_ms)
+            end
+            else begin
+              let r = Mount.exec t.mount c in
+              match r with
+              | Protocol.Err _ ->
+                  Atomic.incr t.errors_total;
+                  (tid, "error", r)
+              | _ -> (tid, "ok", r)
+            end)
   in
-  (* Split the pending buffer into complete lines, execute each; keep
-     the trailing partial line for the next read. *)
-  let process_pending () =
-    let s = Buffer.contents pending in
-    let len = String.length s in
-    let start = ref 0 in
-    let i = ref !scanned in
-    while (not !quit) && !i < len do
-      if s.[!i] = '\n' then begin
-        let stop = if !i > !start && s.[!i - 1] = '\r' then !i - 1 else !i in
-        run_command (String.sub s !start (stop - !start));
-        start := !i + 1
-      end;
-      incr i
-    done;
-    Buffer.clear pending;
-    if (not !quit) && !start < len then
-      Buffer.add_substring pending s !start (len - !start);
-    scanned := Buffer.length pending
+  if Activity.on () then Activity.set Activity.dim_op 0;
+  (* Render under the [reply] phase, finish the span, then emit: a
+     traced command's @-frame goes ahead of its data bytes (the
+     incremental reader never peeks past a reply).  The batched socket
+     flush is shared across pipelined commands and is not attributed to
+     any span. *)
+  Buffer.clear scratch;
+  Span.in_phase Span.Reply (fun () -> Protocol.render_reply scratch r);
+  Span.finish ~outcome sp;
+  (match trace_id with
+   | Some id -> Protocol.render_trace out (trace_info_of sp id outcome)
+   | None -> ());
+  Buffer.add_buffer out scratch
+
+(* Execute one handoff batch: run every line, publish the coalesced
+   reply bytes to the connection in a single [Evloop.output], report
+   completion, and — when a SUBSCRIBE flipped the session — adopt the
+   fd and run the push stream right here on the worker domain. *)
+let exec_batch t loop (b : batch) =
+  let t_pop = Verlib.Hwclock.now () in
+  let queue_ticks = max 0 (t_pop - b.b_push) in
+  let dwell_us = int_of_float (Verlib.Hwclock.to_us queue_ticks) in
+  Atomic.set t.queue_dwell_us dwell_us;
+  Atomic.set queue_dwell_us_a dwell_us;
+  let conn = b.b_conn in
+  let sess = conn.Evloop.data in
+  let out = Buffer.create 512 in
+  let scratch = Buffer.create 256 in
+  let quit = ref false in
+  let first = ref true in
+  List.iter
+    (fun line ->
+      (* A QUIT (or SUBSCRIBE) mid-batch drops the lines pipelined
+         behind it, exactly as the per-connection loop used to.  A peer
+         the loop has seen depart likewise forfeits its remaining
+         commands: the old core stopped when the per-command reply
+         write failed; here replies are buffered, so without this check
+         a command stalled by a chaos plan would resume minutes later
+         and apply stale mutations the client has long since replayed
+         over a fresh connection (the soak's conservation audit catches
+         exactly that as destroyed money). *)
+      if (not !quit) && Evloop.peer_gone conn then quit := true;
+      if not !quit then begin
+        let mark = if !first then b.b_mark else 0 in
+        let accept_ticks =
+          if !first && sess.s_first then conn.Evloop.accept_ticks else 0
+        in
+        let queue_ticks = if !first then queue_ticks else 0 in
+        if !first then begin
+          sess.s_first <- false;
+          first := false
+        end;
+        exec_line t sess ~out ~scratch ~mark ~accept_ticks ~queue_ticks ~quit
+          line
+      end)
+    b.b_lines;
+  if Buffer.length out > 0 then Evloop.output conn (Buffer.contents out);
+  (* Amortized GC telemetry: one [quick_stat] per batch (dozens of
+     commands), published into this worker's slot for the gauges and
+     PROFILE to sum. *)
+  Flock.Telemetry.Gcstat.publish ();
+  let action =
+    match sess.s_stream with
+    | Some _ -> `Detach
+    | None -> if !quit then `Close else `Continue
   in
-  let flush_out () =
-    if Buffer.length out > 0 then begin
-      let deadline =
-        if t.cfg.write_timeout > 0. then
-          Unix.gettimeofday () +. t.cfg.write_timeout
-        else infinity
-      in
-      (try write_all ~deadline fd (Buffer.contents out)
-       with Write_deadline ->
-         (* Peer stopped reading: reclaim the worker. *)
-         Atomic.incr t.deadline_kills;
-         Atomic.incr deadline_kills_a;
-         flight_record t ~trigger:Harness.Flight.Deadline_kill ();
-         quit := true);
-      Buffer.clear out
-    end
-  in
-  (try
-     while not !quit do
-       let read_cap =
-         match Fault.io_check fp_read with
-         | Some Fault.Econnreset -> -1 (* injected peer reset *)
-         | Some (Fault.Eagain_burst _) -> 0 (* injected spurious wakeup *)
-         | Some (Fault.Short_write n) -> max 1 n
-         | Some _ | None -> Bytes.length chunk
-       in
-       if read_cap < 0 then quit := true
-       else if read_cap = 0 then begin
-         Thread.yield ();
-         if Atomic.get t.stop_flag then quit := true
-       end
-       else
-         match Unix.read fd chunk 0 read_cap with
-         | 0 -> quit := true
-         | n ->
-             last_act := Unix.gettimeofday ();
-             chunk_mark := Verlib.Hwclock.now ();
-             Buffer.add_subbytes pending chunk 0 n;
-             if Buffer.length pending > max_line then begin
-               Protocol.render_reply out (Protocol.Err "line too long");
-               Atomic.incr t.errors_total;
-               quit := true
-             end
-             else process_pending ();
-             (* Amortized GC telemetry: one [quick_stat] per read chunk
-                (dozens-to-thousands of commands), published into this
-                worker's slot for the gauges and PROFILE to sum. *)
-             Flock.Telemetry.Gcstat.publish ();
-             flush_out ();
-             (* Graceful drain: everything read so far is answered; stop
-                taking more. *)
-             if Atomic.get t.stop_flag then quit := true
-         | exception
-             Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-           ->
-             if Atomic.get t.stop_flag then quit := true
-             else if
-               t.cfg.idle_timeout > 0.
-               && Unix.gettimeofday () -. !last_act > t.cfg.idle_timeout
-             then begin
-               (* Idle deadline: the client connected and went silent. *)
-               Atomic.incr t.deadline_kills;
-               Atomic.incr deadline_kills_a;
-               flight_record t ~trigger:Harness.Flight.Deadline_kill ();
-               quit := true
-             end
-         | exception Unix.Unix_error _ -> quit := true
-     done
-   with _ -> ());
-  (match !stream_req with
-   | Some (lo, hi, seq) when not (Atomic.get t.stop_flag) -> (
-       try stream_serve t fd ~lo ~hi ~start_seq:seq with _ -> ())
-   | _ -> ());
-  (try Unix.close fd with _ -> ());
-  Atomic.decr t.conns_active
+  Evloop.complete loop conn action;
+  match sess.s_stream with
+  | None -> ()
+  | Some (lo, hi, seq) -> (
+      (* The loop flushes the +OK, deregisters the fd, and hands it
+         over; from here the worker owns the socket for the stream's
+         lifetime (long-lived, IO-bound — the same occupancy a
+         subscriber cost under thread-per-connection). *)
+      match Evloop.wait_detached conn with
+      | `Dead -> () (* loop killed it; fd closed, h_close fired *)
+      | `Ok ->
+          (if not (Atomic.get t.stop_flag) then
+             try stream_serve t conn.Evloop.fd ~lo ~hi ~start_seq:seq
+             with _ -> ());
+          (try Unix.close conn.Evloop.fd with Unix.Unix_error _ -> ());
+          Atomic.decr t.conns_active)
 
 (* --- the replica (follower) loop ------------------------------------------ *)
 
@@ -1082,56 +1077,12 @@ let replica_loop t host port () =
 
 (* --- domains ------------------------------------------------------------- *)
 
-let accept_loop t lsock () =
-  (* select-with-timeout so the loop observes the stop flag without
-     relying on cross-domain close semantics. *)
-  while not (Atomic.get t.stop_flag) do
-    match Unix.select [ lsock ] [] [] 0.2 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-        match Unix.accept lsock with
-        | fd, _ ->
-            let t_accept = Verlib.Hwclock.now () in
-            Atomic.incr t.conns_total;
-            if
-              t.cfg.max_conns > 0
-              && Atomic.get t.conns_active + Bqueue.length t.queue
-                 >= t.cfg.max_conns
-            then begin
-              (* Connection cap: answer [-BUSY] at the door and close,
-                 instead of parking the socket in a queue no worker will
-                 reach soon.  Best-effort write: the client may already
-                 be gone. *)
-              count_shed t;
-              let b = Buffer.create 32 in
-              Protocol.render_reply b (Protocol.Busy t.cfg.retry_after_ms);
-              (try write_all ~deadline:(Unix.gettimeofday () +. 0.2) fd
-                     (Buffer.contents b)
-               with _ -> ());
-              try Unix.close fd with _ -> ()
-            end
-            else begin
-              (* Two stamps bracket the push: accept→push books as
-                 accept work, push→pop (including any block on a full
-                 queue) as queue dwell — on the connection's first
-                 request span. *)
-              let t_push = Verlib.Hwclock.now () in
-              if not (Bqueue.push t.queue (fd, t_accept, t_push)) then
-                try Unix.close fd with _ -> ()
-            end
-        | exception Unix.Unix_error _ -> ())
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
-  done
-
-let rec worker_loop t () =
+let rec worker_loop t loop () =
   match Bqueue.pop t.queue with
   | None -> ()
-  | Some (fd, t_accept, t_push) ->
-      let t_pop = Verlib.Hwclock.now () in
-      serve_conn t fd
-        ~accept_ticks:(max 0 (t_push - t_accept))
-        ~queue_ticks:(max 0 (t_pop - t_push));
-      worker_loop t ()
+  | Some b ->
+      exec_batch t loop b;
+      worker_loop t loop ()
 
 let take_census t =
   let c = Verlib.Chainscan.census_of_iter (Mount.iter_vptrs t.mount) in
@@ -1188,10 +1139,53 @@ let metrics_loop t () =
     end
   done
 
+(* --- event-loop handlers -------------------------------------------------- *)
+
+let busy_bytes t =
+  let b = Buffer.create 32 in
+  Protocol.render_reply b (Protocol.Busy t.cfg.retry_after_ms);
+  Buffer.contents b
+
+let handlers t : session Evloop.handlers =
+  {
+    Evloop.h_accept =
+      (fun _fd ->
+        Atomic.incr t.conns_total;
+        if t.cfg.max_conns > 0 && Atomic.get t.conns_active >= t.cfg.max_conns
+        then begin
+          (* Connection cap: answer [-BUSY] at the door and close.  The
+             refusal rides the normal nonblocking flush machinery — the
+             loop never blocks on a slow victim. *)
+          count_shed t;
+          `Reject (new_session ~admitted:false (), busy_bytes t)
+        end
+        else begin
+          Atomic.incr t.conns_active;
+          `Admit (new_session ~admitted:true ())
+        end);
+    h_dispatch =
+      (fun conn lines ~mark ->
+        let b_push = Verlib.Hwclock.now () in
+        Bqueue.try_push t.queue
+          { b_conn = conn; b_lines = lines; b_mark = mark; b_push });
+    h_overflow =
+      (fun _sess ->
+        Atomic.incr t.errors_total;
+        let b = Buffer.create 32 in
+        Protocol.render_reply b (Protocol.Err "line too long");
+        Buffer.contents b);
+    h_kill =
+      (fun _reason ->
+        Atomic.incr t.deadline_kills;
+        Atomic.incr deadline_kills_a;
+        flight_record t ~trigger:Harness.Flight.Deadline_kill ());
+    h_close = (fun sess -> if sess.s_admitted then Atomic.decr t.conns_active);
+  }
+
 let start t =
   if t.started then invalid_arg "Server.start: already started";
   (* A peer that resets mid-reply must cost an EPIPE exception on the
-     writing worker, never a process-killing SIGPIPE. *)
+     writing domain, never a process-killing SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
@@ -1203,6 +1197,12 @@ let start t =
   t.lsock <- Some lsock;
   t.started <- true;
   t.started_at <- Unix.gettimeofday ();
+  let loop =
+    Evloop.create ~lsock ~handlers:(handlers t) ~stop_flag:t.stop_flag
+      ~idle_timeout:t.cfg.idle_timeout ~write_timeout:t.cfg.write_timeout
+      ~max_line ~fp_read ~fp_write ()
+  in
+  t.loop <- Some loop;
   if t.cfg.census_interval > 0. then begin
     t.census_reg <-
       Some
@@ -1216,26 +1216,28 @@ let start t =
   if t.cfg.profile_hz > 0 then
     Verlib.Obs.Profile.start ~hz:t.cfg.profile_hz ();
   t.worker_ds <-
-    List.init (max 1 t.cfg.domains) (fun _ -> Domain.spawn (worker_loop t));
+    List.init (max 1 t.cfg.domains) (fun _ -> Domain.spawn (worker_loop t loop));
   (match t.cfg.replica_of with
    | Some (host, port) ->
        t.replica_d <- Some (Domain.spawn (replica_loop t host port))
    | None -> ());
-  t.accept_d <- Some (Domain.spawn (accept_loop t lsock))
+  t.net_d <- Some (Domain.spawn (fun () -> Evloop.run loop))
 
 let stop t =
   if t.started && not t.stopped then begin
     t.stopped <- true;
     Atomic.set t.stop_flag true;
-    Option.iter Domain.join t.accept_d;
-    t.accept_d <- None;
+    (* The net domain drains on its way out: every complete line already
+       read is dispatched and answered, outbufs flush, fds close.  The
+       workers must still be alive for that, so they join after. *)
+    Option.iter Evloop.wake t.loop;
+    Option.iter Domain.join t.net_d;
+    t.net_d <- None;
     (match t.lsock with
      | Some fd ->
          (try Unix.close fd with _ -> ());
          t.lsock <- None
      | None -> ());
-    (* Drain: queued connections are still served (their loops exit as
-       soon as they have answered what was already sent). *)
     Bqueue.close t.queue;
     List.iter Domain.join t.worker_ds;
     t.worker_ds <- [];
@@ -1265,3 +1267,5 @@ let census_violations_total t = Atomic.get t.census_violations
 let shed_count t = Atomic.get t.shed
 
 let deadline_kill_count t = Atomic.get t.deadline_kills
+
+let queue_dwell_us t = Atomic.get t.queue_dwell_us

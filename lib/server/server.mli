@@ -1,51 +1,65 @@
-(** verlib-serve — a pipelined multi-domain TCP front end over the
-    versioned maps.
+(** verlib-serve — an event-loop multi-domain TCP front end over the
+    versioned maps (docs/ASYNC.md).
 
-    Architecture: one accept domain feeds a bounded {!Bqueue} of
-    accepted sockets (backpressure: a full queue stalls [accept], which
-    fills the kernel backlog); [domains] worker domains pop connections
-    and serve them to completion with per-connection buffered reads and
-    writes — all replies for the commands found in one read are written
-    in one [write], so pipelined clients get batched responses.  An
-    optional census domain walks the mounted structure's versioned
-    pointers every [census_interval] seconds ([Verlib.Chainscan]),
-    keeping the latest census for [STATS] and accumulating the
-    invariant-violation count.
+    Architecture: one net domain runs a poll(2)-backed readiness loop
+    ({!Evloop} over {!Evpoll} — no [select], no FD_SETSIZE ceiling)
+    holding {e every} connection: it accepts from a nonblocking
+    listener, reads ready sockets, reassembles complete command lines,
+    and hands each read chunk's lines to the [domains] worker domains
+    as one batch through a bounded {!Bqueue}.  Workers parse, execute
+    and render; the coalesced reply bytes come back to the loop, which
+    flushes them nonblockingly — all replies for the commands found in
+    one read are written together, so pipelined clients get batched
+    responses, and concurrent connections are bounded by [ulimit -n],
+    not by the domain count.  While a batch is in flight the
+    connection's read interest is off (structural pipelining
+    backpressure); a full worker queue parks the batch on its
+    connection rather than ever blocking the loop.  An optional census
+    domain walks the mounted structure's versioned pointers every
+    [census_interval] seconds ([Verlib.Chainscan]), keeping the latest
+    census for [STATS] and accumulating the invariant-violation count.
 
-    {!stop} is a graceful drain: the listen socket closes, the handoff
-    queue drains, in-flight connections answer what they have already
-    read and close, every domain is joined, and a final {e quiescent}
-    census (exact audit) is taken. *)
+    {!stop} is a graceful drain: the listener stops accepting, every
+    complete line already read is dispatched and answered, outbufs
+    flush, all fds close, every domain is joined, and a final
+    {e quiescent} census (exact audit) is taken. *)
 
 module Protocol = Protocol
 module Bqueue = Bqueue
 module Mount = Mount
 module Client = Client
+module Evpoll = Evpoll
+module Evloop = Evloop
 
 type config = {
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
-  domains : int;  (** worker domains; also the max concurrent connections *)
+  domains : int;  (** worker (execution) domains — {e not} a connection cap *)
   backlog : int;  (** listen(2) backlog *)
-  queue_depth : int;  (** accept→worker handoff bound *)
+  queue_depth : int;  (** loop→worker batch handoff bound *)
   census_interval : float;  (** seconds; 0 disables the census domain *)
   max_conns : int;
-      (** connection cap: beyond [max_conns] simultaneously
-          admitted/queued connections, new arrivals are answered
-          [-BUSY] at accept and closed; 0 = unlimited *)
+      (** connection cap: beyond [max_conns] simultaneously registered
+          connections, new arrivals are answered [-BUSY] at accept and
+          closed; 0 = unlimited *)
   idle_timeout : float;
       (** seconds a connection may sit with no bytes arriving before the
-          worker closes it (a [deadline_kill]); 0 = never *)
+          loop closes it (a [deadline_kill]); 0 = never *)
   write_timeout : float;
-      (** seconds a reply flush may block on a peer that stopped
-          reading before the connection is killed; 0 = forever *)
+      (** seconds reply bytes may sit unflushed against a peer that
+          stopped reading before the connection is killed; 0 = forever *)
   shed_queue : int;
       (** admission control: shed snapshot-heavy commands while the
-          accept→worker queue holds at least this many connections
+          loop→worker queue holds at least this many batches
           (and {e all} data commands at twice it); 0 = off *)
   shed_epoch_lag : int;  (** same, against [Flock.Epoch.epoch_lag]; 0 = off *)
   shed_chain_p99 : int;
       (** same, against the p99 version-chain length of the latest
           census (needs [census_interval > 0]); 0 = off *)
+  shed_dwell_us : int;
+      (** same, against the measured queue dwell (µs) of the last
+          executed batch — the {e latency} form of queue pressure:
+          under the event loop [-BUSY] is a latency policy, not a
+          capacity one; 0 = off *)
   retry_after_ms : int;  (** the hint carried in [-BUSY] replies *)
   metrics_interval : float;
       (** seconds between metrics-plane sweeps (background census + SLO
@@ -115,6 +129,12 @@ val shed_count : t -> int
 val deadline_kill_count : t -> int
 (** Connections this instance killed for blowing the idle or write
     deadline (process-wide: the [deadline_kills] gauge). *)
+
+val queue_dwell_us : t -> int
+(** Queue dwell (µs) of the most recently executed batch: how long it
+    sat between the loop's push and a worker's pop — the live latency
+    signal behind [shed_dwell_us] (process-wide: the [queue_dwell_us]
+    gauge). *)
 
 val flight_dump_count : t -> int
 (** Flight-recorder dumps written so far (0 when the recorder is off). *)

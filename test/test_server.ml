@@ -325,6 +325,57 @@ let test_bqueue_backpressure () =
   let got = Domain.join consumer in
   Alcotest.(check (list int)) "fifo under backpressure" [ 0; 1; 2; 3 ] got
 
+(* --- Linebuf: stateful '\n'-framed reassembly ---------------------------- *)
+
+let test_linebuf_split_feeds () =
+  let lb = P.Linebuf.create () in
+  P.Linebuf.feed_string lb "GET 1\r\nPU";
+  Alcotest.(check (option string)) "first line" (Some "GET 1")
+    (P.Linebuf.next lb);
+  Alcotest.(check (option string)) "partial tail held back" None
+    (P.Linebuf.next lb);
+  Alcotest.(check int) "pending counts the tail" 2 (P.Linebuf.pending lb);
+  P.Linebuf.feed_string lb "T 2 3\n";
+  Alcotest.(check (option string)) "tail completed across feeds"
+    (Some "PUT 2 3") (P.Linebuf.next lb);
+  String.iter (fun c -> P.Linebuf.feed_string lb (String.make 1 c)) "PING\r\n";
+  Alcotest.(check (option string)) "byte-at-a-time delivery" (Some "PING")
+    (P.Linebuf.next lb);
+  P.Linebuf.feed_string lb "\n\nSIZE\n";
+  Alcotest.(check (option string)) "empty line 1" (Some "") (P.Linebuf.next lb);
+  Alcotest.(check (option string)) "empty line 2" (Some "") (P.Linebuf.next lb);
+  Alcotest.(check (option string)) "bare-LF line" (Some "SIZE")
+    (P.Linebuf.next lb);
+  Alcotest.(check int) "fully drained" 0 (P.Linebuf.pending lb);
+  P.Linebuf.feed_string lb "A\nB\nC\nD";
+  let got = ref [] in
+  P.Linebuf.drain lb (fun l -> got := l :: !got);
+  Alcotest.(check (list string)) "drain order" [ "A"; "B"; "C" ]
+    (List.rev !got);
+  Alcotest.(check int) "partial survives drain" 1 (P.Linebuf.pending lb)
+
+(* --- Evpoll: poll(2) readiness ------------------------------------------- *)
+
+let test_evpoll_pipe () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close r;
+      Unix.close w)
+  @@ fun () ->
+  Alcotest.(check bool) "empty pipe not readable" false
+    (S.Evpoll.readable ~timeout:0. r);
+  Alcotest.(check bool) "pipe writable" true (S.Evpoll.writable ~timeout:0. w);
+  Alcotest.(check int) "wrote" 1 (Unix.write_substring w "x" 0 1);
+  Alcotest.(check bool) "now readable" true (S.Evpoll.readable ~timeout:1. r);
+  (* Set-based poll: the readable fd's slot reports ev_in *)
+  let set = S.Evpoll.Set.create () in
+  let slot_r = S.Evpoll.Set.add set r ~interest:S.Evpoll.ev_in in
+  let ready = S.Evpoll.Set.poll set ~timeout_ms:1000 in
+  Alcotest.(check bool) "at least one ready" true (ready >= 1);
+  Alcotest.(check bool) "ev_in on the slot" true
+    (S.Evpoll.has (S.Evpoll.Set.revents set slot_r) S.Evpoll.ev_in)
+
 (* --- mount dispatch (no sockets) ---------------------------------------- *)
 
 let test_mount_capability () =
@@ -364,6 +415,24 @@ let req conn c =
   match C.request conn c with
   | Ok r -> r
   | Error e -> Alcotest.fail ("request: " ^ e)
+
+let await ?(timeout = 10.) msg pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail ("timed out awaiting " ^ msg)
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
 
 (* --- live: basic semantics over the wire -------------------------------- *)
 
@@ -645,6 +714,101 @@ let test_wire_graceful_stop () =
   (* idempotent *)
   S.stop srv
 
+(* --- live: the event loop past the old architectural ceilings ------------ *)
+
+(* Regression for the FD_SETSIZE bug: burn >1100 fds so every socket the
+   server and client open lands above select(2)'s 1024-fd ceiling, then
+   do real round-trips.  The select-based server dies here (fd_set
+   overflow is undefined behaviour — in practice a crash or a wedge). *)
+let test_wire_beyond_fd_setsize () =
+  let burn = Array.init 560 (fun _ -> Unix.pipe ~cloexec:true ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun (r, w) ->
+          Unix.close r;
+          Unix.close w)
+        burn)
+  @@ fun () ->
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let conn = C.connect ~retries:20 ~port () in
+  Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+  Alcotest.(check bool) "ping above fd 1024" true (req conn P.Ping = P.Pong);
+  Alcotest.(check bool) "put" true (req conn (P.Put (7, 70)) = P.Ok_);
+  (match req conn (P.Get 7) with
+   | P.Int 70 -> ()
+   | r -> Alcotest.fail ("GET past FD_SETSIZE: " ^ P.pp_reply r));
+  match C.pipeline conn [ P.Ping; P.Size; P.Get 7 ] with
+  | Ok [ P.Pong; P.Int _; P.Int 70 ] -> ()
+  | Ok rs ->
+      Alcotest.fail
+        ("pipeline past FD_SETSIZE: "
+        ^ String.concat ";" (List.map P.pp_reply rs))
+  | Error e -> Alcotest.fail ("pipeline past FD_SETSIZE: " ^ e)
+
+(* Far more simultaneous connections than worker domains: under
+   thread-per-connection serving with 2 domains, connection #3 would
+   never be accepted and the round-robin below would wedge.  The loop
+   holds all 64 and multiplexes batches onto the 2 workers. *)
+let test_wire_conns_exceed_domains () =
+  with_server ~domains:2 (module Dstruct.Btree) @@ fun _srv port ->
+  let conns = Array.init 64 (fun _ -> C.connect ~retries:20 ~port ()) in
+  Fun.protect ~finally:(fun () -> Array.iter C.close conns) @@ fun () ->
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) "ping all" true (req c P.Ping = P.Pong);
+      Alcotest.(check bool) "put all" true (req c (P.Put (i, i * 10)) = P.Ok_))
+    conns;
+  (* every connection reads a key written on a different connection *)
+  Array.iteri
+    (fun i c ->
+      let k = (i + 1) mod Array.length conns in
+      match req c (P.Get k) with
+      | P.Int v -> Alcotest.(check int) "cross-connection read" (k * 10) v
+      | r -> Alcotest.fail ("GET: " ^ P.pp_reply r))
+    conns
+
+(* Split-delivery ACK framing: an ACK line that arrives in two TCP
+   segments must be reassembled, not dropped — the drain_acks partial
+   line audit.  Write "ACK <seq> " and the rest after a pause; the
+   primary's lag gauge draining to 0 proves the cursor advanced. *)
+let test_wire_split_ack () =
+  with_server (module Dstruct.Btree) @@ fun _srv port ->
+  let pc = C.connect ~retries:20 ~port () in
+  let sc = C.connect ~retries:20 ~port () in
+  Fun.protect
+    ~finally:(fun () ->
+      C.close sc;
+      C.close pc)
+  @@ fun () ->
+  Alcotest.(check bool) "subscribe ok" true
+    (req sc (P.Subscribe (1, 1000, 0)) = P.Ok_);
+  ignore (req pc (P.Put (42, 4200)));
+  let record = ref None in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while !record = None && Unix.gettimeofday () < deadline do
+    match C.read_reply sc with
+    | Ok P.Ok_ -> () (* heartbeat *)
+    | Ok r -> (
+        match P.record_of_reply r with
+        | Ok rc -> record := Some rc
+        | Error e -> Alcotest.fail ("stream frame: " ^ e))
+    | Error e -> Alcotest.fail ("stream read: " ^ e)
+  done;
+  match !record with
+  | None -> Alcotest.fail "no change record streamed"
+  | Some rc ->
+      let line = Printf.sprintf "ACK %d %d\r\n" rc.Repl.r_seq rc.Repl.r_stamp in
+      let cut = 2 (* split inside the "ACK" keyword itself *) in
+      C.send_raw sc (String.sub line 0 cut);
+      Unix.sleepf 0.1;
+      C.send_raw sc (String.sub line cut (String.length line - cut));
+      await "split-delivered ACK drains the lag" (fun () ->
+          match req pc P.Replstats with
+          | P.Bulk json -> contains json "\"lag_stamps\":0"
+          | _ -> false);
+      C.send_raw sc "QUIT\r\n"
+
 (* --- live: MULTI/EXEC transactions over the wire ------------------------ *)
 
 let test_wire_txn_basics () =
@@ -901,6 +1065,18 @@ let () =
         [
           Alcotest.test_case "order and close" `Quick test_bqueue_order_and_close;
           Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
+        ] );
+      ( "evloop",
+        [
+          Alcotest.test_case "Linebuf split feeds" `Quick
+            test_linebuf_split_feeds;
+          Alcotest.test_case "Evpoll pipe readiness" `Quick test_evpoll_pipe;
+          Alcotest.test_case "serving past FD_SETSIZE" `Quick
+            test_wire_beyond_fd_setsize;
+          Alcotest.test_case "64 connections on 2 domains" `Quick
+            test_wire_conns_exceed_domains;
+          Alcotest.test_case "split-delivery ACK framing" `Quick
+            test_wire_split_ack;
         ] );
       ( "mount",
         [ Alcotest.test_case "typed capability" `Quick test_mount_capability ] );
